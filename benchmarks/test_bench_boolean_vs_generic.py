@@ -1,0 +1,172 @@
+"""E0 — the abstract's headline claim.
+
+    "operations specialized for Boolean matrices can be up to 5 times
+     faster and consume up to 4 times less memory than generic, not the
+     Boolean optimized, operations from modern libraries"
+
+Workloads: matrix squaring ``M·M`` (the SPbLA evaluation's operation),
+element-wise add, and Kronecker product, over graph families with
+different row-size distributions.  Contenders: the boolean backends
+(cubool = CSR/hash, clbool = COO/ESC) against the generic value-carrying
+baseline (float32 and float64 — cuSPARSE/CUSP stand-in).
+
+Reported per (workload, op): time, matrix storage bytes, and operation
+peak device memory, plus the generic/boolean ratios.  Expected shape:
+boolean wins both axes, with the memory gap widest for cubool (indices
+only, shared-memory hash tables) and the float64 baseline worst.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.datasets import (
+    grid_graph,
+    power_law_graph,
+    uniform_random_graph,
+    worst_case_bipartite,
+)
+
+from .conftest import (
+    BENCH_SCALE,
+    add_report,
+    defer_report,
+    measure_op_memory,
+    timed_runs,
+)
+
+BACKENDS = ("cubool", "clbool", "generic", "generic64")
+
+
+def _workloads():
+    s = BENCH_SCALE
+    return {
+        "uniform": uniform_random_graph(int(2000 * s) + 10, int(40000 * s) + 20, seed=1),
+        "power-law": power_law_graph(int(2000 * s) + 10, int(40000 * s) + 20, seed=1),
+        "grid": grid_graph(max(8, int(45 * (s ** 0.5)))),
+        "fan-hub": worst_case_bipartite(max(16, int(250 * s))),
+    }
+
+
+_WORKLOADS = _workloads()
+_RESULTS: dict[tuple[str, str, str], dict] = {}  # (workload, op, backend)
+
+
+def _edges(graph):
+    out = []
+    for pairs in graph.edges.values():
+        out.extend(pairs)
+    return np.asarray(out, dtype=np.int64)
+
+
+@pytest.fixture(params=sorted(_WORKLOADS))
+def workload(request):
+    return request.param
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    return request.param
+
+
+def _setup(backend, workload):
+    graph = _WORKLOADS[workload]
+    ctx = repro.Context(backend=backend)
+    pairs = _edges(graph)
+    m = ctx.matrix_from_lists((graph.n, graph.n), pairs[:, 0], pairs[:, 1])
+    return ctx, m
+
+
+class TestMxM:
+    def test_square(self, benchmark, backend, workload):
+        ctx, m = _setup(backend, workload)
+        _, peak = measure_op_memory(ctx, lambda: m.mxm(m).free())
+        mean, best = timed_runs(lambda: m.mxm(m).free(), runs=3)
+        benchmark.extra_info["workload"] = workload
+        benchmark.pedantic(lambda: m.mxm(m).free(), rounds=3, iterations=1)
+        _RESULTS[(workload, "mxm", backend)] = {
+            "time": mean,
+            "storage": m.memory_bytes(),
+            "peak": peak,
+        }
+        ctx.finalize()
+
+
+class TestEwiseAdd:
+    def test_add_transpose(self, benchmark, backend, workload):
+        ctx, m = _setup(backend, workload)
+        mt = m.T
+        _, peak = measure_op_memory(ctx, lambda: m.ewise_add(mt).free())
+        mean, _ = timed_runs(lambda: m.ewise_add(mt).free(), runs=3)
+        benchmark.pedantic(lambda: m.ewise_add(mt).free(), rounds=3, iterations=1)
+        _RESULTS[(workload, "add", backend)] = {
+            "time": mean,
+            "storage": m.memory_bytes(),
+            "peak": peak,
+        }
+        ctx.finalize()
+
+
+class TestKron:
+    def test_kron_tile(self, benchmark, backend, workload):
+        """K = tile ⊗ M with a 3x3 tile — a 9x blowup of the pattern."""
+        ctx, m = _setup(backend, workload)
+        tile = ctx.matrix_from_lists((3, 3), [0, 1, 2, 0], [1, 2, 0, 0])
+        _, peak = measure_op_memory(ctx, lambda: tile.kron(m).free())
+        mean, _ = timed_runs(lambda: tile.kron(m).free(), runs=3)
+        benchmark.pedantic(lambda: tile.kron(m).free(), rounds=3, iterations=1)
+        _RESULTS[(workload, "kron", backend)] = {
+            "time": mean,
+            "storage": m.memory_bytes(),
+            "peak": peak,
+        }
+        ctx.finalize()
+
+
+def _report_e0():
+    """Emit the paper-style comparison table from accumulated results."""
+    if not _RESULTS:
+        return
+    lines = [
+        "E0: boolean-specialized vs generic operations",
+        f"(scale={BENCH_SCALE}; times are simulated-executor CPU seconds;",
+        " ratios are generic/cubool — the paper claims up to 5x time,",
+        " up to 4x memory in favour of boolean)",
+        "",
+        f"{'workload':10s} {'op':5s} {'backend':10s} {'time(ms)':>9s} "
+        f"{'storage(KiB)':>13s} {'op peak(KiB)':>13s}",
+    ]
+    for (workload, op, backend), r in sorted(_RESULTS.items()):
+        lines.append(
+            f"{workload:10s} {op:5s} {backend:10s} {r['time'] * 1e3:9.1f} "
+            f"{r['storage'] / 1024:13.1f} {r['peak'] / 1024:13.1f}"
+        )
+    lines.append("")
+    lines.append(
+        f"{'workload':10s} {'op':5s} {'t gen/cubool':>13s} "
+        f"{'t gen/best-bool':>16s} {'mem gen64/cubool':>17s}"
+    )
+    for workload in sorted(_WORKLOADS):
+        for op in ("mxm", "add", "kron"):
+            try:
+                cub = _RESULTS[(workload, op, "cubool")]
+                clb = _RESULTS[(workload, op, "clbool")]
+                gen = _RESULTS[(workload, op, "generic")]
+                gen64 = _RESULTS[(workload, op, "generic64")]
+            except KeyError:
+                continue
+            t_ratio = gen["time"] / max(cub["time"], 1e-9)
+            t_best = gen["time"] / max(min(cub["time"], clb["time"]), 1e-9)
+            m_ratio = (gen64["storage"] + gen64["peak"]) / max(
+                cub["storage"] + cub["peak"], 1
+            )
+            lines.append(
+                f"{workload:10s} {op:5s} {t_ratio:13.2f} {t_best:16.2f} "
+                f"{m_ratio:17.2f}"
+            )
+    add_report("E0_boolean_vs_generic", "\n".join(lines))
+
+
+defer_report(_report_e0)

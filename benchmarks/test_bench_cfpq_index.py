@@ -1,0 +1,189 @@
+"""E6 — Table IV: CFPQ index creation, tensor (Tns) vs matrix (Mtx).
+
+The paper's table runs the same-generation queries G1/G2 over six RDF
+graphs, Geo over geospecies, and MA over four Linux-kernel alias
+graphs, comparing the Kronecker-product algorithm against Azimov's
+matrix algorithm (5-run means).
+
+Shape expectations from the paper's numbers:
+* on **go-hierarchy** Tns clearly beats Mtx (1.43s vs 0.16s there — the
+  deep pure-subClassOf hierarchy makes the CNF'd grammar iterate many
+  more matrix products);
+* on **taxonomy** (and the MA graphs) Mtx wins — Tns pays for computing
+  the all-paths index;
+* on the small graphs both are fast and close.
+
+Answers are cross-checked (both engines must produce identical pair
+sets) — a benchmark that silently computed different answers would be
+meaningless.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.cfpq import matrix_cfpq, tensor_cfpq
+from repro.datasets import memory_alias_graph, rdf_like_graph
+from repro.datasets.queries_cfpq import (
+    query_g1,
+    query_g2,
+    query_geo,
+    query_ma_cfg,
+    query_ma_rsm,
+)
+
+from .conftest import BENCH_SCALE, add_report, defer_report, timed_runs
+
+RDF_GRAPHS = {
+    "eclass~": ("eclass", 0.35),
+    "enzyme~": ("enzyme", 1.0),
+    "geospecies~": ("geospecies", 0.35),
+    "go~": ("go", 0.35),
+    "go-hierarchy~": ("go-hierarchy", 0.35),
+    "pathways~": ("pathways", 1.0),
+    "taxonomy~": ("taxonomy", 0.035),
+}
+
+ALIAS_GRAPHS = {
+    "arch~": ("arch", 0.01),
+    "crypto~": ("crypto", 0.01),
+    "drivers~": ("drivers", 0.01),
+    "fs~": ("fs", 0.01),
+}
+
+_GRAPHS: dict[str, object] = {}
+_RESULTS: dict[tuple[str, str, str], float] = {}  # (graph, query, engine)
+_PAIR_COUNTS: dict[tuple[str, str], int] = {}
+
+
+def _rdf(name):
+    if name not in _GRAPHS:
+        preset, scale = RDF_GRAPHS[name]
+        _GRAPHS[name] = rdf_like_graph(
+            preset, scale=scale * BENCH_SCALE, seed=31
+        ).with_inverses(labels=["subClassOf", "type", "broaderTransitive"])
+    return _GRAPHS[name]
+
+
+def _alias(name):
+    if name not in _GRAPHS:
+        preset, scale = ALIAS_GRAPHS[name]
+        _GRAPHS[name] = memory_alias_graph(preset, scale=scale * BENCH_SCALE, seed=31)
+    return _GRAPHS[name]
+
+
+def _run_both(benchmark, graph, graph_name, query_name, cfg, rsm_query=None):
+    ctx = repro.Context(backend="cubool")
+    tns_query = rsm_query if rsm_query is not None else cfg
+
+    def run_tns():
+        idx = tensor_cfpq(graph, tns_query, ctx)
+        pairs = idx.pairs("S")
+        idx.free()
+        return pairs
+
+    def run_mtx():
+        idx = matrix_cfpq(graph, cfg, ctx)
+        pairs = idx.pairs("S")
+        idx.free()
+        return pairs
+
+    tns_pairs = run_tns()
+    mtx_pairs = run_mtx()
+    assert tns_pairs == mtx_pairs, (
+        f"engines disagree on {graph_name}/{query_name}: "
+        f"{len(tns_pairs)} vs {len(mtx_pairs)} pairs"
+    )
+    _PAIR_COUNTS[(graph_name, query_name)] = len(tns_pairs)
+
+    tns_mean, _ = timed_runs(run_tns, runs=3)
+    mtx_mean, _ = timed_runs(run_mtx, runs=3)
+    _RESULTS[(graph_name, query_name, "Tns")] = tns_mean
+    _RESULTS[(graph_name, query_name, "Mtx")] = mtx_mean
+    benchmark.pedantic(run_tns, rounds=1, iterations=1)
+    ctx.finalize()
+
+
+@pytest.mark.parametrize("graph_name", sorted(RDF_GRAPHS))
+@pytest.mark.parametrize("query_name", ["G1", "G2"])
+def test_same_generation(benchmark, graph_name, query_name):
+    graph = _rdf(graph_name)
+    cfg = query_g1() if query_name == "G1" else query_g2()
+    _run_both(benchmark, graph, graph_name, query_name, cfg)
+
+
+def test_geo_on_geospecies(benchmark):
+    graph = _rdf("geospecies~")
+    _run_both(benchmark, graph, "geospecies~", "Geo", query_geo())
+
+
+@pytest.mark.parametrize("graph_name", sorted(ALIAS_GRAPHS))
+def test_memory_alias(benchmark, graph_name):
+    graph = _alias(graph_name)
+    _run_both(
+        benchmark, graph, graph_name, "MA", query_ma_cfg(), rsm_query=query_ma_rsm()
+    )
+
+
+def _report():
+    if not _RESULTS:
+        return
+    queries = ["G1", "G2", "Geo", "MA"]
+    lines = [
+        "Table IV analogue — CFPQ index creation time (seconds, mean of 3)",
+        "Tns = tensor/Kronecker all-paths algorithm, Mtx = Azimov matrix",
+        "",
+        f"{'graph':14s} "
+        + " ".join(f"{q + ' Tns':>9s} {q + ' Mtx':>9s}" for q in queries),
+    ]
+    graph_names = sorted({g for (g, _, _) in _RESULTS})
+    for g in graph_names:
+        row = [f"{g:14s}"]
+        for q in queries:
+            tns = _RESULTS.get((g, q, "Tns"))
+            mtx = _RESULTS.get((g, q, "Mtx"))
+            row.append(f"{tns:9.3f}" if tns is not None else f"{'---':>9s}")
+            row.append(f"{mtx:9.3f}" if mtx is not None else f"{'---':>9s}")
+        lines.append(" ".join(row))
+    lines.append("")
+    # Shape checks.
+    gh_t = _RESULTS.get(("go-hierarchy~", "G1", "Tns"))
+    gh_m = _RESULTS.get(("go-hierarchy~", "G1", "Mtx"))
+    if gh_t and gh_m:
+        lines.append(
+            f"shape check: go-hierarchy G1 Tns {gh_t:.3f}s vs Mtx {gh_m:.3f}s "
+            f"-> Tns faster: {gh_t < gh_m} (paper: 0.16 vs 1.43).  NOTE: the"
+        )
+        lines.append(
+            "  paper's Tns ran on GPU while its Mtx baseline was CPU"
+            " PyGraphBLAS; on a single shared substrate (ours) both engines"
+            " take the same outer-iteration count and Mtx's smaller per-"
+            "iteration working set wins — the crossover is a substrate"
+            " artifact, not an algorithmic one (see EXPERIMENTS.md)."
+        )
+    tx_t = _RESULTS.get(("taxonomy~", "G2", "Tns"))
+    tx_m = _RESULTS.get(("taxonomy~", "G2", "Mtx"))
+    if tx_t and tx_m:
+        lines.append(
+            f"shape check: taxonomy G2 Tns {tx_t:.3f}s vs Mtx {tx_m:.3f}s "
+            f"-> Mtx faster: {tx_m < tx_t} (paper: 3.75 vs 1.56)"
+        )
+    ma_pairs = [
+        (g, _RESULTS.get((g, "MA", "Tns")), _RESULTS.get((g, "MA", "Mtx")))
+        for g in sorted(ALIAS_GRAPHS)
+    ]
+    if all(t and m for _, t, m in ma_pairs):
+        mtx_wins = sum(1 for _, t, m in ma_pairs if m < t)
+        lines.append(
+            f"shape check: Mtx faster on {mtx_wins}/4 alias graphs "
+            "(paper: Mtx faster on all four)"
+        )
+    lines.append("")
+    lines.append("answer sizes (|pairs| per graph/query, engines verified equal):")
+    for (g, q), c in sorted(_PAIR_COUNTS.items()):
+        lines.append(f"  {g:14s} {q:4s} {c}")
+    add_report("E6_cfpq_table4", "\n".join(lines))
+
+
+defer_report(_report)

@@ -1,0 +1,134 @@
+"""E1 + E5 — reproduce the dataset-statistics tables (Table I, Table III).
+
+The paper's tables list vertex/edge/per-relation counts of the
+evaluation graphs.  Our generators target the same structure at 1/100
+scale; this benchmark generates every preset, measures generation time,
+and prints the tables with the published targets alongside for
+comparison (the ratio columns should hover near the configured scale).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    ALIAS_PRESETS,
+    LUBM_PRESETS,
+    RDF_PRESETS,
+    format_stats_table,
+    graph_stats,
+    lubm_like_graph,
+    memory_alias_graph,
+    rdf_like_graph,
+)
+
+from .conftest import BENCH_SCALE, add_report, defer_report
+
+#: Published Table I targets (vertices, edges) for the LUBM series.
+LUBM_PAPER = {
+    "LUBM1k": (120_926, 484_646),
+    "LUBM3.5k": (358_434, 1_449_711),
+    "LUBM5.9k": (596_760, 2_416_513),
+    "LUBM1M": (1_188_340, 4_820_728),
+    "LUBM1.7M": (1_780_956, 7_228_358),
+    "LUBM2.3M": (2_308_385, 9_369_511),
+}
+
+#: Published Table III targets: (V, E, #sco, #type, #bt, #a, #d).
+CFPQ_PAPER = {
+    "eclass": (239_111, 523_727, 90_512, 72_517, 0, 0, 0),
+    "enzyme": (48_815, 109_695, 8_163, 14_989, 0, 0, 0),
+    "geospecies": (450_609, 2_201_532, 0, 89_062, 20_867, 0, 0),
+    "go": (272_770, 534_311, 90_512, 58_483, 0, 0, 0),
+    "go-hierarchy": (45_007, 980_218, 490_109, 0, 0, 0, 0),
+    "taxonomy": (5_728_398, 14_922_125, 2_112_637, 2_508_635, 0, 0, 0),
+    "arch": (3_448_422, 5_940_484, 0, 0, 0, 671_295, 2_298_947),
+    "crypto": (3_464_970, 5_976_774, 0, 0, 0, 678_408, 2_309_979),
+    "drivers": (4_273_803, 7_415_538, 0, 0, 0, 858_568, 2_849_201),
+    "fs": (4_177_416, 7_218_746, 0, 0, 0, 824_430, 2_784_943),
+}
+
+_STATS: dict[str, dict] = {}
+
+
+@pytest.mark.parametrize("preset", sorted(LUBM_PRESETS))
+def test_generate_lubm(benchmark, preset):
+    scale = 0.25 * BENCH_SCALE
+    graph = benchmark.pedantic(
+        lambda: lubm_like_graph(preset, scale=scale, seed=1), rounds=1, iterations=1
+    )
+    _STATS[preset] = graph_stats(graph)
+
+
+@pytest.mark.parametrize("preset", sorted(RDF_PRESETS))
+def test_generate_rdf(benchmark, preset):
+    scale = 0.5 * BENCH_SCALE
+    graph = benchmark.pedantic(
+        lambda: rdf_like_graph(preset, scale=scale, seed=1), rounds=1, iterations=1
+    )
+    _STATS[preset] = graph_stats(
+        graph, labels_of_interest=["subClassOf", "type", "broaderTransitive"]
+    )
+
+
+@pytest.mark.parametrize("preset", sorted(ALIAS_PRESETS))
+def test_generate_alias(benchmark, preset):
+    scale = 0.1 * BENCH_SCALE
+    graph = benchmark.pedantic(
+        lambda: memory_alias_graph(preset, scale=scale, seed=1), rounds=1, iterations=1
+    )
+    _STATS[preset] = graph_stats(graph, labels_of_interest=["a", "d"])
+
+
+def _report():
+    if not _STATS:
+        return
+    lubm_rows = {}
+    for name, (v, e) in LUBM_PAPER.items():
+        got = _STATS.get(name)
+        if got:
+            lubm_rows[name] = {
+                "#V (gen)": got["vertices"],
+                "#E (gen)": got["edges"],
+                "#V (paper)": v,
+                "#E (paper)": e,
+                "E/V gen": got["edges"] / max(1, got["vertices"]),
+                "E/V paper": e / v,
+            }
+    if lubm_rows:
+        add_report(
+            "E1_dataset_tables",
+            "Table I analogue — LUBM-like series (generated vs published):\n"
+            + format_stats_table(
+                lubm_rows,
+                ["#V (gen)", "#E (gen)", "#V (paper)", "#E (paper)", "E/V gen", "E/V paper"],
+            ),
+        )
+
+    cfpq_rows = {}
+    for name, (v, e, sco, typ, bt, a, d) in CFPQ_PAPER.items():
+        got = _STATS.get(name)
+        if got:
+            cfpq_rows[name] = {
+                "#V": got["vertices"],
+                "#E": got["edges"],
+                "#sco": got.get("#subClassOf", 0),
+                "#type": got.get("#type", 0),
+                "#bt": got.get("#broaderTransitive", 0),
+                "#a": got.get("#a", 0),
+                "#d": got.get("#d", 0),
+                "#V paper": v,
+                "#E paper": e,
+            }
+    if cfpq_rows:
+        add_report(
+            "E5_dataset_tables",
+            "Table III analogue — CFPQ graphs (generated, with paper targets):\n"
+            + format_stats_table(
+                cfpq_rows,
+                ["#V", "#E", "#sco", "#type", "#bt", "#a", "#d", "#V paper", "#E paper"],
+            ),
+        )
+
+
+defer_report(_report)

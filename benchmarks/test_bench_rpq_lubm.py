@@ -1,0 +1,113 @@
+"""E3 — Figure 2: RPQ index-creation time over the LUBM series.
+
+The paper evaluates every Table II template over six LUBM sizes and
+plots index-creation time per query.  Here the LUBM-like generator
+provides three scaled sizes, a representative template subset runs on
+each, and the report prints the figure's data as a (query × graph)
+table of mean times over 5 runs (the paper's averaging).
+
+Shape expectations from the paper: chain queries (Q11 family, Q2) stay
+fast on every size; the heavy alternation-plus-closure template Q14 is
+the slowest; time grows with graph size for every query.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.datasets import instantiate_template, lubm_like_graph
+from repro.rpq import rpq_index
+
+from .conftest import BENCH_SCALE, add_report, defer_report, timed_runs
+
+GRAPHS = {
+    "LUBM1k~": 0.12,
+    "LUBM3.5k~": 0.36,
+    "LUBM5.9k~": 0.6,
+}
+
+#: Template -> symbols drawn from the LUBM schema's frequent relations.
+QUERIES = {
+    "Q1": ["takesCourse"],
+    "Q2": ["advisor", "memberOf"],
+    "Q4_3": ["memberOf", "worksFor", "subOrganizationOf"],
+    "Q5": ["memberOf", "subOrganizationOf", "type"],
+    "Q9_2": ["advisor", "teacherOf"],
+    "Q11_3": ["advisor", "worksFor", "subOrganizationOf"],
+    "Q12": ["advisor", "worksFor", "memberOf", "subOrganizationOf"],
+    "Q14": [
+        "advisor",
+        "worksFor",
+        "memberOf",
+        "subOrganizationOf",
+        "teacherOf",
+        "takesCourse",
+    ],
+}
+
+_GRAPH_CACHE: dict[str, object] = {}
+_TIMES: dict[tuple[str, str], float] = {}
+
+
+def _graph(name):
+    if name not in _GRAPH_CACHE:
+        _GRAPH_CACHE[name] = lubm_like_graph(
+            "LUBM1k", scale=GRAPHS[name] * BENCH_SCALE, seed=17
+        )
+    return _GRAPH_CACHE[name]
+
+
+@pytest.mark.parametrize("graph_name", sorted(GRAPHS))
+@pytest.mark.parametrize("query_name", sorted(QUERIES))
+def test_index_creation(benchmark, graph_name, query_name):
+    graph = _graph(graph_name)
+    regex = instantiate_template(query_name, QUERIES[query_name])
+    ctx = repro.Context(backend="cubool")
+
+    def build():
+        rpq_index(graph, regex, ctx).free()
+
+    mean, _ = timed_runs(build, runs=5)
+    _TIMES[(query_name, graph_name)] = mean
+    benchmark.pedantic(build, rounds=1, iterations=1)
+    ctx.finalize()
+
+
+def _report():
+    if not _TIMES:
+        return
+    graphs = sorted(GRAPHS)
+    lines = [
+        "Figure 2 analogue — RPQ index creation time (seconds, mean of 5)",
+        f"LUBM-like series at scale {BENCH_SCALE} (vertex counts grow left to right)",
+        "",
+        f"{'query':8s} " + " ".join(f"{g:>10s}" for g in graphs),
+    ]
+    for query_name in sorted(QUERIES):
+        row = [f"{query_name:8s}"]
+        for g in graphs:
+            t = _TIMES.get((query_name, g))
+            row.append(f"{t:10.4f}" if t is not None else f"{'---':>10s}")
+        lines.append(" ".join(row))
+    lines.append("")
+    # Shape checks reported inline.
+    try:
+        big = graphs[-1]
+        q14 = _TIMES[("Q14", big)]
+        q11 = _TIMES[("Q11_3", big)]
+        lines.append(
+            f"shape check: Q14 ({q14:.4f}s) slower than Q11_3 ({q11:.4f}s) "
+            f"on {big}: {q14 > q11} (paper: Q14 worst, Q11 fastest)"
+        )
+        for q in sorted(QUERIES):
+            t_small = _TIMES[(q, graphs[0])]
+            t_big = _TIMES[(q, graphs[-1])]
+            if t_big < t_small * 0.8:
+                lines.append(f"  NOTE: {q} did not grow with graph size")
+    except KeyError:
+        pass
+    add_report("E3_rpq_lubm", "\n".join(lines))
+
+
+defer_report(_report)

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Multi-device execution: row-partitioned boolean SpGEMM.
+
+The paper's future-work section names multi-GPU programming as a
+direction; this example distributes a matrix over a pool of simulated
+devices in nnz-balanced row blocks, squares it against a replicated
+right operand, and reports the per-device nnz balance and memory —
+including the replication overhead that 1-D SpGEMM layouts pay.
+
+Run:  python examples/multi_device.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.datasets import power_law_graph
+from repro.distributed import DevicePool
+
+
+def main() -> None:
+    graph = power_law_graph(1200, 20000, seed=21)
+    pairs = np.asarray(graph.edges["a"], dtype=np.int64)
+    rows, cols = pairs[:, 0], pairs[:, 1]
+    shape = (graph.n, graph.n)
+
+    # Single-device reference answer and time.
+    ref_pool = DevicePool(n_devices=1, backend="cubool")
+    t0 = time.perf_counter()
+    d_ref = ref_pool.distribute(rows, cols, shape)
+    c_ref = d_ref.mxm_replicated(rows, cols, shape)
+    t_single = time.perf_counter() - t0
+    ref_pattern = set(zip(*[x.tolist() for x in c_ref.gather()]))
+
+    print(f"workload: M·M, n={graph.n}, unique nnz={d_ref.nnz}, output nnz={c_ref.nnz}\n")
+    print(
+        f"{'devices':>8s} {'time (ms)':>10s} {'input nnz / device':>34s} "
+        f"{'output nnz / device':>34s} {'live KiB/dev':>13s}"
+    )
+    for k in (1, 2, 4, 8):
+        pool = DevicePool(n_devices=k, backend="cubool")
+        da = pool.distribute(rows, cols, shape)
+        in_balance = da.block_nnz()
+        t0 = time.perf_counter()
+        dc = da.mxm_replicated(rows, cols, shape)
+        elapsed = time.perf_counter() - t0
+        # Verify against the single-device result.
+        pattern = set(zip(*[x.tolist() for x in dc.gather()]))
+        assert pattern == ref_pattern, "distributed result must match"
+        live = max(e["live_bytes"] for e in pool.memory_report().values())
+        print(
+            f"{k:8d} {elapsed * 1e3:10.1f} {str(in_balance):>34s} "
+            f"{str(dc.block_nnz()):>34s} {live / 1024:13.1f}"
+        )
+        dc.free()
+        da.free()
+
+    print(
+        "\nnote: on the single-core simulated executor the devices run "
+        "sequentially, so wall time does not drop with the pool size — "
+        "the per-device nnz balance and the B-replication memory cost "
+        "are the modeled quantities."
+    )
+
+
+if __name__ == "__main__":
+    main()

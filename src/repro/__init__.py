@@ -1,0 +1,64 @@
+"""SPbLA reproduction: sparse Boolean linear algebra on simulated GPGPU backends.
+
+A Python reproduction of *"SPbLA: The Library of GPGPU-Powered Sparse
+Boolean Linear Algebra Operations"*: boolean CSR/COO sparse matrices with
+Nsparse-style hash SpGEMM, merge-path element-wise addition and
+Kronecker products, behind a single backend-selectable API, plus the
+CFPQ/RPQ path-querying applications built on top of it.
+
+Top-level convenience surface::
+
+    import repro
+
+    ctx = repro.Context(backend="cubool")
+    a = ctx.matrix_from_lists((3, 3), rows=[0, 1], cols=[1, 2])
+    closure = repro.algorithms.transitive_closure(a)
+
+See :mod:`repro.core` for the Matrix/Vector API, :mod:`repro.backends`
+for the cuBool/clBool/generic backend ports, :mod:`repro.cfpq` and
+:mod:`repro.rpq` for the path-query engines, and DESIGN.md for the full
+system inventory.
+"""
+
+from repro.core import (
+    BOOL_OR_AND,
+    Context,
+    MIN_PLUS,
+    Matrix,
+    PLUS_TIMES,
+    Semiring,
+    Vector,
+    default_context,
+    init,
+)
+from repro.errors import (
+    DeviceError,
+    DeviceMemoryError,
+    DimensionMismatchError,
+    IndexOutOfBoundsError,
+    InvalidArgumentError,
+    InvalidStateError,
+    SpblaError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BOOL_OR_AND",
+    "Context",
+    "DeviceError",
+    "DeviceMemoryError",
+    "DimensionMismatchError",
+    "IndexOutOfBoundsError",
+    "InvalidArgumentError",
+    "InvalidStateError",
+    "MIN_PLUS",
+    "Matrix",
+    "PLUS_TIMES",
+    "Semiring",
+    "SpblaError",
+    "Vector",
+    "__version__",
+    "default_context",
+    "init",
+]

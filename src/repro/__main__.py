@@ -1,0 +1,61 @@
+"""``python -m repro`` — library self-check and environment report.
+
+Prints the registered backends with a one-operation smoke test each,
+the simulated-device profile, and version info.  Exit code is non-zero
+if any backend fails its smoke test (useful as an install check).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import numpy as np
+
+
+def main() -> int:
+    import repro
+    from repro.backends import available_backends
+
+    print(f"repro {repro.__version__} — SPbLA reproduction")
+    print(f"numpy {np.__version__}")
+    print()
+    print(f"{'backend':11s} {'status':7s} {'mxm(100x100, d=0.1)':>20s} "
+          f"{'device':>14s}")
+    failures = 0
+    rng = np.random.default_rng(0)
+    dense = rng.random((100, 100)) < 0.1
+    expected = (dense.astype(int) @ dense.astype(int)) > 0
+    for name in available_backends():
+        try:
+            ctx = repro.Context(backend=name)
+            m = ctx.matrix_from_dense(dense)
+            t0 = time.perf_counter()
+            out = m @ m
+            elapsed = time.perf_counter() - t0
+            ok = np.array_equal(out.to_dense(), expected)
+            status = "ok" if ok else "WRONG"
+            if not ok:
+                failures += 1
+            print(
+                f"{name:11s} {status:7s} {elapsed * 1e3:17.2f} ms "
+                f"{ctx.device.name:>14s}"
+            )
+            ctx.finalize()
+        except Exception as exc:  # pragma: no cover - defensive
+            failures += 1
+            print(f"{name:11s} FAIL    {exc!r}")
+    print()
+    dev = repro.Context(backend="cubool").device
+    lim = dev.limits
+    print(
+        f"device profile: {lim.max_threads_per_block} threads/block, "
+        f"warp {lim.warp_size}, {lim.shared_mem_per_block // 1024} KiB shared, "
+        f"{lim.global_mem_bytes // 1024 ** 3} GiB global, "
+        f"{lim.multiprocessor_count} SMs"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""Breadth-first search as repeated vector-matrix products."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.matrix import Matrix
+from repro.errors import InvalidArgumentError
+
+
+def bfs_levels(adjacency: Matrix, source: int) -> np.ndarray:
+    """BFS levels from ``source`` following edge direction.
+
+    Returns an int64 array of length ``n``: level of each vertex
+    (0 for the source), or ``-1`` if unreachable.  Each step is one
+    sparse ``vᵀ·A`` product; the visited mask is maintained host-side
+    (SPbLA has no masked operations — the paper lists them as future
+    GraphBLAS work).
+    """
+    if adjacency.nrows != adjacency.ncols:
+        raise InvalidArgumentError("bfs requires a square adjacency matrix")
+    n = adjacency.nrows
+    if not 0 <= source < n:
+        raise InvalidArgumentError(f"source {source} outside [0, {n})")
+
+    ctx = adjacency.context
+    levels = np.full(n, -1, dtype=np.int64)
+    levels[source] = 0
+    at = adjacency.transpose()  # v·A == Aᵀ·v with column vectors
+    frontier = ctx.vector_from_indices(n, [source])
+    level = 0
+    try:
+        while frontier.nnz:
+            level += 1
+            nxt = frontier.mxv(at)
+            frontier.free()
+            candidates = nxt.to_indices()
+            fresh = candidates[levels[candidates] < 0]
+            nxt.free()
+            levels[fresh] = level
+            frontier = ctx.vector_from_indices(n, fresh)
+    finally:
+        frontier.free()
+        at.free()
+    return levels

@@ -1,0 +1,51 @@
+"""Reachability queries as closure/product compositions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.closure import transitive_closure
+from repro.core.matrix import Matrix
+from repro.errors import InvalidArgumentError
+
+
+def reachable_from(adjacency: Matrix, sources) -> np.ndarray:
+    """Vertices reachable (length ≥ 1 paths) from any of ``sources``.
+
+    Computed frontier-style: repeated ``fᵀ·A`` steps with host-side
+    visited masking — linear in the number of BFS levels, no closure
+    materialization.
+    """
+    if adjacency.nrows != adjacency.ncols:
+        raise InvalidArgumentError("reachable_from requires a square matrix")
+    n = adjacency.nrows
+    ctx = adjacency.context
+    sources = np.asarray(list(sources), dtype=np.int64)
+    if sources.size and (sources.min() < 0 or sources.max() >= n):
+        raise InvalidArgumentError("source vertex outside range")
+
+    visited = np.zeros(n, dtype=bool)
+    at = adjacency.transpose()
+    frontier = ctx.vector_from_indices(n, sources)
+    try:
+        while frontier.nnz:
+            nxt = frontier.mxv(at)
+            frontier.free()
+            candidates = nxt.to_indices()
+            nxt.free()
+            fresh = candidates[~visited[candidates]]
+            visited[fresh] = True
+            frontier = ctx.vector_from_indices(n, fresh)
+    finally:
+        frontier.free()
+        at.free()
+    return np.nonzero(visited)[0]
+
+
+def reachable_pairs(adjacency: Matrix, *, reflexive: bool = False) -> int:
+    """Number of reachable (u, v) pairs — the size of the closure."""
+    closure = transitive_closure(adjacency, reflexive=reflexive)
+    try:
+        return closure.nnz
+    finally:
+        closure.free()

@@ -1,0 +1,84 @@
+"""Shortest paths over the min-plus (tropical) semiring.
+
+The paper's future-work section calls out custom semirings such as
+Min-Plus as the next step beyond the boolean core.  This module provides
+the reference implementation on the dense semiring machinery: all-pairs
+shortest paths as the min-plus transitive closure (repeated squaring —
+O(log n) dense min-plus products), plus single-source extraction.
+
+Intended for moderate ``n`` (dense O(n²) storage); the sparse backends
+stay boolean-only, as in SPbLA itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.semiring import MIN_PLUS
+from repro.errors import InvalidArgumentError
+from repro.graph import LabeledGraph
+
+
+def weight_matrix(
+    graph: LabeledGraph,
+    weights: dict | None = None,
+    *,
+    default_weight: float = 1.0,
+) -> np.ndarray:
+    """Dense min-plus weight matrix of a labeled graph.
+
+    ``weights`` optionally maps labels to edge weights; absent edges are
+    ``inf``, parallel edges keep the minimum weight.
+    """
+    n = graph.n
+    w = np.full((n, n), np.inf, dtype=np.float64)
+    for label, pairs in graph.edges.items():
+        lw = float(weights.get(label, default_weight)) if weights else default_weight
+        for u, v in pairs:
+            if lw < w[u, v]:
+                w[u, v] = lw
+    return w
+
+
+def all_pairs_shortest_paths(weights: np.ndarray) -> np.ndarray:
+    """APSP distances via min-plus closure (``d[v, v] = 0``).
+
+    ``weights[u, v]`` is the edge weight or ``inf``.  Negative weights
+    are accepted but negative *cycles* are rejected (they would make
+    distances unbounded; detected as a diagonal dropping below zero).
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.ndim != 2 or weights.shape[0] != weights.shape[1]:
+        raise InvalidArgumentError("weights must be a square matrix")
+    dist = MIN_PLUS.closure_dense(weights, reflexive=True)
+    if np.any(np.diag(dist) < 0):
+        raise InvalidArgumentError("graph contains a negative cycle")
+    return dist
+
+
+def single_source_shortest_paths(
+    weights: np.ndarray, source: int
+) -> np.ndarray:
+    """Distances from ``source`` (a Bellman-Ford-style min-plus sweep).
+
+    O(n · E-dense) per relaxation round, at most ``n`` rounds — cheaper
+    than APSP when only one row is needed.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    n = weights.shape[0]
+    if not 0 <= source < n:
+        raise InvalidArgumentError(f"source {source} outside [0, {n})")
+    dist = np.full(n, np.inf)
+    dist[source] = 0.0
+    for _ in range(n):
+        relaxed = np.minimum(dist, np.min(dist[:, None] + weights, axis=0))
+        if np.array_equal(relaxed, dist, equal_nan=True) or np.allclose(
+            relaxed, dist, equal_nan=True
+        ):
+            return relaxed
+        dist = relaxed
+    # One extra round changing anything means a negative cycle reaches us.
+    final = np.minimum(dist, np.min(dist[:, None] + weights, axis=0))
+    if not np.allclose(final, dist, equal_nan=True):
+        raise InvalidArgumentError("graph contains a reachable negative cycle")
+    return dist

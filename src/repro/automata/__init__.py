@@ -1,0 +1,46 @@
+"""Finite automata substrate (S10) for regular path queries.
+
+Pipeline: a regex string (the paper's query-template syntax, Table II)
+is parsed into an AST (:mod:`repro.automata.regex_parse`), compiled to
+an NFA by either Thompson's construction with epsilon elimination
+(:mod:`repro.automata.nfa`) or Glushkov's position construction
+(:mod:`repro.automata.glushkov` — epsilon-free by design, the
+construction the Wang et al. provenance-aware RPQ work uses), optionally
+determinized/minimized (:mod:`repro.automata.dfa`), and lowered to one
+boolean transition matrix per symbol for the Kronecker-product engine.
+"""
+
+from repro.automata.regex_ast import (
+    Concat,
+    Empty,
+    Epsilon,
+    Plus,
+    Optional,
+    Regex,
+    Star,
+    Symbol,
+    Union,
+)
+from repro.automata.regex_parse import parse_regex
+from repro.automata.nfa import NFA, thompson_nfa
+from repro.automata.glushkov import glushkov_nfa
+from repro.automata.dfa import DFA, determinize, minimize
+
+__all__ = [
+    "Concat",
+    "DFA",
+    "Empty",
+    "Epsilon",
+    "NFA",
+    "Optional",
+    "Plus",
+    "Regex",
+    "Star",
+    "Symbol",
+    "Union",
+    "determinize",
+    "glushkov_nfa",
+    "minimize",
+    "parse_regex",
+    "thompson_nfa",
+]

@@ -1,0 +1,144 @@
+"""Deterministic automata: subset construction and Moore minimization."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.automata.nfa import NFA
+from repro.errors import InvalidArgumentError
+
+
+@dataclass
+class DFA:
+    """Complete or partial DFA with integer states.
+
+    ``delta[state][label]`` is the successor (absent = dead).  A DFA is
+    also a valid NFA input to the query engines; :meth:`to_nfa` adapts.
+    """
+
+    n: int
+    start: int
+    finals: frozenset[int]
+    delta: dict = field(default_factory=dict)  # state -> {label: state}
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.start < self.n:
+            raise InvalidArgumentError("start state out of range")
+        for s, row in self.delta.items():
+            if not 0 <= s < self.n:
+                raise InvalidArgumentError(f"state {s} out of range")
+            for label, t in row.items():
+                if not 0 <= t < self.n:
+                    raise InvalidArgumentError(f"target {t} out of range")
+
+    @property
+    def labels(self) -> list[str]:
+        out = set()
+        for row in self.delta.values():
+            out.update(row)
+        return sorted(out)
+
+    def accepts(self, word) -> bool:
+        state = self.start
+        for sym in word:
+            row = self.delta.get(state, {})
+            if sym not in row:
+                return False
+            state = row[sym]
+        return state in self.finals
+
+    def to_nfa(self) -> NFA:
+        transitions: dict[str, list[tuple[int, int]]] = defaultdict(list)
+        for s, row in self.delta.items():
+            for label, t in row.items():
+                transitions[label].append((s, t))
+        return NFA(self.n, frozenset({self.start}), self.finals, dict(transitions))
+
+
+def determinize(nfa: NFA) -> DFA:
+    """Subset construction (partial DFA — dead state omitted)."""
+    # Pre-index transitions by (state, label).
+    by_state: dict[int, dict[str, set[int]]] = defaultdict(lambda: defaultdict(set))
+    for label, pairs in nfa.transitions.items():
+        for s, t in pairs:
+            by_state[s][label].add(t)
+
+    start_set = frozenset(nfa.starts)
+    ids: dict[frozenset[int], int] = {start_set: 0}
+    order = [start_set]
+    delta: dict[int, dict[str, int]] = {}
+    queue = [start_set]
+    while queue:
+        cur = queue.pop()
+        row: dict[str, int] = {}
+        outgoing: dict[str, set[int]] = defaultdict(set)
+        for s in cur:
+            for label, targets in by_state[s].items():
+                outgoing[label] |= targets
+        for label, targets in outgoing.items():
+            key = frozenset(targets)
+            if key not in ids:
+                ids[key] = len(ids)
+                order.append(key)
+                queue.append(key)
+            row[label] = ids[key]
+        delta[ids[cur]] = row
+
+    finals = frozenset(
+        ids[subset] for subset in order if subset & nfa.finals
+    )
+    return DFA(len(ids), 0, finals, delta)
+
+
+def minimize(dfa: DFA) -> DFA:
+    """Moore partition refinement on a completed copy of ``dfa``.
+
+    The dead state (if the DFA is partial) participates in refinement
+    and is dropped again on output.
+    """
+    labels = dfa.labels
+    dead = dfa.n  # virtual dead state
+    total = dfa.n + 1
+
+    def step(s: int, label: str) -> int:
+        if s == dead:
+            return dead
+        return dfa.delta.get(s, {}).get(label, dead)
+
+    # Initial partition: finals vs non-finals (dead is non-final).
+    block = [1 if s in dfa.finals else 0 for s in range(dfa.n)] + [0]
+    while True:
+        # Signature: (block, successor blocks per label).
+        signatures: dict[tuple, int] = {}
+        new_block = [0] * total
+        for s in range(total):
+            sig = (block[s],) + tuple(block[step(s, l)] for l in labels)
+            if sig not in signatures:
+                signatures[sig] = len(signatures)
+            new_block[s] = signatures[sig]
+        if new_block == block:
+            break
+        block = new_block
+
+    # Rebuild, skipping the dead block entirely (transitions into it vanish).
+    dead_block = block[dead]
+    kept = sorted({b for s, b in enumerate(block[:-1]) if b != dead_block})
+    remap = {b: i for i, b in enumerate(kept)}
+    delta: dict[int, dict[str, int]] = defaultdict(dict)
+    finals = set()
+    for s in range(dfa.n):
+        b = block[s]
+        if b == dead_block:
+            continue
+        sb = remap[b]
+        if s in dfa.finals:
+            finals.add(sb)
+        for label in labels:
+            t = step(s, label)
+            if t != dead and block[t] != dead_block:
+                delta[sb][label] = remap[block[t]]
+    if block[dfa.start] == dead_block:
+        # Empty language: single non-final state.
+        return DFA(1, 0, frozenset(), {})
+    return DFA(len(kept), remap[block[dfa.start]], frozenset(finals), dict(delta))

@@ -1,0 +1,192 @@
+"""Regular expression abstract syntax.
+
+Nodes are immutable and hash/compare structurally.  The alphabet is a
+set of *named* symbols (edge labels like ``subClassOf`` or
+``~broaderTransitive``), not characters — RPQ regexes range over graph
+relations.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.errors import InvalidArgumentError
+
+
+class Regex(abc.ABC):
+    """Base class for regex AST nodes."""
+
+    @abc.abstractmethod
+    def nullable(self) -> bool:
+        """Does the language contain the empty word."""
+
+    @abc.abstractmethod
+    def symbols(self) -> frozenset[str]:
+        """Alphabet symbols appearing in the expression."""
+
+    @abc.abstractmethod
+    def to_string(self) -> str:
+        """Render back to parseable query syntax."""
+
+    def __str__(self) -> str:  # pragma: no cover - delegation
+        return self.to_string()
+
+
+@dataclass(frozen=True)
+class Empty(Regex):
+    """The empty language ∅ (matches nothing)."""
+
+    def nullable(self) -> bool:
+        return False
+
+    def symbols(self) -> frozenset[str]:
+        return frozenset()
+
+    def to_string(self) -> str:
+        return "∅"
+
+
+@dataclass(frozen=True)
+class Epsilon(Regex):
+    """The language {ε}."""
+
+    def nullable(self) -> bool:
+        return True
+
+    def symbols(self) -> frozenset[str]:
+        return frozenset()
+
+    def to_string(self) -> str:
+        return "()"
+
+
+@dataclass(frozen=True)
+class Symbol(Regex):
+    """A single alphabet symbol (an edge label)."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise InvalidArgumentError("symbol name must be non-empty")
+
+    def nullable(self) -> bool:
+        return False
+
+    def symbols(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+    def to_string(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Concat(Regex):
+    """Concatenation ``left . right``."""
+
+    left: Regex
+    right: Regex
+
+    def nullable(self) -> bool:
+        return self.left.nullable() and self.right.nullable()
+
+    def symbols(self) -> frozenset[str]:
+        return self.left.symbols() | self.right.symbols()
+
+    def to_string(self) -> str:
+        def wrap(r: Regex) -> str:
+            return f"({r.to_string()})" if isinstance(r, Union) else r.to_string()
+
+        return f"{wrap(self.left)} . {wrap(self.right)}"
+
+
+@dataclass(frozen=True)
+class Union(Regex):
+    """Alternation ``left | right``."""
+
+    left: Regex
+    right: Regex
+
+    def nullable(self) -> bool:
+        return self.left.nullable() or self.right.nullable()
+
+    def symbols(self) -> frozenset[str]:
+        return self.left.symbols() | self.right.symbols()
+
+    def to_string(self) -> str:
+        return f"{self.left.to_string()} | {self.right.to_string()}"
+
+
+def _wrap_postfix(inner: Regex) -> str:
+    if isinstance(inner, (Symbol, Epsilon, Empty)):
+        return inner.to_string()
+    return f"({inner.to_string()})"
+
+
+@dataclass(frozen=True)
+class Star(Regex):
+    """Kleene closure ``inner*``."""
+
+    inner: Regex
+
+    def nullable(self) -> bool:
+        return True
+
+    def symbols(self) -> frozenset[str]:
+        return self.inner.symbols()
+
+    def to_string(self) -> str:
+        return f"{_wrap_postfix(self.inner)}*"
+
+
+@dataclass(frozen=True)
+class Plus(Regex):
+    """Positive closure ``inner+`` ≡ ``inner . inner*``."""
+
+    inner: Regex
+
+    def nullable(self) -> bool:
+        return self.inner.nullable()
+
+    def symbols(self) -> frozenset[str]:
+        return self.inner.symbols()
+
+    def to_string(self) -> str:
+        return f"{_wrap_postfix(self.inner)}+"
+
+
+@dataclass(frozen=True)
+class Optional(Regex):
+    """``inner?`` ≡ ``inner | ε``."""
+
+    inner: Regex
+
+    def nullable(self) -> bool:
+        return True
+
+    def symbols(self) -> frozenset[str]:
+        return self.inner.symbols()
+
+    def to_string(self) -> str:
+        return f"{_wrap_postfix(self.inner)}?"
+
+
+def concat_all(parts: list[Regex]) -> Regex:
+    """Right-nested concatenation of a part list (ε for empty)."""
+    if not parts:
+        return Epsilon()
+    out = parts[-1]
+    for part in reversed(parts[:-1]):
+        out = Concat(part, out)
+    return out
+
+
+def union_all(parts: list[Regex]) -> Regex:
+    """Right-nested union of a part list (∅ for empty)."""
+    if not parts:
+        return Empty()
+    out = parts[-1]
+    for part in reversed(parts[:-1]):
+        out = Union(part, out)
+    return out

@@ -1,0 +1,135 @@
+"""Recursive-descent parser for the RPQ query-template syntax.
+
+Grammar (the paper's Table II notation):
+
+.. code-block:: text
+
+    union   := concat ('|' concat)*
+    concat  := postfix (('.')? postfix)*        # explicit dot or juxtaposition
+    postfix := atom ('*' | '+' | '?')*
+    atom    := SYMBOL | '(' union ')'
+    SYMBOL  := [~]?[A-Za-z_][A-Za-z0-9_]*
+
+Symbols are whole edge-label identifiers (``a``, ``subClassOf``); a
+leading ``~`` denotes the inverse relation (the paper's overline).
+Whitespace separates tokens.  Example: ``(a | b)+ . (c | d)+`` is the
+paper's Q15.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.automata.regex_ast import (
+    Concat,
+    Epsilon,
+    Optional,
+    Plus,
+    Regex,
+    Star,
+    Symbol,
+    Union,
+)
+from repro.errors import InvalidArgumentError
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<sym>~?[A-Za-z_][A-Za-z0-9_]*)|(?P<op>[()|.*+?]))"
+)
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            rest = text[pos:].strip()
+            if not rest:
+                break
+            raise InvalidArgumentError(f"bad regex syntax near {rest[:20]!r}")
+        tokens.append(match.group("sym") or match.group("op"))
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[str]):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> str | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def take(self) -> str:
+        tok = self.peek()
+        if tok is None:
+            raise InvalidArgumentError("unexpected end of regex")
+        self.pos += 1
+        return tok
+
+    def parse_union(self) -> Regex:
+        node = self.parse_concat()
+        while self.peek() == "|":
+            self.take()
+            node = Union(node, self.parse_concat())
+        return node
+
+    def parse_concat(self) -> Regex:
+        parts = [self.parse_postfix()]
+        while True:
+            tok = self.peek()
+            if tok == ".":
+                self.take()
+                parts.append(self.parse_postfix())
+            elif tok is not None and (tok == "(" or _is_symbol(tok)):
+                parts.append(self.parse_postfix())
+            else:
+                break
+        node = parts[0]
+        for part in parts[1:]:
+            node = Concat(node, part)
+        return node
+
+    def parse_postfix(self) -> Regex:
+        node = self.parse_atom()
+        while self.peek() in ("*", "+", "?"):
+            op = self.take()
+            if op == "*":
+                node = Star(node)
+            elif op == "+":
+                node = Plus(node)
+            else:
+                node = Optional(node)
+        return node
+
+    def parse_atom(self) -> Regex:
+        tok = self.take()
+        if tok == "(":
+            if self.peek() == ")":  # "()" is epsilon
+                self.take()
+                return Epsilon()
+            node = self.parse_union()
+            if self.take() != ")":
+                raise InvalidArgumentError("missing closing parenthesis")
+            return node
+        if _is_symbol(tok):
+            return Symbol(tok)
+        raise InvalidArgumentError(f"unexpected token {tok!r}")
+
+
+def _is_symbol(tok: str) -> bool:
+    return bool(re.fullmatch(r"~?[A-Za-z_][A-Za-z0-9_]*", tok))
+
+
+def parse_regex(text: str) -> Regex:
+    """Parse the query syntax into a :class:`~repro.automata.regex_ast.Regex`."""
+    tokens = _tokenize(text)
+    if not tokens:
+        return Epsilon()
+    parser = _Parser(tokens)
+    node = parser.parse_union()
+    if parser.peek() is not None:
+        raise InvalidArgumentError(
+            f"trailing tokens after regex: {parser.tokens[parser.pos:]}"
+        )
+    return node

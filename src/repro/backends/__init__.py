@@ -1,0 +1,34 @@
+"""Computational backends (S3–S6).
+
+Each backend implements the full SPbLA operation set over one storage
+format on the simulated device layer:
+
+* :mod:`repro.backends.cubool` — port of the CUDA backend: boolean CSR,
+  Nsparse-style hash SpGEMM with row binning, two-pass merge-path add.
+* :mod:`repro.backends.clbool` — port of the OpenCL backend: boolean
+  COO, expansion–sort–compaction SpGEMM, one-pass merge add.
+* :mod:`repro.backends.generic` — the *baseline* the paper compares
+  against: a value-carrying CSR backend (cuSPARSE/CUSP stand-in) that
+  runs the same pipelines but stores and moves explicit float values.
+* :mod:`repro.backends.cpu` — plain sequential reference backend used as
+  the correctness oracle and as the no-accounting default.
+
+Backends register themselves in a name → factory registry; the public
+:class:`repro.core.context.Context` selects one by name.
+"""
+
+from repro.backends.base import Backend, BackendMatrix, available_backends, get_backend, register_backend
+
+# Import concrete backends for self-registration.
+from repro.backends import cpu as _cpu  # noqa: F401
+from repro.backends import cubool as _cubool  # noqa: F401
+from repro.backends import clbool as _clbool  # noqa: F401
+from repro.backends import generic as _generic  # noqa: F401
+
+__all__ = [
+    "Backend",
+    "BackendMatrix",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+]

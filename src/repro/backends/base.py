@@ -1,0 +1,245 @@
+"""Backend interface, matrix handles, and the backend registry.
+
+The interface mirrors the SPbLA C API operation list (paper, §Libraries
+Design):
+
+* create / delete a sparse matrix,
+* fill with values / read values back,
+* transpose,
+* sub-matrix extraction,
+* matrix-to-vector reduce,
+* matrix-matrix multiply(-add),
+* matrix-matrix element-wise add,
+* matrix-matrix Kronecker product.
+
+A :class:`BackendMatrix` is the C-API matrix handle: it pairs the storage
+format object with the device buffers backing it, so deleting the handle
+returns its bytes to the device arena (the C API's ``Matrix_Free``).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.errors import (
+    DimensionMismatchError,
+    InvalidArgumentError,
+    InvalidStateError,
+)
+from repro.formats.base import SparseFormat
+from repro.gpu.device import Device
+from repro.gpu.memory import DeviceBuffer
+
+
+class BackendMatrix:
+    """Handle to a matrix owned by a backend.
+
+    ``storage`` is the format object whose arrays *alias the device
+    buffers* in ``buffers`` (when the backend does device accounting) or
+    plain host arrays (cpu backend).  After :meth:`free`, any use raises.
+    """
+
+    __slots__ = ("storage", "buffers", "backend", "_freed")
+
+    def __init__(
+        self,
+        storage: SparseFormat,
+        backend: "Backend",
+        buffers: Iterable[DeviceBuffer] = (),
+    ):
+        self.storage = storage
+        self.backend = backend
+        self.buffers = list(buffers)
+        self._freed = False
+
+    # -- shape/introspection ------------------------------------------------
+
+    def _check_alive(self) -> None:
+        if self._freed:
+            raise InvalidStateError("matrix handle used after free")
+
+    @property
+    def nrows(self) -> int:
+        self._check_alive()
+        return self.storage.nrows
+
+    @property
+    def ncols(self) -> int:
+        self._check_alive()
+        return self.storage.ncols
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        self._check_alive()
+        return self.storage.shape
+
+    @property
+    def nnz(self) -> int:
+        self._check_alive()
+        return self.storage.nnz
+
+    def memory_bytes(self) -> int:
+        """The storage-model memory footprint of this matrix."""
+        self._check_alive()
+        return self.storage.memory_bytes()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def free(self) -> None:
+        """Release device buffers (idempotent)."""
+        if self._freed:
+            return
+        self._freed = True
+        for buf in self.buffers:
+            if not buf.freed:
+                buf.free()
+        self.buffers.clear()
+        self.storage = None  # type: ignore[assignment]
+
+    @property
+    def freed(self) -> bool:
+        return self._freed
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        if self._freed:
+            return "BackendMatrix(<freed>)"
+        return (
+            f"BackendMatrix({self.backend.name}, {self.nrows}x{self.ncols}, "
+            f"nnz={self.nnz})"
+        )
+
+
+class Backend(abc.ABC):
+    """Abstract operation set every backend provides."""
+
+    #: Registry name ("cubool", "clbool", "cpu", "generic").
+    name: str = "abstract"
+    #: Storage format kind the backend natively operates on.
+    format_kind: str = "abstract"
+
+    def __init__(self, device: Device | None = None):
+        self.device = device if device is not None else Device(name=f"{self.name}-dev")
+
+    # -- creation / transfer (required) ------------------------------------
+
+    @abc.abstractmethod
+    def matrix_from_coo(self, rows, cols, shape: tuple[int, int]) -> BackendMatrix:
+        """Create a matrix from coordinate pairs (duplicates collapse)."""
+
+    @abc.abstractmethod
+    def matrix_empty(self, shape: tuple[int, int]) -> BackendMatrix:
+        """Create an all-false matrix."""
+
+    def identity(self, n: int) -> BackendMatrix:
+        """n x n identity pattern (default: via coordinates)."""
+        idx = np.arange(n, dtype=np.int64)
+        return self.matrix_from_coo(idx, idx, (n, n))
+
+    def matrix_to_coo(self, m: BackendMatrix) -> tuple[np.ndarray, np.ndarray]:
+        """Read back (rows, cols) in canonical order (the C API's read)."""
+        m._check_alive()
+        return m.storage.to_coo_arrays()
+
+    def matrix_from_dense(self, dense: np.ndarray) -> BackendMatrix:
+        dense = np.asarray(dense)
+        rows, cols = np.nonzero(dense)
+        return self.matrix_from_coo(rows, cols, dense.shape)
+
+    def duplicate(self, m: BackendMatrix) -> BackendMatrix:
+        """Deep copy of a matrix handle."""
+        rows, cols = self.matrix_to_coo(m)
+        return self.matrix_from_coo(rows, cols, m.shape)
+
+    # -- operations (required) ----------------------------------------------
+
+    @abc.abstractmethod
+    def mxm(
+        self,
+        a: BackendMatrix,
+        b: BackendMatrix,
+        accumulate: BackendMatrix | None = None,
+    ) -> BackendMatrix:
+        """Boolean matrix product ``A·B``, optionally OR-accumulated into
+        a copy of ``accumulate`` (the C API's ``C += A x B``)."""
+
+    @abc.abstractmethod
+    def ewise_add(self, a: BackendMatrix, b: BackendMatrix) -> BackendMatrix:
+        """Element-wise OR of equal-shaped matrices."""
+
+    @abc.abstractmethod
+    def ewise_mult(self, a: BackendMatrix, b: BackendMatrix) -> BackendMatrix:
+        """Element-wise AND (pattern intersection) of equal-shaped
+        matrices — the masking primitive of the planned full GraphBLAS
+        surface (paper, future work)."""
+
+    @abc.abstractmethod
+    def kron(self, a: BackendMatrix, b: BackendMatrix) -> BackendMatrix:
+        """Kronecker product ``A ⊗ B``."""
+
+    @abc.abstractmethod
+    def transpose(self, a: BackendMatrix) -> BackendMatrix:
+        """``Aᵀ``."""
+
+    @abc.abstractmethod
+    def extract_submatrix(
+        self, a: BackendMatrix, i: int, j: int, nrows: int, ncols: int
+    ) -> BackendMatrix:
+        """Copy of ``A[i : i + nrows, j : j + ncols]``."""
+
+    @abc.abstractmethod
+    def reduce_to_column(self, a: BackendMatrix) -> BackendMatrix:
+        """OR-reduce each row: an ``m x 1`` matrix (SPbLA ``reduceToColumn``)."""
+
+    # -- shared checks ------------------------------------------------------
+
+    @staticmethod
+    def _check_mxm_shapes(a: BackendMatrix, b: BackendMatrix) -> None:
+        if a.ncols != b.nrows:
+            raise DimensionMismatchError("mxm", a.shape, b.shape)
+
+    @staticmethod
+    def _check_same_shape(op: str, a: BackendMatrix, b: BackendMatrix) -> None:
+        if a.shape != b.shape:
+            raise DimensionMismatchError(op, a.shape, b.shape)
+
+    @staticmethod
+    def _check_submatrix(a: BackendMatrix, i: int, j: int, nrows: int, ncols: int) -> None:
+        if nrows < 0 or ncols < 0:
+            raise InvalidArgumentError("submatrix dimensions must be non-negative")
+        if i < 0 or j < 0 or i + nrows > a.nrows or j + ncols > a.ncols:
+            raise InvalidArgumentError(
+                f"submatrix [{i}:{i + nrows}, {j}:{j + ncols}] outside "
+                f"{a.nrows}x{a.ncols}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(device={self.device.name!r})"
+
+
+# -- registry ---------------------------------------------------------------
+
+_REGISTRY: dict[str, Callable[..., Backend]] = {}
+
+
+def register_backend(name: str, factory: Callable[..., Backend]) -> None:
+    """Register a backend factory under ``name`` (overwrites)."""
+    _REGISTRY[name] = factory
+
+
+def available_backends() -> list[str]:
+    """Sorted names of registered backends."""
+    return sorted(_REGISTRY)
+
+
+def get_backend(name: str, device: Device | None = None) -> Backend:
+    """Instantiate a registered backend by name."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise InvalidArgumentError(
+            f"unknown backend {name!r}; available: {available_backends()}"
+        ) from None
+    return factory(device=device)

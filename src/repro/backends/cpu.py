@@ -1,0 +1,116 @@
+"""Sequential CPU reference backend (S5) — the correctness oracle.
+
+This backend favours clarity over performance: every operation is the
+obvious sort-based formulation over canonical COO coordinates, with no
+device accounting and no binning/merge machinery.  The test suite checks
+every other backend against it, and it doubles as SPbLA's "CPU compute
+fallback" (the paper notes cuBool ships a CPU backend too).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backends import common
+from repro.backends.base import Backend, BackendMatrix, register_backend
+from repro.formats.csr import BoolCsr
+from repro.utils.arrays import INDEX_DTYPE
+
+
+class CpuBackend(Backend):
+    """Reference implementation over boolean CSR, host memory only."""
+
+    name = "cpu"
+    format_kind = "csr"
+
+    # -- creation ------------------------------------------------------------
+
+    def matrix_from_coo(self, rows, cols, shape):
+        return BackendMatrix(BoolCsr.from_coo(rows, cols, shape), self)
+
+    def matrix_empty(self, shape):
+        return BackendMatrix(BoolCsr.empty(shape), self)
+
+    def identity(self, n: int) -> BackendMatrix:
+        return BackendMatrix(BoolCsr.identity(n), self)
+
+    # -- operations ------------------------------------------------------
+
+    def mxm(self, a, b, accumulate=None):
+        self._check_mxm_shapes(a, b)
+        sa: BoolCsr = a.storage
+        sb: BoolCsr = b.storage
+        a_rows, a_cols = sa.to_coo_arrays()
+        c_rows, c_cols = common.expand_products(a_rows, a_cols, sb.rowptr, sb.cols)
+        shape = (a.nrows, b.ncols)
+        if accumulate is not None:
+            self._check_same_shape("mxm-accumulate", accumulate, _shape_proxy(shape))
+            acc_rows, acc_cols = accumulate.storage.to_coo_arrays()
+            c_rows = np.concatenate([c_rows, acc_rows.astype(np.int64)])
+            c_cols = np.concatenate([c_cols, acc_cols.astype(np.int64)])
+        return BackendMatrix(BoolCsr.from_coo(c_rows, c_cols, shape), self)
+
+    def ewise_add(self, a, b):
+        self._check_same_shape("ewise_add", a, b)
+        ra, ca = a.storage.to_coo_arrays()
+        rb, cb = b.storage.to_coo_arrays()
+        rows = np.concatenate([ra, rb])
+        cols = np.concatenate([ca, cb])
+        return BackendMatrix(BoolCsr.from_coo(rows, cols, a.shape), self)
+
+    def ewise_mult(self, a, b):
+        self._check_same_shape("ewise_mult", a, b)
+        ra, ca = a.storage.to_coo_arrays()
+        rb, cb = b.storage.to_coo_arrays()
+        key_a = common.keys_from_coo(ra, ca, a.ncols)
+        key_b = common.keys_from_coo(rb, cb, a.ncols)
+        keys = common.merge_intersection(key_a, key_b)
+        rows, cols = common.coo_from_keys(keys, a.ncols)
+        return BackendMatrix(
+            BoolCsr.from_coo(rows, cols, a.shape, canonical=True), self
+        )
+
+    def kron(self, a, b):
+        sa: BoolCsr = a.storage
+        sb: BoolCsr = b.storage
+        a_rows, a_cols = sa.to_coo_arrays()
+        b_rows, b_cols = sb.to_coo_arrays()
+        out_rows, out_cols = common.kron_coo(
+            a_rows, a_cols, sa.rowptr, b_rows, b_cols, sb.shape, sb.rowptr
+        )
+        shape = (a.nrows * b.nrows, a.ncols * b.ncols)
+        return BackendMatrix(BoolCsr.from_coo(out_rows, out_cols, shape, canonical=True), self)
+
+    def transpose(self, a):
+        rows, cols = a.storage.to_coo_arrays()
+        t_rows, t_cols = common.transpose_coo(rows, cols, a.nrows)
+        return BackendMatrix(
+            BoolCsr.from_coo(t_rows, t_cols, (a.ncols, a.nrows), canonical=True), self
+        )
+
+    def extract_submatrix(self, a, i, j, nrows, ncols):
+        self._check_submatrix(a, i, j, nrows, ncols)
+        rows, cols = a.storage.to_coo_arrays()
+        s_rows, s_cols = common.submatrix_coo(rows, cols, i, j, nrows, ncols)
+        return BackendMatrix(
+            BoolCsr.from_coo(s_rows, s_cols, (nrows, ncols), canonical=True), self
+        )
+
+    def reduce_to_column(self, a):
+        rows, _ = a.storage.to_coo_arrays()
+        nz_rows = common.reduce_rows_coo(rows)
+        zeros = np.zeros(nz_rows.size, dtype=INDEX_DTYPE)
+        return BackendMatrix(
+            BoolCsr.from_coo(nz_rows, zeros, (a.nrows, 1), canonical=True), self
+        )
+
+
+class _shape_proxy:
+    """Tiny stand-in so shape checks can compare against a raw shape."""
+
+    def __init__(self, shape: tuple[int, int]):
+        self.shape = shape
+        self.nrows, self.ncols = shape
+
+
+register_backend("cpu", lambda device=None: CpuBackend(device=device))

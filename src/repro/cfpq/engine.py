@@ -1,0 +1,84 @@
+"""Unified path-query facade — the paper's "one algorithm for both
+regular and context-free queries" pitch, as an API.
+
+:func:`cfpq` accepts any query form — a regex string, a regex AST, an
+NFA, a CFG, or an RSM — and dispatches:
+
+* regular queries (regex/NFA) lower to a single-box RSM and run on the
+  tensor engine, so regular and context-free paths share one code path
+  (exactly the unification the paper argues for);
+* CFGs run on the tensor engine by default, or on the matrix engine
+  with ``engine="mtx"`` (plain CFGs only — the matrix algorithm needs
+  the wCNF transform, which regex right-hand sides do not have).
+"""
+
+from __future__ import annotations
+
+from repro.automata.nfa import NFA
+from repro.automata.regex_ast import Regex
+from repro.automata.regex_parse import parse_regex
+from repro.cfpq.matrix_algorithm import matrix_cfpq
+from repro.cfpq.tensor_algorithm import tensor_cfpq
+from repro.errors import InvalidArgumentError
+from repro.grammar.cfg import CFG
+from repro.grammar.rsm import RSM
+from repro.graph import LabeledGraph
+
+
+def _nfa_to_rsm(nfa: NFA, start_symbol: str = "S") -> RSM:
+    """Wrap an NFA as a one-box RSM (regular query → CFPQ form).
+
+    RSM boxes need a single start state; NFAs from our constructions
+    have one, but the general case adds a fresh start with the union of
+    outgoing transitions (ε-free, so finality copies too).
+    """
+    if len(nfa.starts) == 1:
+        return RSM(start_symbol, {start_symbol: nfa})
+    fresh = nfa.n
+    transitions = {label: list(pairs) for label, pairs in nfa.transitions.items()}
+    for label, pairs in nfa.transitions.items():
+        extra = [(fresh, t) for s, t in pairs if s in nfa.starts]
+        transitions[label] = transitions[label] + extra
+    finals = set(nfa.finals)
+    if nfa.starts & nfa.finals:
+        finals.add(fresh)
+    merged = NFA(nfa.n + 1, frozenset({fresh}), frozenset(finals), transitions)
+    return RSM(start_symbol, {start_symbol: merged})
+
+
+def as_rsm(query) -> RSM:
+    """Normalize any query form to an RSM."""
+    if isinstance(query, RSM):
+        return query
+    if isinstance(query, CFG):
+        return RSM.from_cfg(query)
+    if isinstance(query, NFA):
+        return _nfa_to_rsm(query)
+    if isinstance(query, str):
+        query = parse_regex(query)
+    if isinstance(query, Regex):
+        from repro.automata.glushkov import glushkov_nfa
+
+        return _nfa_to_rsm(glushkov_nfa(query))
+    raise InvalidArgumentError(f"unsupported query type {type(query).__name__}")
+
+
+def cfpq(graph: LabeledGraph, query, ctx, *, engine: str = "tns", **kwargs):
+    """Evaluate any path query; returns the engine's index object.
+
+    ``engine="tns"`` (default) handles every query form and yields the
+    all-paths :class:`~repro.cfpq.tensor_algorithm.TensorIndex`;
+    ``engine="mtx"`` requires a :class:`~repro.grammar.cfg.CFG` and
+    yields the single-path
+    :class:`~repro.cfpq.matrix_algorithm.MatrixIndex`.
+    """
+    if engine == "tns":
+        return tensor_cfpq(graph, as_rsm(query), ctx, **kwargs)
+    if engine == "mtx":
+        if not isinstance(query, CFG):
+            raise InvalidArgumentError(
+                "the matrix engine needs a CFG (regex right-hand sides "
+                "have no wCNF); use engine='tns' for regular/RSM queries"
+            )
+        return matrix_cfpq(graph, query, ctx, **kwargs)
+    raise InvalidArgumentError(f"unknown engine {engine!r} (tns / mtx)")

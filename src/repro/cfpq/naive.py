@@ -1,0 +1,86 @@
+"""Worklist CFL-reachability — the reference oracle for both engines.
+
+Classic dynamic-programming formulation (Melski–Reps): maintain the set
+of facts ``(A, u, v)`` meaning "A derives some path u → v", seeded from
+terminal rules, and propagate through binary rules until fixpoint.
+O(n³) worst case with dictionary adjacency — intended for the small
+random graphs of the property tests, not production sizes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+
+from repro.grammar.cfg import CFG
+from repro.grammar.cnf import cached_wcnf
+from repro.graph import LabeledGraph
+
+
+def naive_cfpq(graph: LabeledGraph, grammar: CFG) -> dict[str, set[tuple[int, int]]]:
+    """All derivable facts per nonterminal of the *wCNF* of ``grammar``.
+
+    The returned dict is keyed by wCNF nonterminal; callers usually read
+    ``result[to_wcnf(grammar).start]`` — or use the original start name,
+    which the transform preserves unless the start is recursive (then the
+    fresh start's facts equal the original's, and both keys are present).
+    """
+    wcnf = cached_wcnf(grammar)
+    n = graph.n
+
+    facts: set[tuple[str, int, int]] = set()
+    queue: deque[tuple[str, int, int]] = deque()
+
+    def add(fact: tuple[str, int, int]) -> None:
+        if fact not in facts:
+            facts.add(fact)
+            queue.append(fact)
+
+    # Seeds: terminal rules and the epsilon rule.
+    terminal_rules = defaultdict(list)  # terminal -> [lhs]
+    binary_rules = []                   # (lhs, B, C)
+    for p in wcnf.productions:
+        if len(p.rhs) == 1:
+            terminal_rules[p.rhs[0]].append(p.lhs)
+        elif len(p.rhs) == 2:
+            binary_rules.append((p.lhs, p.rhs[0], p.rhs[1]))
+        else:  # epsilon rule (start only)
+            for v in range(n):
+                add((p.lhs, v, v))
+    for label, pairs in graph.edges.items():
+        for lhs in terminal_rules.get(label, ()):
+            for u, v in pairs:
+                add((lhs, u, v))
+
+    # Index rules by participating nonterminal for the propagation step.
+    by_left = defaultdict(list)   # B -> [(A, C)] for A -> B C
+    by_right = defaultdict(list)  # C -> [(A, B)] for A -> B C
+    for a, b, c in binary_rules:
+        by_left[b].append((a, c))
+        by_right[c].append((a, b))
+
+    # Adjacency of facts for joining: out[(B, u)] = {v}, inc[(C, v)] = {u}.
+    out = defaultdict(set)
+    inc = defaultdict(set)
+
+    while queue:
+        nt, u, v = queue.popleft()
+        out[(nt, u)].add(v)
+        inc[(nt, v)].add(u)
+        # Fact is the left child: A -> nt C, need (C, v, w).
+        for a, c in by_left[nt]:
+            for w in tuple(out[(c, v)]):
+                add((a, u, w))
+        # Fact is the right child: A -> B nt, need (B, w, u).
+        for a, b in by_right[nt]:
+            for w in tuple(inc[(b, u)]):
+                add((a, w, v))
+
+    result: dict[str, set[tuple[int, int]]] = defaultdict(set)
+    for nt, u, v in facts:
+        result[nt].add((u, v))
+    # The wCNF start carries the full start-symbol semantics (including
+    # ε-pairs); surface it under the original start name.
+    if wcnf.start != grammar.start:
+        result[grammar.start] = set(result.get(wcnf.start, set()))
+    result.setdefault(grammar.start, set())
+    return dict(result)

@@ -1,0 +1,212 @@
+"""All-paths extraction from the tensor CFPQ index.
+
+The distinguishing capability of the tensor algorithm (paper: "our
+algorithm computes data necessary to restore all possible paths"): given
+the product closure, every derivation of a fact ``(A, u, v)`` embeds as
+a path ``(start_A, u) → … → (final_A, v)`` in the product graph, where
+each edge is either a *terminal* step (a real graph edge) or a
+*nonterminal* step (a nested fact, recursively expandable).
+
+:func:`extract_paths` performs a closure-pruned DFS over the product
+graph, expanding nonterminal steps recursively.  Enumeration is bounded
+by ``max_paths`` (paths returned), ``max_length`` (terminal edges per
+path), a recursion depth derived from ``max_length``, and ``max_steps``
+(total DFS expansions — grammars with nullable cycles admit unbounded
+derivation trees for one path, so a global work cap keeps extraction a
+best-effort enumeration, which is also how the paper uses it: "we limit
+by 10 the number of paths to extract").
+
+Two soundness-preserving prunes keep the common cases exact:
+
+* **in-walk cycle guard** — revisiting the same product state with the
+  same remaining terminal budget means a zero-consumption loop; such a
+  loop adds no vertices or labels, so any path completable from the
+  revisit was already completable from the first visit;
+* **recursion guard** — re-entering an identical nested extraction
+  ``(nonterminal, u, v, budget)`` while it is already on the stack can
+  only reproduce paths the outer call yields itself.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cfpq.tensor_algorithm import TensorIndex
+from repro.errors import InvalidArgumentError
+
+
+@dataclass(frozen=True)
+class CfPath:
+    """A matching graph path: vertex sequence and terminal labels."""
+
+    vertices: tuple[int, ...]
+    labels: tuple[str, ...]
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+
+class _Extractor:
+    def __init__(self, index: TensorIndex, max_paths: int, max_length: int, max_steps: int):
+        self.index = index
+        self.max_paths = max_paths
+        self.max_length = max_length
+        self.max_steps = max_steps
+        self.steps = 0
+        self.n = index.n
+        # label -> vertex -> targets (host adjacency for terminals).
+        self.term_adj: dict[str, dict[int, list[int]]] = {}
+        for label, (rows, cols) in index.graph_edges.items():
+            adj: dict[int, list[int]] = defaultdict(list)
+            for r, c in zip(rows.tolist(), cols.tolist()):
+                adj[r].append(c)
+            self.term_adj[label] = dict(adj)
+        # nonterminal -> set of fact pairs (for nested expansion checks).
+        self.fact_sets: dict[str, set[tuple[int, int]]] = {
+            nt: set(zip(rows.tolist(), cols.tolist()))
+            for nt, (rows, cols) in index.fact_pairs.items()
+        }
+        # nonterminal -> u -> sorted targets (fact adjacency).
+        self.fact_adj: dict[str, dict[int, list[int]]] = {}
+        for nt, (rows, cols) in index.fact_pairs.items():
+            adj = defaultdict(list)
+            for r, c in zip(rows.tolist(), cols.tolist()):
+                adj[int(r)].append(int(c))
+            self.fact_adj[nt] = dict(adj)
+        # rsm adjacency: state -> [(symbol, next_state)].
+        self.rsm_adj: dict[int, list[tuple[str, int]]] = defaultdict(list)
+        for symbol, pairs in index.rsm.transitions.items():
+            for s, t in pairs:
+                self.rsm_adj[s].append((symbol, t))
+        #: active nested extractions (recursion guard).
+        self._active: set[tuple[str, int, int, int]] = set()
+
+    def _tick(self) -> bool:
+        """Account one DFS expansion; False once the work cap is hit."""
+        self.steps += 1
+        return self.steps <= self.max_steps
+
+    # -- nested-path generators ---------------------------------------------
+
+    def paths_for(self, nonterminal: str, u: int, v: int, budget: int, depth: int):
+        """Yield (vertices, labels) derivations of ``(nonterminal, u, v)``
+        using at most ``budget`` terminal edges and ``depth`` nesting."""
+        if depth <= 0 or budget < 0:
+            return
+        key = (nonterminal, u, v, budget)
+        if key in self._active:
+            return
+        self._active.add(key)
+        try:
+            box = self.index.rsm.boxes[nonterminal]
+            yield from self._walk(
+                box, box.start, u, v, (u,), (), budget, depth, frozenset()
+            )
+        finally:
+            self._active.discard(key)
+
+    def _walk(
+        self, box, state, v, target, vertices, labels, budget, depth, on_walk
+    ):
+        """DFS inside one box from product state (state, v)."""
+        if not self._tick():
+            return
+        if state in box.finals and v == target:
+            yield vertices, labels
+        walk_key = (state, v, budget)
+        if walk_key in on_walk:
+            return  # zero-consumption loop
+        on_walk = on_walk | {walk_key}
+        for symbol, nxt_state in self.rsm_adj.get(state, ()):  # product step
+            if symbol in self.term_adj:
+                if budget < 1:
+                    continue
+                for w in self.term_adj[symbol].get(v, ()):
+                    if not self._reachable(nxt_state, w, box, target):
+                        continue
+                    yield from self._walk(
+                        box,
+                        nxt_state,
+                        w,
+                        target,
+                        vertices + (w,),
+                        labels + (symbol,),
+                        budget - 1,
+                        depth,
+                        on_walk,
+                    )
+            elif symbol in self.fact_adj:
+                # Nonterminal step: expand every fact (v, w) of the symbol.
+                for fw in self.fact_adj[symbol].get(v, ()):
+                    if not self._reachable(nxt_state, fw, box, target):
+                        continue
+                    for sub_vertices, sub_labels in self.paths_for(
+                        symbol, v, fw, budget, depth - 1
+                    ):
+                        remaining = budget - len(sub_labels)
+                        if remaining < 0:
+                            continue
+                        yield from self._walk(
+                            box,
+                            nxt_state,
+                            fw,
+                            target,
+                            vertices + sub_vertices[1:],
+                            labels + sub_labels,
+                            remaining,
+                            depth,
+                            on_walk,
+                        )
+
+    def _reachable(self, state: int, v: int, box, target: int) -> bool:
+        """Closure-pruned continuation check inside the box."""
+        if state in box.finals and v == target:
+            return True
+        src = state * self.n + v
+        closure = self.index.closure
+        return any(closure.get(src, f * self.n + target) for f in box.finals)
+
+
+def extract_paths(
+    index: TensorIndex,
+    source: int,
+    target: int,
+    *,
+    nonterminal: str | None = None,
+    max_paths: int = 10,
+    max_length: int = 20,
+    max_steps: int = 200_000,
+) -> list[CfPath]:
+    """Enumerate graph paths witnessing ``(nonterminal, source, target)``.
+
+    Paths are deduplicated (several derivation trees can project to one
+    path) and truncated to ``max_paths`` results of at most
+    ``max_length`` terminal edges; ``max_steps`` caps the total search
+    work (see module docstring).
+    """
+    nt = nonterminal or index.rsm.start_nonterminal
+    if nt not in index.rsm.boxes:
+        raise InvalidArgumentError(f"unknown nonterminal {nt!r}")
+    n = index.n
+    if not (0 <= source < n and 0 <= target < n):
+        raise InvalidArgumentError("source/target outside vertex range")
+
+    extractor = _Extractor(index, max_paths, max_length, max_steps)
+    if (source, target) not in extractor.fact_sets.get(nt, set()):
+        return []
+
+    seen: set[tuple] = set()
+    results: list[CfPath] = []
+    depth = max(4, max_length * 2 + 2)
+    for vertices, labels in extractor.paths_for(nt, source, target, max_length, depth):
+        key = (vertices, labels)
+        if key in seen:
+            continue
+        seen.add(key)
+        results.append(CfPath(vertices, labels))
+        if len(results) >= max_paths:
+            break
+    return results

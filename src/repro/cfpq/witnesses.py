@@ -1,0 +1,173 @@
+"""Single-path witness recording for the matrix CFPQ algorithm.
+
+Azimov's algorithm, as evaluated in the paper (its **Mtx** baseline), is
+the *single-path* variant: alongside each derived fact ``(A, u, v)`` it
+keeps one witness — either a terminal edge, an ε, or a split vertex
+``w`` with the two child facts ``(B, u, w)``, ``(C, w, v)`` — enough to
+reconstruct exactly one matching path, in contrast with the tensor
+index's all-paths information.
+
+Witnesses are recorded the first time a fact appears, so the witness
+graph is acyclic by construction (children always predate parents) and
+path reconstruction terminates without cycle checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InvalidArgumentError
+
+
+@dataclass(frozen=True)
+class SinglePath:
+    """One reconstructed path: vertices visited and terminal labels."""
+
+    vertices: tuple[int, ...]
+    labels: tuple[str, ...]
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+
+class WitnessTable:
+    """Fact → witness mapping for one matrix-CFPQ run."""
+
+    def __init__(self) -> None:
+        #: (nt, u, v) -> ("t", label) | ("eps",) | ("s", B, C, w)
+        self._table: dict[tuple[str, int, int], tuple] = {}
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __contains__(self, fact: tuple[str, int, int]) -> bool:
+        return fact in self._table
+
+    # -- recording ---------------------------------------------------------
+
+    def record_terminal(self, nt: str, u: int, v: int, label: str) -> None:
+        self._table.setdefault((nt, u, v), ("t", label))
+
+    def record_epsilon(self, nt: str, v: int) -> None:
+        self._table.setdefault((nt, v, v), ("eps",))
+
+    def record_split(self, nt: str, u: int, v: int, b: str, c: str, w: int) -> None:
+        self._table.setdefault((nt, u, v), ("s", b, c, w))
+
+    def record_new_facts(
+        self,
+        lhs: str,
+        b: str,
+        c: str,
+        new_rows: np.ndarray,
+        new_cols: np.ndarray,
+        b_adj: dict[int, np.ndarray],
+        c_adj_t: dict[int, np.ndarray],
+    ) -> None:
+        """Find a split vertex for every new fact of ``lhs -> b c``.
+
+        ``b_adj`` maps ``u`` to the sorted targets of ``(B, u, ·)``;
+        ``c_adj_t`` maps ``v`` to the sorted sources of ``(C, ·, v)``.
+        The split is any element of their intersection (the first is
+        taken — single-path semantics needs just one).
+        """
+        for u, v in zip(new_rows.tolist(), new_cols.tolist()):
+            if (lhs, u, v) in self._table:
+                continue
+            outs = b_adj.get(u)
+            ins = c_adj_t.get(v)
+            if outs is None or ins is None:
+                continue
+            # Sorted-array intersection, first element only.
+            pos = np.searchsorted(ins, outs)
+            pos[pos == ins.size] = ins.size - 1
+            hits = outs[ins[pos] == outs]
+            if hits.size:
+                self._table[(lhs, u, v)] = ("s", b, c, int(hits[0]))
+
+    def witnessed_adjacency(
+        self, nt: str, *, transposed: bool = False
+    ) -> dict[int, np.ndarray]:
+        """Adjacency over the *witnessed* facts of ``nt`` (sorted arrays).
+
+        Used by the round-based builder: restricting candidate children
+        to already-witnessed facts keeps the witness graph acyclic.
+        """
+        buckets: dict[int, list[int]] = {}
+        for (fnt, u, v), _ in self._table.items():
+            if fnt != nt:
+                continue
+            if transposed:
+                buckets.setdefault(v, []).append(u)
+            else:
+                buckets.setdefault(u, []).append(v)
+        return {k: np.array(sorted(vs), dtype=np.int64) for k, vs in buckets.items()}
+
+    # -- reconstruction ------------------------------------------------------
+
+    def reconstruct(self, nt: str, u: int, v: int) -> SinglePath:
+        """Rebuild the witnessed path for ``(nt, u, v)``."""
+        entry = self._table.get((nt, u, v))
+        if entry is None:
+            raise InvalidArgumentError(f"no witness for fact ({nt}, {u}, {v})")
+        kind = entry[0]
+        if kind == "eps":
+            return SinglePath((u,), ())
+        if kind == "t":
+            return SinglePath((u, v), (entry[1],))
+        _, b, c, w = entry
+        left = self.reconstruct(b, u, w)
+        right = self.reconstruct(c, w, v)
+        return SinglePath(
+            left.vertices + right.vertices[1:], left.labels + right.labels
+        )
+
+
+def build_witnesses(wcnf, graph, fact_arrays: dict, n: int) -> WitnessTable:
+    """Construct a witness table for the final fact sets of a run.
+
+    Round-based: seeds (terminal/ε facts) witness first; each subsequent
+    round witnesses facts whose binary-rule children are *already*
+    witnessed, guaranteeing an acyclic witness graph.  Every derivable
+    fact is witnessed after at most derivation-tree-depth rounds.
+
+    ``fact_arrays``: nonterminal → (rows, cols) of all final facts.
+    """
+    table = WitnessTable()
+    binary_rules = []
+    for p in wcnf.productions:
+        if len(p.rhs) == 1:
+            for u, v in graph.edges.get(p.rhs[0], ()):  # terminal seeds
+                table.record_terminal(p.lhs, u, v, p.rhs[0])
+        elif len(p.rhs) == 2:
+            binary_rules.append((p.lhs, p.rhs[0], p.rhs[1]))
+        else:
+            for v in range(n):
+                table.record_epsilon(p.lhs, v)
+
+    pending: dict[str, list[tuple[int, int]]] = {}
+    for nt, (rows, cols) in fact_arrays.items():
+        pending[nt] = [
+            (int(u), int(v))
+            for u, v in zip(rows.tolist(), cols.tolist())
+            if (nt, int(u), int(v)) not in table
+        ]
+
+    changed = True
+    while changed and any(pending.values()):
+        changed = False
+        size_before = len(table)
+        for lhs, b, c in binary_rules:
+            todo = pending.get(lhs)
+            if not todo:
+                continue
+            b_adj = table.witnessed_adjacency(b)
+            c_adj_t = table.witnessed_adjacency(c, transposed=True)
+            rows = np.array([u for u, _ in todo], dtype=np.int64)
+            cols = np.array([v for _, v in todo], dtype=np.int64)
+            table.record_new_facts(lhs, b, c, rows, cols, b_adj, c_adj_t)
+            pending[lhs] = [(u, v) for (u, v) in todo if (lhs, u, v) not in table]
+        changed = len(table) > size_before
+    return table

@@ -1,0 +1,36 @@
+"""Public API (S7): the pyspbla-equivalent layer.
+
+The original SPbLA stack is ``C++ core → C API → pyspbla``.  Here the
+backends are the core, :class:`~repro.core.context.Context` is the
+library handle (the C API's ``cuBool_Initialize`` /
+``cuBool_Finalize``), and :class:`~repro.core.matrix.Matrix` /
+:class:`~repro.core.vector.Vector` are the user-facing objects.
+
+Quickstart::
+
+    import repro
+
+    with repro.Context(backend="cubool") as ctx:
+        a = ctx.matrix_from_lists((4, 4), rows=[0, 1, 2], cols=[1, 2, 3])
+        b = a @ a                  # boolean matrix product
+        c = a | b                  # element-wise OR
+        k = a.kron(b)              # Kronecker product
+        print(c.to_lists())
+"""
+
+from repro.core.semiring import BOOL_OR_AND, MIN_PLUS, PLUS_TIMES, Semiring
+from repro.core.context import Context, default_context, init
+from repro.core.matrix import Matrix
+from repro.core.vector import Vector
+
+__all__ = [
+    "BOOL_OR_AND",
+    "Context",
+    "MIN_PLUS",
+    "Matrix",
+    "PLUS_TIMES",
+    "Semiring",
+    "Vector",
+    "default_context",
+    "init",
+]

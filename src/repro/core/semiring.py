@@ -1,0 +1,139 @@
+"""Semiring definitions.
+
+The library's native algebra is the **Boolean semiring**
+``({0, 1}, ∨, ∧)`` — "values set {true, false} with false as an identity
+element, '+' operation is defined as logical or and '×' is defined as
+logical and" (paper, §Libraries Design).  The sparse backends implement
+it natively (pattern-only storage).
+
+Additional semirings are provided for the dense reference path and for
+the GraphBLAS-flavoured extensions (the paper's future-work section
+mentions custom semirings such as min-plus): they are *not* accelerated
+by the sparse boolean backends, but :meth:`Semiring.mxm_dense` gives a
+correct dense evaluation used by tests and by the shortest-path example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.errors import DimensionMismatchError, InvalidArgumentError
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """An algebraic semiring ``(D, add, mul, zero, one)``.
+
+    ``add``/``mul`` are binary NumPy ufunc-compatible callables; ``zero``
+    is the add-identity (and mul-annihilator), ``one`` the mul-identity.
+    ``add_reduce`` performs the reduction of ``add`` along an axis.
+    """
+
+    name: str
+    dtype: np.dtype
+    add: Callable[[Any, Any], Any]
+    mul: Callable[[Any, Any], Any]
+    zero: Any
+    one: Any
+    add_reduce: Callable[..., Any]
+
+    def mxm_dense(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Dense matrix product under this semiring (reference semantics).
+
+        ``C[i, j] = add-reduce over k of mul(A[i, k], B[k, j])`` — O(mkn)
+        but fully vectorized via broadcasting; intended for tests and
+        small examples, not production sizes.
+        """
+        a = np.asarray(a, dtype=self.dtype)
+        b = np.asarray(b, dtype=self.dtype)
+        if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+            raise DimensionMismatchError("mxm_dense", a.shape[:2], b.shape[:2])
+        # (m, k, 1) x (1, k, n) -> reduce over k.  Semirings with infinite
+        # identities (min-plus) legitimately produce inf arithmetic here.
+        with np.errstate(invalid="ignore", over="ignore"):
+            products = self.mul(a[:, :, None], b[None, :, :])
+            return self.add_reduce(products, axis=1)
+
+    def ewise_add_dense(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        a = np.asarray(a, dtype=self.dtype)
+        b = np.asarray(b, dtype=self.dtype)
+        if a.shape != b.shape:
+            raise DimensionMismatchError("ewise_add_dense", a.shape[:2], b.shape[:2])
+        return self.add(a, b)
+
+    def closure_dense(self, a: np.ndarray, *, reflexive: bool = False) -> np.ndarray:
+        """Fixpoint of ``A ← A ⊕ A·A`` (transitive closure semantics).
+
+        For the boolean semiring this is graph transitive closure; for
+        min-plus it is all-pairs shortest paths.  Squaring doubles path
+        lengths per iteration, so O(log n) dense products suffice.
+        """
+        a = np.asarray(a, dtype=self.dtype)
+        if a.ndim != 2 or a.shape[0] != a.shape[1]:
+            raise InvalidArgumentError("closure requires a square matrix")
+        if reflexive:
+            eye = np.full(a.shape, self.zero, dtype=self.dtype)
+            np.fill_diagonal(eye, self.one)
+            a = self.add(a, eye)
+        while True:
+            nxt = self.add(a, self.mxm_dense(a, a))
+            if np.array_equal(nxt, a):
+                return nxt
+            a = nxt
+
+
+def _bool_or(a, b):
+    return np.logical_or(a, b)
+
+
+def _bool_and(a, b):
+    return np.logical_and(a, b)
+
+
+#: The library's native algebra.
+BOOL_OR_AND = Semiring(
+    name="bool-or-and",
+    dtype=np.dtype(bool),
+    add=_bool_or,
+    mul=_bool_and,
+    zero=False,
+    one=True,
+    add_reduce=np.logical_or.reduce,
+)
+
+#: Ordinary arithmetic — what the generic baseline computes.
+PLUS_TIMES = Semiring(
+    name="plus-times",
+    dtype=np.dtype(np.float64),
+    add=np.add,
+    mul=np.multiply,
+    zero=0.0,
+    one=1.0,
+    add_reduce=np.add.reduce,
+)
+
+#: Tropical semiring — shortest paths (paper future work: custom semirings).
+MIN_PLUS = Semiring(
+    name="min-plus",
+    dtype=np.dtype(np.float64),
+    add=np.minimum,
+    mul=np.add,
+    zero=np.inf,
+    one=0.0,
+    add_reduce=np.minimum.reduce,
+)
+
+_REGISTRY = {s.name: s for s in (BOOL_OR_AND, PLUS_TIMES, MIN_PLUS)}
+
+
+def get_semiring(name: str) -> Semiring:
+    """Look up a built-in semiring by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise InvalidArgumentError(
+            f"unknown semiring {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None

@@ -1,0 +1,75 @@
+"""Dataset generators (S14) — structure-matched synthetic stand-ins.
+
+The paper evaluates on downloads we cannot ship (LUBM, Uniprot RDF,
+DBpedia, geospecies, Linux-kernel alias graphs).  Per the reproduction's
+substitution rule, each family is replaced by a parameterized generator
+that matches the structural features driving the algorithms' behaviour:
+
+* :mod:`repro.datasets.lubm_like` — the LUBM university schema with its
+  scaling knob (the paper's LUBM1k … LUBM2.3M series is a single
+  parameter sweep);
+* :mod:`repro.datasets.rdf_like` — RDF-ish graphs with ``subClassOf``
+  forests, ``type`` edges and ``broaderTransitive`` DAGs, with presets
+  mimicking the Table I/III rows (eclass, enzyme, go, go-hierarchy,
+  geospecies, taxonomy);
+* :mod:`repro.datasets.memory_alias` — pointer-assignment graphs with
+  ``a``/``d`` edge pairs matching the published #a/#d ratios of the
+  arch/crypto/drivers/fs kernel graphs;
+* :mod:`repro.datasets.random_graphs` — uniform, power-law, grid, chain
+  and worst-case generators for the micro-benchmarks;
+* :mod:`repro.datasets.queries_rpq` — the Table II query templates
+  Q1–Q16 and the most-frequent-label instantiation scheme;
+* :mod:`repro.datasets.queries_cfpq` — the G1/G2/Geo/MA queries.
+
+Every generator takes an explicit ``seed`` and a ``scale`` so the
+benchmarks are deterministic and laptop-sized by default; scale=1.0
+reproduces (approximately) the paper's published vertex/edge counts.
+"""
+
+from repro.datasets.random_graphs import (
+    chain_graph,
+    cycle_graph,
+    grid_graph,
+    power_law_graph,
+    uniform_random_graph,
+    worst_case_bipartite,
+)
+from repro.datasets.rdf_like import rdf_like_graph, RDF_PRESETS
+from repro.datasets.lubm_like import lubm_like_graph, LUBM_PRESETS
+from repro.datasets.memory_alias import memory_alias_graph, ALIAS_PRESETS
+from repro.datasets.queries_rpq import (
+    RPQ_TEMPLATES,
+    instantiate_template,
+    generate_rpq_queries,
+)
+from repro.datasets.queries_cfpq import (
+    query_g1,
+    query_g2,
+    query_geo,
+    query_ma_rsm,
+)
+from repro.datasets.stats import graph_stats, format_stats_table
+
+__all__ = [
+    "ALIAS_PRESETS",
+    "LUBM_PRESETS",
+    "RDF_PRESETS",
+    "RPQ_TEMPLATES",
+    "chain_graph",
+    "cycle_graph",
+    "format_stats_table",
+    "generate_rpq_queries",
+    "graph_stats",
+    "grid_graph",
+    "instantiate_template",
+    "lubm_like_graph",
+    "memory_alias_graph",
+    "power_law_graph",
+    "query_g1",
+    "query_g2",
+    "query_geo",
+    "query_ma_rsm",
+    "rdf_like_graph",
+    "uniform_random_graph",
+    "worst_case_bipartite",
+]

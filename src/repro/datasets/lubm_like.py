@@ -1,0 +1,139 @@
+"""LUBM-like university graphs — the RPQ scaling series.
+
+The Lehigh University Benchmark generates universities with a fixed
+schema (departments, professors, students, courses, publications) whose
+size scales linearly in the university count; the paper's LUBM1k …
+LUBM2.3M series is that single knob.  This generator reproduces the
+schema's relation mix so the Q1–Q16 templates traverse the same shapes:
+``subOrganizationOf`` chains, ``worksFor``/``memberOf`` fans,
+``advisor`` links, ``takesCourse``/``teacherOf`` bipartite blocks,
+``type`` edges into a small class layer.
+
+Edge-count ratios follow LUBM's published profile (≈4 edges/vertex,
+``takesCourse`` dominating).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InvalidArgumentError
+from repro.graph import LabeledGraph
+
+
+@dataclass(frozen=True)
+class LubmPreset:
+    """One row of the paper's LUBM series (vertex target at scale=1)."""
+
+    name: str
+    universities: int
+
+
+#: The paper's six LUBM sizes, scaled to 1/100 by default `scale`.
+LUBM_PRESETS: dict[str, LubmPreset] = {
+    "LUBM1k": LubmPreset("LUBM1k", 8),
+    "LUBM3.5k": LubmPreset("LUBM3.5k", 24),
+    "LUBM5.9k": LubmPreset("LUBM5.9k", 40),
+    "LUBM1M": LubmPreset("LUBM1M", 80),
+    "LUBM1.7M": LubmPreset("LUBM1.7M", 120),
+    "LUBM2.3M": LubmPreset("LUBM2.3M", 156),
+}
+
+# Per-university entity counts (LUBM profile, light version).
+_DEPTS_PER_UNI = 18
+_PROFS_PER_DEPT = 9
+_STUDENTS_PER_DEPT = 90
+_COURSES_PER_DEPT = 12
+_CLASS_LAYER = 16  # schema classes for `type`
+
+
+def lubm_like_graph(
+    preset: str | LubmPreset = "LUBM1k",
+    *,
+    scale: float = 1.0,
+    seed: int = 0,
+) -> LabeledGraph:
+    """Generate a LUBM-like graph (``scale`` multiplies university count)."""
+    p = LUBM_PRESETS[preset] if isinstance(preset, str) else preset
+    if scale <= 0:
+        raise InvalidArgumentError("scale must be positive")
+    rng = np.random.default_rng(seed)
+    n_uni = max(1, int(round(p.universities * scale)))
+
+    n_dept = n_uni * _DEPTS_PER_UNI
+    n_prof = n_dept * _PROFS_PER_DEPT
+    n_stud = n_dept * _STUDENTS_PER_DEPT
+    n_course = n_dept * _COURSES_PER_DEPT
+
+    # Vertex layout: [classes | universities | departments | professors |
+    # students | courses]
+    off_cls = 0
+    off_uni = off_cls + _CLASS_LAYER
+    off_dept = off_uni + n_uni
+    off_prof = off_dept + n_dept
+    off_stud = off_prof + n_prof
+    off_course = off_stud + n_stud
+    n = off_course + n_course
+    g = LabeledGraph(n=n)
+
+    dept_ids = np.arange(n_dept)
+    dept_uni = off_uni + dept_ids // _DEPTS_PER_UNI
+    g.edges["subOrganizationOf"].extend(
+        zip((off_dept + dept_ids).tolist(), dept_uni.tolist())
+    )
+
+    prof_ids = np.arange(n_prof)
+    prof_dept = off_dept + prof_ids // _PROFS_PER_DEPT
+    g.edges["worksFor"].extend(
+        zip((off_prof + prof_ids).tolist(), prof_dept.tolist())
+    )
+
+    stud_ids = np.arange(n_stud)
+    stud_dept = off_dept + stud_ids // _STUDENTS_PER_DEPT
+    g.edges["memberOf"].extend(
+        zip((off_stud + stud_ids).tolist(), stud_dept.tolist())
+    )
+
+    # Advisors: each student advised by a professor of its department.
+    adv_local = rng.integers(0, _PROFS_PER_DEPT, size=n_stud)
+    advisor = off_prof + (stud_dept - off_dept) * _PROFS_PER_DEPT + adv_local
+    g.edges["advisor"].extend(
+        zip((off_stud + stud_ids).tolist(), advisor.tolist())
+    )
+
+    # Courses: teacherOf (professor -> course) and takesCourse
+    # (student -> course, 3 courses each, within the department).
+    course_ids = np.arange(n_course)
+    course_dept = course_ids // _COURSES_PER_DEPT
+    teacher_local = rng.integers(0, _PROFS_PER_DEPT, size=n_course)
+    teacher = off_prof + course_dept * _PROFS_PER_DEPT + teacher_local
+    g.edges["teacherOf"].extend(
+        zip(teacher.tolist(), (off_course + course_ids).tolist())
+    )
+    for _ in range(3):
+        pick = rng.integers(0, _COURSES_PER_DEPT, size=n_stud)
+        course = off_course + (stud_dept - off_dept) * _COURSES_PER_DEPT + pick
+        g.edges["takesCourse"].extend(
+            zip((off_stud + stud_ids).tolist(), course.tolist())
+        )
+
+    # type edges into the class layer.
+    def add_type(offset: int, count: int, cls: int) -> None:
+        ids = np.arange(count) + offset
+        g.edges["type"].extend(zip(ids.tolist(), [cls] * count))
+
+    add_type(off_uni, n_uni, 0)
+    add_type(off_dept, n_dept, 1)
+    add_type(off_prof, n_prof, 2)
+    add_type(off_stud, n_stud, 3)
+    add_type(off_course, n_course, 4)
+
+    # Publication-ish noise relations to fill the label tail.
+    n_noise = n_prof * 2
+    src = off_prof + rng.integers(0, n_prof, size=n_noise)
+    dst = off_course + rng.integers(0, max(1, n_course), size=n_noise)
+    g.edges["publicationAuthor"].extend(zip(src.tolist(), dst.tolist()))
+
+    return g

@@ -1,0 +1,96 @@
+"""The CFPQ queries of the paper's evaluation: G1, G2, Geo, MA.
+
+Equations (1)–(4) of the paper, in this library's syntax (``~x`` is the
+paper's ``x̄`` inverse relation):
+
+* **G1** — same-generation over ``subClassOf``/``type``::
+
+      S -> ~subClassOf S subClassOf | ~type S type
+         | ~subClassOf subClassOf   | ~type type
+
+* **G2** — same-generation over ``subClassOf`` only::
+
+      S -> ~subClassOf S subClassOf | subClassOf
+
+* **Geo** — same-generation over ``broaderTransitive``::
+
+      S -> broaderTransitive S ~broaderTransitive
+         | broaderTransitive ~broaderTransitive
+
+* **MA** — the may-alias query (regex right-hand side; only the tensor
+  engine takes it directly, the matrix engine needs the CFG expansion)::
+
+      S -> ~d V d
+      V -> (S? ~a)* S? (a S?)*
+"""
+
+from __future__ import annotations
+
+from repro.grammar.cfg import CFG
+from repro.grammar.rsm import RSM
+
+
+def query_g1() -> CFG:
+    """Same-generation query :math:`G_1` (Eq. 1)."""
+    return CFG.from_text(
+        """
+        S -> ~subClassOf S subClassOf | ~type S type | ~subClassOf subClassOf | ~type type
+        """
+    )
+
+
+def query_g2() -> CFG:
+    """Same-generation query :math:`G_2` (Eq. 2)."""
+    return CFG.from_text(
+        """
+        S -> ~subClassOf S subClassOf | subClassOf
+        """
+    )
+
+
+def query_geo() -> CFG:
+    """The *Geo* query for geospecies (Eq. 3)."""
+    return CFG.from_text(
+        """
+        S -> broaderTransitive S ~broaderTransitive | broaderTransitive ~broaderTransitive
+        """
+    )
+
+
+def query_ma_rsm() -> RSM:
+    """The memory-alias query *MA* (Eq. 4) as an RSM.
+
+    The ``V`` production's right-hand side is a regex — exactly the
+    case the tensor algorithm handles without grammar rewriting.
+    """
+    return RSM.from_regex_rules(
+        "S",
+        {
+            "S": "~d V d",
+            "V": "(S? ~a)* S? (a S?)*",
+        },
+    )
+
+
+def query_ma_cfg() -> CFG:
+    """The MA query as a plain CFG (for the matrix engine).
+
+    Hand expansion of the regex RHS:
+    ``V → L V | M R? | eps``-style rewriting using helper nonterminals::
+
+        V -> L V | R V2 | eps      # left loop then right loop
+        ...
+
+    Expanded systematically: ``V = P* Q R*`` with ``P = S? ~a``,
+    ``R = a S?``, ``Q = S?``.
+    """
+    return CFG.from_text(
+        """
+        S -> ~d V d
+        V -> P V | Q W
+        W -> R W | eps
+        P -> S ~a | ~a
+        R -> a S | a
+        Q -> S | eps
+        """
+    )

@@ -1,0 +1,127 @@
+"""Structured and random graph generators for micro-benchmarks.
+
+These drive the boolean-vs-generic operation benchmarks (E0) and the
+ablations (E9): the matrix-squaring workload of the original SPbLA
+evaluation runs over exactly such families (uniform sparse, power-law
+degree, regular grid) because SpGEMM behaviour is governed by the row
+nnz distribution — uniform rows exercise the small hash bins, power-law
+tails hit the global bin, grids are the friendly constant-degree case.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidArgumentError
+from repro.graph import LabeledGraph
+
+
+def uniform_random_graph(
+    n: int,
+    m: int,
+    *,
+    labels: tuple[str, ...] = ("a",),
+    seed: int = 0,
+) -> LabeledGraph:
+    """~m edges placed uniformly at random with uniform label choice."""
+    if n <= 0:
+        raise InvalidArgumentError("n must be positive")
+    rng = np.random.default_rng(seed)
+    g = LabeledGraph(n=n)
+    if m <= 0:
+        return g
+    src = rng.integers(0, n, size=m)
+    dst = rng.integers(0, n, size=m)
+    lab = rng.integers(0, len(labels), size=m)
+    for li, label in enumerate(labels):
+        mask = lab == li
+        g.edges[label].extend(zip(src[mask].tolist(), dst[mask].tolist()))
+    return g
+
+
+def power_law_graph(
+    n: int,
+    m: int,
+    *,
+    exponent: float = 2.1,
+    labels: tuple[str, ...] = ("a",),
+    seed: int = 0,
+) -> LabeledGraph:
+    """~m edges whose endpoints follow a Zipf-like degree distribution.
+
+    Produces the heavy-tailed row-size distribution that stresses
+    SpGEMM binning (a few huge rows land in the global-memory bin).
+    """
+    if n <= 0:
+        raise InvalidArgumentError("n must be positive")
+    rng = np.random.default_rng(seed)
+    g = LabeledGraph(n=n)
+    if m <= 0:
+        return g
+    # Endpoint sampling: P(v) ∝ (v + 1)^{-exponent} over a permutation.
+    weights = (np.arange(1, n + 1, dtype=np.float64)) ** (-exponent)
+    weights /= weights.sum()
+    perm = rng.permutation(n)
+    src = perm[rng.choice(n, size=m, p=weights)]
+    dst = perm[rng.choice(n, size=m, p=weights)]
+    lab = rng.integers(0, len(labels), size=m)
+    for li, label in enumerate(labels):
+        mask = lab == li
+        g.edges[label].extend(
+            zip(src[mask].tolist(), dst[mask].tolist())
+        )
+    return g
+
+
+def grid_graph(side: int, *, label: str = "a", wrap: bool = False) -> LabeledGraph:
+    """Directed 2-D grid (right and down edges); ``wrap`` makes it a torus."""
+    if side <= 0:
+        raise InvalidArgumentError("side must be positive")
+    n = side * side
+    g = LabeledGraph(n=n)
+    for r in range(side):
+        for c in range(side):
+            v = r * side + c
+            if c + 1 < side:
+                g.add_edge(v, label, v + 1)
+            elif wrap:
+                g.add_edge(v, label, r * side)
+            if r + 1 < side:
+                g.add_edge(v, label, v + side)
+            elif wrap:
+                g.add_edge(v, label, c)
+    return g
+
+
+def chain_graph(n: int, *, label: str = "a") -> LabeledGraph:
+    """Directed path 0 → 1 → … → n-1 (worst case for naive closure)."""
+    g = LabeledGraph(n=max(1, n))
+    for v in range(n - 1):
+        g.add_edge(v, label, v + 1)
+    return g
+
+
+def cycle_graph(n: int, *, label: str = "a") -> LabeledGraph:
+    """Directed cycle — closure is the complete relation."""
+    g = chain_graph(n, label=label)
+    if n > 1:
+        g.add_edge(n - 1, label, 0)
+    return g
+
+
+def worst_case_bipartite(k: int, *, label: str = "a") -> LabeledGraph:
+    """Two fan stages: k sources → 1 hub → k sinks.
+
+    Squaring produces k² products through the hub from 2k+1 input edges
+    — the maximal expansion/compaction ratio, the adversarial case for
+    ESC SpGEMM memory (its expansion buffer holds all k² candidates).
+    """
+    if k <= 0:
+        raise InvalidArgumentError("k must be positive")
+    n = 2 * k + 1
+    hub = k
+    g = LabeledGraph(n=n)
+    for i in range(k):
+        g.add_edge(i, label, hub)
+        g.add_edge(hub, label, k + 1 + i)
+    return g

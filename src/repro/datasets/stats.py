@@ -1,0 +1,49 @@
+"""Graph statistics and table rendering for the dataset benchmarks."""
+
+from __future__ import annotations
+
+from repro.graph import LabeledGraph
+
+
+def graph_stats(graph: LabeledGraph, *, labels_of_interest=()) -> dict:
+    """Vertex/edge counts plus per-label counts for selected labels.
+
+    Mirrors the columns of the paper's Table I / Table III (``#V``,
+    ``#E``, ``#sco``, ``#type``, ``#bt``, ``#a``, ``#d``).
+    """
+    counts = graph.label_counts()
+    stats = {
+        "vertices": graph.n,
+        "edges": graph.num_edges,
+        "labels": len(counts),
+    }
+    for label in labels_of_interest:
+        stats[f"#{label}"] = counts.get(label, 0)
+    return stats
+
+
+def format_stats_table(rows: dict, columns: list[str]) -> str:
+    """Render ``{row_name: stats_dict}`` as an aligned text table."""
+    header = ["Graph"] + columns
+    table = [header]
+    for name, stats in rows.items():
+        table.append(
+            [name] + [_fmt(stats.get(col, "---")) for col in columns]
+        )
+    widths = [max(len(str(row[i])) for row in table) for i in range(len(header))]
+    lines = []
+    for i, row in enumerate(table):
+        lines.append(
+            "  ".join(str(cell).rjust(w) for cell, w in zip(row, widths))
+        )
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, int):
+        return f"{value:,}".replace(",", " ")
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

@@ -1,0 +1,23 @@
+"""Multi-device execution (paper future work: "multi-GPU programming").
+
+A :class:`~repro.distributed.multi_device.DevicePool` owns several
+simulated devices, each with its own backend instance and memory arena.
+Matrices distribute by **nnz-balanced row blocks** (1-D decomposition,
+the standard multi-GPU SpGEMM layout: A row-partitioned, B replicated),
+and the distributed operations run block-local kernels per device:
+
+    ``C_i = A_i · B``           (mxm: no inter-device communication)
+    ``C_i = A_i ∨ B_i``         (element-wise ops: aligned blocks)
+
+Per-device memory accounting comes for free from the device arenas, so
+the pool reports the replication overhead of the layout (B is stored
+once per device) — the trade-off any real multi-GPU deployment has to
+budget.
+"""
+
+from repro.distributed.multi_device import (
+    DevicePool,
+    DistributedMatrix,
+)
+
+__all__ = ["DevicePool", "DistributedMatrix"]

@@ -1,0 +1,75 @@
+"""Error hierarchy for the SPbLA reproduction.
+
+The original SPbLA C API reports errors through status codes
+(``CUBOOL_STATUS_*`` / ``CLBOOL_STATUS_*``).  The Python reproduction maps
+each status onto an exception class so that failures carry context and
+compose with ordinary Python error handling.  The mapping is:
+
+=========================  =====================================
+C status code              Exception
+=========================  =====================================
+``STATUS_ERROR``           :class:`SpblaError`
+``STATUS_DEVICE_ERROR``    :class:`DeviceError`
+``STATUS_MEM_OP_FAILED``   :class:`DeviceMemoryError`
+``STATUS_INVALID_ARGUMENT``:class:`InvalidArgumentError`
+``STATUS_INVALID_STATE``   :class:`InvalidStateError`
+``STATUS_NOT_IMPLEMENTED`` :class:`NotImplementedBackendError`
+(dimension checks)         :class:`DimensionMismatchError`
+(index checks)             :class:`IndexOutOfBoundsError`
+=========================  =====================================
+"""
+
+from __future__ import annotations
+
+
+class SpblaError(Exception):
+    """Base class for every error raised by the library."""
+
+
+class DeviceError(SpblaError):
+    """A simulated-device operation failed (bad stream, bad launch, ...)."""
+
+
+class DeviceMemoryError(DeviceError):
+    """Device memory allocation/free failed.
+
+    Raised by the :mod:`repro.gpu.memory` arena when an allocation would
+    exceed the configured device capacity, when freeing an unknown buffer,
+    or when a buffer is used after being freed.
+    """
+
+
+class InvalidArgumentError(SpblaError, ValueError):
+    """An argument has the right type but an invalid value."""
+
+
+class InvalidStateError(SpblaError, RuntimeError):
+    """The object is not in a state where the operation is permitted.
+
+    For instance: using a matrix whose backing device buffers were
+    released, or performing operations on a finalized context.
+    """
+
+
+class NotImplementedBackendError(SpblaError, NotImplementedError):
+    """The selected backend does not provide the requested operation."""
+
+
+class DimensionMismatchError(InvalidArgumentError):
+    """Operand dimensions are incompatible for the requested operation."""
+
+    def __init__(self, op: str, *shapes: tuple[int, int]) -> None:
+        self.op = op
+        self.shapes = shapes
+        rendered = " vs ".join(f"{r}x{c}" for r, c in shapes)
+        super().__init__(f"{op}: incompatible dimensions {rendered}")
+
+
+class IndexOutOfBoundsError(InvalidArgumentError, IndexError):
+    """A row/column index lies outside the matrix dimensions."""
+
+    def __init__(self, what: str, index: int, bound: int) -> None:
+        self.what = what
+        self.index = index
+        self.bound = bound
+        super().__init__(f"{what} index {index} out of bounds [0, {bound})")

@@ -1,0 +1,196 @@
+"""Dense bit-packed boolean matrix.
+
+Rows are packed 64 columns per ``uint64`` word, so an ``m x n`` matrix
+occupies ``m * ceil(n / 64) * 8`` bytes.  Dense bit-matrices are the
+classic alternative to sparse boolean storage (Four-Russians-style
+algorithms); the reproduction uses them
+
+* as a correctness cross-check (a third, independent representation),
+* as a small/dense-matrix fast path candidate in the ablation benchmark
+  (E9): once density crosses a threshold, word-parallel dense multiply
+  beats sparse SpGEMM.
+
+The multiply here is word-parallel: row ``i`` of ``C = A @ B`` is the OR
+of the ``B`` word-rows selected by the set bits of ``A``'s row ``i`` —
+vectorized with a boolean-matmul formulation over the packed words.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DimensionMismatchError, IndexOutOfBoundsError, InvalidArgumentError
+from repro.formats.base import SparseFormat
+
+WORD_BITS = 64
+_WORD = np.uint64
+
+
+class BitMatrix(SparseFormat):
+    """Dense boolean matrix packed into 64-bit words, row-major."""
+
+    kind = "bit"
+
+    def __init__(self, shape: tuple[int, int], words: np.ndarray):
+        super().__init__(shape)
+        expected = (self.nrows, _words_per_row(self.ncols))
+        words = np.ascontiguousarray(words, dtype=_WORD)
+        if words.shape != expected:
+            raise InvalidArgumentError(
+                f"words shape {words.shape} != expected {expected}"
+            )
+        self.words = words
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def empty(cls, shape: tuple[int, int]) -> "BitMatrix":
+        nrows, ncols = int(shape[0]), int(shape[1])
+        return cls(shape, np.zeros((nrows, _words_per_row(ncols)), dtype=_WORD))
+
+    @classmethod
+    def identity(cls, n: int) -> "BitMatrix":
+        out = cls.empty((n, n))
+        idx = np.arange(n)
+        out.words[idx, idx // WORD_BITS] |= _WORD(1) << (idx % WORD_BITS).astype(_WORD)
+        return out
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "BitMatrix":
+        dense = np.asarray(dense, dtype=bool)
+        if dense.ndim != 2:
+            raise InvalidArgumentError("dense input must be 2-D")
+        nrows, ncols = dense.shape
+        wpr = _words_per_row(ncols)
+        padded = np.zeros((nrows, wpr * WORD_BITS), dtype=bool)
+        padded[:, :ncols] = dense
+        # np.packbits packs MSB-first per byte; build words little-endian
+        # by viewing bytes after packing with bitorder="little".
+        packed = np.packbits(padded, axis=1, bitorder="little")
+        words = packed.reshape(nrows, wpr, 8).view(np.uint8).copy()
+        out_words = np.zeros((nrows, wpr), dtype=_WORD)
+        for b in range(8):
+            out_words |= words[:, :, b].astype(_WORD) << _WORD(8 * b)
+        return cls(dense.shape, out_words)
+
+    @classmethod
+    def from_coo(cls, rows, cols, shape: tuple[int, int]) -> "BitMatrix":
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        out = cls.empty(shape)
+        if rows.size:
+            if rows.max() >= out.nrows:
+                raise IndexOutOfBoundsError("row", int(rows.max()), out.nrows)
+            if cols.max() >= out.ncols:
+                raise IndexOutOfBoundsError("column", int(cols.max()), out.ncols)
+            word = cols // WORD_BITS
+            bit = (cols % WORD_BITS).astype(_WORD)
+            np.bitwise_or.at(out.words, (rows, word), _WORD(1) << bit)
+        return out
+
+    # -- SparseFormat ------------------------------------------------------
+
+    @property
+    def nnz(self) -> int:
+        return int(_popcount(self.words).sum())
+
+    def to_coo_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        rows, cols = np.nonzero(self.to_dense())
+        from repro.utils.arrays import INDEX_DTYPE
+
+        return rows.astype(INDEX_DTYPE), cols.astype(INDEX_DTYPE)
+
+    def to_dense(self) -> np.ndarray:
+        bytes_view = self.words.view(np.uint8).reshape(self.nrows, -1)
+        bits = np.unpackbits(bytes_view, axis=1, bitorder="little")
+        return bits[:, : self.ncols].astype(bool)
+
+    def memory_bytes(self) -> int:
+        """Model memory: m * ceil(n/64) * 8 bytes."""
+        return self.words.size * self.words.itemsize
+
+    def validate(self) -> None:
+        # Padding bits beyond ncols must stay zero.
+        tail_bits = _words_per_row(self.ncols) * WORD_BITS - self.ncols
+        if tail_bits and self.nrows:
+            mask = (~_WORD(0)) >> _WORD(tail_bits)
+            if np.any(self.words[:, -1] & ~mask):
+                raise InvalidArgumentError("padding bits set beyond column bound")
+
+    # -- operations (dense boolean algebra) --------------------------------
+
+    def get(self, i: int, j: int) -> bool:
+        if not 0 <= i < self.nrows:
+            raise IndexOutOfBoundsError("row", i, self.nrows)
+        if not 0 <= j < self.ncols:
+            raise IndexOutOfBoundsError("column", j, self.ncols)
+        return bool((self.words[i, j // WORD_BITS] >> _WORD(j % WORD_BITS)) & _WORD(1))
+
+    def set(self, i: int, j: int) -> None:
+        if not 0 <= i < self.nrows:
+            raise IndexOutOfBoundsError("row", i, self.nrows)
+        if not 0 <= j < self.ncols:
+            raise IndexOutOfBoundsError("column", j, self.ncols)
+        self.words[i, j // WORD_BITS] |= _WORD(1) << _WORD(j % WORD_BITS)
+
+    def ewise_or(self, other: "BitMatrix") -> "BitMatrix":
+        self.same_shape(other, "ewise_or")
+        return BitMatrix(self.shape, self.words | other.words)
+
+    def ewise_and(self, other: "BitMatrix") -> "BitMatrix":
+        self.same_shape(other, "ewise_and")
+        return BitMatrix(self.shape, self.words & other.words)
+
+    def mxm(self, other: "BitMatrix") -> "BitMatrix":
+        """Boolean matrix product over packed words.
+
+        ``C.words[i] = OR_{j : A[i,j]} B.words[j]`` — computed as a
+        word-level any-product: expand A to dense bools (m x k), then a
+        single einsum-style reduction over B's words.  k x wpr fits
+        memory for the dense sizes this format targets.
+        """
+        if self.ncols != other.nrows:
+            raise DimensionMismatchError("mxm", self.shape, other.shape)
+        a_dense = self.to_dense()  # m x k bools
+        # For each output row, OR the selected word-rows of B.
+        # (m x k) boolean @ (k x wpr) uint64 cannot OR via matmul;
+        # use the ufunc.reduceat-free formulation: for each word column,
+        # C[:, w] = OR over k of (A[:, k] ? B[k, w] : 0).  Vectorize by
+        # treating OR-accumulation as max over each bit — done word-wise
+        # via a loop over word columns (wpr is small).
+        wpr = other.words.shape[1]
+        out = np.zeros((self.nrows, wpr), dtype=_WORD)
+        bw = other.words
+        for w in range(wpr):
+            col = bw[:, w]  # k words
+            # Select participating words per output row and OR them.
+            # a_dense @ nothing — use bitwise_or.reduce over masked words:
+            masked = np.where(a_dense, col[None, :], _WORD(0))
+            out[:, w] = np.bitwise_or.reduce(masked, axis=1)
+        return BitMatrix((self.nrows, other.ncols), out)
+
+    def transpose(self) -> "BitMatrix":
+        return BitMatrix.from_dense(self.to_dense().T)
+
+    def reduce_rows(self) -> np.ndarray:
+        """Boolean OR along each row: True where the row has any entry."""
+        return _popcount(self.words).sum(axis=1) > 0
+
+    def count_per_row(self) -> np.ndarray:
+        return _popcount(self.words).sum(axis=1)
+
+    def copy(self) -> "BitMatrix":
+        return BitMatrix(self.shape, self.words.copy())
+
+
+def _words_per_row(ncols: int) -> int:
+    return max(1, (ncols + WORD_BITS - 1) // WORD_BITS) if ncols else 1
+
+
+def _popcount(words: np.ndarray) -> np.ndarray:
+    """Per-word set-bit count (vectorized byte-table popcount)."""
+    b = words.view(np.uint8)
+    return _POPCOUNT_TABLE[b].reshape(*words.shape, 8).sum(axis=-1)
+
+
+_POPCOUNT_TABLE = np.array([bin(i).count("1") for i in range(256)], dtype=np.int64)

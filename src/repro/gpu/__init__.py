@@ -1,0 +1,60 @@
+"""Simulated GPGPU device layer (substrate S1).
+
+The original SPbLA backends run on real devices (NVIDIA CUDA for cuBool,
+OpenCL for clBool).  This reproduction has no GPU, so the device layer is
+*simulated*: it preserves the structure of GPU code — explicit device
+memory with an accounting allocator, streams, kernel launches with
+grid/block decomposition — while the "kernels" themselves execute as
+vectorized NumPy over the launch domain.
+
+Why simulate at all, instead of calling NumPy directly from the backends?
+
+* **Memory accounting.**  The paper's headline claim is partly about
+  *memory*: boolean-specialized operations "consume up to 4 times less
+  memory" than generic ones.  Reproducing that requires a device allocator
+  that records exactly how many bytes each algorithm allocates, when, and
+  what the peak footprint is.  :class:`repro.gpu.memory.MemoryArena`
+  provides byte-accurate accounting with CUDA-like 256-byte alignment.
+* **Faithful algorithm structure.**  Nsparse's SpGEMM dispatches rows into
+  size bins and launches one kernel per bin with a bin-specific block
+  configuration.  Keeping launches explicit keeps the port reviewable
+  against the CUDA original and lets the ablation benchmarks count
+  launches/occupancy.
+* **Cross-backend fairness.**  cuBool-sim, clBool-sim and the generic
+  baseline all run on the *same* executor, so relative comparisons (who
+  wins, by what factor) are meaningful even though absolute times are CPU
+  times.
+
+Public surface::
+
+    from repro.gpu import Device, DeviceBuffer, MemoryArena, Stream
+    dev = Device(name="sim-0")
+    buf = dev.arena.alloc(1024, dtype=np.uint32)
+    with dev.stream() as s:
+        s.launch(kernel, grid=(blocks,), block=(256,), args=(...))
+"""
+
+from repro.gpu.limits import DeviceLimits
+from repro.gpu.memory import DeviceBuffer, MemoryArena, MemoryStats
+from repro.gpu.stream import Stream, StreamEvent
+from repro.gpu.launch import LaunchConfig, grid_1d, occupancy
+from repro.gpu.device import Device, DeviceCounters, default_device, reset_default_device
+from repro.gpu.trace import device_trace, write_trace
+
+__all__ = [
+    "Device",
+    "DeviceBuffer",
+    "DeviceCounters",
+    "DeviceLimits",
+    "LaunchConfig",
+    "MemoryArena",
+    "MemoryStats",
+    "Stream",
+    "StreamEvent",
+    "default_device",
+    "device_trace",
+    "grid_1d",
+    "occupancy",
+    "reset_default_device",
+    "write_trace",
+]

@@ -1,0 +1,134 @@
+"""The simulated device object: memory arena + streams + counters.
+
+One :class:`Device` stands in for one CUDA/OpenCL device.  Backends hold
+a device, allocate matrix storage from ``device.arena``, and submit
+kernels on streams obtained from :meth:`Device.stream`.
+
+A process-wide default device exists for convenience (the common SPbLA
+usage is single-device); contexts that need isolated accounting — the
+benchmark harness in particular — construct their own.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import DeviceError
+from repro.gpu.launch import LaunchConfig
+from repro.gpu.limits import DeviceLimits
+from repro.gpu.memory import DeviceBuffer, MemoryArena
+from repro.gpu.stream import Stream
+
+_device_ids = itertools.count()
+
+
+@dataclass
+class DeviceCounters:
+    """Aggregate activity counters, read by benchmarks and ablations."""
+
+    kernel_launches: int = 0
+    kernel_time_s: float = 0.0
+    threads_launched: int = 0
+    h2d_bytes: int = 0
+    d2h_bytes: int = 0
+
+    def note_launch(self, config: LaunchConfig, duration_s: float) -> None:
+        self.kernel_launches += 1
+        self.kernel_time_s += duration_s
+        self.threads_launched += config.threads
+
+    def reset(self) -> None:
+        self.kernel_launches = 0
+        self.kernel_time_s = 0.0
+        self.threads_launched = 0
+        self.h2d_bytes = 0
+        self.d2h_bytes = 0
+
+
+class Device:
+    """A simulated GPGPU device.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier (shows up in benchmark reports).
+    limits:
+        Capability description; defaults to a CUDA-like profile.
+    """
+
+    def __init__(self, name: str | None = None, limits: DeviceLimits | None = None):
+        self.id = next(_device_ids)
+        self.name = name if name is not None else f"sim-gpu-{self.id}"
+        self.limits = limits if limits is not None else DeviceLimits()
+        self.arena = MemoryArena(
+            capacity_bytes=self.limits.global_mem_bytes,
+            alignment=self.limits.alloc_alignment,
+        )
+        self.counters = DeviceCounters()
+        self._default_stream = Stream(self, name="default")
+
+    # -- streams -------------------------------------------------------------
+
+    def stream(self, name: str | None = None) -> Stream:
+        """Create a new stream on this device."""
+        return Stream(self, name=name or f"stream-{self.id}")
+
+    @property
+    def default_stream(self) -> Stream:
+        return self._default_stream
+
+    # -- transfers -------------------------------------------------------
+
+    def to_device(self, array: np.ndarray) -> DeviceBuffer:
+        """Host → device copy with byte accounting."""
+        buf = self.arena.to_device(array)
+        self.counters.h2d_bytes += buf.nbytes
+        return buf
+
+    def to_host(self, buf: DeviceBuffer) -> np.ndarray:
+        """Device → host copy (returns an independent host array)."""
+        out = np.array(buf.data, copy=True)
+        self.counters.d2h_bytes += out.nbytes
+        return out
+
+    # -- maintenance -----------------------------------------------------
+
+    def synchronize(self) -> None:
+        """Device-wide barrier (eager execution makes this a no-op)."""
+        self._default_stream.synchronize()
+
+    def reset_counters(self) -> None:
+        self.counters.reset()
+        self.arena.reset_peak()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        s = self.arena.stats()
+        return (
+            f"Device({self.name!r}, live={s.live_bytes}B, peak={s.peak_bytes}B, "
+            f"launches={self.counters.kernel_launches})"
+        )
+
+
+_default_lock = threading.Lock()
+_default: Device | None = None
+
+
+def default_device() -> Device:
+    """Return the lazily-created process-wide device."""
+    global _default
+    with _default_lock:
+        if _default is None:
+            _default = Device(name="sim-default")
+        return _default
+
+
+def reset_default_device() -> Device:
+    """Replace the default device (test isolation helper)."""
+    global _default
+    with _default_lock:
+        _default = Device(name="sim-default")
+        return _default

@@ -1,0 +1,71 @@
+"""Kernel launch configuration for the simulated device.
+
+A launch on the real device is ``kernel<<<grid, block>>>(args)``.  Here a
+launch is a Python call, but the grid/block decomposition is still
+computed and recorded: backends choose block sizes exactly like the CUDA
+originals (e.g. Nsparse picks a block size per row-size bin), and the
+ablation benchmarks read launch statistics back from the device counters.
+
+Kernels are *vectorized over the whole launch domain*: a kernel receives
+the :class:`LaunchConfig` plus its arguments and processes every logical
+thread index with NumPy array operations.  This keeps the per-element
+semantics of the CUDA kernels without per-thread Python loops, per the
+vectorize-don't-iterate rule for scientific Python.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DeviceError, InvalidArgumentError
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """One kernel launch: grid of blocks of threads, 1-D (as in SPbLA)."""
+
+    grid: int
+    block: int
+    #: Number of logical work items; threads beyond it are masked out,
+    #: mirroring the ubiquitous ``if (tid >= n) return;`` guard.
+    work_items: int
+
+    def __post_init__(self) -> None:
+        if self.grid <= 0 or self.block <= 0:
+            raise InvalidArgumentError("grid and block must be positive")
+        if self.work_items < 0:
+            raise InvalidArgumentError("work_items must be non-negative")
+        if self.grid * self.block < self.work_items:
+            raise DeviceError(
+                f"launch covers {self.grid * self.block} threads "
+                f"but {self.work_items} work items were requested"
+            )
+
+    @property
+    def threads(self) -> int:
+        """Total threads launched (including masked-out tail threads)."""
+        return self.grid * self.block
+
+
+def grid_1d(work_items: int, block: int) -> LaunchConfig:
+    """Compute the classic ``(n + block - 1) / block`` grid size."""
+    if block <= 0:
+        raise InvalidArgumentError("block must be positive")
+    if work_items < 0:
+        raise InvalidArgumentError("work_items must be non-negative")
+    grid = max(1, (work_items + block - 1) // block)
+    return LaunchConfig(grid=grid, block=block, work_items=work_items)
+
+
+def occupancy(config: LaunchConfig, multiprocessor_count: int) -> float:
+    """Fraction of useful threads in the launch, times SM utilization.
+
+    A coarse figure of merit the ablation benchmarks report for each bin
+    configuration: wasted tail threads and grids smaller than the SM count
+    both depress it.
+    """
+    if config.threads == 0:
+        return 0.0
+    useful = config.work_items / config.threads
+    sm_util = min(1.0, config.grid / max(1, multiprocessor_count))
+    return useful * sm_util

@@ -1,0 +1,66 @@
+"""Device limit descriptions for the simulated GPGPU layer.
+
+The limits mirror the fields SPbLA queries from the CUDA/OpenCL runtime
+(`cudaDeviceProp` / `clGetDeviceInfo`).  Backends use them to pick kernel
+configurations — e.g. Nsparse bins rows by size and chooses a block size
+per bin bounded by ``max_threads_per_block`` — and the arena uses
+``global_mem_bytes`` as its capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DeviceLimits:
+    """Static capability description of a (simulated) device.
+
+    Defaults approximate a mid-range discrete GPU of the paper's era
+    (GTX 1070-class), which SPbLA's evaluation machines used.
+    """
+
+    #: Maximum number of threads in one block (CUDA: 1024).
+    max_threads_per_block: int = 1024
+    #: SIMD width; launches are rounded up to a multiple of this.
+    warp_size: int = 32
+    #: Maximum number of blocks along grid dimension x.
+    max_grid_dim_x: int = 2**31 - 1
+    #: Bytes of shared memory available per block (48 KiB default).
+    shared_mem_per_block: int = 48 * 1024
+    #: Total simulated device memory (8 GiB default).
+    global_mem_bytes: int = 8 * 1024**3
+    #: Number of streaming multiprocessors (used for occupancy stats).
+    multiprocessor_count: int = 15
+    #: Allocation alignment, matching cudaMalloc's 256-byte granularity.
+    alloc_alignment: int = 256
+
+    def __post_init__(self) -> None:
+        if self.max_threads_per_block <= 0:
+            raise ValueError("max_threads_per_block must be positive")
+        if self.warp_size <= 0 or self.max_threads_per_block % self.warp_size:
+            raise ValueError(
+                "warp_size must be positive and divide max_threads_per_block"
+            )
+        if self.alloc_alignment <= 0 or self.alloc_alignment & (self.alloc_alignment - 1):
+            raise ValueError("alloc_alignment must be a positive power of two")
+        if self.global_mem_bytes <= 0:
+            raise ValueError("global_mem_bytes must be positive")
+
+    def clamp_block(self, threads: int) -> int:
+        """Round ``threads`` up to a warp multiple, capped by the block limit."""
+        if threads <= 0:
+            raise ValueError("threads must be positive")
+        rounded = ((threads + self.warp_size - 1) // self.warp_size) * self.warp_size
+        return min(rounded, self.max_threads_per_block)
+
+
+#: Limits resembling the CUDA device cuBool targeted.
+CUDA_LIKE = DeviceLimits()
+
+#: Limits resembling a typical OpenCL device (smaller blocks, 32 KiB local mem).
+OPENCL_LIKE = DeviceLimits(
+    max_threads_per_block=256,
+    warp_size=32,
+    shared_mem_per_block=32 * 1024,
+)

@@ -1,0 +1,216 @@
+"""Byte-accurate device memory arena.
+
+This module is the load-bearing piece of the memory-consumption
+experiments (E0, E8): every backend allocates its matrix storage and
+scratch buffers through a :class:`MemoryArena`, which records live bytes,
+peak bytes, and allocation counts with the same 256-byte rounding the CUDA
+allocator applies.  The benchmark harness resets the peak counter, runs an
+operation, and reads back the peak to report "memory consumed".
+
+A :class:`DeviceBuffer` owns a NumPy array standing in for device global
+memory.  Use-after-free and double-free are hard errors — both are real
+bug classes in the C++ originals that the tests exercise here.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import DeviceMemoryError, InvalidArgumentError
+
+
+@dataclass
+class MemoryStats:
+    """Snapshot of arena counters (all byte values include alignment padding)."""
+
+    live_bytes: int = 0
+    peak_bytes: int = 0
+    total_allocated_bytes: int = 0
+    alloc_count: int = 0
+    free_count: int = 0
+    live_buffers: int = 0
+
+    def copy(self) -> "MemoryStats":
+        return MemoryStats(
+            live_bytes=self.live_bytes,
+            peak_bytes=self.peak_bytes,
+            total_allocated_bytes=self.total_allocated_bytes,
+            alloc_count=self.alloc_count,
+            free_count=self.free_count,
+            live_buffers=self.live_buffers,
+        )
+
+
+class DeviceBuffer:
+    """A typed, sized region of simulated device memory.
+
+    The wrapped :class:`numpy.ndarray` is exposed through :attr:`data`;
+    kernels index into it directly.  Buffers are created only by
+    :meth:`MemoryArena.alloc` and returned with :meth:`MemoryArena.free`
+    (or garbage-collected, in which case the arena reclaims the bytes and
+    counts an implicit free).
+    """
+
+    __slots__ = ("_data", "_arena", "_nbytes_padded", "_freed", "__weakref__")
+
+    def __init__(self, data: np.ndarray, arena: "MemoryArena", nbytes_padded: int):
+        self._data = data
+        self._arena = arena
+        self._nbytes_padded = nbytes_padded
+        self._freed = False
+
+    @property
+    def data(self) -> np.ndarray:
+        """The backing array.  Raises if the buffer was freed."""
+        if self._freed:
+            raise DeviceMemoryError("use of device buffer after free")
+        return self._data
+
+    @property
+    def nbytes(self) -> int:
+        """Logical payload size in bytes (without alignment padding)."""
+        return 0 if self._data is None else self._data.nbytes
+
+    @property
+    def nbytes_padded(self) -> int:
+        """Accounted size in bytes, rounded to the allocation alignment."""
+        return self._nbytes_padded
+
+    @property
+    def freed(self) -> bool:
+        return self._freed
+
+    def free(self) -> None:
+        """Return the buffer to the arena (idempotent via arena check)."""
+        self._arena.free(self)
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "freed" if self._freed else f"{self.nbytes}B"
+        dtype = "?" if self._data is None else self._data.dtype
+        return f"DeviceBuffer({state}, dtype={dtype})"
+
+    def __del__(self):  # noqa: D105
+        if not self._freed and self._arena is not None:
+            try:
+                self._arena.free(self)
+            except Exception:  # pragma: no cover - interpreter shutdown
+                pass
+
+
+class MemoryArena:
+    """Accounting allocator for one simulated device.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Total device memory; allocations beyond it raise
+        :class:`~repro.errors.DeviceMemoryError`, the analogue of
+        ``cudaErrorMemoryAllocation``.
+    alignment:
+        Accounting granularity (default 256 bytes, matching ``cudaMalloc``).
+    """
+
+    def __init__(self, capacity_bytes: int = 8 * 1024**3, alignment: int = 256):
+        if capacity_bytes <= 0:
+            raise InvalidArgumentError("capacity_bytes must be positive")
+        if alignment <= 0 or alignment & (alignment - 1):
+            raise InvalidArgumentError("alignment must be a positive power of two")
+        self.capacity_bytes = capacity_bytes
+        self.alignment = alignment
+        self._stats = MemoryStats()
+        self._lock = threading.Lock()
+
+    # -- allocation ------------------------------------------------------
+
+    def _padded(self, nbytes: int) -> int:
+        a = self.alignment
+        return max(a, (nbytes + a - 1) // a * a) if nbytes else 0
+
+    def alloc(self, shape, dtype) -> DeviceBuffer:
+        """Allocate an uninitialized device array of ``shape`` and ``dtype``."""
+        dtype = np.dtype(dtype)
+        shape_t = (int(shape),) if np.isscalar(shape) else tuple(int(s) for s in shape)
+        if any(s < 0 for s in shape_t):
+            raise InvalidArgumentError(f"negative dimension in shape {shape_t}")
+        nelems = 1
+        for s in shape_t:
+            nelems *= s
+        nbytes = nelems * dtype.itemsize
+        padded = self._padded(nbytes)
+        with self._lock:
+            if self._stats.live_bytes + padded > self.capacity_bytes:
+                raise DeviceMemoryError(
+                    f"device out of memory: requested {padded}B "
+                    f"(live {self._stats.live_bytes}B / capacity {self.capacity_bytes}B)"
+                )
+            self._stats.live_bytes += padded
+            self._stats.total_allocated_bytes += padded
+            self._stats.alloc_count += 1
+            self._stats.live_buffers += 1
+            if self._stats.live_bytes > self._stats.peak_bytes:
+                self._stats.peak_bytes = self._stats.live_bytes
+        data = np.empty(shape_t, dtype=dtype)
+        return DeviceBuffer(data, self, padded)
+
+    def alloc_like(self, array: np.ndarray) -> DeviceBuffer:
+        """Allocate a device buffer with the shape/dtype of ``array``."""
+        return self.alloc(array.shape, array.dtype)
+
+    def to_device(self, array: np.ndarray) -> DeviceBuffer:
+        """Host-to-device copy: allocate and fill from a host array."""
+        array = np.ascontiguousarray(array)
+        buf = self.alloc(array.shape, array.dtype)
+        buf.data[...] = array
+        return buf
+
+    def free(self, buf: DeviceBuffer) -> None:
+        """Release a buffer.  Double-free raises."""
+        if buf._arena is not self:
+            raise DeviceMemoryError("buffer does not belong to this arena")
+        with self._lock:
+            if buf._freed:
+                raise DeviceMemoryError("double free of device buffer")
+            buf._freed = True
+            self._stats.live_bytes -= buf._nbytes_padded
+            self._stats.free_count += 1
+            self._stats.live_buffers -= 1
+        buf._data = None
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def live_bytes(self) -> int:
+        return self._stats.live_bytes
+
+    @property
+    def peak_bytes(self) -> int:
+        return self._stats.peak_bytes
+
+    def stats(self) -> MemoryStats:
+        """A copy of the current counters."""
+        with self._lock:
+            return self._stats.copy()
+
+    def reset_peak(self) -> None:
+        """Reset the high-water mark to the current live size.
+
+        Benchmarks call this before an operation and read
+        :attr:`peak_bytes` after it to measure the operation's footprint.
+        """
+        with self._lock:
+            self._stats.peak_bytes = self._stats.live_bytes
+
+    def check_balanced(self) -> None:
+        """Raise if any buffers are still live (leak detector for tests)."""
+        with self._lock:
+            if self._stats.live_buffers != 0 or self._stats.live_bytes != 0:
+                raise DeviceMemoryError(
+                    f"arena leak: {self._stats.live_buffers} buffers / "
+                    f"{self._stats.live_bytes} bytes still live"
+                )

@@ -1,0 +1,110 @@
+"""Streams: ordered command queues with event timing.
+
+SPbLA issues all kernels and copies on a stream (CUDA stream / OpenCL
+command queue) and times phases with events.  The simulated stream
+executes eagerly (every "enqueue" runs immediately) but preserves the
+interface: ``launch`` records the launch and invokes the kernel,
+``record_event``/``elapsed`` give wall-clock timing, and ``synchronize``
+is a (recorded) no-op.  Eager execution is equivalent to a real in-order
+stream followed by a sync, which is exactly how SPbLA uses streams.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import DeviceError
+from repro.gpu.launch import LaunchConfig
+
+
+@dataclass
+class StreamEvent:
+    """A recorded point in stream time (CUDA event analogue)."""
+
+    name: str
+    timestamp: float
+
+    def elapsed_since(self, earlier: "StreamEvent") -> float:
+        """Seconds between two events recorded on the same stream."""
+        return self.timestamp - earlier.timestamp
+
+
+@dataclass
+class LaunchRecord:
+    """Bookkeeping entry for one kernel launch (read by ablation benches)."""
+
+    kernel_name: str
+    config: LaunchConfig
+    duration_s: float
+
+
+class Stream:
+    """An in-order command queue on a simulated device."""
+
+    def __init__(self, device: "Any", name: str = "stream"):
+        self.device = device
+        self.name = name
+        self.launches: list[LaunchRecord] = []
+        self._events: list[StreamEvent] = []
+        self._closed = False
+
+    # -- command submission ------------------------------------------------
+
+    def launch(
+        self,
+        kernel: Callable[..., Any],
+        config: LaunchConfig,
+        *args: Any,
+        **kwargs: Any,
+    ) -> Any:
+        """Enqueue (and, simulated, immediately run) a kernel.
+
+        The kernel is called as ``kernel(config, *args, **kwargs)`` and may
+        return a value (symbolic-phase kernels return row counts etc.).
+        """
+        if self._closed:
+            raise DeviceError(f"launch on destroyed stream {self.name!r}")
+        start = time.perf_counter()
+        result = kernel(config, *args, **kwargs)
+        duration = time.perf_counter() - start
+        name = getattr(kernel, "__name__", repr(kernel))
+        self.launches.append(LaunchRecord(name, config, duration))
+        self.device.counters.note_launch(config, duration)
+        return result
+
+    def record_event(self, name: str = "event") -> StreamEvent:
+        """Record a timing event on the stream."""
+        if self._closed:
+            raise DeviceError(f"event on destroyed stream {self.name!r}")
+        ev = StreamEvent(name=name, timestamp=time.perf_counter())
+        self._events.append(ev)
+        return ev
+
+    def synchronize(self) -> None:
+        """Block until all enqueued work completes (no-op when eager)."""
+        if self._closed:
+            raise DeviceError(f"synchronize on destroyed stream {self.name!r}")
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def destroy(self) -> None:
+        self._closed = True
+
+    def __enter__(self) -> "Stream":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.synchronize()
+        self.destroy()
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def launch_count(self) -> int:
+        return len(self.launches)
+
+    def total_kernel_time(self) -> float:
+        """Sum of kernel durations on this stream, in seconds."""
+        return sum(rec.duration_s for rec in self.launches)

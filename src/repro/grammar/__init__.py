@@ -1,0 +1,20 @@
+"""Context-free grammar substrate (S11) for CFPQ.
+
+* :mod:`repro.grammar.cfg` — grammars with named symbols; text parser
+  for the ``S -> a S b | eps`` rule syntax (inverse relations written
+  ``~label``, matching the paper's overline notation).
+* :mod:`repro.grammar.cnf` — the weak Chomsky normal form transform
+  Azimov's matrix algorithm requires (the paper notes this transform
+  "leads to the grammar size increase, and hence worsens performance" —
+  the CFPQ benchmark shows exactly that effect).
+* :mod:`repro.grammar.rsm` — recursive state machines: one NFA box per
+  nonterminal built from a regex over terminals *and* nonterminals; the
+  tensor algorithm's query operand.  No normal form needed — the
+  advantage the tensor algorithm claims.
+"""
+
+from repro.grammar.cfg import CFG, Production
+from repro.grammar.cnf import to_wcnf
+from repro.grammar.rsm import RSM, Box
+
+__all__ = ["Box", "CFG", "Production", "RSM", "to_wcnf"]

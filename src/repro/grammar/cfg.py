@@ -1,0 +1,187 @@
+"""Context-free grammars over named symbols.
+
+Symbols are strings; the nonterminal set is exactly the set of
+left-hand sides, everything else on a right-hand side is a terminal
+(edge label — possibly an inverse ``~label``).  ``eps`` denotes the
+empty word.
+
+Text syntax (one rule set per line, alternatives with ``|``)::
+
+    S -> ~subClassOf S subClassOf | ~type S type | ~subClassOf subClassOf | ~type type
+
+which is the paper's query :math:`G_1`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import InvalidArgumentError
+
+#: Token denoting the empty word on a right-hand side.
+EPS = "eps"
+
+
+@dataclass(frozen=True)
+class Production:
+    """One production ``lhs -> rhs`` (rhs empty tuple = epsilon rule)."""
+
+    lhs: str
+    rhs: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.lhs:
+            raise InvalidArgumentError("production lhs must be non-empty")
+        if EPS in self.rhs:
+            raise InvalidArgumentError("use an empty rhs for epsilon, not 'eps'")
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return f"{self.lhs} -> {' '.join(self.rhs) if self.rhs else EPS}"
+
+
+@dataclass
+class CFG:
+    """A context-free grammar."""
+
+    start: str
+    productions: list[Production] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not any(p.lhs == self.start for p in self.productions):
+            # A grammar whose start symbol has no rules generates ∅; allow
+            # it but normalize the production list.
+            pass
+        seen = set()
+        unique = []
+        for p in self.productions:
+            if p not in seen:
+                seen.add(p)
+                unique.append(p)
+        self.productions = unique
+
+    # -- parsing -------------------------------------------------------------
+
+    @classmethod
+    def from_text(cls, text: str, start: str | None = None) -> "CFG":
+        """Parse the rule syntax; the first lhs is the start by default."""
+        productions: list[Production] = []
+        first_lhs: str | None = None
+        for lineno, raw in enumerate(text.splitlines(), 1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            if "->" not in line:
+                raise InvalidArgumentError(f"line {lineno}: missing '->'")
+            lhs_part, rhs_part = line.split("->", 1)
+            lhs = lhs_part.strip()
+            if not lhs or " " in lhs:
+                raise InvalidArgumentError(f"line {lineno}: bad lhs {lhs!r}")
+            if first_lhs is None:
+                first_lhs = lhs
+            for alt in rhs_part.split("|"):
+                symbols = alt.split()
+                if symbols == [EPS] or not symbols:
+                    productions.append(Production(lhs, ()))
+                else:
+                    if EPS in symbols:
+                        raise InvalidArgumentError(
+                            f"line {lineno}: 'eps' mixed with symbols"
+                        )
+                    productions.append(Production(lhs, tuple(symbols)))
+        if first_lhs is None:
+            raise InvalidArgumentError("empty grammar text")
+        return cls(start=start or first_lhs, productions=productions)
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def nonterminals(self) -> frozenset[str]:
+        return frozenset(p.lhs for p in self.productions) | {self.start}
+
+    @property
+    def terminals(self) -> frozenset[str]:
+        nts = self.nonterminals
+        out = set()
+        for p in self.productions:
+            out.update(s for s in p.rhs if s not in nts)
+        return frozenset(out)
+
+    def rules_for(self, nonterminal: str) -> list[Production]:
+        return [p for p in self.productions if p.lhs == nonterminal]
+
+    def nullable_nonterminals(self) -> frozenset[str]:
+        """Nonterminals deriving ε (standard fixpoint)."""
+        nullable: set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for p in self.productions:
+                if p.lhs in nullable:
+                    continue
+                if all(s in nullable for s in p.rhs):
+                    nullable.add(p.lhs)
+                    changed = True
+        return frozenset(nullable)
+
+    # -- oracle ----------------------------------------------------------
+
+    def generates(self, word: tuple[str, ...], *, max_steps: int = 10_000) -> bool:
+        """Membership test via CYK on the weak-CNF form (test oracle).
+
+        The wCNF transform is cached on the instance (productions are
+        normalized at construction and treated as immutable afterwards).
+        """
+        from repro.grammar.cnf import cached_wcnf
+
+        wcnf = cached_wcnf(self)
+        n = len(word)
+        if n == 0:
+            return Production(wcnf.start, ()) in wcnf.productions
+        # table[i][j] = set of nonterminals deriving word[i:j+1]
+        table = [[set() for _ in range(n)] for _ in range(n)]
+        for i, sym in enumerate(word):
+            for p in wcnf.productions:
+                if p.rhs == (sym,):
+                    table[i][i].add(p.lhs)
+        for span in range(2, n + 1):
+            for i in range(n - span + 1):
+                j = i + span - 1
+                for k in range(i, j):
+                    for p in wcnf.productions:
+                        if len(p.rhs) == 2:
+                            b, c = p.rhs
+                            if b in table[i][k] and c in table[k + 1][j]:
+                                table[i][j].add(p.lhs)
+        return wcnf.start in table[0][n - 1]
+
+    def to_text(self) -> str:
+        """Render grouped by lhs in first-appearance order."""
+        order: list[str] = []
+        for p in self.productions:
+            if p.lhs not in order:
+                order.append(p.lhs)
+        lines = []
+        for lhs in order:
+            alts = [
+                " ".join(p.rhs) if p.rhs else EPS for p in self.rules_for(lhs)
+            ]
+            lines.append(f"{lhs} -> {' | '.join(alts)}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"CFG(start={self.start!r}, rules={len(self.productions)}, "
+            f"nonterminals={len(self.nonterminals)}, terminals={len(self.terminals)})"
+        )
+
+
+def fresh_symbol(base: str, taken) -> str:
+    """A symbol named after ``base`` not colliding with ``taken``."""
+    if base not in taken:
+        return base
+    for i in itertools.count():
+        candidate = f"{base}_{i}"
+        if candidate not in taken:
+            return candidate
+    raise AssertionError("unreachable")

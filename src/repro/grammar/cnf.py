@@ -1,0 +1,143 @@
+"""Weak Chomsky normal form.
+
+Azimov's matrix CFPQ algorithm needs every production in one of the
+forms ``A → a``, ``A → B C`` or ``S → ε``.  The transform below is the
+standard pipeline — long-rule splitting, epsilon elimination (keeping
+start nullability), unit elimination, terminal isolation — implemented
+so the intermediate blowup is observable: :func:`to_wcnf` returns a
+grammar whose size the CFPQ benchmark reports next to the original's
+(the paper attributes Mtx's slowdown on complex queries to exactly this
+growth).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import defaultdict
+
+from repro.errors import InvalidArgumentError
+from repro.grammar.cfg import CFG, Production, fresh_symbol
+
+
+def cached_wcnf(grammar: CFG) -> CFG:
+    """Memoized :func:`to_wcnf` (grammars are immutable after parse)."""
+    wcnf = getattr(grammar, "_wcnf_cache", None)
+    if wcnf is None:
+        wcnf = to_wcnf(grammar)
+        object.__setattr__(grammar, "_wcnf_cache", wcnf)
+    return wcnf
+
+
+def to_wcnf(grammar: CFG) -> CFG:
+    """Transform to weak CNF.  The start symbol is preserved by name."""
+    taken = set(grammar.nonterminals) | set(grammar.terminals)
+
+    # 0. Fresh start symbol if the start appears on any rhs (so S → ε can
+    #    be kept without enabling ε in contexts).
+    start = grammar.start
+    productions = list(grammar.productions)
+    if any(start in p.rhs for p in productions):
+        new_start = fresh_symbol(f"{start}'", taken)
+        taken.add(new_start)
+        productions.append(Production(new_start, (start,)))
+        start = new_start
+
+    # 1. Split long rules: A → X1 X2 … Xk  ⇒  A → X1 A1, A1 → X2 A2, …
+    short: list[Production] = []
+    counter = itertools.count()
+    for p in productions:
+        rhs = p.rhs
+        lhs = p.lhs
+        while len(rhs) > 2:
+            link = fresh_symbol(f"_{p.lhs}{next(counter)}", taken)
+            taken.add(link)
+            short.append(Production(lhs, (rhs[0], link)))
+            lhs, rhs = link, rhs[1:]
+        short.append(Production(lhs, rhs))
+
+    # 2. Epsilon elimination.
+    nullable = CFG(start=start, productions=short).nullable_nonterminals()
+    no_eps: set[Production] = set()
+    for p in short:
+        if not p.rhs:
+            continue
+        # Expand every subset of nullable occurrences.
+        options: list[list[tuple[str, ...]]] = []
+        slots = [
+            (sym, sym in nullable) for sym in p.rhs
+        ]
+        expansions = [()]
+        for sym, can_drop in slots:
+            with_sym = [e + (sym,) for e in expansions]
+            expansions = with_sym + (expansions if can_drop else [])
+        for rhs in expansions:
+            if rhs:
+                no_eps.add(Production(p.lhs, rhs))
+    if start in nullable:
+        no_eps.add(Production(start, ()))
+
+    # 3. Unit elimination: A →* B by unit chains, then copy B's non-unit rules.
+    nts = {p.lhs for p in no_eps} | {start}
+    unit_reach: dict[str, set[str]] = {nt: {nt} for nt in nts}
+    changed = True
+    while changed:
+        changed = False
+        for p in no_eps:
+            if len(p.rhs) == 1 and p.rhs[0] in nts:
+                for src, reach in unit_reach.items():
+                    if p.lhs in reach and p.rhs[0] not in reach:
+                        reach.add(p.rhs[0])
+                        changed = True
+    no_units: set[Production] = set()
+    by_lhs: dict[str, list[Production]] = defaultdict(list)
+    for p in no_eps:
+        by_lhs[p.lhs].append(p)
+    for src, reach in unit_reach.items():
+        for target in reach:
+            for p in by_lhs.get(target, ()):  # copy non-unit rules
+                if len(p.rhs) == 1 and p.rhs[0] in nts:
+                    continue
+                no_units.add(Production(src, p.rhs))
+
+    # 4. Terminal isolation inside binary rules.
+    final: set[Production] = set()
+    term_nt: dict[str, str] = {}
+
+    def wrap_terminal(sym: str) -> str:
+        if sym in nts:
+            return sym
+        if sym not in term_nt:
+            name = fresh_symbol(f"_t_{sym.lstrip('~')}", taken)
+            taken.add(name)
+            term_nt[sym] = name
+        return term_nt[sym]
+
+    for p in no_units:
+        if len(p.rhs) == 2:
+            b, c = (wrap_terminal(s) for s in p.rhs)
+            final.add(Production(p.lhs, (b, c)))
+        else:
+            final.add(p)
+    for sym, name in term_nt.items():
+        final.add(Production(name, (sym,)))
+
+    ordered = sorted(final, key=lambda p: (p.lhs != start, p.lhs, p.rhs))
+    result = CFG(start=start, productions=ordered)
+    _validate_wcnf(result)
+    return result
+
+
+def _validate_wcnf(grammar: CFG) -> None:
+    nts = grammar.nonterminals
+    for p in grammar.productions:
+        if not p.rhs:
+            if p.lhs != grammar.start:
+                raise InvalidArgumentError(f"epsilon rule on non-start: {p}")
+        elif len(p.rhs) == 1:
+            if p.rhs[0] in nts:
+                raise InvalidArgumentError(f"unit rule survived: {p}")
+        elif len(p.rhs) == 2:
+            if any(s not in nts for s in p.rhs):
+                raise InvalidArgumentError(f"terminal in binary rule: {p}")
+        else:
+            raise InvalidArgumentError(f"long rule survived: {p}")

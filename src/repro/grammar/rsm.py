@@ -1,0 +1,154 @@
+"""Recursive state machines (RSM).
+
+An RSM is a collection of *boxes*, one per nonterminal: the box for
+``A`` is a finite automaton over terminals **and nonterminals**
+accepting exactly the right-hand-side language of ``A``.  The tensor
+CFPQ algorithm takes the RSM directly — no normal form — which is the
+improvement over the matrix algorithm that the paper's evaluation
+quantifies.
+
+Boxes are built with the Glushkov construction from a regex per
+nonterminal, so grammars with regex right-hand sides (the paper's MA
+query ``V → ((S?) ~a)* (S?) (a (S?))*``) lower without rewriting.
+States of all boxes share a single global numbering; the machine then
+lowers to one boolean matrix per symbol, ready for the Kronecker
+product with the graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.automata.glushkov import glushkov_nfa
+from repro.automata.nfa import NFA
+from repro.automata.regex_ast import Regex, Symbol, concat_all, union_all
+from repro.automata.regex_parse import parse_regex
+from repro.errors import InvalidArgumentError
+from repro.grammar.cfg import CFG
+
+
+@dataclass(frozen=True)
+class Box:
+    """One nonterminal's automaton placed in the global numbering."""
+
+    nonterminal: str
+    start: int                      # global start state
+    finals: frozenset[int]          # global final states
+    states: tuple[int, ...]         # all global states of the box
+
+
+class RSM:
+    """A recursive state machine with globally-numbered states."""
+
+    def __init__(self, start_nonterminal: str, local_boxes: dict):
+        """``local_boxes``: nonterminal → :class:`~repro.automata.nfa.NFA`
+        (each with exactly one start state, local numbering)."""
+        if start_nonterminal not in local_boxes:
+            raise InvalidArgumentError(
+                f"start nonterminal {start_nonterminal!r} has no box"
+            )
+        self.start_nonterminal = start_nonterminal
+        self.boxes: dict[str, Box] = {}
+        self.transitions: dict[str, list[tuple[int, int]]] = {}
+        offset = 0
+        for nt in sorted(local_boxes):
+            nfa: NFA = local_boxes[nt]
+            if len(nfa.starts) != 1:
+                raise InvalidArgumentError(
+                    f"box {nt!r} must have exactly one start state"
+                )
+            (start_local,) = nfa.starts
+            self.boxes[nt] = Box(
+                nonterminal=nt,
+                start=start_local + offset,
+                finals=frozenset(f + offset for f in nfa.finals),
+                states=tuple(range(offset, offset + nfa.n)),
+            )
+            for label, pairs in nfa.transitions.items():
+                bucket = self.transitions.setdefault(label, [])
+                bucket.extend((s + offset, t + offset) for s, t in pairs)
+            offset += nfa.n
+        self.n_states = offset
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_regex_rules(cls, start: str, rules: dict) -> "RSM":
+        """Build from ``nonterminal → regex`` (strings or ASTs).
+
+        Anything named as a rule key is a nonterminal; all other symbols
+        in the regexes are terminals.
+        """
+        local = {}
+        for nt, rhs in rules.items():
+            node = parse_regex(rhs) if isinstance(rhs, str) else rhs
+            if not isinstance(node, Regex):
+                raise InvalidArgumentError(f"rule for {nt!r} is not a regex")
+            local[nt] = glushkov_nfa(node)
+        return cls(start, local)
+
+    @classmethod
+    def from_cfg(cls, grammar: CFG) -> "RSM":
+        """Build from a plain CFG: each box is the union of the
+        concatenations of the nonterminal's alternatives."""
+        rules: dict[str, Regex] = {}
+        for nt in sorted(grammar.nonterminals):
+            alternatives = [
+                concat_all([Symbol(s) for s in p.rhs]) for p in grammar.rules_for(nt)
+            ]
+            if alternatives:
+                rules[nt] = union_all(alternatives)
+            else:
+                rules[nt] = union_all([])  # ∅ box: nonterminal with no rules
+        return cls.from_regex_rules(grammar.start, rules)
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def nonterminals(self) -> frozenset[str]:
+        return frozenset(self.boxes)
+
+    @property
+    def terminals(self) -> frozenset[str]:
+        return frozenset(self.transitions) - self.nonterminals
+
+    @property
+    def labels(self) -> list[str]:
+        return sorted(self.transitions)
+
+    def nullable_nonterminals(self) -> frozenset[str]:
+        """Nonterminals whose box accepts ε *directly* (start is final).
+
+        Note: the full "derives ε" relation additionally closes over
+        nonterminal transitions; the tensor engine discovers those
+        through its fixpoint loop, so only the direct form is needed to
+        seed it.
+        """
+        return frozenset(
+            nt for nt, box in self.boxes.items() if box.start in box.finals
+        )
+
+    # -- lowering ----------------------------------------------------------
+
+    def transition_matrices(self, ctx, labels=None) -> dict:
+        """One boolean ``n_states x n_states`` matrix per symbol."""
+        import numpy as np
+
+        wanted = list(labels) if labels is not None else self.labels
+        out = {}
+        for label in wanted:
+            pairs = self.transitions.get(label, [])
+            if pairs:
+                arr = np.asarray(pairs, dtype=np.int64)
+                out[label] = ctx.matrix_from_lists(
+                    (self.n_states, self.n_states), arr[:, 0], arr[:, 1]
+                )
+            else:
+                out[label] = ctx.matrix_empty((self.n_states, self.n_states))
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"RSM(start={self.start_nonterminal!r}, boxes={len(self.boxes)}, "
+            f"states={self.n_states})"
+        )

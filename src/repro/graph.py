@@ -1,0 +1,191 @@
+"""Edge-labeled directed multigraphs — the query engines' input model.
+
+RPQ/CFPQ operate on graphs whose edges carry labels from a finite
+alphabet; the linear-algebra formulation decomposes such a graph into
+one boolean adjacency matrix per label.  :class:`LabeledGraph` is the
+host-side container; :meth:`LabeledGraph.adjacency_matrices` lowers it
+onto a library context.
+
+Inverse labels: the CFPQ queries of the paper use ``x̄`` for traversing
+an ``x`` edge backwards.  The convention here is the label prefixed with
+``~`` (e.g. ``~subClassOf``); :meth:`LabeledGraph.with_inverses` adds the
+reversed edge sets explicitly.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import InvalidArgumentError
+
+
+def inverse_label(label: str) -> str:
+    """The label naming the reversed relation (involutive)."""
+    return label[1:] if label.startswith("~") else "~" + label
+
+
+@dataclass
+class LabeledGraph:
+    """A directed multigraph with labeled edges over vertices ``0..n-1``."""
+
+    n: int
+    edges: dict = field(default_factory=lambda: defaultdict(list))
+
+    def __post_init__(self) -> None:
+        if self.n < 0:
+            raise InvalidArgumentError("vertex count must be non-negative")
+        if not isinstance(self.edges, defaultdict):
+            d = defaultdict(list)
+            d.update(self.edges)
+            self.edges = d
+
+    # -- construction ------------------------------------------------------
+
+    def add_edge(self, u: int, label: str, v: int) -> None:
+        """Add edge ``u --label--> v``."""
+        if not (0 <= u < self.n and 0 <= v < self.n):
+            raise InvalidArgumentError(
+                f"edge ({u}, {v}) outside vertex range [0, {self.n})"
+            )
+        self.edges[label].append((u, v))
+
+    @classmethod
+    def from_triples(cls, triples, n: int | None = None) -> "LabeledGraph":
+        """Build from an iterable of ``(u, label, v)`` triples."""
+        triples = list(triples)
+        if n is None:
+            n = 1 + max(
+                (max(u, v) for u, _, v in triples), default=-1
+            )
+        g = cls(n=n)
+        for u, label, v in triples:
+            g.add_edge(int(u), str(label), int(v))
+        return g
+
+    def with_inverses(self, labels=None) -> "LabeledGraph":
+        """Copy with reversed edge sets added under inverse labels.
+
+        ``labels`` limits which relations get inverses (default: all).
+        """
+        out = LabeledGraph(n=self.n)
+        for label, pairs in self.edges.items():
+            out.edges[label].extend(pairs)
+        wanted = set(labels) if labels is not None else set(self.edges)
+        for label in wanted:
+            inv = inverse_label(label)
+            out.edges[inv].extend((v, u) for u, v in self.edges.get(label, ()))
+        return out
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def labels(self) -> list[str]:
+        return sorted(self.edges)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(pairs) for pairs in self.edges.values())
+
+    def label_counts(self) -> dict[str, int]:
+        return {label: len(pairs) for label, pairs in sorted(self.edges.items())}
+
+    def most_frequent_labels(self, k: int) -> list[str]:
+        """The ``k`` most frequent labels (query generators use these:
+        'the most frequent relations from the given graph were used as
+        symbols in the query template' — paper)."""
+        counts = self.label_counts()
+        return [
+            label
+            for label, _ in sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))[:k]
+        ]
+
+    def triples(self):
+        """Iterate all ``(u, label, v)`` edges."""
+        for label in sorted(self.edges):
+            for u, v in self.edges[label]:
+                yield u, label, v
+
+    # -- transforms ----------------------------------------------------------
+
+    def induced_subgraph(self, vertices) -> tuple["LabeledGraph", dict]:
+        """The subgraph on ``vertices`` (densely renumbered).
+
+        Returns ``(subgraph, old_id -> new_id mapping)``; edges with
+        either endpoint outside the set are dropped.
+        """
+        keep = sorted(set(int(v) for v in vertices))
+        for v in keep:
+            if not 0 <= v < self.n:
+                raise InvalidArgumentError(f"vertex {v} outside [0, {self.n})")
+        remap = {old: new for new, old in enumerate(keep)}
+        out = LabeledGraph(n=len(keep))
+        for label, pairs in self.edges.items():
+            kept = [
+                (remap[u], remap[v])
+                for u, v in pairs
+                if u in remap and v in remap
+            ]
+            if kept:
+                out.edges[label].extend(kept)
+        return out, remap
+
+    def filtered_labels(self, labels) -> "LabeledGraph":
+        """Copy keeping only the given edge labels."""
+        wanted = set(labels)
+        out = LabeledGraph(n=self.n)
+        for label in wanted:
+            if label in self.edges:
+                out.edges[label].extend(self.edges[label])
+        return out
+
+    def reversed_graph(self) -> "LabeledGraph":
+        """Copy with every edge reversed (labels unchanged)."""
+        out = LabeledGraph(n=self.n)
+        for label, pairs in self.edges.items():
+            out.edges[label].extend((v, u) for u, v in pairs)
+        return out
+
+    # -- lowering ----------------------------------------------------------
+
+    def adjacency_matrices(self, ctx, labels=None) -> dict:
+        """One boolean adjacency :class:`~repro.core.matrix.Matrix` per label.
+
+        Labels absent from the graph map to empty matrices so queries may
+        reference symbols with no edges.
+        """
+        wanted = list(labels) if labels is not None else self.labels
+        out = {}
+        for label in wanted:
+            pairs = self.edges.get(label, [])
+            if pairs:
+                arr = np.asarray(pairs, dtype=np.int64)
+                out[label] = ctx.matrix_from_lists(
+                    (self.n, self.n), arr[:, 0], arr[:, 1]
+                )
+            else:
+                out[label] = ctx.matrix_empty((self.n, self.n))
+        return out
+
+    def adjacency_union(self, ctx):
+        """Single unlabeled adjacency matrix (union over labels)."""
+        rows: list[np.ndarray] = []
+        cols: list[np.ndarray] = []
+        for pairs in self.edges.values():
+            if pairs:
+                arr = np.asarray(pairs, dtype=np.int64)
+                rows.append(arr[:, 0])
+                cols.append(arr[:, 1])
+        if rows:
+            return ctx.matrix_from_lists(
+                (self.n, self.n), np.concatenate(rows), np.concatenate(cols)
+            )
+        return ctx.matrix_empty((self.n, self.n))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"LabeledGraph(n={self.n}, edges={self.num_edges}, "
+            f"labels={len(self.edges)})"
+        )

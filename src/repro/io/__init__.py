@@ -1,0 +1,11 @@
+"""I/O (S8): Matrix Market and labeled edge-list formats."""
+
+from repro.io.matrix_market import read_matrix_market, write_matrix_market
+from repro.io.edge_list import read_edge_list, write_edge_list
+
+__all__ = [
+    "read_edge_list",
+    "read_matrix_market",
+    "write_edge_list",
+    "write_matrix_market",
+]

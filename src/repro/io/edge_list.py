@@ -1,0 +1,94 @@
+"""Labeled edge-list I/O.
+
+The CFPQ_Data convention: one edge per line, ``<source> <label> <target>``
+with whitespace separation.  Vertices may be arbitrary tokens; they are
+densely renumbered in first-appearance order and the mapping is
+returned.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import InvalidArgumentError
+from repro.graph import LabeledGraph
+
+
+def _read_text_source(source, what: str) -> str:
+    """Resolve a path / content-string / file-object source to text.
+
+    A plain string is treated as a filesystem path only when it names an
+    existing file; otherwise it is taken as the content itself (so
+    single-line and empty documents round-trip).
+    """
+    from pathlib import Path as _Path
+    import os as _os
+
+    if isinstance(source, _Path):
+        return source.read_text()
+    if isinstance(source, str):
+        if "\n" not in source and source and _os.path.isfile(source):
+            return _Path(source).read_text()
+        return source
+    if hasattr(source, "read"):
+        return source.read()
+    raise InvalidArgumentError(f"unsupported {what} source")
+
+
+
+def read_edge_list(source) -> tuple[LabeledGraph, dict]:
+    """Parse an edge list into ``(graph, vertex_name -> id mapping)``.
+
+    ``source`` may be a path, the file contents, or a text file object.
+    Lines starting with ``#`` and blank lines are skipped.
+    """
+    text = _read_text_source(source, "edge list")
+
+    ids: dict = {}
+    triples: list[tuple[int, str, int]] = []
+
+    def vid(token: str) -> int:
+        if token not in ids:
+            ids[token] = len(ids)
+        return ids[token]
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        parts = stripped.split()
+        if len(parts) != 3:
+            raise InvalidArgumentError(
+                f"line {lineno}: expected '<src> <label> <dst>', got {stripped!r}"
+            )
+        u, label, v = parts
+        triples.append((vid(u), label, vid(v)))
+
+    return LabeledGraph.from_triples(triples, n=len(ids)), ids
+
+
+def write_edge_list(target, graph: LabeledGraph, names: dict | None = None) -> None:
+    """Write a graph as a labeled edge list.
+
+    ``names`` optionally maps vertex id → display token (defaults to the
+    numeric id).
+    """
+    lookup = (
+        {v: k for k, v in names.items()} if names and all(
+            isinstance(v, int) for v in names.values()
+        ) else None
+    )
+
+    def render(v: int) -> str:
+        if lookup is not None and v in lookup:
+            return str(lookup[v])
+        return str(v)
+
+    lines = [f"{render(u)} {label} {render(v)}" for u, label, v in graph.triples()]
+    text = "\n".join(lines) + ("\n" if lines else "")
+    if isinstance(target, (str, Path)):
+        Path(target).write_text(text)
+    elif hasattr(target, "write"):
+        target.write(text)
+    else:
+        raise InvalidArgumentError("unsupported edge list target")

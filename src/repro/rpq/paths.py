@@ -1,0 +1,111 @@
+"""Path extraction from an RPQ index (all-paths semantics).
+
+The closure answers *whether* ``u → v`` matches; extraction recovers
+*which* paths do.  The walk runs on the product graph: from
+``(start, u)``, follow product edges ``(s, v) --label--> (t, w)``
+(automaton transition × graph edge), pruned by the closure — a prefix is
+extended only if the closure certifies that some final-state block of
+``v``'s column is still reachable.  Every maximal walk reaching
+``(final, v)`` yields one path; ``max_paths`` / ``max_length`` bound the
+enumeration (the paper limits extraction to paths of ≤ 20 edges and 10
+paths per pair in its experiments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InvalidArgumentError
+from repro.rpq.engine import RpqIndex
+
+
+@dataclass(frozen=True)
+class PathResult:
+    """One matching path: vertices visited and edge labels taken."""
+
+    vertices: tuple[int, ...]
+    labels: tuple[str, ...]
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+
+def extract_paths(
+    index: RpqIndex,
+    source: int,
+    target: int,
+    *,
+    max_paths: int = 10,
+    max_length: int = 20,
+) -> list[PathResult]:
+    """Enumerate matching paths ``source → target`` from the index."""
+    n = index.n
+    if not (0 <= source < n and 0 <= target < n):
+        raise InvalidArgumentError("source/target outside vertex range")
+
+    # Host-side adjacency: label -> {v: sorted targets}, from index copies.
+    graph_adj: dict[str, dict[int, np.ndarray]] = {}
+    for label, (rows, cols) in index.graph_matrices.items():
+        by_row: dict[int, list[int]] = {}
+        for r, c in zip(rows.tolist(), cols.tolist()):
+            by_row.setdefault(r, []).append(c)
+        graph_adj[label] = {r: np.asarray(cs) for r, cs in by_row.items()}
+
+    # Automaton adjacency: state -> [(label, next_state)].
+    auto_adj: dict[int, list[tuple[str, int]]] = {}
+    for label, pairs in index.nfa.transitions.items():
+        if label not in graph_adj:
+            continue
+        for s, t in pairs:
+            auto_adj.setdefault(s, []).append((label, t))
+
+    finals = index.nfa.finals
+    closure = index.closure
+    results: list[PathResult] = []
+
+    def can_finish(s: int, v: int) -> bool:
+        """Is some (final, target) reachable from (s, v) (or already there)."""
+        if v == target and s in finals:
+            return True
+        src = s * n + v
+        return any(closure.get(src, f * n + target) for f in finals)
+
+    def dfs(s: int, v: int, vertices: list[int], labels: list[str]) -> None:
+        if len(results) >= max_paths:
+            return
+        if v == target and s in finals and labels:
+            results.append(PathResult(tuple(vertices), tuple(labels)))
+            if len(results) >= max_paths:
+                return
+        if len(labels) >= max_length:
+            return
+        for label, t in auto_adj.get(s, ()):
+            targets = graph_adj[label].get(v)
+            if targets is None:
+                continue
+            for w in targets.tolist():
+                if can_finish(t, w):
+                    vertices.append(w)
+                    labels.append(label)
+                    dfs(t, w, vertices, labels)
+                    vertices.pop()
+                    labels.pop()
+                    if len(results) >= max_paths:
+                        return
+
+    for s0 in index.nfa.starts:
+        if len(results) >= max_paths:
+            break
+        if can_finish(s0, source) or (source == target and s0 in finals):
+            dfs(s0, source, [source], [])
+
+    # ε-match: the empty path when source == target and ε ∈ L(query).
+    if (
+        source == target
+        and index.matches_epsilon
+        and len(results) < max_paths
+    ):
+        results.append(PathResult((source,), ()))
+    return results

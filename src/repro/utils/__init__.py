@@ -1,0 +1,27 @@
+"""Internal utilities shared across the library."""
+
+from repro.utils.arrays import (
+    INDEX_DTYPE,
+    as_index_array,
+    concat_ranges,
+    dedupe_sorted_pairs,
+    exclusive_scan,
+    lexsort_pairs,
+    row_lengths_from_ptr,
+    rowptr_from_sorted_rows,
+    rows_from_rowptr,
+    segment_ids,
+)
+
+__all__ = [
+    "INDEX_DTYPE",
+    "as_index_array",
+    "concat_ranges",
+    "dedupe_sorted_pairs",
+    "exclusive_scan",
+    "lexsort_pairs",
+    "row_lengths_from_ptr",
+    "rowptr_from_sorted_rows",
+    "rows_from_rowptr",
+    "segment_ids",
+]

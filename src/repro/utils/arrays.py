@@ -1,0 +1,155 @@
+"""Vectorized index-array primitives used by every backend.
+
+These are the NumPy equivalents of the Thrust building blocks cuBool
+leans on (``exclusive_scan``, ``gather``, ``unique``, segmented
+expansion).  All of them are O(n) or O(n log n) array passes with no
+Python-level loops, per the vectorization guidance for scientific
+Python.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidArgumentError
+
+#: Index type used throughout, matching SPbLA's ``cuBool_Index`` (uint32).
+INDEX_DTYPE = np.dtype(np.uint32)
+
+
+def as_index_array(values, name: str = "indices") -> np.ndarray:
+    """Convert to a contiguous 1-D uint32 index array, validating range."""
+    arr = np.asarray(values)
+    if arr.ndim == 0:
+        arr = arr.reshape(1)
+    if arr.ndim != 1:
+        raise InvalidArgumentError(f"{name} must be one-dimensional")
+    if arr.size == 0:
+        return np.empty(0, dtype=INDEX_DTYPE)
+    if arr.dtype.kind not in "iu":
+        if arr.dtype.kind == "f" and np.all(arr == np.floor(arr)):
+            arr = arr.astype(np.int64)
+        else:
+            raise InvalidArgumentError(f"{name} must be integers, got {arr.dtype}")
+    if arr.dtype.kind == "i" and arr.size and int(arr.min()) < 0:
+        raise InvalidArgumentError(f"{name} contains negative values")
+    if arr.size and int(arr.max()) > np.iinfo(INDEX_DTYPE).max:
+        raise InvalidArgumentError(f"{name} exceeds uint32 range")
+    return np.ascontiguousarray(arr, dtype=INDEX_DTYPE)
+
+
+def rowptr_from_sorted_rows(sorted_rows: np.ndarray, nrows: int) -> np.ndarray:
+    """Build a CSR row-pointer array from row indices sorted ascending.
+
+    Equivalent to a histogram + exclusive scan (the canonical GPU
+    COO→CSR conversion).
+    """
+    counts = np.bincount(sorted_rows, minlength=nrows) if sorted_rows.size else np.zeros(
+        nrows, dtype=np.int64
+    )
+    rowptr = np.zeros(nrows + 1, dtype=INDEX_DTYPE)
+    np.cumsum(counts, out=rowptr[1:], dtype=np.int64)
+    return rowptr
+
+
+def rows_from_rowptr(rowptr: np.ndarray) -> np.ndarray:
+    """Expand a CSR row pointer back to per-entry row indices.
+
+    The inverse of :func:`rowptr_from_sorted_rows`; the GPU analogue is a
+    scatter of row ids at segment starts followed by a max-scan.
+    """
+    nnz = int(rowptr[-1])
+    lengths = np.diff(rowptr).astype(np.int64)
+    return np.repeat(
+        np.arange(len(rowptr) - 1, dtype=INDEX_DTYPE), lengths
+    ) if nnz else np.empty(0, dtype=INDEX_DTYPE)
+
+
+def row_lengths_from_ptr(rowptr: np.ndarray) -> np.ndarray:
+    """Per-row entry counts from a CSR row pointer."""
+    return np.diff(rowptr).astype(np.int64)
+
+
+def lexsort_pairs(rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+    """Permutation sorting (row, col) pairs row-major (stable)."""
+    if rows.shape != cols.shape:
+        raise InvalidArgumentError("rows and cols must have equal length")
+    return np.lexsort((cols, rows))
+
+
+def dedupe_sorted_pairs(rows: np.ndarray, cols: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Drop duplicate (row, col) pairs from row-major-sorted input.
+
+    Boolean matrices saturate under OR, so duplicate coordinates simply
+    collapse — this is the "compression" step of ESC SpGEMM.
+    """
+    if rows.size == 0:
+        return rows, cols
+    keep = np.empty(rows.size, dtype=bool)
+    keep[0] = True
+    np.not_equal(rows[1:], rows[:-1], out=keep[1:])
+    keep[1:] |= cols[1:] != cols[:-1]
+    return rows[keep], cols[keep]
+
+
+def concat_ranges(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Concatenate ``[starts[i], starts[i] + lengths[i])`` ranges, vectorized.
+
+    This is the segmented-iota / "expand" primitive: given segment start
+    offsets and lengths it emits every in-segment position without a
+    Python loop.  Used by ESC expansion, Kronecker emission, and the
+    merge-path partitioners.
+
+    Examples
+    --------
+    >>> concat_ranges(np.array([10, 20]), np.array([3, 2])).tolist()
+    [10, 11, 12, 20, 21]
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if starts.shape != lengths.shape:
+        raise InvalidArgumentError("starts and lengths must have equal length")
+    if lengths.size == 0:
+        return np.empty(0, dtype=np.int64)
+    if np.any(lengths < 0):
+        raise InvalidArgumentError("negative range length")
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    # Drop empty segments, then build a difference array whose cumsum
+    # reproduces every range: ones inside a segment, and a jump at each
+    # segment boundary from the previous segment's last value to the next
+    # segment's start.
+    nonempty = lengths > 0
+    seg_starts_val = starts[nonempty]
+    seg_lengths = lengths[nonempty]
+    first_pos = np.cumsum(seg_lengths) - seg_lengths  # output offset of each segment
+    out = np.ones(total, dtype=np.int64)
+    out[0] = seg_starts_val[0]
+    out[first_pos[1:]] = seg_starts_val[1:] - (
+        seg_starts_val[:-1] + seg_lengths[:-1] - 1
+    )
+    np.cumsum(out, out=out)
+    return out
+
+
+def segment_ids(lengths: np.ndarray) -> np.ndarray:
+    """Segment index for each element of the concatenation of segments.
+
+    >>> segment_ids(np.array([2, 0, 3])).tolist()
+    [0, 0, 2, 2, 2]
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    return np.repeat(np.arange(lengths.size, dtype=np.int64), lengths)
+
+
+def exclusive_scan(values: np.ndarray) -> np.ndarray:
+    """Exclusive prefix sum with a trailing total (Thrust idiom).
+
+    Returns an array one longer than the input: ``out[0] == 0`` and
+    ``out[-1] == values.sum()``.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    out = np.zeros(values.size + 1, dtype=np.int64)
+    np.cumsum(values, out=out[1:])
+    return out

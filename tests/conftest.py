@@ -1,0 +1,78 @@
+"""Shared fixtures: per-backend contexts, oracles, random matrices."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+
+#: All registered backends (generic64 shares the generic code path and is
+#: covered by its dedicated tests).
+BACKENDS = ("cpu", "cubool", "clbool", "generic")
+
+
+@pytest.fixture(params=BACKENDS)
+def ctx(request):
+    """A fresh context on every backend (parametrized)."""
+    context = repro.Context(backend=request.param)
+    yield context
+    context.finalize()
+
+
+@pytest.fixture
+def cubool_ctx():
+    context = repro.Context(backend="cubool")
+    yield context
+    context.finalize()
+
+
+@pytest.fixture
+def clbool_ctx():
+    context = repro.Context(backend="clbool")
+    yield context
+    context.finalize()
+
+
+@pytest.fixture
+def cpu_ctx():
+    context = repro.Context(backend="cpu")
+    yield context
+    context.finalize()
+
+
+@pytest.fixture
+def generic_ctx():
+    context = repro.Context(backend="generic")
+    yield context
+    context.finalize()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(20210705)
+
+
+def random_dense(rng, shape, density):
+    """Dense boolean array with the given expected density."""
+    return rng.random(shape) < density
+
+
+def dense_of(matrix) -> np.ndarray:
+    """Materialize a core Matrix as dense bool (test helper)."""
+    return matrix.to_dense()
+
+
+def bool_mxm(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Dense boolean product oracle."""
+    return (a.astype(np.int64) @ b.astype(np.int64)) > 0
+
+
+def bool_closure(a: np.ndarray) -> np.ndarray:
+    """Dense transitive closure oracle (length >= 1)."""
+    out = a.copy()
+    while True:
+        nxt = out | bool_mxm(out, out)
+        if np.array_equal(nxt, out):
+            return out
+        out = nxt

@@ -1,0 +1,42 @@
+"""Every example script must run cleanly as a subprocess (living docs)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    args = [sys.executable, str(script)]
+    # Scaled examples accept a scale argument; keep CI runs small.
+    if script.stem in ("regular_path_query", "context_free_path_query"):
+        args.append("0.1")
+    result = subprocess.run(
+        args,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples must print their findings"
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 3, "the deliverable requires at least three examples"
+
+
+def test_module_cli_self_check():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "cubool" in result.stdout
+    assert "ok" in result.stdout

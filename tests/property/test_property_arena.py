@@ -1,0 +1,108 @@
+"""Stateful property test of the device memory arena.
+
+A hypothesis rule-based state machine exercising alloc/free/reset_peak
+against a shadow model, checking the accounting invariants after every
+step: live = Σ padded sizes of live buffers, peak ≥ live always,
+capacity never exceeded, frees exact.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.errors import DeviceMemoryError
+from repro.gpu.memory import MemoryArena
+
+CAPACITY = 64 * 1024
+ALIGN = 256
+
+
+class ArenaMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.arena = MemoryArena(capacity_bytes=CAPACITY, alignment=ALIGN)
+        self.live: dict[int, int] = {}  # id(buffer) -> padded bytes
+        self.buffers: list = []
+        self.model_peak = 0
+
+    # -- rules ---------------------------------------------------------------
+
+    @rule(n=st.integers(0, 4000))
+    def alloc(self, n):
+        padded = 0 if n == 0 else max(ALIGN, -(-n * 4 // ALIGN) * ALIGN)
+        expected_live = sum(self.live.values()) + padded
+        if expected_live > CAPACITY:
+            with pytest.raises(DeviceMemoryError):
+                self.arena.alloc(n, np.uint32)
+            return
+        buf = self.arena.alloc(n, np.uint32)
+        assert buf.nbytes == n * 4
+        assert buf.nbytes_padded == padded
+        self.buffers.append(buf)
+        self.live[id(buf)] = padded
+        self.model_peak = max(self.model_peak, expected_live)
+
+    @precondition(lambda self: self.buffers)
+    @rule(idx=st.integers(0, 10_000))
+    def free_one(self, idx):
+        buf = self.buffers.pop(idx % len(self.buffers))
+        del self.live[id(buf)]
+        buf.free()
+
+    @precondition(lambda self: self.buffers)
+    @rule(idx=st.integers(0, 10_000))
+    def double_free_rejected(self, idx):
+        buf = self.buffers.pop(idx % len(self.buffers))
+        del self.live[id(buf)]
+        buf.free()
+        with pytest.raises(DeviceMemoryError):
+            self.arena.free(buf)
+
+    @rule()
+    def reset_peak(self):
+        self.arena.reset_peak()
+        self.model_peak = sum(self.live.values())
+
+    @precondition(lambda self: self.buffers)
+    @rule(idx=st.integers(0, 10_000), value=st.integers(0, 2**32 - 1))
+    def write_read(self, idx, value):
+        buf = self.buffers[idx % len(self.buffers)]
+        if buf.nbytes:
+            buf.data[0] = np.uint32(value)
+            assert int(buf.data[0]) == value
+
+    # -- invariants -----------------------------------------------------------
+
+    @invariant()
+    def live_matches_model(self):
+        assert self.arena.live_bytes == sum(self.live.values())
+
+    @invariant()
+    def peak_matches_model(self):
+        assert self.arena.peak_bytes == self.model_peak
+
+    @invariant()
+    def peak_at_least_live(self):
+        assert self.arena.peak_bytes >= self.arena.live_bytes
+
+    @invariant()
+    def buffer_count_matches(self):
+        assert self.arena.stats().live_buffers == len(self.buffers)
+
+    def teardown(self):
+        for buf in self.buffers:
+            buf.free()
+        self.arena.check_balanced()
+
+
+ArenaMachine.TestCase.settings = settings(
+    max_examples=30, stateful_step_count=40, deadline=None
+)
+TestArenaStateMachine = ArenaMachine.TestCase

@@ -1,0 +1,135 @@
+"""Property tests: automata semantics and I/O round trips."""
+
+import io
+import itertools
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata import (
+    determinize,
+    glushkov_nfa,
+    minimize,
+    parse_regex,
+    thompson_nfa,
+)
+from repro.graph import LabeledGraph
+from repro.io import (
+    read_edge_list,
+    read_matrix_market,
+    write_edge_list,
+    write_matrix_market,
+)
+
+
+@st.composite
+def regex_text(draw, depth=3):
+    if depth == 0:
+        return draw(st.sampled_from(["a", "b", "c"]))
+    kind = draw(
+        st.sampled_from(["sym", "sym", "concat", "union", "star", "plus", "opt"])
+    )
+    if kind == "sym":
+        return draw(st.sampled_from(["a", "b", "c"]))
+    if kind == "concat":
+        return (
+            f"({draw(regex_text(depth=depth - 1))} . "
+            f"{draw(regex_text(depth=depth - 1))})"
+        )
+    if kind == "union":
+        return (
+            f"({draw(regex_text(depth=depth - 1))} | "
+            f"{draw(regex_text(depth=depth - 1))})"
+        )
+    op = {"star": "*", "plus": "+", "opt": "?"}[kind]
+    return f"({draw(regex_text(depth=depth - 1))}){op}"
+
+
+def lang(nfa, maxlen=3, alphabet="abc"):
+    return {
+        w
+        for k in range(maxlen + 1)
+        for w in itertools.product(alphabet, repeat=k)
+        if nfa.accepts(w)
+    }
+
+
+@settings(max_examples=40, deadline=None)
+@given(regex_text())
+def test_constructions_agree(text):
+    node = parse_regex(text)
+    g = glushkov_nfa(node)
+    t = thompson_nfa(node)
+    assert lang(g) == lang(t)
+
+
+@settings(max_examples=30, deadline=None)
+@given(regex_text())
+def test_determinize_minimize_preserve(text):
+    node = parse_regex(text)
+    g = glushkov_nfa(node)
+    d = determinize(g)
+    m = minimize(d)
+    assert lang(g) == lang(d.to_nfa()) == lang(m.to_nfa())
+    assert m.n <= d.n
+
+
+@settings(max_examples=40, deadline=None)
+@given(regex_text())
+def test_to_string_round_trip(text):
+    node = parse_regex(text)
+    again = parse_regex(node.to_string())
+    assert lang(glushkov_nfa(node)) == lang(glushkov_nfa(again))
+
+
+@settings(max_examples=40, deadline=None)
+@given(regex_text())
+def test_nullable_matches_acceptance(text):
+    node = parse_regex(text)
+    assert node.nullable() == glushkov_nfa(node).accepts(())
+
+
+@st.composite
+def graph_triples(draw):
+    n = draw(st.integers(1, 12))
+    count = draw(st.integers(0, 25))
+    labels = ["rel", "knows", "partOf"]
+    triples = [
+        (
+            draw(st.integers(0, n - 1)),
+            draw(st.sampled_from(labels)),
+            draw(st.integers(0, n - 1)),
+        )
+        for _ in range(count)
+    ]
+    return n, triples
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph_triples())
+def test_edge_list_round_trip(data):
+    n, triples = data
+    g = LabeledGraph.from_triples(triples, n=n)
+    buf = io.StringIO()
+    write_edge_list(buf, g)
+    g2, ids = read_edge_list(buf.getvalue())
+    # The loader renumbers; edge multiset must survive up to renaming.
+    renamed = sorted(
+        (ids[str(u)], lab, ids[str(v)]) for u, lab, v in g.triples()
+    )
+    assert renamed == sorted(g2.triples())
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph_triples())
+def test_matrix_market_round_trip(data):
+    n, triples = data
+    pairs = sorted({(u, v) for u, _, v in triples})
+    rows = np.array([p[0] for p in pairs], dtype=np.int64)
+    cols = np.array([p[1] for p in pairs], dtype=np.int64)
+    buf = io.StringIO()
+    write_matrix_market(buf, (n, n), rows, cols)
+    shape, r, c = read_matrix_market(buf.getvalue())
+    assert shape == (n, n)
+    assert sorted(zip(r.tolist(), c.tolist())) == pairs

@@ -1,0 +1,85 @@
+"""Property tests for the extension layers: DCSR, distributed, facade."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.distributed import DevicePool
+from repro.formats import BoolCoo, BoolCsr, BoolDcsr
+
+
+@st.composite
+def coo_data(draw, max_dim=30):
+    nrows = draw(st.integers(1, max_dim))
+    ncols = draw(st.integers(1, max_dim))
+    count = draw(st.integers(0, 50))
+    rows = draw(st.lists(st.integers(0, nrows - 1), min_size=count, max_size=count))
+    cols = draw(st.lists(st.integers(0, ncols - 1), min_size=count, max_size=count))
+    return rows, cols, (nrows, ncols)
+
+
+@settings(max_examples=50, deadline=None)
+@given(coo_data())
+def test_dcsr_equals_csr_semantics(data):
+    rows, cols, shape = data
+    dcsr = BoolDcsr.from_coo(rows, cols, shape)
+    csr = BoolCsr.from_coo(rows, cols, shape)
+    dcsr.validate()
+    assert dcsr.pattern_equal(csr)
+    assert dcsr.nnz == csr.nnz
+    # Row access agrees everywhere, including inactive rows.
+    for i in range(shape[0]):
+        assert dcsr.row(i).tolist() == csr.row(i).tolist()
+
+
+@settings(max_examples=50, deadline=None)
+@given(coo_data())
+def test_dcsr_memory_ordering(data):
+    """DCSR ≤ CSR always (active ≤ m); DCSR vs COO flips with avg row fill."""
+    rows, cols, shape = data
+    dcsr = BoolDcsr.from_coo(rows, cols, shape)
+    csr = BoolCsr.from_coo(rows, cols, shape)
+    coo = BoolCoo.from_coo(rows, cols, shape)
+    # 2*active + 1 + nnz  <=  m + 1 + nnz  iff  active <= m/2; in general
+    # DCSR <= CSR + active (it never loses by more than the active list).
+    assert dcsr.memory_bytes() <= csr.memory_bytes() + dcsr.nrows_nonempty * 4
+    # Exact crossover vs COO: DCSR wins iff 2*active + 1 < nnz.
+    if 2 * dcsr.nrows_nonempty + 1 < dcsr.nnz:
+        assert dcsr.memory_bytes() < coo.memory_bytes()
+    elif 2 * dcsr.nrows_nonempty + 1 > dcsr.nnz:
+        assert dcsr.memory_bytes() > coo.memory_bytes()
+
+
+@settings(max_examples=25, deadline=None)
+@given(coo_data(max_dim=20), st.integers(1, 5))
+def test_distributed_matches_gathered(data, n_devices):
+    rows, cols, shape = data
+    pool = DevicePool(n_devices=n_devices, backend="cpu")
+    da = pool.distribute(rows, cols, shape)
+    expected = sorted(set(zip(rows, cols)))
+    got = sorted(zip(*[x.tolist() for x in da.gather()]))
+    assert got == expected
+    da.free()
+    pool.finalize()
+
+
+@settings(max_examples=20, deadline=None)
+@given(coo_data(max_dim=12), st.integers(1, 4))
+def test_distributed_square_equals_local(data, n_devices):
+    rows, cols, shape = data
+    n = max(shape)
+    # Make it square for the product.
+    pool = DevicePool(n_devices=n_devices, backend="cpu")
+    da = pool.distribute(rows, cols, (n, n))
+    dc = da.mxm_replicated(np.asarray(rows), np.asarray(cols), (n, n))
+    ctx = repro.Context(backend="cpu")
+    local = ctx.matrix_from_lists((n, n), rows, cols)
+    ref = local @ local
+    got = sorted(zip(*[x.tolist() for x in dc.gather()]))
+    rr, cc = ref.to_arrays()
+    assert got == sorted(zip(rr.tolist(), cc.tolist()))
+    ctx.finalize()
+    dc.free()
+    da.free()
+    pool.finalize()

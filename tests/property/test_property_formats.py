@@ -1,0 +1,101 @@
+"""Property-based tests: storage-format invariants under hypothesis."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import BitMatrix, BoolCoo, BoolCsr, ValCsr, convert
+
+
+@st.composite
+def coo_data(draw, max_dim=24):
+    """A random (rows, cols, shape) coordinate set, duplicates allowed."""
+    nrows = draw(st.integers(1, max_dim))
+    ncols = draw(st.integers(1, max_dim))
+    count = draw(st.integers(0, 60))
+    rows = draw(
+        st.lists(st.integers(0, nrows - 1), min_size=count, max_size=count)
+    )
+    cols = draw(
+        st.lists(st.integers(0, ncols - 1), min_size=count, max_size=count)
+    )
+    return rows, cols, (nrows, ncols)
+
+
+@settings(max_examples=60, deadline=None)
+@given(coo_data())
+def test_csr_canonical_and_valid(data):
+    rows, cols, shape = data
+    m = BoolCsr.from_coo(rows, cols, shape)
+    m.validate()
+    # nnz equals the number of distinct coordinates.
+    assert m.nnz == len(set(zip(rows, cols)))
+
+
+@settings(max_examples=60, deadline=None)
+@given(coo_data())
+def test_coo_canonical_and_valid(data):
+    rows, cols, shape = data
+    m = BoolCoo.from_coo(rows, cols, shape)
+    m.validate()
+    assert m.nnz == len(set(zip(rows, cols)))
+
+
+@settings(max_examples=60, deadline=None)
+@given(coo_data())
+def test_format_round_trips_preserve_pattern(data):
+    rows, cols, shape = data
+    base = BoolCsr.from_coo(rows, cols, shape)
+    for kind in ("coo", "valcsr", "bit"):
+        converted = convert.convert(base, kind)
+        back = convert.convert(converted, "csr")
+        assert back.pattern_equal(base), kind
+
+
+@settings(max_examples=60, deadline=None)
+@given(coo_data())
+def test_dense_round_trip(data):
+    rows, cols, shape = data
+    m = BoolCsr.from_coo(rows, cols, shape)
+    assert BoolCsr.from_dense(m.to_dense()).pattern_equal(m)
+
+
+@settings(max_examples=60, deadline=None)
+@given(coo_data(max_dim=70))
+def test_bitmatrix_matches_csr_semantics(data):
+    rows, cols, shape = data
+    csr = BoolCsr.from_coo(rows, cols, shape)
+    bm = BitMatrix.from_coo(rows, cols, shape)
+    bm.validate()
+    assert bm.nnz == csr.nnz
+    assert np.array_equal(bm.to_dense(), csr.to_dense())
+
+
+@settings(max_examples=40, deadline=None)
+@given(coo_data())
+def test_memory_models_ordered(data):
+    """Boolean CSR <= generic CSR always (the values plane is pure
+    overhead); COO beats CSR iff the matrix is hyper-sparse in rows."""
+    rows, cols, shape = data
+    csr = BoolCsr.from_coo(rows, cols, shape)
+    val = ValCsr.from_coo(rows, cols, shape)
+    coo = BoolCoo.from_coo(rows, cols, shape)
+    assert csr.memory_bytes() <= val.memory_bytes()
+    # Exact trade-off: COO wins when nnz < m + 1.
+    if coo.nnz < shape[0] + 1:
+        assert coo.memory_bytes() <= csr.memory_bytes()
+    else:
+        assert coo.memory_bytes() >= csr.memory_bytes()
+
+
+@settings(max_examples=40, deadline=None)
+@given(coo_data(), st.integers(0, 3))
+def test_csr_get_matches_dense(data, probe_seed):
+    rows, cols, shape = data
+    m = BoolCsr.from_coo(rows, cols, shape)
+    dense = m.to_dense()
+    rng = np.random.default_rng(probe_seed)
+    for _ in range(10):
+        i = int(rng.integers(0, shape[0]))
+        j = int(rng.integers(0, shape[1]))
+        assert m.get(i, j) == dense[i, j]

@@ -1,0 +1,172 @@
+"""Automata substrate tests: parser, constructions, determinization."""
+
+import itertools
+
+import pytest
+
+from repro.automata import (
+    NFA,
+    Concat,
+    Epsilon,
+    Empty,
+    Optional,
+    Plus,
+    Star,
+    Symbol,
+    Union,
+    determinize,
+    glushkov_nfa,
+    minimize,
+    parse_regex,
+    thompson_nfa,
+)
+from repro.errors import InvalidArgumentError
+
+
+class TestParser:
+    def test_symbol(self):
+        assert parse_regex("abc") == Symbol("abc")
+
+    def test_inverse_symbol(self):
+        assert parse_regex("~subClassOf") == Symbol("~subClassOf")
+
+    def test_concat_dot_and_juxtaposition(self):
+        assert parse_regex("a . b") == parse_regex("a b") == Concat(Symbol("a"), Symbol("b"))
+
+    def test_union_precedence(self):
+        # a | b c  ==  a | (b . c)
+        assert parse_regex("a | b c") == Union(
+            Symbol("a"), Concat(Symbol("b"), Symbol("c"))
+        )
+
+    def test_postfix_ops(self):
+        assert parse_regex("a*") == Star(Symbol("a"))
+        assert parse_regex("a+") == Plus(Symbol("a"))
+        assert parse_regex("a?") == Optional(Symbol("a"))
+        assert parse_regex("a*+") == Plus(Star(Symbol("a")))
+
+    def test_parens(self):
+        assert parse_regex("(a | b)*") == Star(Union(Symbol("a"), Symbol("b")))
+
+    def test_epsilon_parens(self):
+        assert parse_regex("()") == Epsilon()
+        assert parse_regex("") == Epsilon()
+
+    def test_errors(self):
+        for bad in ["(a", "a)", "|", "*a", "a @ b"]:
+            with pytest.raises(InvalidArgumentError):
+                parse_regex(bad)
+
+    def test_round_trip_to_string(self):
+        for text in ["a . b* . c", "(a | b)+ . (c | d)+", "a? . b*"]:
+            node = parse_regex(text)
+            assert parse_regex(node.to_string()) == node
+
+
+class TestAstProperties:
+    def test_nullable(self):
+        assert parse_regex("a*").nullable()
+        assert parse_regex("a?").nullable()
+        assert not parse_regex("a+").nullable()
+        assert not parse_regex("a . b*").nullable()
+        assert parse_regex("a* . b*").nullable()
+        assert Empty().nullable() is False
+
+    def test_symbols(self):
+        assert parse_regex("(a | b) . ~c*").symbols() == {"a", "b", "~c"}
+
+
+WORDS3 = [
+    w
+    for length in range(4)
+    for w in itertools.product("ab", repeat=length)
+]
+
+
+def _language(nfa, alphabet="ab", maxlen=4):
+    return {
+        w
+        for length in range(maxlen + 1)
+        for w in itertools.product(alphabet, repeat=length)
+        if nfa.accepts(w)
+    }
+
+
+class TestConstructions:
+    QUERIES = [
+        "a", "a*", "a+", "a?", "a . b", "a | b", "(a | b)*",
+        "(a . b)+", "a . b* . a", "(a | b)+ . a", "a* . b*",
+    ]
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_thompson_equals_glushkov(self, query):
+        node = parse_regex(query)
+        t = thompson_nfa(node)
+        g = glushkov_nfa(node)
+        assert _language(t) == _language(g), query
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_determinize_preserves_language(self, query):
+        node = parse_regex(query)
+        g = glushkov_nfa(node)
+        d = determinize(g)
+        assert _language(g) == _language(d.to_nfa()), query
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_minimize_preserves_language(self, query):
+        node = parse_regex(query)
+        d = determinize(glushkov_nfa(node))
+        m = minimize(d)
+        assert _language(d.to_nfa()) == _language(m.to_nfa()), query
+        assert m.n <= d.n
+
+    def test_glushkov_state_count(self):
+        # positions + 1
+        node = parse_regex("(a | b) . a*")
+        assert glushkov_nfa(node).n == 4
+
+    def test_empty_language(self):
+        nfa = thompson_nfa(Empty())
+        assert _language(nfa) == set()
+
+    def test_epsilon_language(self):
+        nfa = thompson_nfa(Epsilon())
+        assert _language(nfa) == {()}
+
+    def test_minimize_merges_equivalent(self):
+        # (a|b)* and ((a|b)*)* have the same 1-state minimal DFA.
+        d1 = minimize(determinize(glushkov_nfa(parse_regex("(a | b)*"))))
+        d2 = minimize(determinize(glushkov_nfa(parse_regex("((a | b)*)*"))))
+        assert d1.n == d2.n == 1
+
+
+class TestNfaUtilities:
+    def test_reverse(self):
+        nfa = glushkov_nfa(parse_regex("a . b"))
+        rev = nfa.reverse()
+        assert rev.accepts(("b", "a"))
+        assert not rev.accepts(("a", "b"))
+
+    def test_renumbered(self):
+        nfa = glushkov_nfa(parse_regex("a"))
+        shifted = nfa.renumbered(10, 20)
+        assert shifted.n == 20
+        assert all(s >= 10 for s in shifted.starts)
+        assert shifted.accepts(("a",))
+
+    def test_transition_bounds_checked(self):
+        with pytest.raises(InvalidArgumentError):
+            NFA(2, frozenset({0}), frozenset({1}), {"a": [(0, 5)]})
+        with pytest.raises(InvalidArgumentError):
+            NFA(2, frozenset({5}), frozenset(), {})
+
+    def test_transition_matrices(self, cpu_ctx):
+        nfa = glushkov_nfa(parse_regex("a . b"))
+        mats = nfa.transition_matrices(cpu_ctx)
+        assert set(mats) == {"a", "b"}
+        assert mats["a"].shape == (nfa.n, nfa.n)
+        assert mats["a"].nnz == 1
+
+    def test_num_transitions(self):
+        nfa = glushkov_nfa(parse_regex("(a | b) . a"))
+        assert nfa.num_transitions == 4

@@ -1,0 +1,185 @@
+"""Unit tests for the shared vectorized kernel primitives."""
+
+import numpy as np
+import pytest
+
+from repro.backends import common
+from repro.formats.csr import BoolCsr
+
+
+def keys(pairs, ncols):
+    rows = np.array([p[0] for p in pairs], dtype=np.int64)
+    cols = np.array([p[1] for p in pairs], dtype=np.int64)
+    return common.keys_from_coo(rows, cols, ncols)
+
+
+class TestKeys:
+    def test_round_trip(self):
+        rows = np.array([0, 1, 7], dtype=np.uint32)
+        cols = np.array([3, 0, 9], dtype=np.uint32)
+        k = common.keys_from_coo(rows, cols, 10)
+        r, c = common.coo_from_keys(k, 10)
+        assert r.tolist() == rows.tolist()
+        assert c.tolist() == cols.tolist()
+
+    def test_order_preserving(self):
+        """Row-major order on pairs == numeric order on keys."""
+        rng = np.random.default_rng(0)
+        rows = rng.integers(0, 50, 100)
+        cols = rng.integers(0, 37, 100)
+        k = common.keys_from_coo(rows, cols, 37)
+        order = np.argsort(k, kind="stable")
+        lex = np.lexsort((cols, rows))
+        assert np.array_equal(
+            k[order], common.keys_from_coo(rows[lex], cols[lex], 37)
+        )
+
+    def test_zero_columns_guard(self):
+        k = common.keys_from_coo(np.array([2]), np.array([0]), 0)
+        r, c = common.coo_from_keys(k, 0)
+        assert r.tolist() == [2] and c.tolist() == [0]
+
+
+class TestMergeUnion:
+    def test_sizes_and_content(self):
+        a = np.array([1, 3, 5], dtype=np.int64)
+        b = np.array([2, 3, 6], dtype=np.int64)
+        assert common.merge_union_size(a, b) == 5
+        assert common.merge_union(a, b).tolist() == [1, 2, 3, 5, 6]
+
+    def test_disjoint(self):
+        a = np.array([1, 2], dtype=np.int64)
+        b = np.array([10, 20], dtype=np.int64)
+        assert common.merge_union_size(a, b) == 4
+        assert common.merge_union(a, b).tolist() == [1, 2, 10, 20]
+
+    def test_identical(self):
+        a = np.array([4, 8], dtype=np.int64)
+        assert common.merge_union_size(a, a.copy()) == 2
+        assert common.merge_union(a, a.copy()).tolist() == [4, 8]
+
+    def test_empty_sides(self):
+        a = np.array([1], dtype=np.int64)
+        e = np.empty(0, dtype=np.int64)
+        assert common.merge_union(a, e).tolist() == [1]
+        assert common.merge_union(e, a).tolist() == [1]
+        assert common.merge_union_size(e, e) == 0
+
+    def test_random_against_numpy(self):
+        rng = np.random.default_rng(1)
+        for _ in range(30):
+            a = np.unique(rng.integers(0, 100, rng.integers(0, 40)))
+            b = np.unique(rng.integers(0, 100, rng.integers(0, 40)))
+            expect = np.union1d(a, b)
+            assert common.merge_union_size(a, b) == expect.size
+            assert common.merge_union(a, b).tolist() == expect.tolist()
+
+
+class TestMergeIntersection:
+    def test_basic(self):
+        a = np.array([1, 3, 5, 9], dtype=np.int64)
+        b = np.array([3, 4, 9], dtype=np.int64)
+        assert common.merge_intersection(a, b).tolist() == [3, 9]
+
+    def test_random_against_numpy(self):
+        rng = np.random.default_rng(2)
+        for _ in range(30):
+            a = np.unique(rng.integers(0, 60, rng.integers(0, 30)))
+            b = np.unique(rng.integers(0, 60, rng.integers(0, 30)))
+            expect = np.intersect1d(a, b)
+            assert common.merge_intersection(a, b).tolist() == expect.tolist()
+
+    def test_empty(self):
+        e = np.empty(0, dtype=np.int64)
+        a = np.array([1], dtype=np.int64)
+        assert common.merge_intersection(a, e).size == 0
+        assert common.merge_intersection(e, a).size == 0
+
+
+class TestExpansion:
+    def test_expand_products(self):
+        # A = [(0,0),(0,1),(1,1)], B rows: 0->[2], 1->[0,2]
+        a_rows = np.array([0, 0, 1], dtype=np.int64)
+        a_cols = np.array([0, 1, 1], dtype=np.int64)
+        b = BoolCsr.from_coo([0, 1, 1], [2, 0, 2], (2, 3))
+        c_rows, c_cols = common.expand_products(a_rows, a_cols, b.rowptr, b.cols)
+        got = sorted(zip(c_rows.tolist(), c_cols.tolist()))
+        assert got == [(0, 0), (0, 2), (0, 2), (1, 0), (1, 2)]
+
+    def test_expand_empty_b_rows(self):
+        a_rows = np.array([0], dtype=np.int64)
+        a_cols = np.array([0], dtype=np.int64)
+        b = BoolCsr.empty((1, 4))
+        c_rows, c_cols = common.expand_products(a_rows, a_cols, b.rowptr, b.cols)
+        assert c_rows.size == 0
+
+    def test_expand_valued_multiplies(self):
+        a_rows = np.array([0], dtype=np.int64)
+        a_cols = np.array([0], dtype=np.int64)
+        a_vals = np.array([2.0], dtype=np.float32)
+        from repro.formats.valcsr import ValCsr
+
+        b = ValCsr.from_coo([0, 0], [1, 2], (1, 3), [3.0, 5.0])
+        r, c, v = common.expand_products_valued(
+            a_rows, a_cols, a_vals, b.rowptr, b.cols, b.values
+        )
+        assert v.tolist() == [6.0, 10.0]
+
+    def test_upper_bound_matches_expansion(self):
+        rng = np.random.default_rng(3)
+        a = BoolCsr.from_dense(rng.random((12, 9)) < 0.3)
+        b = BoolCsr.from_dense(rng.random((9, 15)) < 0.3)
+        ub = common.spgemm_upper_bound(a.rowptr, a.cols, b.rowptr)
+        a_rows, a_cols = a.to_coo_arrays()
+        c_rows, _ = common.expand_products(a_rows, a_cols, b.rowptr, b.cols)
+        counts = np.bincount(c_rows, minlength=12) if c_rows.size else np.zeros(12)
+        assert ub.tolist() == counts.tolist()
+
+
+class TestKronCoo:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(4)
+        a = BoolCsr.from_dense(rng.random((4, 5)) < 0.4)
+        b = BoolCsr.from_dense(rng.random((3, 2)) < 0.5)
+        a_rows, a_cols = a.to_coo_arrays()
+        b_rows, b_cols = b.to_coo_arrays()
+        k_rows, k_cols = common.kron_coo(
+            a_rows, a_cols, a.rowptr, b_rows, b_cols, b.shape, b.rowptr
+        )
+        dense = np.zeros((12, 10), dtype=bool)
+        if k_rows.size:
+            dense[k_rows, k_cols] = True
+        assert np.array_equal(dense, np.kron(a.to_dense(), b.to_dense()) > 0)
+
+    def test_emission_is_canonical(self):
+        rng = np.random.default_rng(5)
+        a = BoolCsr.from_dense(rng.random((6, 6)) < 0.4)
+        b = BoolCsr.from_dense(rng.random((4, 4)) < 0.4)
+        a_rows, a_cols = a.to_coo_arrays()
+        b_rows, b_cols = b.to_coo_arrays()
+        k_rows, k_cols = common.kron_coo(
+            a_rows, a_cols, a.rowptr, b_rows, b_cols, b.shape, b.rowptr
+        )
+        key = k_rows * 24 + k_cols
+        assert np.all(np.diff(key) > 0)  # strictly increasing => canonical
+
+
+class TestTransposeAndFilters:
+    def test_transpose_coo_canonical(self):
+        m = BoolCsr.from_coo([0, 0, 2], [1, 3, 0], (3, 4))
+        rows, cols = m.to_coo_arrays()
+        t_rows, t_cols = common.transpose_coo(rows, cols, 3)
+        key = t_rows.astype(np.int64) * 3 + t_cols.astype(np.int64)
+        assert np.all(np.diff(key) > 0)
+        back = BoolCsr.from_coo(t_rows, t_cols, (4, 3), canonical=True)
+        assert np.array_equal(back.to_dense(), m.to_dense().T)
+
+    def test_submatrix_coo(self):
+        rows = np.array([0, 1, 2, 3], dtype=np.uint32)
+        cols = np.array([0, 1, 2, 3], dtype=np.uint32)
+        s_rows, s_cols = common.submatrix_coo(rows, cols, 1, 1, 2, 2)
+        assert s_rows.tolist() == [0, 1]
+        assert s_cols.tolist() == [0, 1]
+
+    def test_reduce_rows(self):
+        assert common.reduce_rows_coo(np.array([3, 3, 0, 5])).tolist() == [0, 3, 5]

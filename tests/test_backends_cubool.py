@@ -1,0 +1,177 @@
+"""cuBool backend specifics: hash SpGEMM internals, binning, accounting."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.backends.cubool.backend import CuBoolBackend
+from repro.backends.cubool.spgemm_hash import (
+    DEFAULT_BIN_BOUNDS,
+    EMPTY,
+    hash_insert,
+)
+from repro.backends.common import spgemm_upper_bound
+from repro.formats.csr import BoolCsr
+
+from .conftest import bool_mxm, random_dense
+
+
+class TestHashInsert:
+    def test_insert_unique(self):
+        tables = np.full((2, 8), EMPTY, dtype=np.uint32)
+        hash_insert(
+            tables,
+            np.array([0, 0, 1], dtype=np.int64),
+            np.array([3, 5, 3], dtype=np.uint32),
+        )
+        assert sorted(tables[0][tables[0] != EMPTY].tolist()) == [3, 5]
+        assert sorted(tables[1][tables[1] != EMPTY].tolist()) == [3]
+
+    def test_duplicates_collapse(self):
+        tables = np.full((1, 8), EMPTY, dtype=np.uint32)
+        hash_insert(
+            tables,
+            np.zeros(6, dtype=np.int64),
+            np.array([7, 7, 7, 2, 2, 7], dtype=np.uint32),
+        )
+        assert sorted(tables[0][tables[0] != EMPTY].tolist()) == [2, 7]
+
+    def test_collision_resolution(self):
+        """Values that hash to the same slot must all survive probing."""
+        tables = np.full((1, 8), EMPTY, dtype=np.uint32)
+        # With table size 8 any 5 distinct values force collisions.
+        vals = np.array([0, 8, 16, 24, 32], dtype=np.uint32)
+        hash_insert(tables, np.zeros(5, dtype=np.int64), vals)
+        stored = sorted(tables[0][tables[0] != EMPTY].tolist())
+        assert stored == [0, 8, 16, 24, 32]
+
+    def test_near_full_table(self):
+        tables = np.full((1, 16), EMPTY, dtype=np.uint32)
+        vals = np.arange(15, dtype=np.uint32) * 3
+        hash_insert(tables, np.zeros(15, dtype=np.int64), vals)
+        stored = sorted(tables[0][tables[0] != EMPTY].tolist())
+        assert stored == vals.tolist()
+
+    def test_empty_input(self):
+        tables = np.full((1, 4), EMPTY, dtype=np.uint32)
+        hash_insert(tables, np.empty(0, np.int64), np.empty(0, np.uint32))
+        assert np.all(tables == EMPTY)
+
+
+class TestUpperBound:
+    def test_formula(self):
+        a = BoolCsr.from_coo([0, 0, 1], [0, 1, 1], (2, 2))
+        b = BoolCsr.from_coo([0, 0, 1], [0, 1, 0], (2, 2))
+        ub = spgemm_upper_bound(a.rowptr, a.cols, b.rowptr)
+        # row 0 of A hits B-rows 0 (len 2) and 1 (len 1) -> 3; row 1 -> 1
+        assert ub.tolist() == [3, 1]
+
+    def test_empty_rows(self):
+        a = BoolCsr.empty((3, 3))
+        b = BoolCsr.identity(3)
+        ub = spgemm_upper_bound(a.rowptr, a.cols, b.rowptr)
+        assert ub.tolist() == [0, 0, 0]
+
+
+class TestBinning:
+    def test_custom_bounds_still_correct(self, rng):
+        be = CuBoolBackend(bin_bounds=(4, 16))
+        a = random_dense(rng, (30, 30), 0.3)
+        h = be.matrix_from_dense(a)
+        out = be.mxm(h, h)
+        rows, cols = be.matrix_to_coo(out)
+        dense = np.zeros((30, 30), bool)
+        dense[rows, cols] = True
+        assert np.array_equal(dense, bool_mxm(a, a))
+
+    def test_no_binning_still_correct(self, rng):
+        be = CuBoolBackend(use_binning=False)
+        a = random_dense(rng, (25, 25), 0.3)
+        h = be.matrix_from_dense(a)
+        out = be.mxm(h, h)
+        rows, cols = be.matrix_to_coo(out)
+        dense = np.zeros((25, 25), bool)
+        dense[rows, cols] = True
+        assert np.array_equal(dense, bool_mxm(a, a))
+
+    def test_global_bin_hit(self, rng):
+        """A row exceeding the last bound must route to the global bin
+        and allocate its tables in device memory."""
+        be = CuBoolBackend(bin_bounds=(4, 8))
+        # One dense row -> ub = 20*20 = 400 > 8.
+        a = np.zeros((20, 20), dtype=bool)
+        a[0, :] = True
+        b = np.ones((20, 20), dtype=bool)
+        ha, hb = be.matrix_from_dense(a), be.matrix_from_dense(b)
+        allocs_before = be.device.arena.stats().alloc_count
+        out = be.mxm(ha, hb)
+        allocs_after = be.device.arena.stats().alloc_count
+        # at least: global tables + rowptr + cols
+        assert allocs_after - allocs_before >= 3
+        assert out.nnz == 20
+
+    def test_default_bounds_are_powers_of_two(self):
+        for b in DEFAULT_BIN_BOUNDS:
+            assert b & (b - 1) == 0
+
+    def test_launch_names_report_bins(self, rng):
+        be = CuBoolBackend(bin_bounds=(32,))
+        a = random_dense(rng, (10, 10), 0.4)
+        h = be.matrix_from_dense(a)
+        be.mxm(h, h)
+        names = {rec.kernel_name for rec in be.stream.launches}
+        assert any("spgemm_hash_shared_b32" in n for n in names)
+
+
+class TestMemoryAccounting:
+    def test_storage_accounted(self):
+        be = CuBoolBackend()
+        before = be.device.arena.live_bytes
+        m = be.matrix_from_coo([0, 1, 2], [1, 2, 0], (100, 100))
+        assert be.device.arena.live_bytes > before
+        m.free()
+        assert be.device.arena.live_bytes == before
+
+    def test_ops_release_scratch(self, rng):
+        be = CuBoolBackend()
+        a = be.matrix_from_dense(random_dense(rng, (40, 40), 0.2))
+        live_with_a = be.device.arena.live_bytes
+        out = be.mxm(a, a)
+        out2 = be.ewise_add(a, out)
+        out.free()
+        out2.free()
+        assert be.device.arena.live_bytes == live_with_a
+
+    def test_context_finalize_releases_all(self, rng):
+        ctx = repro.Context(backend="cubool")
+        dev = ctx.device
+        for _ in range(5):
+            ctx.matrix_random((50, 50), 0.1, seed=1)
+        ctx.finalize()
+        assert dev.arena.live_bytes == 0
+
+    def test_memory_model_vs_arena(self):
+        """Arena accounting must cover at least the storage-model bytes."""
+        be = CuBoolBackend()
+        m = be.matrix_from_coo(
+            np.arange(500) % 100, np.arange(500) % 97, (100, 100)
+        )
+        assert be.device.arena.live_bytes >= m.memory_bytes()
+        m.free()
+
+
+class TestHandleLifecycle:
+    def test_use_after_free(self):
+        be = CuBoolBackend()
+        m = be.matrix_from_coo([0], [0], (2, 2))
+        m.free()
+        from repro.errors import InvalidStateError
+
+        with pytest.raises(InvalidStateError):
+            _ = m.nnz
+
+    def test_double_free_is_noop(self):
+        be = CuBoolBackend()
+        m = be.matrix_from_coo([0], [0], (2, 2))
+        m.free()
+        m.free()  # idempotent

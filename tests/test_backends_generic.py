@@ -1,0 +1,114 @@
+"""Generic (value-carrying) baseline backend: semantics and overheads."""
+
+import numpy as np
+import pytest
+
+from repro.backends.base import get_backend
+from repro.backends.generic import GenericBackend
+
+from .conftest import bool_mxm, random_dense
+
+
+class TestValueSemantics:
+    def test_mxm_counts_paths(self, rng):
+        """Under (+, x) the product's values are path counts — the extra
+        work the boolean backends skip."""
+        be = GenericBackend()
+        a = np.array([[1, 1, 0], [0, 1, 1], [0, 0, 1]], dtype=bool)
+        h = be.matrix_from_dense(a)
+        sq = be.mxm(h, h)
+        # paths of length 2: (0->1->1? no self) compute explicitly
+        ref = a.astype(np.float32) @ a.astype(np.float32)
+        rows_cols = sq.storage
+        dense = np.zeros((3, 3), dtype=np.float32)
+        from repro.utils.arrays import rows_from_rowptr
+
+        r = rows_from_rowptr(rows_cols.rowptr)
+        dense[r, rows_cols.cols] = rows_cols.values
+        assert np.array_equal(dense, ref)
+
+    def test_add_sums_values(self):
+        be = GenericBackend()
+        a = be.matrix_from_coo([0], [0], (1, 1))
+        b = be.matrix_from_coo([0], [0], (1, 1))
+        out = be.ewise_add(a, b)
+        assert out.storage.values.tolist() == [2.0]
+        assert out.nnz == 1  # pattern still collapses
+
+    def test_kron_multiplies_values(self, rng):
+        be = GenericBackend()
+        a = random_dense(rng, (3, 3), 0.5)
+        b = random_dense(rng, (2, 2), 0.5)
+        out = be.kron(be.matrix_from_dense(a), be.matrix_from_dense(b))
+        assert np.all(out.storage.values == 1.0)  # ones x ones
+        assert out.nnz == int(a.sum()) * int(b.sum())
+
+    def test_reduce_sums_rows(self):
+        be = GenericBackend()
+        m = be.matrix_from_coo([0, 0, 2], [0, 1, 2], (3, 3))
+        out = be.reduce_to_column(m)
+        assert out.storage.values.tolist() == [2.0, 1.0]
+
+    def test_pattern_matches_boolean(self, rng):
+        """The baseline must compute the same *pattern* as cubool."""
+        cub = get_backend("cubool")
+        gen = get_backend("generic")
+        a = random_dense(rng, (25, 25), 0.2)
+        for op in ("mxm", "ewise_add", "kron", "transpose"):
+            ha, hb = cub.matrix_from_dense(a), cub.matrix_from_dense(a)
+            ga, gb = gen.matrix_from_dense(a), gen.matrix_from_dense(a)
+            got_c = getattr(cub, op)(ha, hb) if op != "transpose" else cub.transpose(ha)
+            got_g = getattr(gen, op)(ga, gb) if op != "transpose" else gen.transpose(ga)
+            rc, cc = cub.matrix_to_coo(got_c)
+            rg, cg = gen.matrix_to_coo(got_g)
+            assert rc.tolist() == rg.tolist() and cc.tolist() == cg.tolist(), op
+
+
+class TestMemoryOverhead:
+    def test_storage_overhead_vs_boolean(self, rng):
+        """The values plane makes generic storage strictly bigger —
+        the memory side of the paper's headline claim."""
+        cub = get_backend("cubool")
+        gen = get_backend("generic")
+        gen64 = get_backend("generic64")
+        a = random_dense(rng, (60, 60), 0.15)
+        mb = cub.matrix_from_dense(a).memory_bytes()
+        mg = gen.matrix_from_dense(a).memory_bytes()
+        mg64 = gen64.matrix_from_dense(a).memory_bytes()
+        assert mg > mb
+        assert mg64 > mg
+        nnz = int(a.sum())
+        assert mg - mb == nnz * 4
+        assert mg64 - mb == nnz * 8
+
+    def test_value_dtype_configurable(self):
+        be = GenericBackend(value_dtype=np.float64)
+        m = be.matrix_from_coo([0], [0], (1, 1))
+        assert m.storage.values.dtype == np.float64
+
+    def test_arena_peak_higher_than_boolean(self, rng):
+        """Operation-level memory: generic SpGEMM's expansion carries a
+        value plane, so its peak exceeds cubool's on the same input."""
+        a = random_dense(rng, (60, 60), 0.2)
+
+        def peak(backend_name):
+            be = get_backend(backend_name)
+            h = be.matrix_from_dense(a)
+            live = be.device.arena.live_bytes
+            be.device.arena.reset_peak()
+            out = be.mxm(h, h)
+            p = be.device.arena.peak_bytes - live
+            out.free()
+            return p
+
+        assert peak("generic") > peak("cubool")
+
+
+class TestSubmatrixAndTranspose:
+    def test_values_travel_with_pattern(self, rng):
+        be = GenericBackend()
+        m = be.matrix_from_coo([0, 1, 2], [2, 0, 1], (3, 3), )
+        t = be.transpose(m)
+        assert t.storage.values.tolist() == [1.0, 1.0, 1.0]
+        s = be.extract_submatrix(m, 0, 0, 2, 3)
+        assert s.nnz == 2

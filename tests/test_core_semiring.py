@@ -1,0 +1,97 @@
+"""Semiring definitions and dense reference operations."""
+
+import numpy as np
+import pytest
+
+from repro.core.semiring import (
+    BOOL_OR_AND,
+    MIN_PLUS,
+    PLUS_TIMES,
+    Semiring,
+    get_semiring,
+)
+from repro.errors import DimensionMismatchError, InvalidArgumentError
+
+
+class TestBoolSemiring:
+    def test_mxm_dense_matches_int_product(self, rng):
+        a = rng.random((6, 4)) < 0.4
+        b = rng.random((4, 7)) < 0.4
+        got = BOOL_OR_AND.mxm_dense(a, b)
+        ref = (a.astype(int) @ b.astype(int)) > 0
+        assert np.array_equal(got, ref)
+
+    def test_identities(self):
+        assert BOOL_OR_AND.zero is False and BOOL_OR_AND.one is True
+        assert BOOL_OR_AND.add(False, True)
+        assert not BOOL_OR_AND.mul(False, True)
+
+    def test_closure_reflexive(self):
+        a = np.array([[False, True], [False, False]])
+        c = BOOL_OR_AND.closure_dense(a, reflexive=True)
+        assert c[0, 0] and c[0, 1] and c[1, 1] and not c[1, 0]
+
+
+class TestMinPlus:
+    def test_shortest_paths(self):
+        inf = np.inf
+        w = np.array(
+            [
+                [inf, 1.0, 10.0],
+                [inf, inf, 2.0],
+                [inf, inf, inf],
+            ]
+        )
+        sp = MIN_PLUS.closure_dense(w, reflexive=True)
+        assert sp[0, 2] == 3.0
+        assert sp[0, 1] == 1.0
+        assert sp[2, 0] == inf
+        assert sp[1, 1] == 0.0
+
+    def test_mxm_dense_is_min_plus(self):
+        a = np.array([[1.0, np.inf], [0.0, 2.0]])
+        out = MIN_PLUS.mxm_dense(a, a)
+        assert out[1, 0] == 1.0  # 0 + 1
+        assert out[0, 0] == 2.0  # 1 + 1
+
+
+class TestPlusTimes:
+    def test_matches_matmul(self, rng):
+        a = rng.random((5, 5))
+        b = rng.random((5, 5))
+        assert np.allclose(PLUS_TIMES.mxm_dense(a, b), a @ b)
+
+    def test_ewise_add(self, rng):
+        a = rng.random((3, 3))
+        assert np.allclose(PLUS_TIMES.ewise_add_dense(a, a), 2 * a)
+
+
+class TestRegistryAndErrors:
+    def test_lookup(self):
+        assert get_semiring("bool-or-and") is BOOL_OR_AND
+        assert get_semiring("min-plus") is MIN_PLUS
+        with pytest.raises(InvalidArgumentError):
+            get_semiring("max-times")
+
+    def test_shape_checks(self):
+        with pytest.raises(DimensionMismatchError):
+            BOOL_OR_AND.mxm_dense(np.zeros((2, 3), bool), np.zeros((2, 3), bool))
+        with pytest.raises(DimensionMismatchError):
+            BOOL_OR_AND.ewise_add_dense(np.zeros((2, 3), bool), np.zeros((3, 2), bool))
+        with pytest.raises(InvalidArgumentError):
+            BOOL_OR_AND.closure_dense(np.zeros((2, 3), bool))
+
+    def test_custom_semiring(self):
+        max_min = Semiring(
+            name="max-min",
+            dtype=np.dtype(np.float64),
+            add=np.maximum,
+            mul=np.minimum,
+            zero=-np.inf,
+            one=np.inf,
+            add_reduce=np.maximum.reduce,
+        )
+        # Bottleneck (widest-path) product.
+        cap = np.array([[0.0, 5.0], [3.0, 0.0]])
+        out = max_min.mxm_dense(cap, cap)
+        assert out[0, 0] == 3.0  # 0->1->0: min(5, 3)

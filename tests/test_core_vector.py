@@ -1,0 +1,79 @@
+"""Sparse boolean Vector tests."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.vector import Vector
+from repro.errors import InvalidArgumentError
+
+
+class TestConstruction:
+    def test_empty(self, ctx):
+        v = ctx.vector_empty(5)
+        assert v.size == 5 and v.nnz == 0
+        assert not v
+
+    def test_from_indices(self, ctx):
+        v = ctx.vector_from_indices(6, [4, 1, 1])
+        assert v.to_list() == [1, 4]
+        assert v.nnz == 2
+
+    def test_from_dense(self, ctx):
+        v = Vector.from_dense(ctx, [True, False, True])
+        assert v.to_list() == [0, 2]
+        assert np.array_equal(v.to_dense(), [True, False, True])
+
+    def test_membership(self, ctx):
+        v = ctx.vector_from_indices(4, [2])
+        assert 2 in v and 0 not in v
+        assert list(v) == [2]
+        assert len(v) == 1
+
+
+class TestOps:
+    def test_ewise_add(self, ctx):
+        a = ctx.vector_from_indices(5, [0, 1])
+        b = ctx.vector_from_indices(5, [1, 4])
+        assert (a | b).to_list() == [0, 1, 4]
+
+    def test_vxm_follows_edges(self, ctx):
+        m = ctx.matrix_from_lists((4, 4), [0, 1, 2], [1, 2, 3])
+        v = ctx.vector_from_indices(4, [0, 2])
+        assert v.vxm(m).to_list() == [1, 3]
+
+    def test_mxv_follows_reverse(self, ctx):
+        m = ctx.matrix_from_lists((4, 4), [0, 1], [1, 2])
+        v = ctx.vector_from_indices(4, [2])
+        # (M v)[u] = OR_w M[u, w] & v[w] -> u = 1
+        assert v.mxv(m).to_list() == [1]
+
+    def test_reduce(self, ctx):
+        assert ctx.vector_from_indices(3, [1]).reduce()
+        assert not ctx.vector_empty(3).reduce()
+
+    def test_equals_and_dup(self, ctx):
+        a = ctx.vector_from_indices(4, [1, 3])
+        b = a.dup()
+        assert a.equals(b)
+        c = ctx.vector_from_indices(4, [1])
+        assert not a.equals(c)
+
+    def test_cross_context_rejected(self):
+        c1 = repro.Context(backend="cpu")
+        c2 = repro.Context(backend="cpu")
+        a = c1.vector_from_indices(3, [0])
+        b = c2.vector_from_indices(3, [1])
+        with pytest.raises(InvalidArgumentError):
+            a | b
+        m = c2.identity(3)
+        with pytest.raises(InvalidArgumentError):
+            a.vxm(m)
+        c1.finalize()
+        c2.finalize()
+
+    def test_reduce_to_vector_integration(self, ctx):
+        m = ctx.matrix_from_lists((4, 3), [0, 2, 2], [0, 1, 2])
+        v = m.reduce_to_vector()
+        assert v.to_list() == [0, 2]
+        assert v.size == 4

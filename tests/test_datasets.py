@@ -1,0 +1,190 @@
+"""Dataset generator invariants."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    ALIAS_PRESETS,
+    LUBM_PRESETS,
+    RDF_PRESETS,
+    chain_graph,
+    cycle_graph,
+    format_stats_table,
+    graph_stats,
+    grid_graph,
+    lubm_like_graph,
+    memory_alias_graph,
+    power_law_graph,
+    rdf_like_graph,
+    uniform_random_graph,
+    worst_case_bipartite,
+)
+from repro.errors import InvalidArgumentError
+
+
+class TestRandomGraphs:
+    def test_uniform_edge_count(self):
+        g = uniform_random_graph(100, 500, labels=("a", "b"), seed=1)
+        assert g.n == 100
+        assert g.num_edges == 500
+        assert set(g.labels) <= {"a", "b"}
+
+    def test_uniform_deterministic(self):
+        g1 = uniform_random_graph(50, 100, seed=3)
+        g2 = uniform_random_graph(50, 100, seed=3)
+        assert list(g1.triples()) == list(g2.triples())
+
+    def test_power_law_skew(self):
+        g = power_law_graph(200, 2000, seed=2)
+        degrees = np.zeros(200, dtype=int)
+        for u, _, v in g.triples():
+            degrees[u] += 1
+        top = np.sort(degrees)[::-1]
+        # Heavy tail: top vertex carries far more than the mean.
+        assert top[0] > 5 * degrees.mean()
+
+    def test_grid_structure(self):
+        g = grid_graph(4)
+        assert g.n == 16
+        assert g.num_edges == 2 * 4 * 3  # right + down edges
+
+    def test_grid_torus(self):
+        g = grid_graph(3, wrap=True)
+        assert g.num_edges == 2 * 9
+
+    def test_chain_and_cycle(self):
+        assert chain_graph(5).num_edges == 4
+        assert cycle_graph(5).num_edges == 5
+        assert cycle_graph(1).num_edges == 0
+
+    def test_worst_case_shape(self):
+        g = worst_case_bipartite(10)
+        assert g.n == 21
+        assert g.num_edges == 20
+
+    def test_bad_args(self):
+        with pytest.raises(InvalidArgumentError):
+            uniform_random_graph(0, 5)
+        with pytest.raises(InvalidArgumentError):
+            grid_graph(0)
+        with pytest.raises(InvalidArgumentError):
+            worst_case_bipartite(0)
+
+
+class TestRdfLike:
+    @pytest.mark.parametrize("preset", sorted(RDF_PRESETS))
+    def test_presets_generate(self, preset):
+        g = rdf_like_graph(preset, scale=0.1, seed=1)
+        assert g.n > 0
+        assert g.num_edges > 0
+
+    def test_go_hierarchy_is_pure_sco(self):
+        g = rdf_like_graph("go-hierarchy", scale=0.3, seed=1)
+        assert set(g.labels) == {"subClassOf"}
+
+    def test_geospecies_has_bt(self):
+        g = rdf_like_graph("geospecies", scale=0.3, seed=1)
+        assert "broaderTransitive" in g.edges
+        assert g.edges["subClassOf"] == []  # paper: geospecies has 0 sco
+
+    def test_sco_is_acyclic(self):
+        """subClassOf edges always point to lower ids — a DAG."""
+        g = rdf_like_graph("go", scale=0.3, seed=2)
+        for u, v in g.edges["subClassOf"]:
+            assert v < u
+
+    def test_scaling(self):
+        small = rdf_like_graph("enzyme", scale=0.2, seed=1)
+        big = rdf_like_graph("enzyme", scale=1.0, seed=1)
+        assert big.n > small.n
+        assert big.num_edges > small.num_edges
+
+    def test_deterministic(self):
+        a = rdf_like_graph("eclass", scale=0.1, seed=7)
+        b = rdf_like_graph("eclass", scale=0.1, seed=7)
+        assert list(a.triples()) == list(b.triples())
+
+    def test_bad_scale(self):
+        with pytest.raises(InvalidArgumentError):
+            rdf_like_graph("go", scale=0)
+
+
+class TestLubmLike:
+    @pytest.mark.parametrize("preset", sorted(LUBM_PRESETS))
+    def test_presets_generate(self, preset):
+        g = lubm_like_graph(preset, scale=0.2, seed=1)
+        assert g.n > 0
+
+    def test_schema_relations_present(self):
+        g = lubm_like_graph("LUBM1k", scale=0.5, seed=1)
+        for label in (
+            "subOrganizationOf",
+            "worksFor",
+            "memberOf",
+            "advisor",
+            "teacherOf",
+            "takesCourse",
+            "type",
+        ):
+            assert g.edges[label], label
+
+    def test_series_scales(self):
+        sizes = [
+            lubm_like_graph(name, scale=0.2, seed=0).n
+            for name in ("LUBM1k", "LUBM3.5k", "LUBM5.9k")
+        ]
+        assert sizes == sorted(sizes)
+        assert sizes[0] < sizes[-1]
+
+    def test_takescourse_dominates(self):
+        g = lubm_like_graph("LUBM1k", scale=0.5, seed=1)
+        counts = g.label_counts()
+        assert counts["takesCourse"] == max(counts.values())
+
+
+class TestMemoryAlias:
+    @pytest.mark.parametrize("preset", sorted(ALIAS_PRESETS))
+    def test_presets_generate(self, preset):
+        g = memory_alias_graph(preset, scale=0.05, seed=1)
+        assert set(g.labels) == {"a", "d", "~a", "~d"}
+
+    def test_inverses_mirror(self):
+        g = memory_alias_graph("fs", scale=0.02, seed=2)
+        fwd = set(g.edges["a"])
+        inv = {(v, u) for u, v in g.edges["~a"]}
+        assert fwd == inv
+
+    def test_d_to_a_ratio(self):
+        g = memory_alias_graph("arch", scale=0.2, seed=1)
+        counts = g.label_counts()
+        ratio = counts["d"] / counts["a"]
+        assert 2.5 < ratio < 4.5  # paper profile ≈ 3.4
+
+    def test_locality_zero_spreads(self):
+        g = memory_alias_graph("fs", scale=0.02, locality=0.0, seed=1)
+        assert g.num_edges > 0
+
+    def test_bad_args(self):
+        with pytest.raises(InvalidArgumentError):
+            memory_alias_graph("fs", scale=-1)
+        with pytest.raises(InvalidArgumentError):
+            memory_alias_graph("fs", locality=2.0)
+
+
+class TestStats:
+    def test_graph_stats(self):
+        g = memory_alias_graph("fs", scale=0.01, seed=1)
+        s = graph_stats(g, labels_of_interest=["a", "d"])
+        assert s["vertices"] == g.n
+        assert s["edges"] == g.num_edges
+        assert s["#a"] == len(g.edges["a"])
+
+    def test_format_table(self):
+        rows = {
+            "g1": {"vertices": 1000, "edges": 5000},
+            "g2": {"vertices": 20, "edges": 7},
+        }
+        table = format_stats_table(rows, ["vertices", "edges"])
+        assert "Graph" in table
+        assert "1 000" in table
+        assert "g2" in table

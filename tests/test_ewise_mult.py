@@ -1,0 +1,93 @@
+"""Element-wise AND (ewise_mult), tril/triu, vector dot — per backend."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionMismatchError
+
+from .conftest import random_dense
+
+
+class TestEwiseMult:
+    @pytest.mark.parametrize("density", [0.0, 0.1, 0.5, 1.0])
+    def test_matches_oracle(self, ctx, rng, density):
+        a = random_dense(rng, (14, 9), density)
+        b = random_dense(rng, (14, 9), density)
+        out = ctx.matrix_from_dense(a) & ctx.matrix_from_dense(b)
+        assert np.array_equal(out.to_dense(), a & b)
+
+    def test_self_intersection_idempotent(self, ctx, rng):
+        a = random_dense(rng, (10, 10), 0.3)
+        m = ctx.matrix_from_dense(a)
+        assert (m & m).equals(m)
+
+    def test_disjoint_is_empty(self, ctx):
+        a = ctx.matrix_from_lists((4, 4), [0, 1], [0, 1])
+        b = ctx.matrix_from_lists((4, 4), [2, 3], [2, 3])
+        assert (a & b).nnz == 0
+
+    def test_with_empty(self, ctx, rng):
+        a = ctx.matrix_from_dense(random_dense(rng, (6, 6), 0.5))
+        assert (a & ctx.matrix_empty((6, 6))).nnz == 0
+
+    def test_shape_mismatch(self, ctx):
+        with pytest.raises(DimensionMismatchError):
+            ctx.matrix_empty((2, 3)) & ctx.matrix_empty((3, 2))
+
+    def test_distributes_with_add(self, ctx, rng):
+        a = random_dense(rng, (8, 8), 0.4)
+        b = random_dense(rng, (8, 8), 0.4)
+        c = random_dense(rng, (8, 8), 0.4)
+        ma, mb, mc = (ctx.matrix_from_dense(x) for x in (a, b, c))
+        left = ma & (mb | mc)
+        right = (ma & mb) | (ma & mc)
+        assert left.equals(right)
+
+    def test_absorption(self, ctx, rng):
+        a = random_dense(rng, (7, 7), 0.3)
+        b = random_dense(rng, (7, 7), 0.3)
+        ma, mb = ctx.matrix_from_dense(a), ctx.matrix_from_dense(b)
+        assert (ma & (ma | mb)).equals(ma)
+
+    def test_generic_values_multiply(self, generic_ctx):
+        a = generic_ctx.matrix_from_lists((2, 2), [0, 1], [0, 1])
+        out = a & a
+        assert out.handle.storage.values.tolist() == [1.0, 1.0]
+
+
+class TestTrilTriu:
+    def test_matches_numpy(self, ctx, rng):
+        a = random_dense(rng, (9, 9), 0.5)
+        m = ctx.matrix_from_dense(a)
+        for k in (-2, 0, 1):
+            assert np.array_equal(m.tril(k).to_dense(), np.tril(a, k))
+            assert np.array_equal(m.triu(k).to_dense(), np.triu(a, k))
+
+    def test_partition(self, ctx, rng):
+        """tril(-1) | diagonal | triu(1) reassembles the matrix."""
+        a = random_dense(rng, (8, 8), 0.5)
+        m = ctx.matrix_from_dense(a)
+        low = m.tril(-1)
+        up = m.triu(1)
+        diag = m.tril(0) & m.triu(0)
+        assert ((low | up) | diag).equals(m)
+
+    def test_rectangular(self, ctx, rng):
+        a = random_dense(rng, (5, 12), 0.4)
+        m = ctx.matrix_from_dense(a)
+        assert np.array_equal(m.triu().to_dense(), np.triu(a))
+
+
+class TestVectorMultDot:
+    def test_ewise_mult(self, ctx):
+        a = ctx.vector_from_indices(8, [1, 3, 5])
+        b = ctx.vector_from_indices(8, [3, 5, 7])
+        assert (a & b).to_list() == [3, 5]
+
+    def test_dot(self, ctx):
+        a = ctx.vector_from_indices(5, [0, 2])
+        b = ctx.vector_from_indices(5, [2, 4])
+        c = ctx.vector_from_indices(5, [1])
+        assert a.dot(b)
+        assert not a.dot(c)
+        assert not a.dot(ctx.vector_empty(5))

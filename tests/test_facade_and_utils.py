@@ -1,0 +1,178 @@
+"""Unified cfpq() facade, Matrix row/col extraction, graph utilities."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.automata import glushkov_nfa, parse_regex
+from repro.cfpq import as_rsm, cfpq, naive_cfpq
+from repro.errors import InvalidArgumentError
+from repro.grammar import CFG, RSM
+from repro.graph import LabeledGraph
+from repro.rpq import rpq_pairs
+
+
+@pytest.fixture
+def graph(rng):
+    g = LabeledGraph(n=9)
+    for lab in "ab":
+        for _ in range(14):
+            g.add_edge(int(rng.integers(9)), lab, int(rng.integers(9)))
+    return g
+
+
+class TestUnifiedFacade:
+    def test_regex_string_query(self, cubool_ctx, graph):
+        idx = cfpq(graph, "a . b*", cubool_ctx)
+        assert idx.pairs() == rpq_pairs(graph, "a . b*", cubool_ctx)
+        idx.free()
+
+    def test_regex_ast_query(self, cubool_ctx, graph):
+        node = parse_regex("(a | b)+")
+        idx = cfpq(graph, node, cubool_ctx)
+        assert idx.pairs() == rpq_pairs(graph, "(a | b)+", cubool_ctx)
+        idx.free()
+
+    def test_nfa_query(self, cubool_ctx, graph):
+        nfa = glushkov_nfa(parse_regex("a . b"))
+        idx = cfpq(graph, nfa, cubool_ctx)
+        assert idx.pairs() == rpq_pairs(graph, "a . b", cubool_ctx)
+        idx.free()
+
+    def test_multi_start_nfa_wrapped(self, cubool_ctx, graph):
+        from repro.automata.nfa import NFA
+
+        nfa = NFA(
+            2,
+            frozenset({0, 1}),
+            frozenset({1}),
+            {"a": [(0, 1)], "b": [(1, 1)]},
+        )
+        idx = cfpq(graph, nfa, cubool_ctx)
+        # brute: pairs reachable per the NFA semantics
+        expected = set()
+        for u in range(graph.n):
+            stack = [(s, u) for s in nfa.starts]
+            seen = set(stack)
+            while stack:
+                s, v = stack.pop()
+                if s in nfa.finals:
+                    expected.add((u, v))
+                for lab, pairs in nfa.transitions.items():
+                    for ss, tt in pairs:
+                        if ss == s:
+                            for (x, y) in graph.edges.get(lab, ()):
+                                if x == v and (tt, y) not in seen:
+                                    seen.add((tt, y))
+                                    stack.append((tt, y))
+        assert idx.pairs() == expected
+        idx.free()
+
+    def test_cfg_both_engines(self, cubool_ctx, graph):
+        grammar = CFG.from_text("S -> a S b | a b")
+        ref = naive_cfpq(graph, grammar)["S"]
+        tns = cfpq(graph, grammar, cubool_ctx, engine="tns")
+        mtx = cfpq(graph, grammar, cubool_ctx, engine="mtx")
+        assert tns.pairs() == ref == mtx.pairs()
+        tns.free()
+        mtx.free()
+
+    def test_rsm_query(self, cubool_ctx, graph):
+        rsm = RSM.from_regex_rules("S", {"S": "a S? b"})
+        idx = cfpq(graph, rsm, cubool_ctx)
+        grammar = CFG.from_text("S -> a S b | a b")
+        assert idx.pairs() == naive_cfpq(graph, grammar)["S"]
+        idx.free()
+
+    def test_mtx_rejects_non_cfg(self, cubool_ctx, graph):
+        with pytest.raises(InvalidArgumentError):
+            cfpq(graph, "a*", cubool_ctx, engine="mtx")
+
+    def test_unknown_engine(self, cubool_ctx, graph):
+        with pytest.raises(InvalidArgumentError):
+            cfpq(graph, "a", cubool_ctx, engine="quantum")
+
+    def test_as_rsm_idempotent(self):
+        rsm = RSM.from_regex_rules("S", {"S": "a"})
+        assert as_rsm(rsm) is rsm
+
+    def test_as_rsm_bad_type(self):
+        with pytest.raises(InvalidArgumentError):
+            as_rsm(42)
+
+
+class TestRowColExtraction:
+    def test_extract_row(self, ctx, rng):
+        from .conftest import random_dense
+
+        d = random_dense(rng, (7, 11), 0.3)
+        m = ctx.matrix_from_dense(d)
+        for i in (0, 3, 6):
+            v = m.extract_row(i)
+            assert v.size == 11
+            assert np.array_equal(v.to_dense(), d[i])
+
+    def test_extract_col(self, ctx, rng):
+        from .conftest import random_dense
+
+        d = random_dense(rng, (7, 11), 0.3)
+        m = ctx.matrix_from_dense(d)
+        for j in (0, 5, 10):
+            v = m.extract_col(j)
+            assert v.size == 7
+            assert np.array_equal(v.to_dense(), d[:, j])
+
+    def test_out_of_bounds(self, cubool_ctx):
+        m = cubool_ctx.identity(3)
+        with pytest.raises(InvalidArgumentError):
+            m.extract_row(5)
+
+
+class TestGraphUtils:
+    def test_induced_subgraph(self):
+        g = LabeledGraph.from_triples(
+            [(0, "a", 1), (1, "b", 2), (2, "a", 3), (3, "a", 0)]
+        )
+        sub, remap = g.induced_subgraph([0, 1, 2])
+        assert sub.n == 3
+        assert sorted(sub.triples()) == [
+            (remap[0], "a", remap[1]),
+            (remap[1], "b", remap[2]),
+        ]
+
+    def test_induced_subgraph_bounds(self):
+        g = LabeledGraph(n=3)
+        with pytest.raises(InvalidArgumentError):
+            g.induced_subgraph([5])
+
+    def test_filtered_labels(self):
+        g = LabeledGraph.from_triples([(0, "a", 1), (0, "b", 1)])
+        fg = g.filtered_labels(["a"])
+        assert fg.labels == ["a"]
+        assert fg.n == g.n
+
+    def test_reversed_graph(self):
+        g = LabeledGraph.from_triples([(0, "a", 1), (1, "b", 2)])
+        r = g.reversed_graph()
+        assert sorted(r.triples()) == [(1, "a", 0), (2, "b", 1)]
+        # Double reversal restores the original.
+        assert sorted(r.reversed_graph().triples()) == sorted(g.triples())
+
+    def test_queries_on_subgraph_consistent(self, cubool_ctx, rng):
+        """Answers on an induced subgraph = filtered/translated answers."""
+        g = LabeledGraph(n=8)
+        for lab in "ab":
+            for _ in range(12):
+                g.add_edge(int(rng.integers(8)), lab, int(rng.integers(8)))
+        keep = [0, 1, 2, 3, 4]
+        sub, remap = g.induced_subgraph(keep)
+        pairs_sub = rpq_pairs(sub, "a . b", cubool_ctx)
+        # Brute-force expected answers on the subgraph.
+        expected = set()
+        a_edges = {(remap[u], remap[v]) for u, v in g.edges["a"] if u in remap and v in remap}
+        b_edges = {(remap[u], remap[v]) for u, v in g.edges["b"] if u in remap and v in remap}
+        for (u, w) in a_edges:
+            for (w2, v) in b_edges:
+                if w == w2:
+                    expected.add((u, v))
+        assert pairs_sub == expected

@@ -1,0 +1,98 @@
+"""Unit tests for the dense bit-packed matrix."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionMismatchError, IndexOutOfBoundsError
+from repro.formats.bitmatrix import WORD_BITS, BitMatrix
+
+
+class TestConstruction:
+    def test_empty(self):
+        m = BitMatrix.empty((3, 70))
+        m.validate()
+        assert m.nnz == 0
+        assert m.words.shape == (3, 2)  # 70 cols -> 2 words
+
+    def test_identity(self):
+        m = BitMatrix.identity(100)
+        m.validate()
+        assert m.nnz == 100
+        d = m.to_dense()
+        assert np.array_equal(d, np.eye(100, dtype=bool))
+
+    def test_round_trip_dense(self):
+        rng = np.random.default_rng(3)
+        for shape in [(1, 1), (5, 64), (7, 65), (3, 128), (10, 200)]:
+            d = rng.random(shape) < 0.3
+            m = BitMatrix.from_dense(d)
+            m.validate()
+            assert np.array_equal(m.to_dense(), d), shape
+
+    def test_from_coo(self):
+        m = BitMatrix.from_coo([0, 2], [63, 64], (3, 100))
+        assert m.get(0, 63) and m.get(2, 64)
+        assert m.nnz == 2
+        with pytest.raises(IndexOutOfBoundsError):
+            BitMatrix.from_coo([5], [0], (3, 3))
+
+    def test_coo_round_trip(self):
+        m = BitMatrix.from_coo([1, 1, 0], [0, 99, 64], (2, 100))
+        rows, cols = m.to_coo_arrays()
+        assert rows.tolist() == [0, 1, 1]
+        assert cols.tolist() == [64, 0, 99]
+
+
+class TestOps:
+    def test_set_get(self):
+        m = BitMatrix.empty((2, 70))
+        m.set(1, 69)
+        assert m.get(1, 69)
+        m.validate()
+        with pytest.raises(IndexOutOfBoundsError):
+            m.set(2, 0)
+        with pytest.raises(IndexOutOfBoundsError):
+            m.get(0, 70)
+
+    def test_ewise(self):
+        rng = np.random.default_rng(4)
+        a = rng.random((6, 90)) < 0.4
+        b = rng.random((6, 90)) < 0.4
+        ma, mb = BitMatrix.from_dense(a), BitMatrix.from_dense(b)
+        assert np.array_equal(ma.ewise_or(mb).to_dense(), a | b)
+        assert np.array_equal(ma.ewise_and(mb).to_dense(), a & b)
+
+    def test_ewise_shape_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            BitMatrix.empty((2, 2)).ewise_or(BitMatrix.empty((2, 3)))
+
+    def test_mxm_matches_dense(self):
+        rng = np.random.default_rng(5)
+        a = rng.random((20, 130)) < 0.1
+        b = rng.random((130, 75)) < 0.1
+        got = BitMatrix.from_dense(a).mxm(BitMatrix.from_dense(b)).to_dense()
+        ref = (a.astype(int) @ b.astype(int)) > 0
+        assert np.array_equal(got, ref)
+
+    def test_mxm_shape_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            BitMatrix.empty((2, 3)).mxm(BitMatrix.empty((4, 2)))
+
+    def test_transpose(self):
+        rng = np.random.default_rng(6)
+        d = rng.random((9, 70)) < 0.3
+        assert np.array_equal(BitMatrix.from_dense(d).transpose().to_dense(), d.T)
+
+    def test_reductions(self):
+        d = np.zeros((3, 80), bool)
+        d[0, 5] = d[0, 70] = d[2, 0] = True
+        m = BitMatrix.from_dense(d)
+        assert m.reduce_rows().tolist() == [True, False, True]
+        assert m.count_per_row().tolist() == [2, 0, 1]
+
+    def test_memory_model(self):
+        m = BitMatrix.empty((8, 128))
+        assert m.memory_bytes() == 8 * 2 * 8  # 2 words/row, 8 bytes each
+
+    def test_word_constant(self):
+        assert WORD_BITS == 64

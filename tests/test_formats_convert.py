@@ -1,0 +1,72 @@
+"""Unit tests for format conversions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidArgumentError
+from repro.formats import BitMatrix, BoolCoo, BoolCsr, ValCsr, convert
+
+
+@pytest.fixture
+def sample_dense(rng):
+    return rng.random((13, 19)) < 0.2
+
+
+ALL_KINDS = ("csr", "coo", "valcsr", "bit")
+
+
+class TestDirectConversions:
+    def test_csr_coo_round_trip(self, sample_dense):
+        csr = BoolCsr.from_dense(sample_dense)
+        coo = convert.csr_to_coo(csr)
+        coo.validate()
+        back = convert.coo_to_csr(coo)
+        back.validate()
+        assert back.pattern_equal(csr)
+
+    def test_csr_valcsr_round_trip(self, sample_dense):
+        csr = BoolCsr.from_dense(sample_dense)
+        val = convert.csr_to_valcsr(csr)
+        val.validate()
+        assert np.all(val.values == 1.0)
+        assert convert.valcsr_to_csr(val).pattern_equal(csr)
+
+    def test_valcsr_drop_zeros(self):
+        val = ValCsr.from_coo([0, 1], [0, 1], (2, 2), [0.0, 2.0])
+        csr = convert.valcsr_to_csr(val, drop_zeros=True)
+        assert csr.nnz == 1
+        keep = convert.valcsr_to_csr(val, drop_zeros=False)
+        assert keep.nnz == 2
+
+    def test_bitmatrix_round_trips(self, sample_dense):
+        csr = BoolCsr.from_dense(sample_dense)
+        bm = convert.to_bitmatrix(csr)
+        bm.validate()
+        assert convert.bitmatrix_to_csr(bm).pattern_equal(csr)
+        assert convert.bitmatrix_to_coo(bm).pattern_equal(csr)
+
+
+class TestGenericConvert:
+    @pytest.mark.parametrize("src", ALL_KINDS)
+    @pytest.mark.parametrize("dst", ALL_KINDS)
+    def test_all_pairs(self, src, dst, sample_dense):
+        base = BoolCsr.from_dense(sample_dense)
+        m = convert.convert(base, src)
+        out = convert.convert(m, dst)
+        assert out.kind == dst
+        assert np.array_equal(out.to_dense(), sample_dense)
+
+    def test_identity_conversion_no_copy(self, sample_dense):
+        csr = BoolCsr.from_dense(sample_dense)
+        assert convert.convert(csr, "csr") is csr
+
+    def test_unknown_kind(self, sample_dense):
+        csr = BoolCsr.from_dense(sample_dense)
+        with pytest.raises(InvalidArgumentError):
+            convert.convert(csr, "nope")
+
+    def test_empty_matrices(self):
+        for kind in ALL_KINDS:
+            m = convert.convert(BoolCsr.empty((4, 6)), kind)
+            assert m.nnz == 0
+            assert m.shape == (4, 6)

@@ -1,0 +1,89 @@
+"""Unit tests for boolean COO storage."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IndexOutOfBoundsError, InvalidArgumentError
+from repro.formats.coo import BoolCoo
+
+
+class TestConstruction:
+    def test_empty(self):
+        m = BoolCoo.empty((4, 2))
+        m.validate()
+        assert m.nnz == 0
+
+    def test_identity(self):
+        m = BoolCoo.identity(3)
+        m.validate()
+        assert m.nnz == 3
+
+    def test_from_coo_canonicalizes(self):
+        m = BoolCoo.from_coo([2, 0, 2, 0], [0, 1, 0, 1], (3, 2))
+        m.validate()
+        assert m.nnz == 2
+        assert m.rows.tolist() == [0, 2]
+        assert m.cols.tolist() == [1, 0]
+
+    def test_bounds_check(self):
+        with pytest.raises(IndexOutOfBoundsError):
+            BoolCoo.from_coo([3], [0], (3, 3))
+        with pytest.raises(IndexOutOfBoundsError):
+            BoolCoo.from_coo([0], [3], (3, 3))
+
+    def test_from_dense_round_trip(self):
+        rng = np.random.default_rng(2)
+        d = rng.random((9, 13)) < 0.25
+        m = BoolCoo.from_dense(d)
+        m.validate()
+        assert np.array_equal(m.to_dense(), d)
+
+
+class TestMemoryModel:
+    def test_memory_formula(self):
+        m = BoolCoo.from_coo([0, 1], [1, 0], (100, 100))
+        # 2 * nnz * 4 bytes — independent of the row count.
+        assert m.memory_bytes() == 2 * 2 * 4
+
+    def test_hypersparse_beats_csr(self):
+        """The paper's rationale for COO: many empty rows."""
+        from repro.formats.csr import BoolCsr
+
+        nrows = 10_000
+        coo = BoolCoo.from_coo([0, 9999], [0, 0], (nrows, 10))
+        csr = BoolCsr.from_coo([0, 9999], [0, 0], (nrows, 10))
+        assert coo.memory_bytes() < csr.memory_bytes()
+
+
+class TestAccess:
+    def test_get(self):
+        m = BoolCoo.from_coo([0, 1, 1], [1, 0, 2], (2, 3))
+        assert m.get(0, 1) and m.get(1, 0) and m.get(1, 2)
+        assert not m.get(0, 0)
+        with pytest.raises(IndexOutOfBoundsError):
+            m.get(5, 0)
+
+    def test_nonempty_rows(self):
+        m = BoolCoo.from_coo([0, 0, 3], [1, 2, 0], (5, 3))
+        assert m.nonempty_rows().tolist() == [0, 3]
+
+    def test_copy(self):
+        m = BoolCoo.from_coo([1], [1], (2, 2))
+        assert m.copy().pattern_equal(m)
+
+
+class TestValidate:
+    def test_unsorted_rejected(self):
+        m = BoolCoo((2, 2), np.array([1, 0], np.uint32), np.array([0, 0], np.uint32))
+        with pytest.raises(InvalidArgumentError):
+            m.validate()
+
+    def test_duplicate_rejected(self):
+        m = BoolCoo((2, 2), np.array([0, 0], np.uint32), np.array([1, 1], np.uint32))
+        with pytest.raises(InvalidArgumentError):
+            m.validate()
+
+    def test_length_mismatch(self):
+        m = BoolCoo((2, 2), np.array([0], np.uint32), np.array([0, 1], np.uint32))
+        with pytest.raises(InvalidArgumentError):
+            m.validate()

@@ -1,0 +1,140 @@
+"""Unit tests for boolean CSR storage."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IndexOutOfBoundsError, InvalidArgumentError
+from repro.formats.csr import BoolCsr
+
+
+class TestConstruction:
+    def test_empty(self):
+        m = BoolCsr.empty((3, 4))
+        m.validate()
+        assert m.shape == (3, 4)
+        assert m.nnz == 0
+        assert m.density == 0.0
+
+    def test_identity(self):
+        m = BoolCsr.identity(5)
+        m.validate()
+        assert m.nnz == 5
+        assert all(m.get(i, i) for i in range(5))
+
+    def test_from_coo_sorts_and_dedupes(self):
+        m = BoolCsr.from_coo([1, 0, 1, 1], [2, 3, 0, 2], (2, 4))
+        m.validate()
+        assert m.nnz == 3
+        rows, cols = m.to_coo_arrays()
+        assert rows.tolist() == [0, 1, 1]
+        assert cols.tolist() == [3, 0, 2]
+
+    def test_from_coo_out_of_bounds(self):
+        with pytest.raises(IndexOutOfBoundsError):
+            BoolCsr.from_coo([5], [0], (3, 3))
+        with pytest.raises(IndexOutOfBoundsError):
+            BoolCsr.from_coo([0], [5], (3, 3))
+
+    def test_from_coo_length_mismatch(self):
+        with pytest.raises(InvalidArgumentError):
+            BoolCsr.from_coo([0, 1], [0], (3, 3))
+
+    def test_from_dense_round_trip(self):
+        rng = np.random.default_rng(1)
+        d = rng.random((17, 31)) < 0.2
+        m = BoolCsr.from_dense(d)
+        m.validate()
+        assert np.array_equal(m.to_dense(), d)
+
+    def test_negative_shape(self):
+        with pytest.raises(InvalidArgumentError):
+            BoolCsr.empty((-1, 3))
+
+    def test_zero_dims(self):
+        m = BoolCsr.empty((0, 0))
+        m.validate()
+        assert m.nnz == 0
+
+
+class TestAccess:
+    def test_row_view(self):
+        m = BoolCsr.from_coo([0, 0, 2], [1, 3, 0], (3, 4))
+        assert m.row(0).tolist() == [1, 3]
+        assert m.row(1).tolist() == []
+        assert m.row(2).tolist() == [0]
+
+    def test_row_out_of_bounds(self):
+        with pytest.raises(IndexOutOfBoundsError):
+            BoolCsr.empty((2, 2)).row(2)
+
+    def test_get(self):
+        m = BoolCsr.from_coo([0, 1], [1, 0], (2, 2))
+        assert m.get(0, 1) and m.get(1, 0)
+        assert not m.get(0, 0) and not m.get(1, 1)
+        with pytest.raises(IndexOutOfBoundsError):
+            m.get(2, 0)
+        with pytest.raises(IndexOutOfBoundsError):
+            m.get(0, -1)
+
+    def test_row_lengths(self):
+        m = BoolCsr.from_coo([0, 0, 2], [1, 3, 0], (3, 4))
+        assert m.row_lengths().tolist() == [2, 0, 1]
+
+    def test_copy_independent(self):
+        m = BoolCsr.from_coo([0], [0], (1, 1))
+        c = m.copy()
+        c.cols[0] = 0  # no-op but exercises ownership
+        assert m.pattern_equal(c)
+
+
+class TestMemoryModel:
+    def test_memory_formula(self):
+        m = BoolCsr.from_coo([0, 1, 2], [0, 1, 2], (10, 10))
+        # (m + 1 + nnz) * 4 bytes
+        assert m.memory_bytes() == (10 + 1 + 3) * 4
+
+    def test_no_values_array(self):
+        m = BoolCsr.from_coo([0], [0], (1, 1))
+        assert not hasattr(m, "values")
+
+
+class TestValidate:
+    def test_bad_rowptr_start(self):
+        m = BoolCsr.empty((2, 2))
+        m.rowptr[0] = 1
+        with pytest.raises(InvalidArgumentError):
+            m.validate()
+
+    def test_decreasing_rowptr(self):
+        m = BoolCsr((2, 2), np.array([0, 2, 1], np.uint32), np.array([0, 1], np.uint32))
+        with pytest.raises(InvalidArgumentError):
+            m.validate()
+
+    def test_unsorted_row_rejected(self):
+        m = BoolCsr((1, 4), np.array([0, 2], np.uint32), np.array([3, 1], np.uint32))
+        with pytest.raises(InvalidArgumentError):
+            m.validate()
+
+    def test_duplicate_in_row_rejected(self):
+        m = BoolCsr((1, 4), np.array([0, 2], np.uint32), np.array([1, 1], np.uint32))
+        with pytest.raises(InvalidArgumentError):
+            m.validate()
+
+    def test_column_bound(self):
+        m = BoolCsr((1, 2), np.array([0, 1], np.uint32), np.array([5], np.uint32))
+        with pytest.raises(IndexOutOfBoundsError):
+            m.validate()
+
+
+class TestEquality:
+    def test_pattern_equal(self):
+        a = BoolCsr.from_coo([0, 1], [1, 0], (2, 2))
+        b = BoolCsr.from_coo([1, 0], [0, 1], (2, 2))
+        assert a.pattern_equal(b)
+
+    def test_pattern_differs(self):
+        a = BoolCsr.from_coo([0], [1], (2, 2))
+        b = BoolCsr.from_coo([0], [0], (2, 2))
+        assert not a.pattern_equal(b)
+        c = BoolCsr.from_coo([0], [1], (2, 3))
+        assert not a.pattern_equal(c)

@@ -1,0 +1,133 @@
+"""Unit tests for doubly-compressed sparse row storage."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IndexOutOfBoundsError, InvalidArgumentError
+from repro.formats import BoolCoo, BoolCsr, BoolDcsr, convert
+
+
+class TestConstruction:
+    def test_empty(self):
+        m = BoolDcsr.empty((5, 5))
+        m.validate()
+        assert m.nnz == 0
+        assert m.nrows_nonempty == 0
+
+    def test_identity(self):
+        m = BoolDcsr.identity(4)
+        m.validate()
+        assert m.nnz == 4
+        assert m.nrows_nonempty == 4
+
+    def test_from_coo_canonicalizes(self):
+        m = BoolDcsr.from_coo([5, 0, 5, 0], [1, 2, 1, 2], (8, 4))
+        m.validate()
+        assert m.nnz == 2
+        assert m.active_rows.tolist() == [0, 5]
+
+    def test_bounds(self):
+        with pytest.raises(IndexOutOfBoundsError):
+            BoolDcsr.from_coo([9], [0], (5, 5))
+        with pytest.raises(IndexOutOfBoundsError):
+            BoolDcsr.from_coo([0], [9], (5, 5))
+
+    def test_round_trip_dense(self, rng):
+        for _ in range(10):
+            d = rng.random((17, 11)) < 0.15
+            m = BoolDcsr.from_dense(d)
+            m.validate()
+            assert np.array_equal(m.to_dense(), d)
+
+
+class TestAccess:
+    def test_active_and_inactive_rows(self):
+        m = BoolDcsr.from_coo([2, 2, 7], [1, 3, 0], (10, 5))
+        assert m.row(2).tolist() == [1, 3]
+        assert m.row(7).tolist() == [0]
+        assert m.row(0).tolist() == []
+        assert m.row(9).tolist() == []
+        with pytest.raises(IndexOutOfBoundsError):
+            m.row(10)
+
+    def test_get(self):
+        m = BoolDcsr.from_coo([1], [2], (3, 4))
+        assert m.get(1, 2)
+        assert not m.get(1, 3)
+        assert not m.get(0, 2)
+        with pytest.raises(IndexOutOfBoundsError):
+            m.get(0, 7)
+
+    def test_copy(self):
+        m = BoolDcsr.from_coo([0, 4], [1, 1], (5, 2))
+        assert m.copy().pattern_equal(m)
+
+
+class TestMemoryModel:
+    def test_formula(self):
+        m = BoolDcsr.from_coo([0, 0, 7], [1, 2, 0], (100, 10))
+        # 2 active rows -> (2*2 + 1 + 3) * 4
+        assert m.memory_bytes() == (2 * 2 + 1 + 3) * 4
+
+    def test_hypersparse_beats_csr_and_coo(self):
+        """Few dense-ish rows in a huge matrix: DCSR < CSR and < COO."""
+        rows = np.repeat([3, 70000], 8)
+        cols = np.tile(np.arange(8), 2)
+        shape = (100_000, 10)
+        dcsr = BoolDcsr.from_coo(rows, cols, shape)
+        csr = BoolCsr.from_coo(rows, cols, shape)
+        coo = BoolCoo.from_coo(rows, cols, shape)
+        assert dcsr.memory_bytes() < csr.memory_bytes()
+        assert dcsr.memory_bytes() < coo.memory_bytes()
+
+    def test_dense_rows_approach_csr(self):
+        """All rows active: DCSR ≈ CSR + one extra array."""
+        n = 64
+        rows = np.repeat(np.arange(n), 2)
+        cols = np.tile([0, 1], n)
+        dcsr = BoolDcsr.from_coo(rows, cols, (n, n))
+        csr = BoolCsr.from_coo(rows, cols, (n, n))
+        assert dcsr.memory_bytes() == csr.memory_bytes() + n * 4
+
+
+class TestValidate:
+    def test_empty_active_row_rejected(self):
+        m = BoolDcsr(
+            (4, 4),
+            np.array([0, 1], np.uint32),
+            np.array([0, 1, 1], np.uint32),  # row 1 would be empty
+            np.array([0], np.uint32),
+        )
+        with pytest.raises(InvalidArgumentError):
+            m.validate()
+
+    def test_unsorted_active_rows_rejected(self):
+        m = BoolDcsr(
+            (4, 4),
+            np.array([2, 0], np.uint32),
+            np.array([0, 1, 2], np.uint32),
+            np.array([0, 0], np.uint32),
+        )
+        with pytest.raises(InvalidArgumentError):
+            m.validate()
+
+    def test_unsorted_columns_rejected(self):
+        m = BoolDcsr(
+            (2, 4),
+            np.array([0], np.uint32),
+            np.array([0, 2], np.uint32),
+            np.array([3, 1], np.uint32),
+        )
+        with pytest.raises(InvalidArgumentError):
+            m.validate()
+
+
+class TestConvert:
+    def test_all_round_trips(self, rng):
+        d = rng.random((12, 9)) < 0.2
+        base = BoolCsr.from_dense(d)
+        dcsr = convert.convert(base, "dcsr")
+        assert dcsr.kind == "dcsr"
+        for kind in ("csr", "coo", "valcsr", "bit"):
+            back = convert.convert(convert.convert(dcsr, kind), "dcsr")
+            assert back.pattern_equal(dcsr), kind

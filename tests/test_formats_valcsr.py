@@ -1,0 +1,76 @@
+"""Unit tests for value-carrying CSR (the generic-library layout)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IndexOutOfBoundsError, InvalidArgumentError
+from repro.formats.csr import BoolCsr
+from repro.formats.valcsr import ValCsr
+
+
+class TestConstruction:
+    def test_default_values_are_ones(self):
+        m = ValCsr.from_coo([0, 1], [1, 0], (2, 2))
+        m.validate()
+        assert m.values.tolist() == [1.0, 1.0]
+        assert m.values.dtype == np.float32
+
+    def test_duplicates_sum(self):
+        m = ValCsr.from_coo([0, 0], [1, 1], (1, 2), [2.0, 3.0])
+        assert m.nnz == 1
+        assert m.values.tolist() == [5.0]
+
+    def test_explicit_dtype(self):
+        m = ValCsr.from_coo([0], [0], (1, 1), dtype=np.float64)
+        assert m.values.dtype == np.float64
+
+    def test_values_length_mismatch(self):
+        with pytest.raises(InvalidArgumentError):
+            ValCsr.from_coo([0, 1], [0, 1], (2, 2), [1.0])
+
+    def test_from_dense_values(self):
+        d = np.array([[0.0, 2.5], [0.0, 0.0]])
+        m = ValCsr.from_dense(d)
+        assert m.nnz == 1
+        assert m.values.tolist() == [2.5]
+
+
+class TestMemoryModel:
+    def test_memory_exceeds_boolean(self):
+        """The extra values array is the baseline's storage penalty."""
+        coords = ([0, 1, 2, 3], [1, 2, 3, 0])
+        generic = ValCsr.from_coo(*coords, (4, 4))
+        boolean = BoolCsr.from_coo(*coords, (4, 4))
+        assert generic.memory_bytes() == boolean.memory_bytes() + 4 * 4
+
+    def test_float64_doubles_value_plane(self):
+        coords = ([0, 1], [1, 0])
+        f32 = ValCsr.from_coo(*coords, (2, 2), dtype=np.float32)
+        f64 = ValCsr.from_coo(*coords, (2, 2), dtype=np.float64)
+        assert f64.memory_bytes() - f32.memory_bytes() == 2 * 4
+
+
+class TestAccess:
+    def test_row(self):
+        m = ValCsr.from_coo([0, 0, 1], [0, 2, 1], (2, 3), [1.0, 2.0, 3.0])
+        cols, vals = m.row(0)
+        assert cols.tolist() == [0, 2]
+        assert vals.tolist() == [1.0, 2.0]
+        with pytest.raises(IndexOutOfBoundsError):
+            m.row(5)
+
+    def test_get_pattern(self):
+        m = ValCsr.from_coo([0], [1], (2, 2))
+        assert m.get(0, 1) and not m.get(1, 1)
+
+    def test_pattern_copy(self):
+        m = ValCsr.from_coo([0, 1], [0, 1], (2, 2), [7.0, 9.0])
+        p = m.pattern()
+        assert p.values.tolist() == [1.0, 1.0]
+        assert p.pattern_equal(m)
+
+    def test_copy_independent(self):
+        m = ValCsr.from_coo([0], [0], (1, 1), [3.0])
+        c = m.copy()
+        c.values[0] = 5.0
+        assert m.values[0] == 3.0

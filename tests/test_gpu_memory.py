@@ -1,0 +1,131 @@
+"""Unit tests for the device memory arena (the accounting substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceMemoryError, InvalidArgumentError
+from repro.gpu.memory import MemoryArena
+
+
+class TestAlloc:
+    def test_basic_alloc_free(self):
+        arena = MemoryArena(capacity_bytes=1 << 20)
+        buf = arena.alloc(10, np.uint32)
+        assert buf.nbytes == 40
+        assert buf.nbytes_padded == 256  # alignment rounding
+        assert arena.live_bytes == 256
+        buf.free()
+        assert arena.live_bytes == 0
+
+    def test_alignment_rounding(self):
+        arena = MemoryArena(alignment=256)
+        buf = arena.alloc(300, np.uint8)
+        assert buf.nbytes_padded == 512
+        buf.free()
+
+    def test_2d_shape(self):
+        arena = MemoryArena()
+        buf = arena.alloc((4, 8), np.uint32)
+        assert buf.data.shape == (4, 8)
+        buf.free()
+
+    def test_zero_size(self):
+        arena = MemoryArena()
+        buf = arena.alloc(0, np.uint32)
+        assert buf.nbytes == 0
+        assert buf.nbytes_padded == 0
+        buf.free()
+        assert arena.live_bytes == 0
+
+    def test_negative_shape_rejected(self):
+        arena = MemoryArena()
+        with pytest.raises(InvalidArgumentError):
+            arena.alloc(-1, np.uint32)
+
+    def test_capacity_enforced(self):
+        arena = MemoryArena(capacity_bytes=1024)
+        arena.alloc(256, np.uint8)  # kept live by the arena stats
+        with pytest.raises(DeviceMemoryError):
+            arena.alloc(2048, np.uint8)
+
+    def test_bad_capacity(self):
+        with pytest.raises(InvalidArgumentError):
+            MemoryArena(capacity_bytes=0)
+
+    def test_bad_alignment(self):
+        with pytest.raises(InvalidArgumentError):
+            MemoryArena(alignment=100)
+
+
+class TestFree:
+    def test_double_free_raises(self):
+        arena = MemoryArena()
+        buf = arena.alloc(4, np.uint32)
+        buf.free()
+        with pytest.raises(DeviceMemoryError):
+            arena.free(buf)
+
+    def test_use_after_free_raises(self):
+        arena = MemoryArena()
+        buf = arena.alloc(4, np.uint32)
+        buf.free()
+        with pytest.raises(DeviceMemoryError):
+            _ = buf.data
+
+    def test_foreign_buffer_rejected(self):
+        a1 = MemoryArena()
+        a2 = MemoryArena()
+        buf = a1.alloc(4, np.uint32)
+        with pytest.raises(DeviceMemoryError):
+            a2.free(buf)
+        buf.free()
+
+    def test_gc_reclaims(self):
+        arena = MemoryArena()
+        buf = arena.alloc(4, np.uint32)
+        assert arena.live_bytes > 0
+        del buf
+        import gc
+
+        gc.collect()
+        assert arena.live_bytes == 0
+
+
+class TestStats:
+    def test_peak_tracking(self):
+        arena = MemoryArena()
+        a = arena.alloc(1000, np.uint32)
+        b = arena.alloc(1000, np.uint32)
+        peak_two = arena.peak_bytes
+        a.free()
+        assert arena.peak_bytes == peak_two  # peak survives frees
+        arena.reset_peak()
+        assert arena.peak_bytes == arena.live_bytes
+        b.free()
+
+    def test_counters(self):
+        arena = MemoryArena()
+        a = arena.alloc(8, np.uint8)
+        b = arena.alloc(8, np.uint8)
+        a.free()
+        stats = arena.stats()
+        assert stats.alloc_count == 2
+        assert stats.free_count == 1
+        assert stats.live_buffers == 1
+        b.free()
+
+    def test_check_balanced(self):
+        arena = MemoryArena()
+        buf = arena.alloc(8, np.uint8)
+        with pytest.raises(DeviceMemoryError):
+            arena.check_balanced()
+        buf.free()
+        arena.check_balanced()  # no raise
+
+    def test_to_device_copies(self):
+        arena = MemoryArena()
+        host = np.arange(10, dtype=np.uint32)
+        buf = arena.to_device(host)
+        host[0] = 99
+        assert buf.data[0] == 0  # independent copy
+        buf.free()

@@ -1,0 +1,165 @@
+"""Grammar substrate tests: CFG parsing, wCNF transform, RSM lowering."""
+
+import pytest
+
+from repro.automata.regex_ast import Symbol
+from repro.errors import InvalidArgumentError
+from repro.grammar import CFG, RSM, to_wcnf
+from repro.grammar.cfg import EPS, Production, fresh_symbol
+from repro.grammar.cnf import _validate_wcnf
+
+
+class TestCfgParsing:
+    def test_basic(self):
+        g = CFG.from_text("S -> a S b | eps")
+        assert g.start == "S"
+        assert g.terminals == {"a", "b"}
+        assert Production("S", ()) in g.productions
+
+    def test_multiple_nonterminals(self):
+        g = CFG.from_text("S -> A B\nA -> a\nB -> b")
+        assert g.nonterminals == {"S", "A", "B"}
+        assert g.terminals == {"a", "b"}
+
+    def test_comments_and_blank_lines(self):
+        g = CFG.from_text("# same generation\n\nS -> ~a S a | ~a a\n")
+        assert g.terminals == {"a", "~a"}
+
+    def test_explicit_start(self):
+        g = CFG.from_text("A -> a\nB -> b", start="B")
+        assert g.start == "B"
+
+    def test_errors(self):
+        with pytest.raises(InvalidArgumentError):
+            CFG.from_text("S = a")
+        with pytest.raises(InvalidArgumentError):
+            CFG.from_text("S X -> a")
+        with pytest.raises(InvalidArgumentError):
+            CFG.from_text("")
+        with pytest.raises(InvalidArgumentError):
+            CFG.from_text("S -> a eps b")
+
+    def test_duplicate_productions_removed(self):
+        g = CFG.from_text("S -> a | a")
+        assert len(g.productions) == 1
+
+    def test_to_text_round_trip(self):
+        g = CFG.from_text("S -> a S b | eps\nT -> c")
+        g2 = CFG.from_text(g.to_text())
+        assert set(g2.productions) == set(g.productions)
+        assert g2.start == g.start
+
+    def test_nullable(self):
+        g = CFG.from_text("S -> A B\nA -> eps\nB -> b | eps")
+        assert g.nullable_nonterminals() == {"S", "A", "B"}
+
+    def test_generates_oracle(self):
+        g = CFG.from_text("S -> a S b | eps")
+        assert g.generates(())
+        assert g.generates(("a", "b"))
+        assert g.generates(("a", "a", "b", "b"))
+        assert not g.generates(("a",))
+        assert not g.generates(("b", "a"))
+
+
+class TestWcnf:
+    def test_forms_enforced(self):
+        for text in [
+            "S -> a S b | eps",
+            "S -> A B C d\nA -> a\nB -> eps\nC -> c | S",
+            "S -> S S | a",
+        ]:
+            w = to_wcnf(CFG.from_text(text))
+            _validate_wcnf(w)  # no raise
+
+    def test_language_preserved(self):
+        g = CFG.from_text("S -> a S b | eps")
+        w = to_wcnf(g)
+        for word, expect in [
+            ((), True),
+            (("a", "b"), True),
+            (("a", "a", "b", "b"), True),
+            (("a", "b", "a"), False),
+        ]:
+            assert g.generates(word) == expect
+            assert w.generates(word) == expect
+
+    def test_unit_chains_eliminated(self):
+        g = CFG.from_text("S -> A\nA -> B\nB -> b")
+        w = to_wcnf(g)
+        _validate_wcnf(w)
+        assert w.generates(("b",))
+
+    def test_nullable_middle(self):
+        g = CFG.from_text("S -> a M b\nM -> eps | m")
+        w = to_wcnf(g)
+        assert w.generates(("a", "b"))
+        assert w.generates(("a", "m", "b"))
+        assert not w.generates(("a",))
+
+    def test_recursive_start_gets_fresh(self):
+        g = CFG.from_text("S -> a S | eps")
+        w = to_wcnf(g)
+        assert w.start != "S"
+        assert w.generates(())
+        assert w.generates(("a",))
+
+    def test_size_growth_recorded(self):
+        """The wCNF blowup the paper blames for Mtx slowdowns."""
+        g = CFG.from_text("S -> a b c d e f g h")
+        w = to_wcnf(g)
+        assert len(w.productions) > len(g.productions)
+
+
+class TestRsm:
+    def test_from_cfg_boxes(self):
+        g = CFG.from_text("S -> a S b | a b")
+        rsm = RSM.from_cfg(g)
+        assert rsm.nonterminals == {"S"}
+        assert rsm.terminals == {"a", "b"}
+        assert rsm.start_nonterminal == "S"
+        assert rsm.n_states > 0
+
+    def test_from_regex_rules(self):
+        rsm = RSM.from_regex_rules("S", {"S": "a T* b", "T": "c"})
+        assert rsm.nonterminals == {"S", "T"}
+        assert rsm.terminals == {"a", "b", "c"}
+
+    def test_missing_start_box(self):
+        with pytest.raises(InvalidArgumentError):
+            RSM.from_regex_rules("S", {"T": "a"})
+
+    def test_nullable_boxes(self):
+        rsm = RSM.from_regex_rules("S", {"S": "a*", "T": "a+"})
+        assert rsm.nullable_nonterminals() == {"S"}
+
+    def test_global_numbering_disjoint(self):
+        rsm = RSM.from_regex_rules("S", {"S": "a", "T": "b"})
+        s_states = set(rsm.boxes["S"].states)
+        t_states = set(rsm.boxes["T"].states)
+        assert not (s_states & t_states)
+        assert len(s_states | t_states) == rsm.n_states
+
+    def test_transition_matrices(self, cpu_ctx):
+        rsm = RSM.from_regex_rules("S", {"S": "a T\nT".replace("\nT", " T"), "T": "b"})
+        mats = rsm.transition_matrices(cpu_ctx)
+        assert set(mats) == {"a", "b", "T"}
+        for m in mats.values():
+            assert m.shape == (rsm.n_states, rsm.n_states)
+
+    def test_nonterminal_transitions_present(self):
+        rsm = RSM.from_regex_rules("S", {"S": "a S b | c"})
+        assert "S" in rsm.transitions  # self-reference as an edge label
+
+
+class TestHelpers:
+    def test_fresh_symbol(self):
+        assert fresh_symbol("X", {"Y"}) == "X"
+        assert fresh_symbol("X", {"X"}) == "X_0"
+        assert fresh_symbol("X", {"X", "X_0"}) == "X_1"
+
+    def test_production_validation(self):
+        with pytest.raises(InvalidArgumentError):
+            Production("", ("a",))
+        with pytest.raises(InvalidArgumentError):
+            Production("S", (EPS,))

@@ -1,0 +1,150 @@
+"""Matrix Market and edge-list I/O tests."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidArgumentError
+from repro.graph import LabeledGraph
+from repro.io import (
+    read_edge_list,
+    read_matrix_market,
+    write_edge_list,
+    write_matrix_market,
+)
+
+
+class TestMatrixMarket:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "m.mtx"
+        write_matrix_market(path, (4, 5), [0, 3, 1], [4, 0, 1])
+        shape, rows, cols = read_matrix_market(path)
+        assert shape == (4, 5)
+        assert sorted(zip(rows.tolist(), cols.tolist())) == [(0, 4), (1, 1), (3, 0)]
+
+    def test_pattern_header(self):
+        text = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 2\n"
+        shape, rows, cols = read_matrix_market(text)
+        assert shape == (2, 2)
+        assert rows.tolist() == [0] and cols.tolist() == [1]
+
+    def test_real_values_thresholded(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 2\n1 1 3.5\n2 2 0.0\n"
+        )
+        _, rows, _ = read_matrix_market(text)
+        assert rows.tolist() == [0]  # explicit zero dropped
+
+    def test_symmetric_expansion(self):
+        text = (
+            "%%MatrixMarket matrix coordinate pattern symmetric\n"
+            "3 3 2\n2 1\n3 3\n"
+        )
+        _, rows, cols = read_matrix_market(text)
+        pairs = sorted(zip(rows.tolist(), cols.tolist()))
+        assert pairs == [(0, 1), (1, 0), (2, 2)]
+
+    def test_comments_skipped(self):
+        text = (
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "% a comment\n\n2 2 1\n% another\n2 2\n"
+        )
+        _, rows, cols = read_matrix_market(text)
+        assert (rows.tolist(), cols.tolist()) == ([1], [1])
+
+    def test_bad_header(self):
+        with pytest.raises(InvalidArgumentError):
+            read_matrix_market("%%NotMM matrix\n1 1 0\n")
+
+    def test_unsupported_format(self):
+        with pytest.raises(InvalidArgumentError):
+            read_matrix_market("%%MatrixMarket matrix array real general\n1 1\n")
+
+    def test_count_mismatch(self):
+        text = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n"
+        with pytest.raises(InvalidArgumentError):
+            read_matrix_market(text)
+
+    def test_file_object(self):
+        buf = io.StringIO()
+        write_matrix_market(buf, (2, 2), [1], [0])
+        shape, rows, cols = read_matrix_market(io.StringIO(buf.getvalue()))
+        assert shape == (2, 2) and rows.tolist() == [1]
+
+
+class TestEdgeList:
+    def test_round_trip(self, tmp_path):
+        g = LabeledGraph.from_triples(
+            [(0, "a", 1), (1, "b", 2), (2, "a", 0), (0, "a", 0)]
+        )
+        path = tmp_path / "g.txt"
+        write_edge_list(path, g)
+        g2, ids = read_edge_list(path)
+        assert g2.n == 3
+        assert g2.num_edges == 4
+        assert g2.label_counts() == {"a": 3, "b": 1}
+
+    def test_string_vertex_names(self):
+        text = "alice knows bob\nbob knows carol\ncarol likes alice\n"
+        g, ids = read_edge_list(text)
+        assert g.n == 3
+        assert ids["alice"] == 0 and ids["bob"] == 1
+        assert ("knows" in g.edges) and ("likes" in g.edges)
+
+    def test_comments_and_blanks(self):
+        g, _ = read_edge_list("# header\n\n0 a 1\n")
+        assert g.num_edges == 1
+
+    def test_malformed_line(self):
+        with pytest.raises(InvalidArgumentError):
+            read_edge_list("0 a\n")
+
+    def test_write_with_names(self):
+        g = LabeledGraph.from_triples([(0, "x", 1)])
+        buf = io.StringIO()
+        write_edge_list(buf, g, names={"u": 0, "v": 1})
+        assert buf.getvalue().strip() == "u x v"
+
+
+class TestLabeledGraph:
+    def test_add_edge_bounds(self):
+        g = LabeledGraph(n=2)
+        with pytest.raises(InvalidArgumentError):
+            g.add_edge(0, "a", 5)
+
+    def test_from_triples_infers_n(self):
+        g = LabeledGraph.from_triples([(0, "a", 7)])
+        assert g.n == 8
+
+    def test_most_frequent_labels(self):
+        g = LabeledGraph.from_triples(
+            [(0, "a", 1), (0, "a", 2), (1, "b", 2), (0, "c", 1), (1, "c", 0)]
+        )
+        assert g.most_frequent_labels(2) == ["a", "c"]
+
+    def test_with_inverses_selected(self):
+        g = LabeledGraph.from_triples([(0, "a", 1), (1, "b", 0)])
+        gi = g.with_inverses(labels=["a"])
+        assert "~a" in gi.edges and "~b" not in gi.edges
+        assert gi.edges["~a"] == [(1, 0)]
+
+    def test_inverse_label_involutive(self):
+        from repro.graph import inverse_label
+
+        assert inverse_label("x") == "~x"
+        assert inverse_label("~x") == "x"
+
+    def test_adjacency_matrices(self, cpu_ctx):
+        g = LabeledGraph.from_triples([(0, "a", 1), (1, "a", 2), (2, "b", 0)])
+        mats = g.adjacency_matrices(cpu_ctx)
+        assert mats["a"].nnz == 2 and mats["b"].nnz == 1
+        # absent label -> empty matrix
+        mats2 = g.adjacency_matrices(cpu_ctx, labels=["zzz"])
+        assert mats2["zzz"].nnz == 0
+
+    def test_adjacency_union(self, cpu_ctx):
+        g = LabeledGraph.from_triples([(0, "a", 1), (0, "b", 1), (1, "c", 2)])
+        u = g.adjacency_union(cpu_ctx)
+        assert u.nnz == 2  # (0,1) collapses across labels

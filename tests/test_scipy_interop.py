@@ -1,0 +1,50 @@
+"""Optional SciPy interop: export/import sparse patterns."""
+
+import numpy as np
+import pytest
+
+scipy_sparse = pytest.importorskip("scipy.sparse")
+
+from .conftest import bool_mxm, random_dense
+
+
+class TestScipyInterop:
+    def test_round_trip(self, ctx, rng):
+        d = random_dense(rng, (13, 9), 0.25)
+        m = ctx.matrix_from_dense(d)
+        sp = m.to_scipy()
+        assert sp.shape == (13, 9)
+        assert np.array_equal(sp.toarray(), d)
+        back = ctx.matrix_from_scipy(sp)
+        assert back.equals(m)
+
+    def test_import_drops_explicit_zeros(self, ctx):
+        sp = scipy_sparse.csr_matrix(
+            (np.array([1.0, 0.0]), (np.array([0, 1]), np.array([0, 1]))),
+            shape=(2, 2),
+        )
+        m = ctx.matrix_from_scipy(sp)
+        assert m.nnz == 1
+        assert (0, 0) in m and (1, 1) not in m
+
+    def test_mxm_agrees_with_scipy(self, ctx, rng):
+        a = random_dense(rng, (20, 15), 0.2)
+        b = random_dense(rng, (15, 10), 0.2)
+        ours = (ctx.matrix_from_dense(a) @ ctx.matrix_from_dense(b)).to_scipy()
+        theirs = (
+            scipy_sparse.csr_matrix(a).astype(int)
+            @ scipy_sparse.csr_matrix(b).astype(int)
+        ) > 0
+        assert np.array_equal(ours.toarray(), theirs.toarray())
+
+    def test_import_coo_and_csc(self, ctx, rng):
+        d = random_dense(rng, (7, 7), 0.3)
+        for fmt in ("coo", "csc", "csr"):
+            sp = scipy_sparse.random(
+                7, 7, density=0.0, format=fmt
+            )  # empty of each format
+            assert ctx.matrix_from_scipy(sp).nnz == 0
+            sp2 = getattr(scipy_sparse, f"{fmt}_matrix")(d)
+            assert np.array_equal(
+                ctx.matrix_from_scipy(sp2).to_dense(), d
+            )

@@ -1,0 +1,99 @@
+"""Min-plus shortest paths (the custom-semiring extension)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    all_pairs_shortest_paths,
+    single_source_shortest_paths,
+    weight_matrix,
+)
+from repro.errors import InvalidArgumentError
+from repro.graph import LabeledGraph
+
+
+def random_weighted(rng, n, m, max_w=9):
+    w = np.full((n, n), np.inf)
+    g = nx.DiGraph()
+    g.add_nodes_from(range(n))
+    for _ in range(m):
+        u, v = (int(x) for x in rng.integers(0, n, 2))
+        if u == v:
+            continue
+        wt = float(rng.integers(1, max_w + 1))
+        if wt < w[u, v]:
+            w[u, v] = wt
+            g.add_edge(u, v, weight=wt)
+    return w, g
+
+
+class TestApsp:
+    def test_matches_dijkstra(self, rng):
+        for _ in range(5):
+            n = int(rng.integers(3, 18))
+            w, g = random_weighted(rng, n, 4 * n)
+            d = all_pairs_shortest_paths(w)
+            ref = dict(nx.all_pairs_dijkstra_path_length(g))
+            for u in range(n):
+                for v in range(n):
+                    assert d[u, v] == ref.get(u, {}).get(v, np.inf)
+
+    def test_diagonal_zero(self, rng):
+        w, _ = random_weighted(rng, 10, 30)
+        d = all_pairs_shortest_paths(w)
+        assert np.all(np.diag(d) == 0.0)
+
+    def test_negative_edges_ok(self):
+        w = np.array([[np.inf, -1.0], [np.inf, np.inf]])
+        d = all_pairs_shortest_paths(w)
+        assert d[0, 1] == -1.0
+
+    def test_negative_cycle_rejected(self):
+        w = np.array([[np.inf, 1.0], [-3.0, np.inf]])
+        with pytest.raises(InvalidArgumentError):
+            all_pairs_shortest_paths(w)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            all_pairs_shortest_paths(np.zeros((2, 3)))
+
+
+class TestSingleSource:
+    def test_matches_apsp_row(self, rng):
+        w, _ = random_weighted(rng, 15, 50)
+        d = all_pairs_shortest_paths(w)
+        for src in (0, 7, 14):
+            row = single_source_shortest_paths(w, src)
+            assert np.array_equal(row, d[src]) or np.allclose(
+                row, d[src], equal_nan=True
+            )
+
+    def test_bad_source(self):
+        with pytest.raises(InvalidArgumentError):
+            single_source_shortest_paths(np.full((3, 3), np.inf), 5)
+
+    def test_negative_cycle_detected(self):
+        w = np.full((3, 3), np.inf)
+        w[0, 1] = 1.0
+        w[1, 2] = -2.0
+        w[2, 1] = -2.0
+        with pytest.raises(InvalidArgumentError):
+            single_source_shortest_paths(w, 0)
+
+
+class TestWeightMatrix:
+    def test_labels_and_defaults(self):
+        g = LabeledGraph.from_triples([(0, "a", 1), (1, "b", 2), (0, "b", 1)])
+        w = weight_matrix(g, {"a": 5.0})
+        assert w[0, 1] == 1.0  # parallel (0,1): min(a=5, b=default 1)
+        assert w[1, 2] == 1.0
+        assert np.isinf(w[2, 0])
+
+    def test_end_to_end(self):
+        g = LabeledGraph.from_triples(
+            [(0, "road", 1), (1, "road", 2), (0, "rail", 2)]
+        )
+        w = weight_matrix(g, {"road": 1.0, "rail": 3.0})
+        d = all_pairs_shortest_paths(w)
+        assert d[0, 2] == 2.0  # two roads beat one rail

@@ -1,0 +1,111 @@
+"""Single-path witness recording and reconstruction (Mtx semantics)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.cfpq import matrix_cfpq, naive_cfpq, tensor_cfpq
+from repro.cfpq.witnesses import SinglePath, WitnessTable
+from repro.errors import InvalidArgumentError, InvalidStateError
+from repro.grammar import CFG
+from repro.graph import LabeledGraph
+
+AN_BN = CFG.from_text("S -> a S b | a b")
+DYCK = CFG.from_text("S -> a S b S | eps")
+SAME_GEN = CFG.from_text("S -> ~a S a | ~a a")
+
+
+def random_graph(rng, n, labels=("a", "b"), per_label=8):
+    g = LabeledGraph(n=n)
+    for lab in labels:
+        for _ in range(per_label):
+            g.add_edge(int(rng.integers(n)), lab, int(rng.integers(n)))
+    return g
+
+
+class TestWitnessTable:
+    def test_terminal_and_epsilon(self):
+        t = WitnessTable()
+        t.record_terminal("S", 0, 1, "a")
+        t.record_epsilon("S", 2)
+        assert t.reconstruct("S", 0, 1) == SinglePath((0, 1), ("a",))
+        assert t.reconstruct("S", 2, 2) == SinglePath((2,), ())
+
+    def test_split_reconstruction(self):
+        t = WitnessTable()
+        t.record_terminal("A", 0, 1, "a")
+        t.record_terminal("B", 1, 2, "b")
+        t.record_split("S", 0, 2, "A", "B", 1)
+        assert t.reconstruct("S", 0, 2) == SinglePath((0, 1, 2), ("a", "b"))
+
+    def test_first_record_wins(self):
+        t = WitnessTable()
+        t.record_terminal("S", 0, 1, "a")
+        t.record_terminal("S", 0, 1, "b")  # ignored
+        assert t.reconstruct("S", 0, 1).labels == ("a",)
+
+    def test_missing_fact(self):
+        with pytest.raises(InvalidArgumentError):
+            WitnessTable().reconstruct("S", 0, 1)
+
+
+class TestMatrixCfpqWitnesses:
+    @pytest.mark.parametrize(
+        "grammar", [AN_BN, DYCK, SAME_GEN], ids=["anbn", "dyck", "samegen"]
+    )
+    def test_every_fact_witnessed_and_valid(self, cubool_ctx, rng, grammar):
+        for _ in range(4):
+            g = random_graph(rng, int(rng.integers(3, 9))).with_inverses()
+            mi = matrix_cfpq(g, grammar, cubool_ctx, record_witnesses=True)
+            facts = mi.pairs()
+            assert facts == naive_cfpq(g, grammar)[grammar.start]
+            for (u, v) in facts:
+                p = mi.extract_single_path(u, v)
+                assert p.vertices[0] == u and p.vertices[-1] == v
+                for x, y, lab in zip(p.vertices, p.vertices[1:], p.labels):
+                    assert (x, y) in g.edges[lab]
+                assert grammar.generates(p.labels)
+            mi.free()
+
+    def test_without_recording_raises(self, cubool_ctx, rng):
+        g = random_graph(rng, 5)
+        mi = matrix_cfpq(g, AN_BN, cubool_ctx)
+        with pytest.raises(InvalidStateError):
+            mi.extract_single_path(0, 1)
+        mi.free()
+
+    def test_epsilon_witness(self, cubool_ctx):
+        g = LabeledGraph(n=3)
+        g.add_edge(0, "a", 1)
+        mi = matrix_cfpq(g, DYCK, cubool_ctx, record_witnesses=True)
+        p = mi.extract_single_path(2, 2)
+        assert len(p) == 0 and p.vertices == (2,)
+        mi.free()
+
+    def test_single_path_agrees_with_all_paths(self, cubool_ctx, rng):
+        """The single witnessed path must be among the tensor index's
+        all-paths enumeration (when enumeration is exhaustive)."""
+        g = LabeledGraph(n=5)
+        for v, lab in [(0, "a"), (1, "a"), (2, "b"), (3, "b")]:
+            g.add_edge(v, lab, v + 1)
+        mi = matrix_cfpq(g, AN_BN, cubool_ctx, record_witnesses=True)
+        ti = tensor_cfpq(g, AN_BN, cubool_ctx)
+        from repro.cfpq import extract_paths
+
+        single = mi.extract_single_path(0, 4)
+        all_paths = extract_paths(ti, 0, 4, max_paths=100, max_length=10)
+        assert (single.vertices, single.labels) in {
+            (p.vertices, p.labels) for p in all_paths
+        }
+        mi.free()
+        ti.free()
+
+    def test_witness_timing_excluded_from_stats(self, cubool_ctx, rng):
+        g = random_graph(rng, 6)
+        plain = matrix_cfpq(g, AN_BN, cubool_ctx)
+        with_w = matrix_cfpq(g, AN_BN, cubool_ctx, record_witnesses=True)
+        # Witness construction must not change the measured algorithm.
+        assert with_w.stats["iterations"] == plain.stats["iterations"]
+        assert with_w.witnesses is not None and plain.witnesses is None
+        plain.free()
+        with_w.free()
