@@ -264,7 +264,15 @@ def _report():
         "path-semantics",
     ):
         if key in _LINES:
-            blocks.append(titles[key] + "\n" + "\n".join(_LINES[key]))
+            block = titles[key] + "\n" + "\n".join(_LINES[key])
+            if key == "dense-crossover":
+                block += (
+                    "\nmeasured crossover: between d=0.01 and d=0.05 at n=512; "
+                    "the hybrid backend dispatches on d*=0.02 by default "
+                    "(fine-grained sweep: reports/E11_hybrid_crossover.txt, "
+                    "toggle with REPRO_HYBRID)"
+                )
+            blocks.append(block)
     add_report("E9_ablations", "\n\n".join(blocks))
 
 

@@ -1,0 +1,163 @@
+"""E11 — the hybrid backend's measured sparse/bit crossover.
+
+Two questions the dispatch cost model must answer correctly:
+
+1. **Where is the real crossover?**  Sweep density for a fixed-size
+   square multiply, timing always-sparse, always-bit, and the adaptive
+   hybrid.  The hybrid must track the winner at every density — never
+   slower than always-sparse at low density (beyond noise), and close
+   to always-bit once dense.
+2. **Does residency pay off end-to-end?**  Transitive closure of a
+   dense-ish graph (the acceptance workload: density ≥ 0.05, n ≥ 512)
+   under the pure sparse path vs the hybrid, with arena peak memory for
+   both — fixpoint intermediates densify fast, so the hybrid should win
+   well over 2x while the packed intermediates also shrink the peak.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+import repro
+from repro.algorithms.closure import transitive_closure
+
+from .conftest import BENCH_SCALE, add_report, defer_report, timed_runs
+
+_LINES: dict[str, list[str]] = {}
+
+#: Allowed hybrid-vs-sparse slowdown at sparse-favored densities (the
+#: dispatcher adds one cost-model evaluation per op; "never slower,
+#: within noise").
+NOISE_FACTOR = 1.25
+
+
+def _log(section: str, line: str) -> None:
+    _LINES.setdefault(section, []).append(line)
+
+
+class TestCrossoverSweep:
+    @pytest.mark.parametrize(
+        "density", [0.001, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2]
+    )
+    def test_mxm_crossover(self, benchmark, density):
+        n = max(64, int(512 * BENCH_SCALE))
+        rng = np.random.default_rng(21)
+        d = rng.random((n, n)) < density
+
+        times = {}
+        routed = "?"
+        for mode in ("sparse", "bit", "auto"):
+            ctx = repro.Context(backend="cubool", hybrid=mode)
+            m = ctx.matrix_from_dense(d)
+            if mode == "bit":
+                # Pre-pack so the sweep times the kernel, not conversion
+                # (the fixpoint workload below pays conversion once).
+                ctx.backend._ensure_bit(m.handle)
+            mean, _ = timed_runs(lambda: m.mxm(m).free(), runs=3)
+            times[mode] = mean
+            if mode == "auto":
+                counts = ctx.backend.dispatch_counts["mxm"]
+                routed = max(counts, key=counts.get)
+            ctx.finalize()
+        _log(
+            "sweep",
+            f"n={n} density={density:6.3f} "
+            f"sparse={times['sparse'] * 1e3:8.1f} ms "
+            f"bit={times['bit'] * 1e3:8.1f} ms "
+            f"hybrid={times['auto'] * 1e3:8.1f} ms "
+            f"(routed {routed})",
+        )
+        # The adaptive path must track the winner at both extremes.
+        assert times["auto"] <= max(times["sparse"], times["bit"]) * NOISE_FACTOR
+        if density <= 0.005:
+            assert times["auto"] <= times["sparse"] * NOISE_FACTOR
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+class TestClosureSpeedup:
+    def test_transitive_closure_densifying(self, benchmark):
+        """Acceptance: >= 2x on closure of a dense-ish graph, with
+        memory accounted on both paths."""
+        n = max(128, int(512 * BENCH_SCALE))
+        density = 0.05
+        rng = np.random.default_rng(22)
+        adj = rng.random((n, n)) < density
+
+        results = {}
+        for mode, label in ((False, "sparse-only"), ("auto", "hybrid")):
+            ctx = repro.Context(backend="cubool", hybrid=mode)
+            m = ctx.matrix_from_dense(adj)
+            live = ctx.device.arena.live_bytes
+            ctx.device.arena.reset_peak()
+            # One timed run per path: the gap is orders of magnitude, so
+            # run-to-run noise is irrelevant (and the sparse-only run
+            # takes tens of seconds at this density).
+            t0 = time.perf_counter()
+            closure = transitive_closure(m)
+            mean = time.perf_counter() - t0
+            peak = ctx.device.arena.peak_bytes - live
+            nnz = closure.nnz
+            closure.free()
+            results[label] = (mean, peak, nnz)
+            _log(
+                "closure",
+                f"{label:12s} n={n} d={density} time={mean * 1e3:9.1f} ms "
+                f"op-peak={peak / 1024:9.1f} KiB closure-nnz={nnz}",
+            )
+            ctx.finalize()
+
+        assert results["sparse-only"][2] == results["hybrid"][2], "pattern mismatch"
+        speedup = results["sparse-only"][0] / max(results["hybrid"][0], 1e-9)
+        _log("closure", f"hybrid speedup: {speedup:.2f}x (acceptance: >= 2x)")
+        assert speedup >= 2.0
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    def test_low_density_closure_not_slower(self, benchmark):
+        """On a hyper-sparse graph the hybrid must ride the sparse path
+        and stay within noise of it."""
+        n = max(128, int(1024 * BENCH_SCALE))
+        # ~0.5 edges per row: below the percolation threshold, so the
+        # closure stays sparse all the way to the fixpoint.
+        density = 0.5 / n
+        rng = np.random.default_rng(23)
+        adj = rng.random((n, n)) < density
+
+        times = {}
+        for mode, label in ((False, "sparse-only"), ("auto", "hybrid")):
+            ctx = repro.Context(backend="cubool", hybrid=mode)
+            m = ctx.matrix_from_dense(adj)
+            mean, _ = timed_runs(lambda: transitive_closure(m).free(), runs=3)
+            times[label] = mean
+            ctx.finalize()
+
+        _log(
+            "closure",
+            f"hyper-sparse n={n}: sparse-only={times['sparse-only'] * 1e3:8.1f} ms "
+            f"hybrid={times['hybrid'] * 1e3:8.1f} ms "
+            f"(ratio {times['hybrid'] / max(times['sparse-only'], 1e-9):.2f})",
+        )
+        assert times["hybrid"] <= times["sparse-only"] * NOISE_FACTOR
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def _report():
+    if not _LINES:
+        return
+    blocks = []
+    if "sweep" in _LINES:
+        blocks.append(
+            "1. mxm density sweep (sparse vs bit vs adaptive hybrid)\n"
+            + "\n".join(_LINES["sweep"])
+        )
+    if "closure" in _LINES:
+        blocks.append(
+            "2. transitive closure: pure sparse vs hybrid residency\n"
+            + "\n".join(_LINES["closure"])
+        )
+    add_report("E11_hybrid_crossover", "\n\n".join(blocks))
+
+
+defer_report(_report)

@@ -47,22 +47,26 @@ def transitive_closure(
     else:
         current = adjacency.dup()
 
+    # The fixpoint hint lets the hybrid backend keep densifying
+    # intermediates resident in bit-packed form across iterations.
     if method == "squaring":
-        while True:
-            step = current.mxm(current, accumulate=current)
-            if step.nnz == current.nnz:
-                step.free()
-                return current
-            current.free()
-            current = step
+        with ctx.backend.fixpoint():
+            while True:
+                step = current.mxm(current, accumulate=current)
+                if step.nnz == current.nnz:
+                    step.free()
+                    return current
+                current.free()
+                current = step
     elif method == "naive":
-        while True:
-            step = current.mxm(adjacency, accumulate=current)
-            if step.nnz == current.nnz:
-                step.free()
-                return current
-            current.free()
-            current = step
+        with ctx.backend.fixpoint():
+            while True:
+                step = current.mxm(adjacency, accumulate=current)
+                if step.nnz == current.nnz:
+                    step.free()
+                    return current
+                current.free()
+                current = step
     else:
         raise InvalidArgumentError(f"unknown closure method {method!r}")
 
@@ -90,13 +94,14 @@ def incremental_transitive_closure(closure: Matrix, delta: Matrix) -> Matrix:
     total = closure.ewise_add(delta)
     if delta.nnz == 0:
         return total
-    while True:
-        # One hop through at least one new edge each round:
-        left = total.mxm(delta, accumulate=total)   # paths ending with a new edge
-        grown = left.mxm(total, accumulate=left)    # extended by old/new paths
-        left.free()
-        if grown.nnz == total.nnz:
-            grown.free()
-            return total
-        total.free()
-        total = grown
+    with closure.context.backend.fixpoint():
+        while True:
+            # One hop through at least one new edge each round:
+            left = total.mxm(delta, accumulate=total)   # paths ending with a new edge
+            grown = left.mxm(total, accumulate=left)    # extended by old/new paths
+            left.free()
+            if grown.nnz == total.nnz:
+                grown.free()
+                return total
+            total.free()
+            total = grown

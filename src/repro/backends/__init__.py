@@ -12,6 +12,9 @@ format on the simulated device layer:
   runs the same pipelines but stores and moves explicit float values.
 * :mod:`repro.backends.cpu` — plain sequential reference backend used as
   the correctness oracle and as the no-accounting default.
+* :mod:`repro.backends.hybrid` — adaptive dispatcher wrapping a sparse
+  backend: a density cost model routes each operation to the sparse
+  kernels or to word-parallel bit-packed kernels (``REPRO_HYBRID``).
 
 Backends register themselves in a name → factory registry; the public
 :class:`repro.core.context.Context` selects one by name.
@@ -24,6 +27,7 @@ from repro.backends import cpu as _cpu  # noqa: F401
 from repro.backends import cubool as _cubool  # noqa: F401
 from repro.backends import clbool as _clbool  # noqa: F401
 from repro.backends import generic as _generic  # noqa: F401
+from repro.backends import hybrid as _hybrid  # noqa: F401
 
 __all__ = [
     "Backend",

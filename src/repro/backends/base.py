@@ -20,6 +20,7 @@ returns its bytes to the device arena (the C API's ``Matrix_Free``).
 from __future__ import annotations
 
 import abc
+import contextlib
 from typing import Callable, Iterable
 
 import numpy as np
@@ -192,6 +193,18 @@ class Backend(abc.ABC):
     @abc.abstractmethod
     def reduce_to_column(self, a: BackendMatrix) -> BackendMatrix:
         """OR-reduce each row: an ``m x 1`` matrix (SPbLA ``reduceToColumn``)."""
+
+    # -- hints ---------------------------------------------------------------
+
+    def fixpoint(self):
+        """Context manager hinting that the caller is entering an
+        iterative accumulate loop (closure / CFPQ / RPQ fixpoints).
+
+        The base implementation is a no-op; the hybrid backend
+        (:mod:`repro.backends.hybrid`) uses the hint for format-residency
+        hysteresis while intermediates densify.
+        """
+        return contextlib.nullcontext(self)
 
     # -- shared checks ------------------------------------------------------
 

@@ -1,0 +1,524 @@
+"""Adaptive hybrid sparse / bit-packed backend.
+
+The SPbLA paper's Boolean-specialized sparse kernels win while data is
+sparse; once density crosses a threshold, word-parallel dense multiply
+over packed 64-bit words wins (ablation E9, and the Bit-GraphBLAS /
+Karppa–Kaski line of work).  Closure and CFPQ fixpoints start sparse and
+densify, so neither regime is right for the whole run.
+
+:class:`HybridBackend` wraps one of the sparse backends (cuBool CSR or
+clBool COO) and dispatches **per operation**: a density/size cost model
+(:class:`HybridPolicy`, :func:`estimate_costs`) compares the predicted
+work of the sparse kernel against the word-parallel
+:class:`~repro.formats.bitmatrix.BitMatrix` kernel — including the cost
+of any format conversion — and routes to the cheaper one.  Conversions
+are lazy and cached on the matrix handle (:class:`HybridMatrix` holds
+*both* a sparse and a bit view), so a fixpoint loop pays packing once
+and stays resident in bit form while its intermediates densify.
+
+Cost model
+----------
+Costs are in *word-op units* (one uint64 ALU op on the simulated
+device).  For ``C = A·B`` with ``A: m x k``, ``B: k x n``:
+
+* bit kernel:     ``m * k * ceil(n / 64)`` word ops (the blocked
+  broadcast OR-reduction touches every A bit once per B word column);
+* sparse kernel:  ``alpha * nnz(A) * nnz(B) / k`` — the expected
+  multiset expansion size, scaled by ``alpha``, the measured per-product
+  overhead of hashing/sorting relative to a word op.
+
+``alpha`` is derived from the configured crossover density ``d*`` so the
+two costs break even for a square equal-density multiply exactly at
+``d*``: ``alpha = 1 / (64 * d*^2)``.  The crossover benchmark
+(``benchmarks/test_bench_hybrid_crossover.py``) measures the real
+crossover and E9 records it; the default ``d* = 0.02`` matches the
+simulated executor.
+
+Policy / ablation switches
+--------------------------
+``REPRO_HYBRID`` env var (read at :class:`~repro.core.context.Context`
+creation): ``0``/unset — pure sparse path, byte-identical to the
+wrapped backend; ``1``/``auto`` — adaptive dispatch; ``bit`` /
+``sparse`` — force one regime (used by the agreement tests).  The same
+knobs are available programmatically via ``Context(hybrid=...,
+hybrid_threshold=...)``.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import Counter
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.backends.base import Backend, BackendMatrix, get_backend, register_backend
+from repro.errors import DimensionMismatchError, InvalidArgumentError
+from repro.formats.bitmatrix import WORD_BITS, BitMatrix, _words_per_row
+from repro.gpu.device import Device
+
+#: Calibrated per-element sparse-kernel overheads, in word-op units.
+#: (Merge-path add and index-arithmetic kron move a few words per output
+#: element; SpGEMM's per-product constant is derived from the crossover
+#: density instead — see HybridPolicy.spgemm_flop_cost.)
+EWISE_SPARSE_COST = 4.0
+KRON_SPARSE_COST = 6.0
+#: Word-op cost per *output word* of the bit kron (dense block expansion
+#: + repack ≈ 8 bool bytes + 1 packed word).
+KRON_BIT_WORD_COST = 9.0
+
+
+def hybrid_mode_from_env(environ=None) -> str | None:
+    """Parse ``REPRO_HYBRID``: None (off), "auto", "bit" or "sparse"."""
+    raw = (environ if environ is not None else os.environ).get("REPRO_HYBRID", "")
+    value = raw.strip().lower()
+    if value in ("", "0", "off", "false", "no"):
+        return None
+    if value in ("1", "on", "true", "yes", "auto"):
+        return "auto"
+    if value in ("bit", "sparse"):
+        return value
+    raise InvalidArgumentError(
+        f"REPRO_HYBRID={raw!r} not understood "
+        "(use 0/1/auto/bit/sparse)"
+    )
+
+
+@dataclass(frozen=True)
+class HybridPolicy:
+    """Dispatch policy of the hybrid backend.
+
+    mode:
+        ``"auto"`` — cost-model dispatch; ``"sparse"`` / ``"bit"`` —
+        force one regime (ablation / agreement testing).
+    crossover_density:
+        Density at which sparse and bit multiply break even for a
+        square, equal-density operand pair; calibrates the sparse
+        per-product cost (see module docstring).
+    fixpoint_bias:
+        Multiplier (< 1) applied to the bit cost inside a
+        ``backend.fixpoint()`` region once an operand is already
+        bit-resident — hysteresis that keeps densifying loops from
+        thrashing between formats near the threshold.
+    max_arena_fraction:
+        Bit routing is refused when the packed operands + result would
+        push arena live bytes beyond this fraction of device capacity
+        (keeps the E0/E8 memory story honest: the dense format must
+        never OOM a workload the sparse path can run).
+    """
+
+    mode: str = "auto"
+    crossover_density: float = 0.02
+    fixpoint_bias: float = 0.5
+    max_arena_fraction: float = 0.9
+
+    def __post_init__(self):
+        if self.mode not in ("auto", "sparse", "bit"):
+            raise InvalidArgumentError(
+                f"hybrid mode {self.mode!r} not in ('auto', 'sparse', 'bit')"
+            )
+        if not 0.0 < self.crossover_density <= 1.0:
+            raise InvalidArgumentError("crossover_density must be in (0, 1]")
+
+    @property
+    def spgemm_flop_cost(self) -> float:
+        """Sparse per-product cost (word-op units) implied by the
+        crossover density: ``1 / (64 * d*^2)``."""
+        return 1.0 / (WORD_BITS * self.crossover_density**2)
+
+    @classmethod
+    def from_env(cls, environ=None) -> "HybridPolicy | None":
+        """Policy selected by ``REPRO_HYBRID`` (None when disabled)."""
+        mode = hybrid_mode_from_env(environ)
+        if mode is None:
+            return None
+        return cls(mode=mode)
+
+
+@dataclass
+class CostEstimate:
+    """Predicted word-op cost of both routes for one operation."""
+
+    op: str
+    sparse: float
+    bit: float
+    bit_bytes_needed: int = 0
+
+    @property
+    def winner(self) -> str:
+        return "bit" if self.bit < self.sparse else "sparse"
+
+
+class HybridMatrix(BackendMatrix):
+    """Matrix handle holding up to two cached views of the same pattern.
+
+    ``sparse`` is a handle of the wrapped sparse backend; ``bit`` is a
+    handle whose storage is a :class:`BitMatrix` with its word array
+    living in the device arena.  At least one view is always present;
+    the other materializes lazily on first use and stays cached, so a
+    fixpoint loop converts each operand at most once.
+    """
+
+    __slots__ = ("sparse", "bit", "_nnz")
+
+    def __init__(
+        self,
+        backend: "HybridBackend",
+        sparse: BackendMatrix | None = None,
+        bit: BackendMatrix | None = None,
+    ):
+        if sparse is None and bit is None:
+            raise InvalidArgumentError("hybrid matrix needs at least one view")
+        self.sparse = sparse
+        self.bit = bit
+        self.backend = backend
+        self.buffers = []
+        self._freed = False
+        self._nnz = None
+
+    # The resident view's storage; ``storage = None`` (from the base
+    # class free path) is accepted and ignored — free() clears views.
+    @property
+    def storage(self):
+        primary = self.sparse if self.sparse is not None else self.bit
+        return primary.storage if primary is not None else None
+
+    @storage.setter
+    def storage(self, value):
+        if value is not None:
+            raise InvalidArgumentError(
+                "hybrid matrix storage is derived from its views"
+            )
+
+    @property
+    def nnz(self) -> int:
+        self._check_alive()
+        if self._nnz is None:
+            # Prefer the sparse view: its nnz is O(1); the bit view's is
+            # a popcount sweep.  Cached — handles are immutable.
+            self._nnz = int(self.storage.nnz)
+        return self._nnz
+
+    @property
+    def resident(self) -> str:
+        """Which views are materialized: "sparse", "bit" or "both"."""
+        self._check_alive()
+        if self.sparse is not None and self.bit is not None:
+            return "both"
+        return "sparse" if self.sparse is not None else "bit"
+
+    def memory_bytes(self) -> int:
+        """Footprint of every materialized view (model bytes)."""
+        self._check_alive()
+        total = 0
+        if self.sparse is not None:
+            total += self.sparse.storage.memory_bytes()
+        if self.bit is not None:
+            total += self.bit.storage.memory_bytes()
+        return total
+
+    def free(self) -> None:
+        if self._freed:
+            return
+        self._freed = True
+        for view in (self.sparse, self.bit):
+            if view is not None:
+                view.free()
+        self.sparse = None
+        self.bit = None
+
+
+class HybridBackend(Backend):
+    """Adaptive dispatcher over a sparse backend + bit-packed kernels."""
+
+    name = "hybrid"
+    format_kind = "hybrid"
+
+    def __init__(
+        self,
+        device: Device | None = None,
+        *,
+        inner: Backend | None = None,
+        sparse_backend: str = "cubool",
+        policy: HybridPolicy | None = None,
+    ):
+        if inner is None:
+            inner = get_backend(sparse_backend, device=device)
+        super().__init__(inner.device)
+        self.inner = inner
+        self.policy = policy if policy is not None else HybridPolicy()
+        #: op -> Counter of route decisions ("sparse"/"bit"), for the
+        #: ablation benchmark and tests.
+        self.dispatch_counts: dict[str, Counter] = {}
+        self._fixpoint_depth = 0
+
+    # -- residency hint ----------------------------------------------------
+
+    def fixpoint(self):
+        """Context manager marking an iterative accumulate loop.
+
+        Inside the region the cost model applies ``fixpoint_bias``
+        hysteresis once an operand is bit-resident, so a densifying loop
+        settles into the bit regime instead of thrashing at the
+        crossover.
+        """
+        return _FixpointRegion(self)
+
+    # -- view management ---------------------------------------------------
+
+    def _wrap_sparse(self, handle: BackendMatrix) -> HybridMatrix:
+        return HybridMatrix(self, sparse=handle)
+
+    def _wrap_bit(self, bit: BitMatrix) -> HybridMatrix:
+        return HybridMatrix(self, bit=self._adopt_bit(bit))
+
+    def _adopt_bit(self, bit: BitMatrix) -> BackendMatrix:
+        """Move a BitMatrix's words into the device arena (accounted)."""
+        buf = self.device.arena.to_device(bit.words)
+        bit.words = buf.data
+        return BackendMatrix(bit, self, [buf])
+
+    def _ensure_sparse(self, m: HybridMatrix) -> BackendMatrix:
+        if m.sparse is None:
+            storage: BitMatrix = m.bit.storage
+            rows, cols = storage.to_coo_arrays()
+            m.sparse = self.inner.matrix_from_coo(rows, cols, storage.shape)
+        return m.sparse
+
+    def _ensure_bit(self, m: HybridMatrix) -> BackendMatrix:
+        if m.bit is None:
+            storage = m.sparse.storage
+            rows, cols = storage.to_coo_arrays()
+            m.bit = self._adopt_bit(BitMatrix.from_coo(rows, cols, storage.shape))
+        return m.bit
+
+    # -- cost model --------------------------------------------------------
+
+    @staticmethod
+    def _bit_words(nrows: int, ncols: int) -> int:
+        return nrows * _words_per_row(ncols)
+
+    def _conversion_cost(self, m: HybridMatrix) -> tuple[float, int]:
+        """(word ops, new arena bytes) to materialize the bit view."""
+        if m.bit is not None:
+            return 0.0, 0
+        words = self._bit_words(m.nrows, m.ncols)
+        # Scatter one bit per nnz plus zero-fill of the word array.
+        return float(m.nnz + words), words * 8
+
+    def estimate_costs(
+        self,
+        op: str,
+        a: HybridMatrix,
+        b: HybridMatrix | None = None,
+        out_shape: tuple[int, int] | None = None,
+    ) -> CostEstimate:
+        """Predicted cost of both routes for ``op`` (see module doc)."""
+        pol = self.policy
+        conv_a, bytes_a = self._conversion_cost(a)
+        conv_b, bytes_b = self._conversion_cost(b) if b is not None else (0.0, 0)
+        conv = conv_a + conv_b
+        bytes_needed = bytes_a + bytes_b
+
+        if op == "mxm":
+            m, k = a.shape
+            n = b.ncols
+            flops = a.nnz * b.nnz / max(1, k)
+            sparse = pol.spgemm_flop_cost * flops
+            bit = m * k * _words_per_row(n) + conv
+            bytes_needed += self._bit_words(m, n) * 8
+        elif op in ("ewise_add", "ewise_mult"):
+            m, n = a.shape
+            sparse = EWISE_SPARSE_COST * (a.nnz + b.nnz)
+            bit = self._bit_words(m, n) + conv
+            bytes_needed += self._bit_words(m, n) * 8
+        elif op == "kron":
+            rows, cols = out_shape
+            out_words = self._bit_words(rows, cols)
+            sparse = KRON_SPARSE_COST * a.nnz * b.nnz
+            bit = KRON_BIT_WORD_COST * out_words + conv
+            bytes_needed += out_words * 8
+        else:
+            raise InvalidArgumentError(f"no cost model for op {op!r}")
+
+        if self._fixpoint_depth and (
+            a.bit is not None or (b is not None and b.bit is not None)
+        ):
+            bit *= pol.fixpoint_bias
+        return CostEstimate(op=op, sparse=sparse, bit=bit, bit_bytes_needed=bytes_needed)
+
+    def _route(
+        self,
+        op: str,
+        a: HybridMatrix,
+        b: HybridMatrix | None = None,
+        out_shape: tuple[int, int] | None = None,
+    ) -> str:
+        pol = self.policy
+        if pol.mode == "sparse":
+            decision = "sparse"
+        elif pol.mode == "bit":
+            decision = "bit"
+        else:
+            est = self.estimate_costs(op, a, b, out_shape)
+            decision = est.winner
+            if decision == "bit" and not self._bit_fits(est.bit_bytes_needed):
+                decision = "sparse"
+        self.dispatch_counts.setdefault(op, Counter())[decision] += 1
+        return decision
+
+    def _bit_fits(self, extra_bytes: int) -> bool:
+        arena = self.device.arena
+        budget = self.policy.max_arena_fraction * arena.capacity_bytes
+        return arena.live_bytes + extra_bytes <= budget
+
+    # -- creation ----------------------------------------------------------
+
+    def matrix_from_coo(self, rows, cols, shape):
+        return self._wrap_sparse(self.inner.matrix_from_coo(rows, cols, shape))
+
+    def matrix_empty(self, shape):
+        return self._wrap_sparse(self.inner.matrix_empty(shape))
+
+    def identity(self, n: int):
+        return self._wrap_sparse(self.inner.identity(n))
+
+    def duplicate(self, m: HybridMatrix):
+        m._check_alive()
+        out = HybridMatrix(
+            self,
+            sparse=self.inner.duplicate(m.sparse) if m.sparse is not None else None,
+            bit=self._adopt_bit(m.bit.storage.copy()) if m.bit is not None else None,
+        )
+        return out
+
+    # -- operations --------------------------------------------------------
+
+    def mxm(self, a, b, accumulate=None):
+        self._check_mxm_shapes(a, b)
+        if self._route("mxm", a, b) == "bit":
+            product = self._ensure_bit(a).storage.mxm(self._ensure_bit(b).storage)
+            if accumulate is not None:
+                if accumulate.shape != product.shape:
+                    raise DimensionMismatchError(
+                        "mxm-accumulate", accumulate.shape, product.shape
+                    )
+                product = product.ewise_or(self._ensure_bit(accumulate).storage)
+            return self._wrap_bit(product)
+        acc = self._ensure_sparse(accumulate) if accumulate is not None else None
+        return self._wrap_sparse(
+            self.inner.mxm(self._ensure_sparse(a), self._ensure_sparse(b), acc)
+        )
+
+    def ewise_add(self, a, b):
+        self._check_same_shape("ewise_add", a, b)
+        if self._route("ewise_add", a, b) == "bit":
+            return self._wrap_bit(
+                self._ensure_bit(a).storage.ewise_or(self._ensure_bit(b).storage)
+            )
+        return self._wrap_sparse(
+            self.inner.ewise_add(self._ensure_sparse(a), self._ensure_sparse(b))
+        )
+
+    def ewise_mult(self, a, b):
+        self._check_same_shape("ewise_mult", a, b)
+        if self._route("ewise_mult", a, b) == "bit":
+            return self._wrap_bit(
+                self._ensure_bit(a).storage.ewise_and(self._ensure_bit(b).storage)
+            )
+        return self._wrap_sparse(
+            self.inner.ewise_mult(self._ensure_sparse(a), self._ensure_sparse(b))
+        )
+
+    def kron(self, a, b):
+        out_shape = (a.nrows * b.nrows, a.ncols * b.ncols)
+        if self._route("kron", a, b, out_shape) == "bit":
+            return self._wrap_bit(
+                self._ensure_bit(a).storage.kron(self._ensure_bit(b).storage)
+            )
+        return self._wrap_sparse(
+            self.inner.kron(self._ensure_sparse(a), self._ensure_sparse(b))
+        )
+
+    def _stay_resident(self, a: HybridMatrix) -> str:
+        """Route format-preserving ops (transpose, extract): stay in the
+        resident format — a conversion would dominate either kernel."""
+        if self.policy.mode == "bit":
+            return "bit"
+        if self.policy.mode == "sparse":
+            return "sparse"
+        return "bit" if a.sparse is None else "sparse"
+
+    def transpose(self, a):
+        decision = self._stay_resident(a)
+        self.dispatch_counts.setdefault("transpose", Counter())[decision] += 1
+        if decision == "bit":
+            return self._wrap_bit(self._ensure_bit(a).storage.transpose())
+        return self._wrap_sparse(self.inner.transpose(self._ensure_sparse(a)))
+
+    def extract_submatrix(self, a, i, j, nrows, ncols):
+        self._check_submatrix(a, i, j, nrows, ncols)
+        decision = self._stay_resident(a)
+        self.dispatch_counts.setdefault("extract", Counter())[decision] += 1
+        if decision == "bit":
+            return self._wrap_bit(
+                self._ensure_bit(a).storage.extract_submatrix(i, j, nrows, ncols)
+            )
+        return self._wrap_sparse(
+            self.inner.extract_submatrix(self._ensure_sparse(a), i, j, nrows, ncols)
+        )
+
+    def reduce_to_column(self, a):
+        decision = self._stay_resident(a)
+        self.dispatch_counts.setdefault("reduce", Counter())[decision] += 1
+        if decision == "bit":
+            # Word-parallel row-OR straight off the packed view; the
+            # skinny m x 1 result always lives sparse.
+            mask = self._ensure_bit(a).storage.reduce_rows()
+            rows = np.nonzero(mask)[0]
+            return self._wrap_sparse(
+                self.inner.matrix_from_coo(
+                    rows, np.zeros(rows.size, dtype=np.int64), (a.nrows, 1)
+                )
+            )
+        return self._wrap_sparse(self.inner.reduce_to_column(self._ensure_sparse(a)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"HybridBackend(inner={self.inner.name!r}, "
+            f"mode={self.policy.mode!r}, "
+            f"crossover={self.policy.crossover_density})"
+        )
+
+
+class _FixpointRegion:
+    """Re-entrant marker used by :meth:`HybridBackend.fixpoint`."""
+
+    __slots__ = ("_backend",)
+
+    def __init__(self, backend: HybridBackend):
+        self._backend = backend
+
+    def __enter__(self):
+        self._backend._fixpoint_depth += 1
+        return self._backend
+
+    def __exit__(self, *exc):
+        self._backend._fixpoint_depth -= 1
+        return False
+
+
+def wrap_backend(
+    inner: Backend,
+    *,
+    mode: str = "auto",
+    crossover_density: float | None = None,
+) -> HybridBackend:
+    """Wrap an existing sparse backend instance in a hybrid dispatcher."""
+    policy = HybridPolicy(mode=mode)
+    if crossover_density is not None:
+        policy = replace(policy, crossover_density=crossover_density)
+    return HybridBackend(inner=inner, policy=policy)
+
+
+register_backend("hybrid", lambda device=None: HybridBackend(device=device))

@@ -112,19 +112,21 @@ def matrix_cfpq(
             matrices[p.lhs].free()
             matrices[p.lhs] = merged
 
-    # Fixpoint iteration over binary rules.
+    # Fixpoint iteration over binary rules.  The hint lets the hybrid
+    # backend keep densifying fact matrices resident in bit form.
     iterations = 0
     changed = True
-    while changed:
-        changed = False
-        iterations += 1
-        for lhs, b, c in binary_rules:
-            before = matrices[lhs].nnz
-            updated = matrices[b].mxm(matrices[c], accumulate=matrices[lhs])
-            if updated.nnz != before:
-                changed = True
-            matrices[lhs].free()
-            matrices[lhs] = updated
+    with ctx.backend.fixpoint():
+        while changed:
+            changed = False
+            iterations += 1
+            for lhs, b, c in binary_rules:
+                before = matrices[lhs].nnz
+                updated = matrices[b].mxm(matrices[c], accumulate=matrices[lhs])
+                if updated.nnz != before:
+                    changed = True
+                matrices[lhs].free()
+                matrices[lhs] = updated
 
     elapsed = time.perf_counter() - t0
 

@@ -32,8 +32,6 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.cfpq.tensor_algorithm import TensorIndex
 from repro.errors import InvalidArgumentError
 

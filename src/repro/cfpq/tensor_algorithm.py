@@ -138,56 +138,59 @@ def tensor_cfpq(
 
     closure = None
     iterations = 0
-    while True:
-        iterations += 1
-        if closure is None or not incremental:
-            fact_mats = {nt: fact_matrix(nt) for nt in rsm.nonterminals}
-            product = build_product(rsm.labels, fact_mats)
-            for m in fact_mats.values():
-                m.free()
-            if closure is not None:
+    # The outer loop is itself a fixpoint: hint the backend so product /
+    # closure intermediates stay resident in their winning format.
+    with ctx.backend.fixpoint():
+        while True:
+            iterations += 1
+            if closure is None or not incremental:
+                fact_mats = {nt: fact_matrix(nt) for nt in rsm.nonterminals}
+                product = build_product(rsm.labels, fact_mats)
+                for m in fact_mats.values():
+                    m.free()
+                if closure is not None:
+                    closure.free()
+                closure = transitive_closure(product)
+                product.free()
+            else:
+                # Only the Δ-facts contribute new product edges.
+                delta_mats = {nt: delta_ms for nt, delta_ms in new_fact_mats.items()}
+                delta = build_product(
+                    [nt for nt in rsm.nonterminals if nt in delta_mats], delta_mats
+                )
+                for m in delta_mats.values():
+                    m.free()
+                updated = incremental_transitive_closure(closure, delta)
+                delta.free()
                 closure.free()
-            closure = transitive_closure(product)
-            product.free()
-        else:
-            # Only the Δ-facts contribute new product edges.
-            delta_mats = {nt: delta_ms for nt, delta_ms in new_fact_mats.items()}
-            delta = build_product(
-                [nt for nt in rsm.nonterminals if nt in delta_mats], delta_mats
-            )
-            for m in delta_mats.values():
-                m.free()
-            updated = incremental_transitive_closure(closure, delta)
-            delta.free()
-            closure.free()
-            closure = updated
+                closure = updated
 
-        # Extract new facts from the (start, final) blocks of each box.
-        grew = False
-        new_fact_mats: dict[str, object] = {}
-        for nt, box in rsm.boxes.items():
-            start = box.start
-            fresh_keys = []
-            for f in box.finals:
-                block = closure.extract_submatrix(start * n, f * n, n, n)
-                try:
-                    rows, cols = block.to_arrays()
-                finally:
-                    block.free()
-                if rows.size:
-                    fresh_keys.append(_pairs_to_keys(rows, cols, n))
-            if not fresh_keys:
-                continue
-            candidate = np.unique(np.concatenate(fresh_keys))
-            known = facts[nt]
-            new = candidate[~np.isin(candidate, known)]
-            if new.size:
-                grew = True
-                facts[nt] = np.unique(np.concatenate([known, new]))
-                rows, cols = new // n, new % n
-                new_fact_mats[nt] = ctx.matrix_from_lists((n, n), rows, cols)
-        if not grew:
-            break
+            # Extract new facts from the (start, final) blocks of each box.
+            grew = False
+            new_fact_mats: dict[str, object] = {}
+            for nt, box in rsm.boxes.items():
+                start = box.start
+                fresh_keys = []
+                for f in box.finals:
+                    block = closure.extract_submatrix(start * n, f * n, n, n)
+                    try:
+                        rows, cols = block.to_arrays()
+                    finally:
+                        block.free()
+                    if rows.size:
+                        fresh_keys.append(_pairs_to_keys(rows, cols, n))
+                if not fresh_keys:
+                    continue
+                candidate = np.unique(np.concatenate(fresh_keys))
+                known = facts[nt]
+                new = candidate[~np.isin(candidate, known)]
+                if new.size:
+                    grew = True
+                    facts[nt] = np.unique(np.concatenate([known, new]))
+                    rows, cols = new // n, new % n
+                    new_fact_mats[nt] = ctx.matrix_from_lists((n, n), rows, cols)
+            if not grew:
+                break
 
     elapsed = time.perf_counter() - t0
 

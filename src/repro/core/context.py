@@ -12,7 +12,6 @@ implementation depending on the capabilities of the target device" —
 from __future__ import annotations
 
 import threading
-from typing import Iterable
 
 import numpy as np
 
@@ -20,6 +19,23 @@ from repro.backends import get_backend
 from repro.backends.base import Backend, BackendMatrix
 from repro.errors import InvalidArgumentError, InvalidStateError
 from repro.gpu.device import Device
+
+
+def _resolve_hybrid_mode(hybrid: bool | str | None) -> str | None:
+    """Normalize the ``hybrid=`` kwarg; ``None`` defers to ``REPRO_HYBRID``."""
+    if hybrid is None:
+        from repro.backends.hybrid import hybrid_mode_from_env
+
+        return hybrid_mode_from_env()
+    if hybrid is False or hybrid == "off":
+        return None
+    if hybrid is True or hybrid == "auto":
+        return "auto"
+    if hybrid in ("bit", "sparse"):
+        return hybrid
+    raise InvalidArgumentError(
+        f"hybrid={hybrid!r} not understood (use off/auto/bit/sparse)"
+    )
 
 
 class Context:
@@ -30,14 +46,47 @@ class Context:
     backend:
         Backend name: ``"cubool"`` (CSR, CUDA-like), ``"clbool"``
         (COO, OpenCL-like), ``"cpu"`` (sequential reference),
-        ``"generic"``/``"generic64"`` (value-carrying baseline).
+        ``"generic"``/``"generic64"`` (value-carrying baseline),
+        ``"hybrid"`` (adaptive sparse/bit dispatch over cubool).
     device:
         Optional explicit simulated device (benchmarks pass one to read
         its counters); by default the backend creates its own.
+    hybrid:
+        Hybrid sparse/bit dispatch policy for the ``cubool``/``clbool``
+        backends: ``None`` (default) consults the ``REPRO_HYBRID`` env
+        var; ``False``/``"off"`` forces the pure sparse path (byte
+        identical to the unwrapped backend); ``True``/``"auto"`` enables
+        cost-model dispatch; ``"bit"``/``"sparse"`` force one regime.
+    hybrid_threshold:
+        Crossover density calibrating the hybrid cost model (see
+        :class:`repro.backends.hybrid.HybridPolicy`).
     """
 
-    def __init__(self, backend: str = "cubool", device: Device | None = None):
+    def __init__(
+        self,
+        backend: str = "cubool",
+        device: Device | None = None,
+        *,
+        hybrid: bool | str | None = None,
+        hybrid_threshold: float | None = None,
+    ):
         self._backend: Backend = get_backend(backend, device=device)
+        mode = _resolve_hybrid_mode(hybrid)
+        if mode is not None and backend in ("cubool", "clbool"):
+            from repro.backends.hybrid import wrap_backend
+
+            self._backend = wrap_backend(
+                self._backend, mode=mode, crossover_density=hybrid_threshold
+            )
+        elif hybrid_threshold is not None:
+            from repro.backends.hybrid import HybridBackend
+
+            if isinstance(self._backend, HybridBackend):
+                from dataclasses import replace
+
+                self._backend.policy = replace(
+                    self._backend.policy, crossover_density=hybrid_threshold
+                )
         self._live: list = []
         self._finalized = False
         self._lock = threading.Lock()

@@ -104,6 +104,13 @@ class Matrix:
         cells = self.nrows * self.ncols
         return self.nnz / cells if cells else 0.0
 
+    @property
+    def storage_kind(self) -> str:
+        """Kind of the resident storage format (``"csr"``, ``"coo"``,
+        ``"bit"``, ...).  Under the hybrid backend this reports which
+        format the adaptive dispatcher left the result in."""
+        return self.handle.storage.kind
+
     def memory_bytes(self) -> int:
         """Storage-model bytes of the backing format (paper's metric)."""
         return self.handle.memory_bytes()

@@ -6,13 +6,15 @@ classic alternative to sparse boolean storage (Four-Russians-style
 algorithms); the reproduction uses them
 
 * as a correctness cross-check (a third, independent representation),
-* as a small/dense-matrix fast path candidate in the ablation benchmark
-  (E9): once density crosses a threshold, word-parallel dense multiply
-  beats sparse SpGEMM.
+* as the word-parallel execution format of the hybrid backend
+  (:mod:`repro.backends.hybrid`): once density crosses a threshold,
+  dense word-parallel multiply beats sparse SpGEMM (ablation E9).
 
-The multiply here is word-parallel: row ``i`` of ``C = A @ B`` is the OR
-of the ``B`` word-rows selected by the set bits of ``A``'s row ``i`` —
-vectorized with a boolean-matmul formulation over the packed words.
+The multiply is word-parallel and fully packed: row ``i`` of
+``C = A @ B`` is the OR of the ``B`` word-rows selected by the set bits
+of ``A``'s row ``i``, computed block-wise over A's packed words — 64
+``B`` rows per A word column — without ever expanding A to a dense
+``m x k`` boolean array.
 """
 
 from __future__ import annotations
@@ -24,6 +26,11 @@ from repro.formats.base import SparseFormat
 
 WORD_BITS = 64
 _WORD = np.uint64
+
+#: Cap (in uint64 words) for the per-block select temporary of the
+#: packed multiply; blocks of A rows are sized so the ``rows x 64 x
+#: wpr_b`` intermediate stays under this (default 4 MiB of words).
+_MXM_TEMP_WORDS = 1 << 19
 
 
 class BitMatrix(SparseFormat):
@@ -79,6 +86,12 @@ class BitMatrix(SparseFormat):
         cols = np.asarray(cols, dtype=np.int64)
         out = cls.empty(shape)
         if rows.size:
+            # NumPy fancy indexing would silently wrap negative indices to
+            # the wrong cells — reject them like every other constructor.
+            if rows.min() < 0:
+                raise IndexOutOfBoundsError("row", int(rows.min()), out.nrows)
+            if cols.min() < 0:
+                raise IndexOutOfBoundsError("column", int(cols.min()), out.ncols)
             if rows.max() >= out.nrows:
                 raise IndexOutOfBoundsError("row", int(rows.max()), out.nrows)
             if cols.max() >= out.ncols:
@@ -101,6 +114,8 @@ class BitMatrix(SparseFormat):
         return rows.astype(INDEX_DTYPE), cols.astype(INDEX_DTYPE)
 
     def to_dense(self) -> np.ndarray:
+        if self.nrows == 0 or self.ncols == 0:
+            return np.zeros(self.shape, dtype=bool)
         bytes_view = self.words.view(np.uint8).reshape(self.nrows, -1)
         bits = np.unpackbits(bytes_view, axis=1, bitorder="little")
         return bits[:, : self.ncols].astype(bool)
@@ -113,8 +128,7 @@ class BitMatrix(SparseFormat):
         # Padding bits beyond ncols must stay zero.
         tail_bits = _words_per_row(self.ncols) * WORD_BITS - self.ncols
         if tail_bits and self.nrows:
-            mask = (~_WORD(0)) >> _WORD(tail_bits)
-            if np.any(self.words[:, -1] & ~mask):
+            if np.any(self.words[:, -1] & ~_tail_mask(tail_bits)):
                 raise InvalidArgumentError("padding bits set beyond column bound")
 
     # -- operations (dense boolean algebra) --------------------------------
@@ -144,37 +158,110 @@ class BitMatrix(SparseFormat):
     def mxm(self, other: "BitMatrix") -> "BitMatrix":
         """Boolean matrix product over packed words.
 
-        ``C.words[i] = OR_{j : A[i,j]} B.words[j]`` — computed as a
-        word-level any-product: expand A to dense bools (m x k), then a
-        single einsum-style reduction over B's words.  k x wpr fits
-        memory for the dense sizes this format targets.
+        ``C.words[i] = OR_{j : A[i,j]} B.words[j]``, evaluated block-wise
+        directly on A's packed words: each word column ``wa`` of A selects
+        among the 64 corresponding word-rows of B.  The A word column is
+        unpacked into per-bit masks (an ``m x 64`` boolean — tiny compared
+        to a dense ``m x k``) and the masked B block is OR-reduced with a
+        single vectorized broadcast per row chunk.  Row chunks bound the
+        ``rows x 64 x wpr_b`` select temporary to ``_MXM_TEMP_WORDS``.
         """
         if self.ncols != other.nrows:
             raise DimensionMismatchError("mxm", self.shape, other.shape)
-        a_dense = self.to_dense()  # m x k bools
-        # For each output row, OR the selected word-rows of B.
-        # (m x k) boolean @ (k x wpr) uint64 cannot OR via matmul;
-        # use the ufunc.reduceat-free formulation: for each word column,
-        # C[:, w] = OR over k of (A[:, k] ? B[k, w] : 0).  Vectorize by
-        # treating OR-accumulation as max over each bit — done word-wise
-        # via a loop over word columns (wpr is small).
-        wpr = other.words.shape[1]
-        out = np.zeros((self.nrows, wpr), dtype=_WORD)
-        bw = other.words
-        for w in range(wpr):
-            col = bw[:, w]  # k words
-            # Select participating words per output row and OR them.
-            # a_dense @ nothing — use bitwise_or.reduce over masked words:
-            masked = np.where(a_dense, col[None, :], _WORD(0))
-            out[:, w] = np.bitwise_or.reduce(masked, axis=1)
-        return BitMatrix((self.nrows, other.ncols), out)
+        m, k = self.shape
+        wpr_b = other.words.shape[1]
+        out = np.zeros((m, wpr_b), dtype=_WORD)
+        if m == 0 or k == 0 or other.ncols == 0:
+            return BitMatrix((m, other.ncols), out)
+        a_words = self.words
+        b_words = other.words
+        chunk = max(1, _MXM_TEMP_WORDS // (WORD_BITS * wpr_b))
+        zero = _WORD(0)
+        for wa in range(a_words.shape[1]):
+            k0 = wa * WORD_BITS
+            kk = min(WORD_BITS, k - k0)
+            if kk <= 0:
+                break
+            col = np.ascontiguousarray(a_words[:, wa])
+            if not col.any():
+                continue
+            # (wpr_b, kk), transposed so the OR-reduction below runs over
+            # the contiguous last axis.
+            bblk = np.ascontiguousarray(b_words[k0 : k0 + kk].T)
+            # Per-bit masks of this A word column: (m, kk) bool.
+            abits = np.unpackbits(
+                col.reshape(m, 1).view(np.uint8), axis=1, bitorder="little"
+            )[:, :kk].astype(bool)
+            for r0 in range(0, m, chunk):
+                r1 = min(m, r0 + chunk)
+                sel = np.where(abits[r0:r1, None, :], bblk[None, :, :], zero)
+                out[r0:r1] |= np.bitwise_or.reduce(sel, axis=2)
+        return BitMatrix((m, other.ncols), out)
+
+    def kron(self, other: "BitMatrix") -> "BitMatrix":
+        """Kronecker product ``self ⊗ other`` in packed form.
+
+        ``K[i*p + r, j*q + c] = A[i, j] & B[r, c]``.  Built one A-row at
+        a time: the ``p x (n*q)`` block for A row ``i`` is the Kronecker
+        product of that row with the dense view of B, packed directly
+        into the output words — so the unpacked temporary is one block,
+        never the full result.
+        """
+        m, n = self.shape
+        p, q = other.shape
+        shape = (m * p, n * q)
+        out = BitMatrix.empty(shape)
+        if m == 0 or n == 0 or p == 0 or q == 0:
+            return out
+        a_dense = self.to_dense()
+        b_dense = other.to_dense()
+        for i in range(m):
+            row = a_dense[i]
+            if not row.any():
+                continue
+            block = np.kron(row[None, :], b_dense)  # (p, n*q) bool
+            out.words[i * p : (i + 1) * p] = BitMatrix.from_dense(block).words
+        return out
+
+    def extract_submatrix(self, i: int, j: int, nrows: int, ncols: int) -> "BitMatrix":
+        """Copy of ``self[i : i + nrows, j : j + ncols]``.
+
+        Word-level: each output word is assembled from one or two source
+        words with shifts (vectorized over rows); the tail word is masked
+        so padding invariants hold.
+        """
+        if nrows < 0 or ncols < 0:
+            raise InvalidArgumentError("submatrix dimensions must be non-negative")
+        if i < 0 or j < 0 or i + nrows > self.nrows or j + ncols > self.ncols:
+            raise InvalidArgumentError(
+                f"submatrix [{i}:{i + nrows}, {j}:{j + ncols}] outside "
+                f"{self.nrows}x{self.ncols}"
+            )
+        out = BitMatrix.empty((nrows, ncols))
+        if nrows == 0 or ncols == 0:
+            return out
+        src = self.words[i : i + nrows]
+        w0, shift = divmod(j, WORD_BITS)
+        wpr_src = src.shape[1]
+        for w in range(out.words.shape[1]):
+            lo_idx = w0 + w
+            if lo_idx >= wpr_src:
+                break
+            word = src[:, lo_idx] >> _WORD(shift)
+            if shift and lo_idx + 1 < wpr_src:
+                word = word | (src[:, lo_idx + 1] << _WORD(WORD_BITS - shift))
+            out.words[:, w] = word
+        tail_bits = out.words.shape[1] * WORD_BITS - ncols
+        if tail_bits:
+            out.words[:, -1] &= _tail_mask(tail_bits)
+        return out
 
     def transpose(self) -> "BitMatrix":
         return BitMatrix.from_dense(self.to_dense().T)
 
     def reduce_rows(self) -> np.ndarray:
         """Boolean OR along each row: True where the row has any entry."""
-        return _popcount(self.words).sum(axis=1) > 0
+        return self.words.any(axis=1)
 
     def count_per_row(self) -> np.ndarray:
         return _popcount(self.words).sum(axis=1)
@@ -187,10 +274,32 @@ def _words_per_row(ncols: int) -> int:
     return max(1, (ncols + WORD_BITS - 1) // WORD_BITS) if ncols else 1
 
 
-def _popcount(words: np.ndarray) -> np.ndarray:
-    """Per-word set-bit count (vectorized byte-table popcount)."""
+def _tail_mask(tail_bits: int) -> np.uint64:
+    """Mask keeping all but the top ``tail_bits`` bits of a word."""
+    if tail_bits >= WORD_BITS:
+        return _WORD(0)
+    return (~_WORD(0)) >> _WORD(tail_bits)
+
+
+def _popcount_table(words: np.ndarray) -> np.ndarray:
+    """Per-word set-bit count via a vectorized byte-table gather.
+
+    Fallback for NumPy < 2.0; :func:`_popcount` prefers the native
+    ``np.bitwise_count`` ufunc when present (``nnz`` runs every fixpoint
+    iteration, so this is a hot path).
+    """
     b = words.view(np.uint8)
     return _POPCOUNT_TABLE[b].reshape(*words.shape, 8).sum(axis=-1)
 
 
 _POPCOUNT_TABLE = np.array([bin(i).count("1") for i in range(256)], dtype=np.int64)
+
+
+if hasattr(np, "bitwise_count"):  # NumPy >= 2.0
+
+    def _popcount(words: np.ndarray) -> np.ndarray:
+        """Per-word set-bit count (native popcount ufunc)."""
+        return np.bitwise_count(words).astype(np.int64)
+
+else:  # pragma: no cover - exercised only on NumPy 1.x
+    _popcount = _popcount_table

@@ -13,11 +13,10 @@ from __future__ import annotations
 
 import itertools
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import DeviceError
 from repro.gpu.launch import LaunchConfig
 from repro.gpu.limits import DeviceLimits
 from repro.gpu.memory import DeviceBuffer, MemoryArena

@@ -15,7 +15,7 @@ bug classes in the C++ originals that the tests exercise here.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -12,7 +12,7 @@ stream followed by a sync, which is exactly how SPbLA uses streams.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.errors import DeviceError

@@ -20,8 +20,6 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.algorithms.closure import transitive_closure
 from repro.automata.glushkov import glushkov_nfa
 from repro.automata.nfa import NFA
@@ -131,12 +129,13 @@ def rpq_index(
     g_mats = graph.adjacency_matrices(ctx, labels=shared)
 
     product = ctx.matrix_empty((nfa.n * n, nfa.n * n))
-    for label in shared:
-        term = r_mats[label].kron(g_mats[label])
-        merged = product.ewise_add(term)
-        term.free()
-        product.free()
-        product = merged
+    with ctx.backend.fixpoint():
+        for label in shared:
+            term = r_mats[label].kron(g_mats[label])
+            merged = product.ewise_add(term)
+            term.free()
+            product.free()
+            product = merged
     t_product = time.perf_counter()
 
     closure = transitive_closure(product, method=closure_method)

@@ -8,8 +8,9 @@ import pytest
 import repro
 
 #: All registered backends (generic64 shares the generic code path and is
-#: covered by its dedicated tests).
-BACKENDS = ("cpu", "cubool", "clbool", "generic")
+#: covered by its dedicated tests; "hybrid" is the adaptive sparse/bit
+#: dispatcher over cubool).
+BACKENDS = ("cpu", "cubool", "clbool", "generic", "hybrid")
 
 
 @pytest.fixture(params=BACKENDS)

@@ -1,0 +1,120 @@
+"""Property tests: hybrid dispatch agrees with the pure sparse path.
+
+The hybrid backend must be a pure optimization — for any inputs, any
+shapes (including 0-row/0-col) and any density (including all-dense),
+the dispatched result pattern is identical to the wrapped sparse
+backend's, and the forced-bit and forced-sparse regimes agree with each
+other.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.algorithms.closure import transitive_closure
+
+
+@st.composite
+def dense_bool(draw, rows=st.integers(0, 14), cols=st.integers(0, 14)):
+    """Dense boolean array; shapes include empty, densities include 0/1."""
+    m = draw(rows)
+    n = draw(cols)
+    density = draw(st.sampled_from([0.0, 0.1, 0.5, 1.0]))
+    seed = draw(st.integers(0, 2**16))
+    rng = np.random.default_rng(seed)
+    return rng.random((m, n)) < density
+
+
+CTX = {}
+
+
+def ctx_for(mode):
+    if mode not in CTX:
+        if mode == "off":
+            CTX[mode] = repro.Context(backend="cubool")
+        else:
+            CTX[mode] = repro.Context(backend="cubool", hybrid=mode)
+    return CTX[mode]
+
+
+MODES = ("off", "sparse", "auto", "bit")
+
+
+def _coo(matrix):
+    rows, cols = matrix.to_arrays()
+    return rows.tolist(), cols.tolist()
+
+
+@settings(max_examples=40, deadline=None)
+@given(dense_bool(), st.data())
+def test_mxm_agrees_across_modes(a, data):
+    k = a.shape[1]
+    b = data.draw(dense_bool(rows=st.just(k), cols=st.integers(0, 14)))
+    results = []
+    for mode in MODES:
+        ctx = ctx_for(mode)
+        ma, mb = ctx.matrix_from_dense(a), ctx.matrix_from_dense(b)
+        results.append(_coo(ma @ mb))
+    assert all(r == results[0] for r in results)
+
+
+@settings(max_examples=40, deadline=None)
+@given(dense_bool(), st.data())
+def test_ewise_add_agrees_across_modes(a, data):
+    b = data.draw(dense_bool(rows=st.just(a.shape[0]), cols=st.just(a.shape[1])))
+    results = []
+    for mode in MODES:
+        ctx = ctx_for(mode)
+        ma, mb = ctx.matrix_from_dense(a), ctx.matrix_from_dense(b)
+        results.append(_coo(ma | mb))
+    assert all(r == results[0] for r in results)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    dense_bool(rows=st.integers(0, 6), cols=st.integers(0, 6)),
+    dense_bool(rows=st.integers(0, 6), cols=st.integers(0, 6)),
+)
+def test_kron_agrees_across_modes(a, b):
+    results = []
+    for mode in MODES:
+        ctx = ctx_for(mode)
+        ma, mb = ctx.matrix_from_dense(a), ctx.matrix_from_dense(b)
+        results.append(_coo(ma.kron(mb)))
+    assert all(r == results[0] for r in results)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(1, 12), st.sampled_from([0.0, 0.08, 0.3, 1.0]), st.integers(0, 2**16))
+def test_transitive_closure_agrees_across_modes(n, density, seed):
+    rng = np.random.default_rng(seed)
+    adj = rng.random((n, n)) < density
+    results = []
+    for mode in MODES:
+        ctx = ctx_for(mode)
+        c = transitive_closure(ctx.matrix_from_dense(adj))
+        results.append(_coo(c))
+        c.free()
+    assert all(r == results[0] for r in results)
+
+
+@settings(max_examples=30, deadline=None)
+@given(dense_bool(), st.data())
+def test_forced_bit_equals_forced_sparse_pipeline(a, data):
+    """A small op pipeline (mxm → ewise → transpose → reduce) agrees
+    between the two forced regimes."""
+    sq = data.draw(dense_bool(rows=st.just(a.shape[0]), cols=st.just(a.shape[0])))
+    outs = {}
+    for mode in ("sparse", "bit"):
+        ctx = ctx_for(mode)
+        ma = ctx.matrix_from_dense(a)
+        msq = ctx.matrix_from_dense(sq)
+        prod = msq @ ma          # (m, n)
+        merged = prod | ma
+        outs[mode] = (
+            _coo(merged),
+            _coo(merged.T),
+            sorted(merged.reduce_to_vector().to_indices().tolist()),
+        )
+    assert outs["sparse"] == outs["bit"]

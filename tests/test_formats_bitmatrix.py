@@ -3,8 +3,17 @@
 import numpy as np
 import pytest
 
-from repro.errors import DimensionMismatchError, IndexOutOfBoundsError
-from repro.formats.bitmatrix import WORD_BITS, BitMatrix
+from repro.errors import (
+    DimensionMismatchError,
+    IndexOutOfBoundsError,
+    InvalidArgumentError,
+)
+from repro.formats.bitmatrix import (
+    WORD_BITS,
+    BitMatrix,
+    _popcount,
+    _popcount_table,
+)
 
 
 class TestConstruction:
@@ -41,6 +50,18 @@ class TestConstruction:
         rows, cols = m.to_coo_arrays()
         assert rows.tolist() == [0, 1, 1]
         assert cols.tolist() == [64, 0, 99]
+
+    def test_from_coo_rejects_negative_indices(self):
+        # Regression: NumPy fancy indexing silently wraps negatives to
+        # the wrong cells — from_coo must reject them instead.
+        with pytest.raises(IndexOutOfBoundsError):
+            BitMatrix.from_coo([-1], [0], (3, 3))
+        with pytest.raises(IndexOutOfBoundsError):
+            BitMatrix.from_coo([0], [-2], (3, 3))
+        with pytest.raises(IndexOutOfBoundsError):
+            BitMatrix.from_coo([0, -1], [0, 1], (3, 3))
+        with pytest.raises(IndexOutOfBoundsError):
+            BitMatrix.from_coo([0], [3], (3, 3))
 
 
 class TestOps:
@@ -90,9 +111,89 @@ class TestOps:
         assert m.reduce_rows().tolist() == [True, False, True]
         assert m.count_per_row().tolist() == [2, 0, 1]
 
+    def test_mxm_blocked_shapes(self):
+        # Shapes straddling word boundaries and a wide k exercising the
+        # blocked packed kernel's chunking.
+        rng = np.random.default_rng(11)
+        for (m, k, n), d in [
+            ((1, 1, 1), 1.0),
+            ((3, 64, 64), 0.5),
+            ((5, 65, 63), 0.3),
+            ((17, 300, 129), 0.15),
+            ((2, 640, 2), 0.05),
+        ]:
+            a = rng.random((m, k)) < d
+            b = rng.random((k, n)) < d
+            got = BitMatrix.from_dense(a).mxm(BitMatrix.from_dense(b))
+            got.validate()
+            ref = (a.astype(int) @ b.astype(int)) > 0
+            assert np.array_equal(got.to_dense(), ref), (m, k, n)
+
+    def test_mxm_zero_dims(self):
+        for shape_a, shape_b in [((0, 5), (5, 3)), ((3, 0), (0, 4)), ((2, 5), (5, 0))]:
+            got = BitMatrix.empty(shape_a).mxm(BitMatrix.empty(shape_b))
+            got.validate()
+            assert got.shape == (shape_a[0], shape_b[1])
+            assert got.nnz == 0
+
+    def test_kron_matches_numpy(self):
+        rng = np.random.default_rng(12)
+        for (sa, sb) in [((2, 3), (4, 5)), ((3, 65), (2, 2)), ((1, 1), (5, 70))]:
+            a = rng.random(sa) < 0.4
+            b = rng.random(sb) < 0.4
+            got = BitMatrix.from_dense(a).kron(BitMatrix.from_dense(b))
+            got.validate()
+            assert np.array_equal(got.to_dense(), np.kron(a, b))
+
+    def test_kron_zero_dims(self):
+        got = BitMatrix.empty((0, 3)).kron(BitMatrix.empty((2, 2)))
+        assert got.shape == (0, 6)
+        got = BitMatrix.empty((2, 2)).kron(BitMatrix.empty((3, 0)))
+        assert got.shape == (6, 0)
+
+    def test_extract_submatrix(self):
+        rng = np.random.default_rng(13)
+        d = rng.random((20, 200)) < 0.3
+        m = BitMatrix.from_dense(d)
+        for (i, j, nr, nc) in [
+            (0, 0, 20, 200),       # full copy
+            (3, 64, 5, 64),        # word-aligned
+            (1, 7, 10, 100),       # unaligned shift
+            (0, 190, 4, 10),       # tail words
+            (5, 5, 0, 0),          # empty
+        ]:
+            sub = m.extract_submatrix(i, j, nr, nc)
+            sub.validate()
+            assert np.array_equal(sub.to_dense(), d[i : i + nr, j : j + nc]), (i, j, nr, nc)
+
+    def test_extract_submatrix_bounds(self):
+        m = BitMatrix.empty((4, 4))
+        with pytest.raises(InvalidArgumentError):
+            m.extract_submatrix(0, 0, 5, 2)
+        with pytest.raises(InvalidArgumentError):
+            m.extract_submatrix(-1, 0, 1, 1)
+        with pytest.raises(InvalidArgumentError):
+            m.extract_submatrix(0, 0, -1, 1)
+
     def test_memory_model(self):
         m = BitMatrix.empty((8, 128))
         assert m.memory_bytes() == 8 * 2 * 8  # 2 words/row, 8 bytes each
 
     def test_word_constant(self):
         assert WORD_BITS == 64
+
+
+class TestPopcount:
+    def test_native_matches_table(self):
+        rng = np.random.default_rng(14)
+        words = rng.integers(0, 2**63, size=(7, 5), dtype=np.uint64)
+        words[0, 0] = 0
+        words[1, 1] = np.uint64(2**64 - 1)
+        assert np.array_equal(_popcount(words), _popcount_table(words))
+
+    @pytest.mark.skipif(
+        not hasattr(np, "bitwise_count"), reason="NumPy < 2.0 has no bitwise_count"
+    )
+    def test_native_popcount_selected(self):
+        # On NumPy >= 2.0 the hot path must use the native ufunc.
+        assert _popcount is not _popcount_table
