@@ -1,0 +1,158 @@
+"""E12 — multi-query batching in the concurrent query service.
+
+Two levels of measurement:
+
+1. **Kernel level** — ``rpq_reach_batch`` coalesces k single-source RPQ
+   queries over one graph into a block-diagonal union automaton and one
+   multi-source fixpoint.  Sweep k and compare against evaluating the
+   same k queries sequentially (k product builds, k fixpoints).  The
+   acceptance bar: batched beats sequential from k >= 8 concurrent
+   queries on one graph.
+2. **Service level** — a real :class:`repro.service.QueryService` under
+   a threaded client workload: per-stage latency percentiles, batch-size
+   distribution, and plan-cache ratios.  Repeated templates must be
+   served with zero recompilation (cache hits, not new compiles).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.datasets.random_graphs import uniform_random_graph
+from repro.service import QueryService
+from repro.service.plan_cache import compile_rpq_plan
+
+from .conftest import BENCH_SCALE, add_report, defer_report, timed_runs
+
+_LINES: dict[str, list[str]] = {}
+
+QUERIES = ("a b* c", "(a | b)+", "a (b c)*", "(a | c) b? c")
+
+
+def _log(section: str, line: str) -> None:
+    _LINES.setdefault(section, []).append(line)
+
+
+def _graph(n: int, seed: int = 31):
+    return uniform_random_graph(n, 4 * n, labels=("a", "b", "c"), seed=seed)
+
+
+class TestBatchedVsSequential:
+    @pytest.mark.parametrize("k", [1, 2, 4, 8, 16])
+    def test_batch_sweep(self, benchmark, k):
+        """One batched fixpoint vs k sequential single-query runs."""
+        import repro
+        from repro.rpq.engine import rpq_reach_batch
+
+        cubool_ctx = repro.Context(backend="cubool")
+        n = max(96, int(256 * BENCH_SCALE))
+        graph = _graph(n)
+        # Precompiled plans isolate evaluation cost from parsing (the
+        # service's plan cache amortizes compilation separately).
+        plans = [compile_rpq_plan(q).nfa for q in QUERIES]
+        queries = [plans[i % len(plans)] for i in range(k)]
+        sources = [(7 * i + 3) % n for i in range(k)]
+
+        seq_results = []
+
+        def sequential():
+            seq_results.clear()
+            for q, s in zip(queries, sources):
+                seq_results.extend(
+                    rpq_reach_batch(graph, [q], [s], cubool_ctx)
+                )
+
+        batch_results = []
+
+        def batched():
+            batch_results.clear()
+            batch_results.extend(
+                rpq_reach_batch(graph, queries, sources, cubool_ctx)
+            )
+
+        seq_mean, _ = timed_runs(sequential, runs=3)
+        batch_mean, _ = timed_runs(batched, runs=3)
+        assert batch_results == seq_results, "batched answers must be identical"
+
+        speedup = seq_mean / max(batch_mean, 1e-9)
+        _log(
+            "sweep",
+            f"n={n} k={k:3d} sequential={seq_mean * 1e3:9.2f} ms "
+            f"batched={batch_mean * 1e3:9.2f} ms speedup={speedup:6.2f}x",
+        )
+        # Acceptance: batching must win on >= 8 concurrent queries.
+        if k >= 8:
+            assert speedup > 1.0, f"batched slower than sequential at k={k}"
+        cubool_ctx.finalize()
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+class TestServiceWorkload:
+    def test_threaded_service_latency(self, benchmark):
+        """End-to-end service numbers for the E12 report table."""
+        n = max(96, int(256 * BENCH_SCALE))
+        graph = _graph(n)
+        n_clients, per_client = 4, 24
+
+        with QueryService(workers=3, max_batch=8, queue_limit=512) as service:
+            service.register_graph("bench", graph, residency="auto")
+
+            def client(cid: int) -> None:
+                tickets = [
+                    service.submit_reach(
+                        "bench",
+                        QUERIES[(cid + i) % len(QUERIES)],
+                        source=(cid * 13 + 5 * i) % n,
+                        timeout=120.0,
+                    )
+                    for i in range(per_client)
+                ]
+                for t in tickets:
+                    t.result(timeout=120.0)
+
+            threads = [
+                threading.Thread(target=client, args=(cid,))
+                for cid in range(n_clients)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+            snap = service.stats()
+
+        total = n_clients * per_client
+        assert snap.counters["completed"] == total
+        # Zero recompilation for repeated templates: every request past
+        # the first occurrence of each template is a plan-cache hit.
+        assert snap.plan_cache["misses"] == len(QUERIES)
+        assert snap.plan_cache["hits"] == total - len(QUERIES)
+
+        _log("service", f"workload: {n_clients} clients x {per_client} queries, "
+                        f"graph n={n}, 3 workers, max_batch=8")
+        for line in snap.render().splitlines():
+            _log("service", line)
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def _report():
+    if not _LINES:
+        return
+    blocks = []
+    if "sweep" in _LINES:
+        blocks.append(
+            "1. batched multi-source fixpoint vs sequential evaluation\n"
+            "(k same-graph RPQ queries; acceptance: speedup > 1 at k >= 8)\n"
+            + "\n".join(_LINES["sweep"])
+        )
+    if "service" in _LINES:
+        blocks.append(
+            "2. concurrent query service under threaded load\n"
+            + "\n".join(_LINES["service"])
+        )
+    add_report("E12_service_batching", "\n\n".join(blocks))
+
+
+defer_report(_report)

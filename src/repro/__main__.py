@@ -1,12 +1,18 @@
 """``python -m repro`` — library self-check and environment report.
 
-Prints the registered backends with a one-operation smoke test each,
-the simulated-device profile, and version info.  Exit code is non-zero
-if any backend fails its smoke test (useful as an install check).
+With no arguments: prints the registered backends with a one-operation
+smoke test each, the simulated-device profile, and version info.  Exit
+code is non-zero if any backend fails its smoke test (install check).
+
+``python -m repro serve --selftest`` brings up the concurrent query
+service (:mod:`repro.service`) and runs its threaded end-to-end check —
+worker pool, plan cache, multi-query batching — against the sequential
+engines; CI runs it under both ``REPRO_HYBRID`` settings.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 import time
 
@@ -57,5 +63,48 @@ def main() -> int:
     return 1 if failures else 0
 
 
+def serve(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Run the in-process concurrent query service.",
+    )
+    parser.add_argument(
+        "--selftest",
+        action="store_true",
+        help="run the concurrent end-to-end self-test and exit "
+        "(the only mode — the service is in-process, not a network daemon)",
+    )
+    parser.add_argument("--workers", type=int, default=3, help="worker threads")
+    parser.add_argument(
+        "--queries", type=int, default=24, help="reach queries per client thread"
+    )
+    parser.add_argument("--seed", type=int, default=20210705, help="graph seed")
+    parser.add_argument("-q", "--quiet", action="store_true")
+    args = parser.parse_args(argv)
+    if not args.selftest:
+        parser.error(
+            "the service is in-process (no network listener yet); "
+            "use --selftest, or embed repro.service.QueryService directly"
+        )
+    from repro.service import run_selftest
+
+    return run_selftest(
+        workers=args.workers,
+        queries=args.queries,
+        seed=args.seed,
+        verbose=not args.quiet,
+    )
+
+
+def cli(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "serve":
+        return serve(argv[1:])
+    if argv:
+        print(f"unknown command {argv[0]!r} (usage: python -m repro [serve --selftest])")
+        return 2
+    return main()
+
+
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(cli())

@@ -47,6 +47,7 @@ hybrid_threshold=...)``.
 from __future__ import annotations
 
 import os
+import time
 from collections import Counter
 from dataclasses import dataclass, replace
 
@@ -292,6 +293,22 @@ class HybridBackend(Backend):
             m.bit = self._adopt_bit(BitMatrix.from_coo(rows, cols, storage.shape))
         return m.bit
 
+    def ensure_resident(self, m: HybridMatrix, fmt: str) -> str:
+        """Materialize (and keep) the requested view of ``m``.
+
+        Residency hint used by long-lived holders (the service tier's
+        :class:`~repro.service.graph_store.GraphStore`): a hot graph
+        pinned ``"bit"`` skips the per-operation packing cost on every
+        query that touches it.  Returns :attr:`HybridMatrix.resident`.
+        """
+        if fmt == "bit":
+            self._ensure_bit(m)
+        elif fmt == "sparse":
+            self._ensure_sparse(m)
+        else:
+            raise InvalidArgumentError(f"unknown residency format {fmt!r}")
+        return m.resident
+
     # -- cost model --------------------------------------------------------
 
     @staticmethod
@@ -513,12 +530,106 @@ def wrap_backend(
     *,
     mode: str = "auto",
     crossover_density: float | None = None,
+    autotune: bool = False,
 ) -> HybridBackend:
-    """Wrap an existing sparse backend instance in a hybrid dispatcher."""
+    """Wrap an existing sparse backend instance in a hybrid dispatcher.
+
+    ``autotune=True`` replaces the analytic default crossover with a
+    measured one (:func:`autotune_crossover`) unless an explicit
+    ``crossover_density`` is given.
+    """
     policy = HybridPolicy(mode=mode)
     if crossover_density is not None:
         policy = replace(policy, crossover_density=crossover_density)
+    elif autotune:
+        policy = replace(policy, crossover_density=autotune_crossover(inner))
     return HybridBackend(inner=inner, policy=policy)
+
+
+# -- crossover auto-tuning ----------------------------------------------------
+
+#: (backend name, device name) -> measured crossover density.  The probe
+#: sweep costs tens of milliseconds; contexts are created per test/query
+#: batch, so the measurement is taken once per process and host.
+_AUTOTUNE_CACHE: dict[tuple[str, str], float] = {}
+
+AUTOTUNE_MIN_DENSITY = 1.0 / 1024
+AUTOTUNE_MAX_DENSITY = 0.5
+
+
+def autotune_from_env(environ=None) -> bool:
+    """Parse ``REPRO_HYBRID_AUTOTUNE`` (default: off)."""
+    raw = (environ if environ is not None else os.environ).get(
+        "REPRO_HYBRID_AUTOTUNE", ""
+    )
+    return raw.strip().lower() in ("1", "on", "true", "yes", "auto")
+
+
+def autotune_crossover(
+    inner: Backend,
+    *,
+    n: int = 192,
+    densities: tuple[float, ...] = (0.005, 0.01, 0.02, 0.04, 0.08),
+    runs: int = 2,
+    use_cache: bool = True,
+) -> float:
+    """Measure the sparse/bit ``mxm`` crossover density on this host.
+
+    The analytic default (``HybridPolicy.crossover_density``) encodes
+    the *simulated* executor's constants; the real break-even moves with
+    NumPy version, BLAS threading, and CPU.  This runs the E11 sweep in
+    miniature: time the wrapped backend's sparse SpGEMM against the
+    packed :meth:`BitMatrix.mxm` on ``n × n`` random squares over a
+    short density ladder, then log-interpolate where the ratio crosses
+    1.  Results are cached per (backend, device) for the process.
+    """
+    key = (inner.name, inner.device.name)
+    if use_cache and key in _AUTOTUNE_CACHE:
+        return _AUTOTUNE_CACHE[key]
+
+    rng = np.random.default_rng(0xE11)
+
+    def best_time(fn) -> float:
+        best = float("inf")
+        for _ in range(runs):
+            t0 = time.perf_counter()
+            out = fn()
+            best = min(best, time.perf_counter() - t0)
+            if hasattr(out, "free"):
+                out.free()
+        return best
+
+    ratios: list[tuple[float, float]] = []  # (density, bit/sparse time ratio)
+    for density in densities:
+        target = max(1, int(round(density * n * n)))
+        rows = rng.integers(0, n, size=target)
+        cols = rng.integers(0, n, size=target)
+        sp = inner.matrix_from_coo(rows, cols, (n, n))
+        bit = BitMatrix.from_coo(rows, cols, (n, n))
+        try:
+            t_sparse = best_time(lambda: inner.mxm(sp, sp))
+            t_bit = best_time(lambda: bit.mxm(bit))
+        finally:
+            sp.free()
+        ratios.append((density, t_bit / max(t_sparse, 1e-9)))
+
+    crossover = None
+    for (d0, r0), (d1, r1) in zip(ratios, ratios[1:]):
+        if r0 > 1.0 >= r1:
+            # Log-space interpolation of the ratio crossing 1.
+            f = np.log(r0) / (np.log(r0) - np.log(max(r1, 1e-9)))
+            crossover = float(np.exp(np.log(d0) + f * (np.log(d1) - np.log(d0))))
+            break
+    if crossover is None:
+        if ratios[0][1] <= 1.0:      # bit already wins at the sparsest probe
+            crossover = densities[0] / 2
+        else:                        # sparse wins across the whole ladder
+            crossover = densities[-1] * 2
+    crossover = float(
+        np.clip(crossover, AUTOTUNE_MIN_DENSITY, AUTOTUNE_MAX_DENSITY)
+    )
+    _AUTOTUNE_CACHE[key] = crossover
+    return crossover
 
 
 register_backend("hybrid", lambda device=None: HybridBackend(device=device))

@@ -60,6 +60,12 @@ class Context:
     hybrid_threshold:
         Crossover density calibrating the hybrid cost model (see
         :class:`repro.backends.hybrid.HybridPolicy`).
+    hybrid_autotune:
+        Replace the analytic crossover with one measured on this host
+        by a short probe sweep at context creation
+        (:func:`repro.backends.hybrid.autotune_crossover`; cached per
+        process).  ``None`` (default) consults ``REPRO_HYBRID_AUTOTUNE``;
+        an explicit ``hybrid_threshold`` always wins.
     """
 
     def __init__(
@@ -69,23 +75,36 @@ class Context:
         *,
         hybrid: bool | str | None = None,
         hybrid_threshold: float | None = None,
+        hybrid_autotune: bool | None = None,
     ):
         self._backend: Backend = get_backend(backend, device=device)
         mode = _resolve_hybrid_mode(hybrid)
+        if hybrid_autotune is None:
+            from repro.backends.hybrid import autotune_from_env
+
+            hybrid_autotune = autotune_from_env()
         if mode is not None and backend in ("cubool", "clbool"):
             from repro.backends.hybrid import wrap_backend
 
             self._backend = wrap_backend(
-                self._backend, mode=mode, crossover_density=hybrid_threshold
+                self._backend,
+                mode=mode,
+                crossover_density=hybrid_threshold,
+                autotune=hybrid_autotune,
             )
-        elif hybrid_threshold is not None:
-            from repro.backends.hybrid import HybridBackend
+        elif hybrid_threshold is not None or hybrid_autotune:
+            from repro.backends.hybrid import HybridBackend, autotune_crossover
 
             if isinstance(self._backend, HybridBackend):
                 from dataclasses import replace
 
+                crossover = (
+                    hybrid_threshold
+                    if hybrid_threshold is not None
+                    else autotune_crossover(self._backend.inner)
+                )
                 self._backend.policy = replace(
-                    self._backend.policy, crossover_density=hybrid_threshold
+                    self._backend.policy, crossover_density=crossover
                 )
         self._live: list = []
         self._finalized = False

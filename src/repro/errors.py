@@ -73,3 +73,36 @@ class IndexOutOfBoundsError(InvalidArgumentError, IndexError):
         self.index = index
         self.bound = bound
         super().__init__(f"{what} index {index} out of bounds [0, {bound})")
+
+
+# -- service tier (repro.service) ---------------------------------------------
+
+
+class ServiceError(SpblaError):
+    """Base class for query-service failures (:mod:`repro.service`)."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """The service's bounded admission queue rejected the request.
+
+    Backpressure, not a bug: the caller should retry later or shed
+    load.  Carries no partial state — the query was never admitted.
+    """
+
+
+class QueryCancelledError(ServiceError):
+    """The query was cancelled before producing a result (explicit
+    :meth:`~repro.service.scheduler.QueryTicket.cancel` or service
+    shutdown)."""
+
+
+class DeadlineExceededError(QueryCancelledError):
+    """The query's deadline passed before evaluation completed."""
+
+
+class UnknownGraphError(ServiceError, KeyError):
+    """The named graph is not registered in the service's GraphStore."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        super().__init__(f"no graph registered under {name!r}")

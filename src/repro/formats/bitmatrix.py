@@ -257,7 +257,33 @@ class BitMatrix(SparseFormat):
         return out
 
     def transpose(self) -> "BitMatrix":
-        return BitMatrix.from_dense(self.to_dense().T)
+        """Word-level transpose — no dense round-trip.
+
+        The matrix is viewed as a grid of 64×64 bit tiles; tile
+        ``(R, C)`` of the input becomes tile ``(C, R)`` of the output,
+        and each tile is transposed in place by the classic delta-swap
+        ladder (6 masked exchange levels, Hacker's Delight 7-3),
+        vectorized over every tile at once.  Total work is
+        ``O(words · 6)`` word ops versus the old path's full unpack /
+        repack of ``m · n`` booleans.
+        """
+        m, n = self.shape
+        out_shape = (n, m)
+        if m == 0 or n == 0:
+            return BitMatrix.empty(out_shape)
+        row_blocks = _words_per_row(m)   # 64-row tiles == output words/row
+        wpr = self.words.shape[1]        # input words/row == output row tiles
+        padded = np.zeros((row_blocks * WORD_BITS, wpr), dtype=_WORD)
+        padded[:m] = self.words
+        # tiles[C, R, r] = word at input row R*64+r, word column C.
+        tiles = np.ascontiguousarray(
+            padded.reshape(row_blocks, WORD_BITS, wpr).transpose(2, 0, 1)
+        )
+        _transpose64(tiles)
+        # After the in-tile transpose, tiles[C, R, c] is output word
+        # (C*64+c, R); flatten tile rows and drop the padding rows.
+        out_words = tiles.transpose(0, 2, 1).reshape(wpr * WORD_BITS, row_blocks)
+        return BitMatrix(out_shape, out_words[:n].copy())
 
     def reduce_rows(self) -> np.ndarray:
         """Boolean OR along each row: True where the row has any entry."""
@@ -268,6 +294,30 @@ class BitMatrix(SparseFormat):
 
     def copy(self) -> "BitMatrix":
         return BitMatrix(self.shape, self.words.copy())
+
+
+def _transpose64(tiles: np.ndarray) -> None:
+    """Transpose 64×64 bit tiles in place.
+
+    ``tiles[..., r]`` is the packed word of tile row ``r`` (bit ``c`` =
+    column ``c``, little-endian to match :class:`BitMatrix`).  Each
+    delta-swap level exchanges the high bit-half of the low row group
+    with the low bit-half of the high row group, halving the exchange
+    distance every level.
+    """
+    j = 32
+    mask = _WORD(0x00000000FFFFFFFF)
+    idx = np.arange(WORD_BITS)
+    while j:
+        lo = idx[(idx & j) == 0]
+        x = tiles[..., lo]
+        y = tiles[..., lo + j]
+        t = (y ^ (x >> _WORD(j))) & mask
+        tiles[..., lo + j] = y ^ t
+        tiles[..., lo] = x ^ (t << _WORD(j))
+        j >>= 1
+        if j:
+            mask = mask ^ (mask << _WORD(j))
 
 
 def _words_per_row(ncols: int) -> int:

@@ -8,7 +8,20 @@ the paper.  Path extraction walks the product graph guided by the
 closure.
 """
 
-from repro.rpq.engine import RpqIndex, rpq_index, rpq_pairs
+from repro.rpq.engine import (
+    RpqIndex,
+    rpq_index,
+    rpq_pairs,
+    rpq_reach,
+    rpq_reach_batch,
+)
 from repro.rpq.paths import extract_paths
 
-__all__ = ["RpqIndex", "extract_paths", "rpq_index", "rpq_pairs"]
+__all__ = [
+    "RpqIndex",
+    "extract_paths",
+    "rpq_index",
+    "rpq_pairs",
+    "rpq_reach",
+    "rpq_reach_batch",
+]

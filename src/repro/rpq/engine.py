@@ -101,6 +101,25 @@ def _compile(query, automaton: str = "glushkov") -> NFA:
     )
 
 
+def _product_matrix(nfa: NFA, g_mats: dict, n: int, ctx, labels):
+    """``Σ_label R_label ⊗ G_label`` for the given (borrowed) graph
+    matrices; frees the automaton matrices it creates."""
+    r_mats = nfa.transition_matrices(ctx, labels=labels)
+    product = ctx.matrix_empty((nfa.n * n, nfa.n * n))
+    try:
+        with ctx.backend.fixpoint():
+            for label in labels:
+                term = r_mats[label].kron(g_mats[label])
+                merged = product.ewise_add(term)
+                term.free()
+                product.free()
+                product = merged
+    finally:
+        for mat in r_mats.values():
+            mat.free()
+    return product
+
+
 def rpq_index(
     graph: LabeledGraph,
     query,
@@ -108,6 +127,7 @@ def rpq_index(
     *,
     closure_method: str = "squaring",
     automaton: str = "glushkov",
+    adjacency: dict | None = None,
 ) -> RpqIndex:
     """Build the RPQ reachability index (the timed operation of E3/E4).
 
@@ -117,6 +137,10 @@ def rpq_index(
     literature uses), Thompson + ε-elimination, or the minimized DFA
     (``mindfa``: smallest product graph, at the cost of determinization
     up front — compared in the ablation benchmark).
+
+    ``adjacency`` optionally supplies pre-lowered ``label → Matrix``
+    adjacency matrices on ``ctx`` (the service tier's GraphStore keeps
+    graphs resident); borrowed matrices are *not* freed.
     """
     nfa = _compile(query, automaton)
     n = graph.n
@@ -125,17 +149,14 @@ def rpq_index(
     t0 = time.perf_counter()
 
     shared = sorted(set(nfa.labels) & set(graph.labels))
-    r_mats = nfa.transition_matrices(ctx, labels=shared)
-    g_mats = graph.adjacency_matrices(ctx, labels=shared)
+    if adjacency is None:
+        g_mats = graph.adjacency_matrices(ctx, labels=shared)
+        borrowed = False
+    else:
+        g_mats = {label: adjacency[label] for label in shared}
+        borrowed = True
 
-    product = ctx.matrix_empty((nfa.n * n, nfa.n * n))
-    with ctx.backend.fixpoint():
-        for label in shared:
-            term = r_mats[label].kron(g_mats[label])
-            merged = product.ewise_add(term)
-            term.free()
-            product.free()
-            product = merged
+    product = _product_matrix(nfa, g_mats, n, ctx, shared)
     t_product = time.perf_counter()
 
     closure = transitive_closure(product, method=closure_method)
@@ -146,8 +167,8 @@ def rpq_index(
     for label in shared:
         rows, cols = g_mats[label].to_arrays()
         host_graph[label] = (rows, cols)
-        g_mats[label].free()
-        r_mats[label].free()
+        if not borrowed:
+            g_mats[label].free()
 
     return RpqIndex(
         nfa=nfa,
@@ -172,3 +193,158 @@ def rpq_pairs(graph: LabeledGraph, query, ctx) -> set[tuple[int, int]]:
         return index.pairs()
     finally:
         index.free()
+
+
+def rpq_reach_batch(
+    graph: LabeledGraph,
+    queries: list,
+    sources: list[int],
+    ctx,
+    *,
+    automaton: str = "glushkov",
+    adjacency: dict | None = None,
+    cancel=None,
+) -> list[set[int]]:
+    """Evaluate many single-source RPQ queries in **one** fixpoint.
+
+    The batched evaluation behind the query service's multi-query
+    coalescing: query ``i`` asks for all ``v`` reachable from
+    ``sources[i]`` along a path matching ``queries[i]``.  Instead of
+    ``len(queries)`` separate product-closure runs, the (deduplicated)
+    automata are stacked block-diagonally into one union automaton
+    ``R``, the product ``M = Σ R_label ⊗ G_label`` is built once, and
+    all source vectors are stacked into a single boolean frontier
+    matrix ``F`` (one row per query, seeded at its automaton block's
+    start states).  One BFS-style fixpoint
+
+        ``F ← F ∨ F·M``
+
+    then answers every query simultaneously: automaton blocks are
+    disconnected in ``M``, so row ``i`` only ever walks its own block,
+    and the result is identical to evaluating the queries one at a
+    time — while the per-iteration kernel and dispatch overhead is paid
+    once for the whole batch instead of once per query.
+
+    ``queries`` entries may be regex strings, ASTs, or prebuilt NFAs;
+    identical objects (e.g. a plan-cache hit handed out twice) share
+    one automaton block.  ``adjacency`` borrows pre-lowered graph
+    matrices as in :func:`rpq_index`.  ``cancel``, if given, is invoked
+    between fixpoint iterations and may raise to abort cooperatively.
+
+    Returns one target set per query, in input order.
+    """
+    if len(queries) != len(sources):
+        raise InvalidArgumentError(
+            f"{len(queries)} queries but {len(sources)} sources"
+        )
+    n = graph.n
+    if n == 0:
+        raise InvalidArgumentError("empty graph")
+    for src in sources:
+        if not 0 <= src < n:
+            raise InvalidArgumentError(f"source {src} outside [0, {n})")
+    if not queries:
+        return []
+
+    # Deduplicate compiled automata: repeated plans share one block.
+    nfas = [_compile(q, automaton) for q in queries]
+    unique: dict[int, int] = {}          # id(nfa) -> block index
+    blocks: list[NFA] = []
+    block_of: list[int] = []
+    for nfa in nfas:
+        idx = unique.get(id(nfa))
+        if idx is None:
+            idx = len(blocks)
+            unique[id(nfa)] = idx
+            blocks.append(nfa)
+        block_of.append(idx)
+
+    offsets = []
+    total_states = 0
+    for nfa in blocks:
+        offsets.append(total_states)
+        total_states += nfa.n
+    merged_transitions: dict[str, list] = {}
+    for nfa, offset in zip(blocks, offsets):
+        shifted = nfa.renumbered(offset, total_states)
+        for label, pairs in shifted.transitions.items():
+            merged_transitions.setdefault(label, []).extend(pairs)
+    union = NFA(
+        total_states,
+        frozenset(
+            offset + s for nfa, offset in zip(blocks, offsets) for s in nfa.starts
+        ),
+        frozenset(
+            offset + f for nfa, offset in zip(blocks, offsets) for f in nfa.finals
+        ),
+        merged_transitions,
+    )
+
+    shared = sorted(set(union.labels) & set(graph.labels))
+    if adjacency is None:
+        g_mats = graph.adjacency_matrices(ctx, labels=shared)
+        borrowed = False
+    else:
+        g_mats = {label: adjacency[label] for label in shared}
+        borrowed = True
+
+    product = None
+    frontier = None
+    try:
+        product = _product_matrix(union, g_mats, n, ctx, shared)
+
+        rows: list[int] = []
+        cols: list[int] = []
+        for i, (src, b) in enumerate(zip(sources, block_of)):
+            offset = offsets[b]
+            for s0 in blocks[b].starts:
+                rows.append(i)
+                cols.append((offset + s0) * n + src)
+        frontier = ctx.matrix_from_lists(
+            (len(queries), total_states * n), rows, cols
+        )
+
+        with ctx.backend.fixpoint():
+            while True:
+                if cancel is not None:
+                    cancel()
+                step = frontier.mxm(product, accumulate=frontier)
+                if step.nnz == frontier.nnz:
+                    step.free()
+                    break
+                frontier.free()
+                frontier = step
+
+        out: list[set[int]] = [set() for _ in queries]
+        f_rows, f_cols = frontier.to_arrays()
+        final_sets = [
+            frozenset(offsets[b] + f for f in blocks[b].finals)
+            for b in range(len(blocks))
+        ]
+        for i, c in zip(f_rows.tolist(), f_cols.tolist()):
+            if c // n in final_sets[block_of[i]]:
+                out[i].add(c % n)
+        return out
+    finally:
+        if product is not None:
+            product.free()
+        if frontier is not None:
+            frontier.free()
+        if not borrowed:
+            for mat in g_mats.values():
+                mat.free()
+
+
+def rpq_reach(
+    graph: LabeledGraph,
+    query,
+    source: int,
+    ctx,
+    *,
+    automaton: str = "glushkov",
+    adjacency: dict | None = None,
+) -> set[int]:
+    """Single-source RPQ reachability (a batch of one)."""
+    return rpq_reach_batch(
+        graph, [query], [source], ctx, automaton=automaton, adjacency=adjacency
+    )[0]

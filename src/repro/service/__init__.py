@@ -1,0 +1,45 @@
+"""Concurrent boolean query service — the serving tier above the kernels.
+
+The library's lower layers are pure: formats, backends, and query
+engines that compile and evaluate one query at a time.  This package
+adds the stateful tier a production deployment needs (the GraphBLAS
+"primitives + system above them" architecture):
+
+* :class:`~repro.service.graph_store.GraphStore` — named graphs kept
+  device-resident, with hybrid-format residency hints;
+* :class:`~repro.service.plan_cache.PlanCache` — LRU of compiled query
+  plans (regex → minimized DFA, grammar → RSM/wCNF) with hit/miss/
+  eviction counters;
+* :class:`~repro.service.scheduler.QueryScheduler` — bounded admission,
+  a worker pool, per-query deadlines with cooperative cancellation, and
+  multi-query batching (same-graph RPQ reachability queries coalesce
+  into one multi-source fixpoint);
+* :class:`~repro.service.stats.ServiceStats` — per-stage latency
+  percentiles, batch sizes, queue depth, cache ratios;
+* :class:`~repro.service.core.QueryService` — the facade wiring it all
+  to one shared, thread-safe :class:`~repro.core.context.Context`.
+
+``python -m repro serve --selftest`` runs the concurrent end-to-end
+check (:func:`~repro.service.selftest.run_selftest`).
+"""
+
+from repro.service.core import QueryService
+from repro.service.graph_store import GraphHandle, GraphStore
+from repro.service.plan_cache import PlanCache, QueryPlan
+from repro.service.scheduler import QueryScheduler, QueryTicket
+from repro.service.selftest import run_selftest
+from repro.service.stats import LatencySummary, ServiceStats, StatsSnapshot
+
+__all__ = [
+    "GraphHandle",
+    "GraphStore",
+    "LatencySummary",
+    "PlanCache",
+    "QueryPlan",
+    "QueryScheduler",
+    "QueryService",
+    "QueryTicket",
+    "ServiceStats",
+    "StatsSnapshot",
+    "run_selftest",
+]

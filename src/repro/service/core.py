@@ -1,0 +1,199 @@
+"""`QueryService` — the in-process concurrent boolean query server.
+
+Ties the service tier together: a :class:`~repro.service.graph_store.
+GraphStore` of resident graphs, a :class:`~repro.service.plan_cache.
+PlanCache` of compiled queries, and a :class:`~repro.service.scheduler.
+QueryScheduler` that batches and evaluates under deadlines — all over
+one shared :class:`~repro.core.context.Context` whose backends and
+device arena are thread-safe.
+
+Typical use::
+
+    import repro.service as svc
+
+    with svc.QueryService(workers=4) as service:
+        service.register_graph("social", graph, residency="auto")
+        t1 = service.submit_reach("social", "follows+", source=42)
+        t2 = service.submit_reach("social", "follows+", source=7)
+        print(t1.result(), t2.result())      # one shared fixpoint
+        print(service.stats().render())
+
+Synchronous convenience wrappers (:meth:`QueryService.reach`,
+:meth:`QueryService.pairs`, :meth:`QueryService.cfpq`) submit and wait.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidArgumentError
+from repro.graph import LabeledGraph
+from repro.service.graph_store import GraphStore
+from repro.service.plan_cache import PlanCache
+from repro.service.scheduler import (
+    KIND_CFPQ,
+    KIND_PAIRS,
+    KIND_REACH,
+    QueryScheduler,
+    QueryTicket,
+)
+from repro.service.stats import ServiceStats, StatsSnapshot
+
+
+class QueryService:
+    """Concurrent RPQ/CFPQ query server over a shared context.
+
+    Parameters
+    ----------
+    ctx:
+        Library context to execute on.  ``None`` creates one from
+        ``backend``/``hybrid`` (and then owns it: :meth:`close`
+        finalizes it).
+    backend / hybrid:
+        Passed to :class:`~repro.core.context.Context` when ``ctx`` is
+        None.  ``hybrid`` defaults to ``None`` — defer to the
+        ``REPRO_HYBRID`` env var, so deployments (and CI) pick the
+        dispatch policy without code changes; pass ``"auto"`` to force
+        adaptive dispatch on.
+    autotune:
+        Calibrate the hybrid crossover on this host with a probe sweep
+        at startup (cached per process; adds tens of milliseconds once).
+    workers:
+        Worker threads.  ``0`` is allowed (admission-only; useful for
+        tests and manual draining).
+    queue_limit / max_batch / plan_capacity:
+        Admission-queue bound, batching window, and plan-cache size.
+    """
+
+    def __init__(
+        self,
+        ctx=None,
+        *,
+        backend: str = "cubool",
+        hybrid: bool | str | None = None,
+        autotune: bool = False,
+        workers: int = 2,
+        queue_limit: int = 64,
+        max_batch: int = 8,
+        plan_capacity: int = 128,
+    ):
+        if ctx is None:
+            from repro.core.context import Context
+
+            ctx = Context(
+                backend=backend, hybrid=hybrid, hybrid_autotune=autotune or None
+            )
+            self._owns_ctx = True
+        else:
+            self._owns_ctx = False
+        self.ctx = ctx
+        self.graphs = GraphStore(ctx)
+        self.plans = PlanCache(plan_capacity)
+        self.service_stats = ServiceStats()
+        self.scheduler = QueryScheduler(
+            ctx,
+            self.graphs,
+            self.plans,
+            self.service_stats,
+            workers=workers,
+            queue_limit=queue_limit,
+            max_batch=max_batch,
+        )
+        self._closed = False
+
+    # -- graph management --------------------------------------------------
+
+    def register_graph(
+        self, name: str, graph: LabeledGraph, *, residency: str = "auto"
+    ):
+        """Register (or replace) a named graph; see :class:`GraphStore`."""
+        return self.graphs.register(name, graph, residency=residency)
+
+    def drop_graph(self, name: str) -> None:
+        self.graphs.drop(name)
+
+    # -- async surface -----------------------------------------------------
+
+    def submit_reach(
+        self,
+        graph: str,
+        query,
+        *,
+        source: int,
+        timeout: float | None = None,
+    ) -> QueryTicket:
+        """Single-source RPQ reachability (the batchable kind)."""
+        handle = self.graphs.get(graph)  # validate early, pre-admission
+        if not 0 <= int(source) < handle.n:
+            raise InvalidArgumentError(
+                f"source {source} outside [0, {handle.n})"
+            )
+        return self.scheduler.submit(
+            QueryTicket(
+                kind=KIND_REACH,
+                graph=graph,
+                query=query,
+                source=int(source),
+                timeout=timeout,
+            )
+        )
+
+    def submit_pairs(
+        self, graph: str, query, *, timeout: float | None = None
+    ) -> QueryTicket:
+        """All-pairs RPQ (closure of the product graph)."""
+        self.graphs.get(graph)
+        return self.scheduler.submit(
+            QueryTicket(kind=KIND_PAIRS, graph=graph, query=query, timeout=timeout)
+        )
+
+    def submit_cfpq(
+        self, graph: str, grammar, *, timeout: float | None = None
+    ) -> QueryTicket:
+        """All-pairs CFPQ on the tensor engine."""
+        self.graphs.get(graph)
+        return self.scheduler.submit(
+            QueryTicket(kind=KIND_CFPQ, graph=graph, query=grammar, timeout=timeout)
+        )
+
+    # -- sync convenience --------------------------------------------------
+
+    def reach(
+        self, graph: str, query, *, source: int, timeout: float | None = None
+    ) -> set[int]:
+        return self.submit_reach(
+            graph, query, source=source, timeout=timeout
+        ).result()
+
+    def pairs(
+        self, graph: str, query, *, timeout: float | None = None
+    ) -> set[tuple[int, int]]:
+        return self.submit_pairs(graph, query, timeout=timeout).result()
+
+    def cfpq(
+        self, graph: str, grammar, *, timeout: float | None = None
+    ) -> set[tuple[int, int]]:
+        return self.submit_cfpq(graph, grammar, timeout=timeout).result()
+
+    # -- observability -----------------------------------------------------
+
+    def stats(self) -> StatsSnapshot:
+        return self.service_stats.snapshot(
+            plan_cache=self.plans, graph_store=self.graphs
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down workers, cancel queued queries, release graphs."""
+        if self._closed:
+            return
+        self._closed = True
+        self.scheduler.close()
+        self.graphs.clear()
+        if self._owns_ctx:
+            self.ctx.finalize()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

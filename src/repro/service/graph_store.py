@@ -1,0 +1,169 @@
+"""Named-graph registry with format/backend residency.
+
+The kernels operate on whatever matrices they are handed; the service
+tier's job is to make sure hot graphs are *already* lowered — and, under
+the hybrid backend, already in the right storage format — when a query
+arrives.  :class:`GraphStore` owns that state: registering a graph
+lowers its per-label adjacency matrices onto the service context once,
+and the residency policy decides which labels additionally keep a
+bit-packed view pinned (reusing the hybrid dispatcher's cached-view
+machinery from :mod:`repro.backends.hybrid`), so fixpoints over dense
+labels start word-parallel instead of paying the packing cost per query.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.errors import InvalidArgumentError, UnknownGraphError
+from repro.graph import LabeledGraph
+
+RESIDENCY_MODES = ("auto", "bit", "sparse")
+
+
+@dataclass
+class GraphHandle:
+    """One registered graph: host container + resident device matrices."""
+
+    name: str
+    graph: LabeledGraph
+    matrices: dict = field(default_factory=dict)  # label -> core Matrix
+    residency: str = "auto"
+    #: label -> resident formats after the residency pass ("sparse",
+    #: "bit" or "both"); non-hybrid backends always report "sparse".
+    formats: dict = field(default_factory=dict)
+    queries_served: int = 0
+
+    @property
+    def n(self) -> int:
+        return self.graph.n
+
+    @property
+    def labels(self) -> list[str]:
+        return self.graph.labels
+
+    def memory_bytes(self) -> int:
+        """Resident device bytes across all labels (every view)."""
+        return sum(m.memory_bytes() for m in self.matrices.values())
+
+    def free(self) -> None:
+        for m in self.matrices.values():
+            m.free()
+        self.matrices = {}
+
+
+class GraphStore:
+    """Thread-safe registry of named, device-resident graphs."""
+
+    def __init__(self, ctx):
+        self.ctx = ctx
+        self._graphs: dict[str, GraphHandle] = {}
+        self._lock = threading.Lock()
+
+    def register(
+        self,
+        name: str,
+        graph: LabeledGraph,
+        *,
+        residency: str = "auto",
+    ) -> GraphHandle:
+        """Lower ``graph`` onto the service context under ``name``.
+
+        ``residency`` (hybrid backend only; a no-op elsewhere):
+
+        * ``"sparse"`` — stay CSR/COO-resident;
+        * ``"bit"`` — pin every label's bit-packed view eagerly;
+        * ``"auto"`` — pin the bit view only for labels whose density
+          is at or above the dispatcher's crossover (those are the ones
+          the cost model would route to the bit kernel anyway).
+
+        Re-registering a name replaces (and frees) the previous entry.
+        """
+        if residency not in RESIDENCY_MODES:
+            raise InvalidArgumentError(
+                f"residency {residency!r} not in {RESIDENCY_MODES}"
+            )
+        matrices = graph.adjacency_matrices(self.ctx)
+        formats = self._apply_residency(matrices, residency)
+        handle = GraphHandle(
+            name=name,
+            graph=graph,
+            matrices=matrices,
+            residency=residency,
+            formats=formats,
+        )
+        with self._lock:
+            old = self._graphs.get(name)
+            self._graphs[name] = handle
+        if old is not None:
+            old.free()
+        return handle
+
+    def _apply_residency(self, matrices: dict, residency: str) -> dict:
+        from repro.backends.hybrid import HybridBackend
+
+        backend = self.ctx.backend
+        formats: dict[str, str] = {}
+        if not isinstance(backend, HybridBackend):
+            return {label: "sparse" for label in matrices}
+        crossover = backend.policy.crossover_density
+        for label, matrix in matrices.items():
+            if residency == "bit" or (
+                residency == "auto" and matrix.density >= crossover
+            ):
+                formats[label] = backend.ensure_resident(matrix.handle, "bit")
+            else:
+                formats[label] = matrix.handle.resident
+        return formats
+
+    def get(self, name: str) -> GraphHandle:
+        with self._lock:
+            handle = self._graphs.get(name)
+        if handle is None:
+            raise UnknownGraphError(name)
+        return handle
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._graphs
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._graphs)
+
+    def drop(self, name: str) -> None:
+        with self._lock:
+            handle = self._graphs.pop(name, None)
+        if handle is None:
+            raise UnknownGraphError(name)
+        handle.free()
+
+    def clear(self) -> None:
+        with self._lock:
+            handles = list(self._graphs.values())
+            self._graphs.clear()
+        for handle in handles:
+            handle.free()
+
+    def stats(self) -> dict:
+        with self._lock:
+            handles = list(self._graphs.values())
+        return {
+            "graphs": len(handles),
+            "vertices": sum(h.n for h in handles),
+            "edges": sum(h.graph.num_edges for h in handles),
+            "resident_bytes": sum(h.memory_bytes() for h in handles),
+            "queries_served": sum(h.queries_served for h in handles),
+            "per_graph": {
+                h.name: {
+                    "n": h.n,
+                    "labels": len(h.matrices),
+                    "residency": h.residency,
+                    "formats": dict(h.formats),
+                    "bytes": h.memory_bytes(),
+                    "queries_served": h.queries_served,
+                }
+                for h in handles
+            },
+        }

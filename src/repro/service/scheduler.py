@@ -1,0 +1,383 @@
+"""Query admission, scheduling, and multi-query batching.
+
+The scheduler is the concurrency heart of the service tier:
+
+* **bounded admission** — a fixed-capacity queue; when it is full,
+  :meth:`QueryScheduler.submit` fails fast with
+  :class:`~repro.errors.ServiceOverloadedError` instead of buffering
+  unbounded work (load shedding at the front door);
+* **worker pool** — N daemon threads drain the queue; every worker
+  owns no state, so any worker can serve any request (the backends and
+  the device arena are already thread-safe);
+* **multi-query batching** — a worker dequeues up to ``max_batch``
+  requests at once and coalesces same-graph RPQ reachability queries
+  into a single :func:`~repro.rpq.engine.rpq_reach_batch` evaluation:
+  one product build and one fixpoint answer the whole group;
+* **deadlines + cooperative cancellation** — each request may carry a
+  deadline; requests expire in the queue, are re-checked before and
+  during evaluation (the fixpoint polls a cancel hook every
+  iteration), and report :class:`~repro.errors.DeadlineExceededError`.
+
+Callers interact through :class:`QueryTicket` — a future-like handle
+with ``result(timeout)``, ``cancel()`` and per-stage timings.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+
+from repro.errors import (
+    DeadlineExceededError,
+    QueryCancelledError,
+    ServiceOverloadedError,
+)
+
+#: Batch group keys by query kind.
+KIND_REACH = "rpq-reach"
+KIND_PAIRS = "rpq-pairs"
+KIND_CFPQ = "cfpq"
+
+_SHUTDOWN = object()
+
+
+class QueryTicket:
+    """Future-like handle for one submitted query.
+
+    The scheduler fills in exactly one of ``result`` / ``error`` and
+    sets the completion event; ``timings`` maps stage name → seconds
+    (``queue_wait``, ``compile``, ``evaluate``, ``total``) and
+    ``batch_size`` records how many queries shared the evaluation this
+    ticket rode in (1 = not coalesced).
+    """
+
+    def __init__(
+        self,
+        *,
+        kind: str,
+        graph: str,
+        query,
+        source: int | None = None,
+        timeout: float | None = None,
+    ):
+        self.kind = kind
+        self.graph = graph
+        self.query = query
+        self.source = source
+        self.submitted_at = time.monotonic()
+        self.deadline = (
+            self.submitted_at + timeout if timeout is not None else None
+        )
+        self.timings: dict[str, float] = {}
+        self.batch_size = 0
+        self._event = threading.Event()
+        self._cancelled = threading.Event()
+        self._result = None
+        self._error: BaseException | None = None
+
+    # -- caller side -------------------------------------------------------
+
+    def cancel(self) -> None:
+        """Request cooperative cancellation (idempotent, asynchronous)."""
+        self._cancelled.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled.is_set()
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None):
+        """Block for the outcome; raises the query's error if it failed."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("query still pending")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def exception(self, timeout: float | None = None) -> BaseException | None:
+        if not self._event.wait(timeout):
+            raise TimeoutError("query still pending")
+        return self._error
+
+    # -- scheduler side ----------------------------------------------------
+
+    def _expired(self, now: float | None = None) -> bool:
+        return self.deadline is not None and (now or time.monotonic()) > self.deadline
+
+    def _finish(self, result=None, error: BaseException | None = None) -> None:
+        if self._event.is_set():
+            return
+        self._result = result
+        self._error = error
+        self.timings["total"] = time.monotonic() - self.submitted_at
+        self._event.set()
+
+
+class QueryScheduler:
+    """Bounded-queue worker pool with same-graph query coalescing."""
+
+    def __init__(
+        self,
+        ctx,
+        graphs,
+        plans,
+        stats,
+        *,
+        workers: int = 2,
+        queue_limit: int = 64,
+        max_batch: int = 8,
+    ):
+        self.ctx = ctx
+        self.graphs = graphs
+        self.plans = plans
+        self.stats = stats
+        self.max_batch = max(1, int(max_batch))
+        self._queue: queue.Queue = queue.Queue(maxsize=queue_limit)
+        self._closed = False
+        self._lock = threading.Lock()
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"repro-svc-{i}", daemon=True
+            )
+            for i in range(max(0, int(workers)))
+        ]
+        for t in self._workers:
+            t.start()
+
+    # -- admission ---------------------------------------------------------
+
+    def submit(self, ticket: QueryTicket) -> QueryTicket:
+        with self._lock:
+            if self._closed:
+                raise QueryCancelledError("service is shut down")
+        try:
+            self._queue.put_nowait(ticket)
+        except queue.Full:
+            self.stats.count("rejected")
+            raise ServiceOverloadedError(
+                f"admission queue full ({self._queue.maxsize} pending)"
+            ) from None
+        self.stats.count("submitted")
+        self.stats.set_queue_depth(self._queue.qsize())
+        return ticket
+
+    # -- shutdown ----------------------------------------------------------
+
+    def close(self, *, wait: bool = True) -> None:
+        """Stop accepting work; cancel queued queries; join workers."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        # Flush still-queued tickets (in-flight evaluations finish).
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not _SHUTDOWN:
+                self.stats.count("cancelled")
+                item._finish(error=QueryCancelledError("service shut down"))
+        for _ in self._workers:
+            self._queue.put(_SHUTDOWN)
+        if wait:
+            for t in self._workers:
+                t.join()
+        self.stats.set_queue_depth(0)
+
+    # -- worker loop -------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                return
+            batch = [item]
+            while len(batch) < self.max_batch:
+                try:
+                    extra = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if extra is _SHUTDOWN:
+                    # Keep the poison pill for the next worker.
+                    self._queue.put(_SHUTDOWN)
+                    break
+                batch.append(extra)
+            self.stats.set_queue_depth(self._queue.qsize())
+
+            now = time.monotonic()
+            for ticket in batch:
+                ticket.timings["queue_wait"] = now - ticket.submitted_at
+                self.stats.record_stage("queue_wait", ticket.timings["queue_wait"])
+
+            for group in self._group(batch):
+                try:
+                    self._run_group(group)
+                except BaseException as exc:  # defensive: never kill a worker
+                    for ticket in group:
+                        self.stats.count("failed")
+                        ticket._finish(error=exc)
+
+    def _group(self, batch: list) -> list[list]:
+        """Coalescible groups: reach queries by graph; others singleton."""
+        reach: dict[str, list] = {}
+        groups: list[list] = []
+        for ticket in batch:
+            if ticket.kind == KIND_REACH:
+                reach.setdefault(ticket.graph, []).append(ticket)
+            else:
+                groups.append([ticket])
+        groups.extend(reach.values())
+        return groups
+
+    def _prune(self, group: list) -> list:
+        """Drop members already expired or cancelled; finish their tickets."""
+        live = []
+        now = time.monotonic()
+        for ticket in group:
+            if ticket.cancelled:
+                self.stats.count("cancelled")
+                ticket._finish(error=QueryCancelledError("cancelled by caller"))
+            elif ticket._expired(now):
+                self.stats.count("expired")
+                ticket._finish(
+                    error=DeadlineExceededError(
+                        "deadline passed before evaluation started"
+                    )
+                )
+            else:
+                live.append(ticket)
+        return live
+
+    def _make_cancel_hook(self, group: list):
+        """Cooperative cancellation polled between fixpoint iterations.
+
+        Aborts the shared evaluation only when *no* member still wants
+        the answer — individual members that cancel or expire mid-batch
+        are settled after the evaluation without punishing the rest.
+        """
+
+        def check() -> None:
+            now = time.monotonic()
+            if all(t.cancelled or t._expired(now) for t in group):
+                raise QueryCancelledError(
+                    "all queries in the batch were cancelled or expired"
+                )
+
+        return check
+
+    def _run_group(self, group: list) -> None:
+        group = self._prune(group)
+        if not group:
+            return
+        kind = group[0].kind
+
+        # Resolve graph + plan per member (plan-cache hits are counted
+        # here; a repeated query does zero recompilation).
+        resolved = []
+        for ticket in group:
+            try:
+                handle = self.graphs.get(ticket.graph)
+                t0 = time.perf_counter()
+                plan_kind = "cfpq" if kind == KIND_CFPQ else "rpq"
+                plan = self.plans.get(plan_kind, ticket.query)
+                dt = time.perf_counter() - t0
+                ticket.timings["compile"] = dt
+                self.stats.record_stage("compile", dt)
+                resolved.append((ticket, handle, plan))
+            except Exception as exc:
+                self.stats.count("failed")
+                ticket._finish(error=exc)
+        if not resolved:
+            return
+
+        tickets = [t for t, _, _ in resolved]
+        handle = resolved[0][1]
+        cancel = self._make_cancel_hook(tickets)
+        t0 = time.perf_counter()
+        try:
+            if kind == KIND_REACH:
+                results = self._eval_reach(resolved, cancel)
+            elif kind == KIND_PAIRS:
+                results = [self._eval_pairs(handle, resolved[0][2])]
+            elif kind == KIND_CFPQ:
+                results = [self._eval_cfpq(handle, resolved[0][2])]
+            else:  # pragma: no cover - submit() validates kinds
+                raise QueryCancelledError(f"unknown query kind {kind!r}")
+        except QueryCancelledError as exc:
+            for ticket in tickets:
+                if ticket._expired():
+                    self.stats.count("expired")
+                    ticket._finish(error=DeadlineExceededError(str(exc)))
+                else:
+                    self.stats.count("cancelled")
+                    ticket._finish(error=exc)
+            return
+        except Exception as exc:
+            for ticket in tickets:
+                self.stats.count("failed")
+                ticket._finish(error=exc)
+            return
+        eval_time = time.perf_counter() - t0
+
+        self.stats.record_batch(len(tickets))
+        handle.queries_served += len(tickets)
+        now = time.monotonic()
+        for ticket, result in zip(tickets, results):
+            ticket.timings["evaluate"] = eval_time
+            self.stats.record_stage("evaluate", eval_time)
+            ticket.batch_size = len(tickets)
+            if ticket.cancelled:
+                self.stats.count("cancelled")
+                ticket._finish(error=QueryCancelledError("cancelled by caller"))
+            elif ticket._expired(now):
+                self.stats.count("expired")
+                ticket._finish(
+                    error=DeadlineExceededError("deadline passed during evaluation")
+                )
+            else:
+                self.stats.count("completed")
+                ticket._finish(result=result)
+                self.stats.record_stage(
+                    "total", now - ticket.submitted_at
+                )
+
+    # -- evaluation backends ----------------------------------------------
+
+    def _eval_reach(self, resolved: list, cancel) -> list:
+        from repro.rpq.engine import rpq_reach_batch
+
+        # All members share one graph (grouping key); plans may differ —
+        # the batch evaluator deduplicates identical plan objects.
+        handle = resolved[0][1]
+        return rpq_reach_batch(
+            handle.graph,
+            [plan.nfa for _, _, plan in resolved],
+            [ticket.source for ticket, _, _ in resolved],
+            self.ctx,
+            adjacency=handle.matrices,
+            cancel=cancel,
+        )
+
+    def _eval_pairs(self, handle, plan) -> set:
+        from repro.rpq.engine import rpq_index
+
+        index = rpq_index(
+            handle.graph, plan.nfa, self.ctx, adjacency=handle.matrices
+        )
+        try:
+            return index.pairs()
+        finally:
+            index.free()
+
+    def _eval_cfpq(self, handle, plan) -> set:
+        from repro.cfpq.tensor_algorithm import tensor_cfpq
+
+        index = tensor_cfpq(handle.graph, plan.rsm, self.ctx)
+        try:
+            return index.pairs()
+        finally:
+            index.free()

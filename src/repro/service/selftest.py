@@ -1,0 +1,142 @@
+"""Service self-test: the `python -m repro serve --selftest` entry.
+
+Spins up a real :class:`~repro.service.core.QueryService` (worker
+threads, plan cache, batching — everything), fires a concurrent mixed
+workload at it from client threads, and verifies every answer against
+the sequential single-query engines.  Exercised by CI under both
+``REPRO_HYBRID`` settings; exit status is the install check.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.datasets.random_graphs import uniform_random_graph
+from repro.service.core import QueryService
+
+#: Regex templates instantiated over the demo graph's labels.
+SELFTEST_QUERIES = (
+    "a b* c",
+    "(a | b)+",
+    "a (b c)*",
+    "(a | c) b? c",
+)
+
+SELFTEST_GRAMMAR = "S -> a S b | a b"
+
+
+def run_selftest(
+    *,
+    workers: int = 3,
+    queries: int = 24,
+    seed: int = 20210705,
+    verbose: bool = True,
+) -> int:
+    """Run the concurrent self-test; returns a process exit code."""
+
+    def say(msg: str) -> None:
+        if verbose:
+            print(msg)
+
+    n = 96
+    graph = uniform_random_graph(n, 4 * n, labels=("a", "b", "c"), seed=seed)
+
+    with QueryService(
+        workers=workers, max_batch=8, queue_limit=256, autotune=True
+    ) as service:
+        say(
+            f"query service up: backend={service.ctx.backend_name}, "
+            f"{workers} workers"
+        )
+        service.register_graph("selftest", graph, residency="auto")
+
+        # Sequential oracle on an independent plain context.
+        import repro
+        from repro.cfpq.engine import cfpq
+        from repro.rpq import rpq_pairs
+
+        from repro.grammar.cfg import CFG
+
+        oracle_ctx = repro.Context(backend="cubool")
+        oracle = {q: rpq_pairs(graph, q, oracle_ctx) for q in SELFTEST_QUERIES}
+        cfpq_index = cfpq(graph, CFG.from_text(SELFTEST_GRAMMAR), oracle_ctx)
+        cfpq_oracle = cfpq_index.pairs()
+        cfpq_index.free()
+
+        # Concurrent mixed workload: each client thread submits a slice
+        # of reach queries (repeating templates, so the plan cache and
+        # the batcher both get traffic) and checks its own answers.
+        failures: list[str] = []
+        lock = threading.Lock()
+
+        def client(cid: int) -> None:
+            rng_sources = [(cid * 7 + 3 * i) % n for i in range(queries)]
+            tickets = [
+                service.submit_reach(
+                    "selftest",
+                    SELFTEST_QUERIES[(cid + i) % len(SELFTEST_QUERIES)],
+                    source=src,
+                    timeout=30.0,
+                )
+                for i, src in enumerate(rng_sources)
+            ]
+            for i, (src, ticket) in enumerate(zip(rng_sources, tickets)):
+                q = SELFTEST_QUERIES[(cid + i) % len(SELFTEST_QUERIES)]
+                try:
+                    got = ticket.result(timeout=60.0)
+                except Exception as exc:
+                    with lock:
+                        failures.append(f"client {cid} query {q!r}: {exc!r}")
+                    continue
+                want = {v for u, v in oracle[q] if u == src}
+                if got != want:
+                    with lock:
+                        failures.append(
+                            f"client {cid} query {q!r} from {src}: "
+                            f"got {len(got)} targets, want {len(want)}"
+                        )
+
+        clients = [
+            threading.Thread(target=client, args=(cid,)) for cid in range(4)
+        ]
+        for t in clients:
+            t.start()
+        for t in clients:
+            t.join()
+
+        # One all-pairs and one CFPQ request through the same service.
+        pairs_got = service.pairs("selftest", SELFTEST_QUERIES[0], timeout=60.0)
+        if pairs_got != oracle[SELFTEST_QUERIES[0]]:
+            failures.append("all-pairs result mismatch")
+        cfpq_got = service.cfpq("selftest", SELFTEST_GRAMMAR, timeout=60.0)
+        if cfpq_got != cfpq_oracle:
+            failures.append("cfpq result mismatch")
+
+        snapshot = service.stats()
+        say("")
+        say(snapshot.render())
+
+        # Structural health checks: the repeated templates must have hit
+        # the plan cache, and everything submitted must be accounted for.
+        pc = snapshot.plan_cache
+        if pc["hits"] == 0:
+            failures.append("plan cache saw no hits on a repeating workload")
+        if snapshot.counters.get("completed", 0) < 4 * queries:
+            failures.append(
+                f"only {snapshot.counters.get('completed', 0)} of "
+                f"{4 * queries + 2} queries completed"
+            )
+
+        oracle_ctx.finalize()
+
+    if failures:
+        say("")
+        for f in failures:
+            say(f"FAIL: {f}")
+        return 1
+    say("")
+    say(
+        f"selftest ok: {4 * queries} concurrent reach queries + all-pairs "
+        f"+ cfpq all match the sequential engines"
+    )
+    return 0

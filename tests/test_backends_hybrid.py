@@ -253,6 +253,83 @@ class TestDispatchModel:
         ctx.finalize()
 
 
+class TestAutotune:
+    def _fast_kwargs(self):
+        # Tiny sweep so the probe stays in the millisecond range.
+        return dict(n=64, densities=(0.01, 0.08), runs=1, use_cache=False)
+
+    def test_measured_crossover_within_bounds(self):
+        from repro.backends import get_backend
+        from repro.backends.hybrid import (
+            AUTOTUNE_MAX_DENSITY,
+            AUTOTUNE_MIN_DENSITY,
+            autotune_crossover,
+        )
+
+        d = autotune_crossover(get_backend("cubool"), **self._fast_kwargs())
+        assert AUTOTUNE_MIN_DENSITY <= d <= AUTOTUNE_MAX_DENSITY
+
+    def test_process_cache_hit(self, monkeypatch):
+        from repro.backends import get_backend
+        from repro.backends.hybrid import _AUTOTUNE_CACHE, autotune_crossover
+
+        inner = get_backend("cubool")
+        key = (inner.name, inner.device.name)
+        monkeypatch.setitem(_AUTOTUNE_CACHE, key, 0.123)
+        assert autotune_crossover(inner) == 0.123
+
+    def test_wrap_backend_autotune(self, monkeypatch):
+        from repro.backends import get_backend
+        from repro.backends.hybrid import _AUTOTUNE_CACHE
+
+        inner = get_backend("clbool")
+        monkeypatch.setitem(_AUTOTUNE_CACHE, (inner.name, inner.device.name), 0.031)
+        hybrid = wrap_backend(inner, autotune=True)
+        assert hybrid.policy.crossover_density == 0.031
+
+    def test_explicit_threshold_beats_autotune(self, monkeypatch):
+        from repro.backends import get_backend
+        from repro.backends.hybrid import _AUTOTUNE_CACHE
+
+        inner = get_backend("clbool")
+        monkeypatch.setitem(_AUTOTUNE_CACHE, (inner.name, inner.device.name), 0.031)
+        hybrid = wrap_backend(inner, crossover_density=0.2, autotune=True)
+        assert hybrid.policy.crossover_density == 0.2
+
+    def test_context_kwarg(self, monkeypatch):
+        from repro.backends.hybrid import _AUTOTUNE_CACHE
+
+        _AUTOTUNE_CACHE.clear()
+        ctx = repro.Context(backend="cubool", hybrid=True, hybrid_autotune=True)
+        tuned = ctx.backend.policy.crossover_density
+        assert tuned == list(_AUTOTUNE_CACHE.values())[0]
+        ctx.finalize()
+        # The second context reuses the process-level measurement.
+        ctx = repro.Context(backend="cubool", hybrid=True, hybrid_autotune=True)
+        assert ctx.backend.policy.crossover_density == tuned
+        ctx.finalize()
+
+    def test_env_parsing(self):
+        from repro.backends.hybrid import autotune_from_env
+
+        for raw in ("1", "on", "true", "yes", "auto"):
+            assert autotune_from_env({"REPRO_HYBRID_AUTOTUNE": raw})
+        for raw in ("", "0", "off", "no", "false"):
+            assert not autotune_from_env({"REPRO_HYBRID_AUTOTUNE": raw})
+        assert not autotune_from_env({})
+
+    def test_env_enables_on_context(self, monkeypatch):
+        from repro.backends.hybrid import _AUTOTUNE_CACHE
+
+        monkeypatch.setenv("REPRO_HYBRID", "1")
+        monkeypatch.setenv("REPRO_HYBRID_AUTOTUNE", "1")
+        monkeypatch.setitem(_AUTOTUNE_CACHE, ("cubool", "cubool-dev"), 0.077)
+        ctx = repro.Context(backend="cubool")
+        assert ctx.backend_name == "hybrid"
+        assert ctx.backend.policy.crossover_density == 0.077
+        ctx.finalize()
+
+
 class TestWrap:
     def test_wrap_backend_helper(self):
         from repro.backends import get_backend

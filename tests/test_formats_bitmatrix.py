@@ -104,6 +104,55 @@ class TestOps:
         d = rng.random((9, 70)) < 0.3
         assert np.array_equal(BitMatrix.from_dense(d).transpose().to_dense(), d.T)
 
+    def test_transpose_word_tile_shapes(self):
+        # The word-level transpose works on 64x64 tiles; exercise exact
+        # tiles, padding in one or both dimensions, and thin shapes.
+        rng = np.random.default_rng(7)
+        for shape in [
+            (1, 1),
+            (64, 64),
+            (128, 128),
+            (63, 65),
+            (65, 63),
+            (70, 3),
+            (3, 70),
+            (1, 200),
+            (200, 1),
+            (100, 257),
+        ]:
+            d = rng.random(shape) < 0.35
+            t = BitMatrix.from_dense(d).transpose()
+            t.validate()  # padding bits beyond n_cols must stay zero
+            assert np.array_equal(t.to_dense(), d.T), shape
+
+    def test_transpose_zero_dims(self):
+        for shape in [(0, 5), (5, 0), (0, 0)]:
+            t = BitMatrix.empty(shape).transpose()
+            t.validate()
+            assert t.shape == (shape[1], shape[0])
+            assert t.nnz == 0
+
+    def test_transpose_involution(self):
+        rng = np.random.default_rng(8)
+        d = rng.random((37, 130)) < 0.2
+        m = BitMatrix.from_dense(d)
+        back = m.transpose().transpose()
+        assert np.array_equal(back.to_dense(), d)
+
+    def test_transpose_avoids_dense_round_trip(self, monkeypatch):
+        # Satellite guarantee: transpose must not materialize a dense
+        # boolean array (the old implementation did).
+        d = np.random.default_rng(9).random((130, 70)) < 0.3
+        m = BitMatrix.from_dense(d)
+
+        def boom(self):  # pragma: no cover - called means failure
+            raise AssertionError("transpose fell back to to_dense()")
+
+        monkeypatch.setattr(BitMatrix, "to_dense", boom)
+        t = m.transpose()
+        monkeypatch.undo()
+        assert np.array_equal(t.to_dense(), d.T)
+
     def test_reductions(self):
         d = np.zeros((3, 80), bool)
         d[0, 5] = d[0, 70] = d[2, 0] = True

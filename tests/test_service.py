@@ -1,0 +1,415 @@
+"""Tests for the concurrent query service tier (repro.service)."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+import repro
+from repro.datasets.random_graphs import uniform_random_graph
+from repro.errors import (
+    DeadlineExceededError,
+    InvalidArgumentError,
+    QueryCancelledError,
+    ServiceOverloadedError,
+    UnknownGraphError,
+)
+from repro.rpq import rpq_pairs, rpq_reach_batch
+from repro.service import (
+    GraphStore,
+    LatencySummary,
+    PlanCache,
+    QueryService,
+)
+
+QUERIES = ("a b* c", "(a | b)+", "a (b c)*", "(a | c) b? c")
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return uniform_random_graph(48, 200, labels=("a", "b", "c"), seed=7)
+
+
+@pytest.fixture(scope="module")
+def oracle(graph):
+    ctx = repro.Context(backend="cubool")
+    pairs = {q: rpq_pairs(graph, q, ctx) for q in QUERIES}
+    yield pairs
+    ctx.finalize()
+
+
+def reach_oracle(oracle, q, src):
+    return {v for u, v in oracle[q] if u == src}
+
+
+class TestBatchEvaluator:
+    """rpq_reach_batch — the kernel behind multi-query coalescing."""
+
+    def test_batch_matches_sequential(self, graph, oracle, cubool_ctx):
+        queries, sources = [], []
+        for i in range(10):
+            queries.append(QUERIES[i % len(QUERIES)])
+            sources.append((5 * i) % graph.n)
+        got = rpq_reach_batch(graph, queries, sources, cubool_ctx)
+        for q, src, result in zip(queries, sources, got):
+            assert result == reach_oracle(oracle, q, src), (q, src)
+
+    def test_batch_of_one(self, graph, oracle, cubool_ctx):
+        from repro.rpq import rpq_reach
+
+        got = rpq_reach(graph, QUERIES[0], 3, cubool_ctx)
+        assert got == reach_oracle(oracle, QUERIES[0], 3)
+
+    def test_batch_shared_plan_dedup(self, graph, oracle, cubool_ctx):
+        # The same NFA object used by several batch members must be
+        # stacked once, not per member.
+        from repro.service.plan_cache import compile_rpq_plan
+
+        plan = compile_rpq_plan(QUERIES[1])
+        got = rpq_reach_batch(
+            graph, [plan.nfa] * 4, [0, 7, 7, 21], cubool_ctx
+        )
+        for src, result in zip([0, 7, 7, 21], got):
+            assert result == reach_oracle(oracle, QUERIES[1], src)
+
+    def test_batch_cancel_hook(self, graph, cubool_ctx):
+        def cancel():
+            raise QueryCancelledError("abort")
+
+        with pytest.raises(QueryCancelledError):
+            rpq_reach_batch(graph, [QUERIES[0]], [0], cubool_ctx, cancel=cancel)
+
+    def test_batch_arg_mismatch(self, graph, cubool_ctx):
+        with pytest.raises(InvalidArgumentError):
+            rpq_reach_batch(graph, [QUERIES[0]], [0, 1], cubool_ctx)
+
+
+class TestPlanCache:
+    def test_hit_shares_plan_object(self):
+        cache = PlanCache(capacity=8)
+        p1 = cache.get("rpq", "a b* c")
+        p2 = cache.get("rpq", "a b* c")
+        assert p1 is p2  # zero recompilation: the very same plan object
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_canonicalization_ignores_formatting(self):
+        cache = PlanCache(capacity=8)
+        p1 = cache.get("rpq", "a b* c")
+        p2 = cache.get("rpq", "a  (b*)  c")
+        assert p1 is p2
+        assert cache.stats()["hits"] == 1
+
+    def test_lru_eviction_order(self):
+        cache = PlanCache(capacity=2)
+        pa = cache.get("rpq", "a")
+        cache.get("rpq", "b")
+        cache.get("rpq", "a")      # refresh recency: "b" is now LRU
+        cache.get("rpq", "c")      # evicts "b"
+        assert cache.evictions == 1
+        assert cache.get("rpq", "a") is pa          # still cached
+        cache.get("rpq", "b")                       # recompiled
+        assert cache.misses == 4  # a, b, c, b-again
+        assert len(cache) == 2
+
+    def test_prebuilt_nfa_bypasses_cache(self):
+        from repro.automata.glushkov import glushkov_nfa
+        from repro.automata.regex_parse import parse_regex
+
+        cache = PlanCache(capacity=8)
+        nfa = glushkov_nfa(parse_regex("a b"))
+        p1 = cache.get("rpq", nfa)
+        p2 = cache.get("rpq", nfa)
+        assert p1 is not p2
+        assert cache.hits == 0 and cache.misses == 0 and len(cache) == 0
+
+    def test_cfpq_plans_cached(self):
+        cache = PlanCache(capacity=8)
+        p1 = cache.get("cfpq", "S -> a S b | a b")
+        p2 = cache.get("cfpq", "S -> a S b | a b")
+        assert p1 is p2
+        assert p1.rsm is not None and p1.cfg is not None
+
+    def test_rpq_plan_is_minimal(self):
+        # (a|b)* and (b|a)* share the same minimal DFA size.
+        cache = PlanCache(capacity=8)
+        assert cache.get("rpq", "(a | b)*").states == cache.get(
+            "rpq", "(b | a)*"
+        ).states
+
+    def test_capacity_validation(self):
+        with pytest.raises(InvalidArgumentError):
+            PlanCache(capacity=0)
+
+    def test_stats_shape(self):
+        stats = PlanCache(capacity=4).stats()
+        assert set(stats) == {
+            "entries", "capacity", "hits", "misses", "evictions", "hit_ratio",
+        }
+
+
+class TestGraphStore:
+    def test_register_and_get(self, graph, cubool_ctx):
+        store = GraphStore(cubool_ctx)
+        handle = store.register("g", graph)
+        assert store.get("g") is handle
+        assert "g" in store and "missing" not in store
+        assert set(handle.matrices) == set(graph.labels)
+        assert handle.formats == {label: "sparse" for label in graph.labels}
+        store.clear()
+
+    def test_unknown_graph(self, cubool_ctx):
+        store = GraphStore(cubool_ctx)
+        with pytest.raises(UnknownGraphError):
+            store.get("nope")
+        with pytest.raises(UnknownGraphError):
+            store.drop("nope")
+
+    def test_drop_releases_device_memory(self, graph, cubool_ctx):
+        arena = cubool_ctx.device.arena
+        before = arena.live_bytes
+        store = GraphStore(cubool_ctx)
+        store.register("g", graph)
+        assert arena.live_bytes > before
+        store.drop("g")
+        assert arena.live_bytes == before
+
+    def test_bit_residency_under_hybrid(self, graph):
+        ctx = repro.Context(backend="cubool", hybrid="auto")
+        store = GraphStore(ctx)
+        handle = store.register("g", graph, residency="bit")
+        assert all(fmt == "both" for fmt in handle.formats.values())
+        store.clear()
+        ctx.finalize()
+
+    def test_auto_residency_follows_crossover(self, graph):
+        # With the crossover pushed above every label's density, auto
+        # must leave the graph sparse; pushed below, it must pin bits.
+        ctx = repro.Context(backend="cubool", hybrid="auto", hybrid_threshold=0.5)
+        store = GraphStore(ctx)
+        sparse = store.register("g", graph, residency="auto")
+        assert all(fmt == "sparse" for fmt in sparse.formats.values())
+        store.clear()
+        ctx.finalize()
+
+        ctx = repro.Context(
+            backend="cubool", hybrid="auto", hybrid_threshold=1e-6
+        )
+        store = GraphStore(ctx)
+        pinned = store.register("g", graph, residency="auto")
+        assert all(fmt == "both" for fmt in pinned.formats.values())
+        store.clear()
+        ctx.finalize()
+
+    def test_invalid_residency(self, graph, cubool_ctx):
+        store = GraphStore(cubool_ctx)
+        with pytest.raises(InvalidArgumentError):
+            store.register("g", graph, residency="dense")
+
+    def test_reregister_replaces(self, graph, cubool_ctx):
+        store = GraphStore(cubool_ctx)
+        first = store.register("g", graph)
+        second = store.register("g", graph)
+        assert store.get("g") is second
+        assert first.matrices == {}  # old handle was freed
+        assert store.stats()["graphs"] == 1
+        store.clear()
+
+
+class TestServiceLifecycle:
+    def test_sync_roundtrip_and_stats(self, graph, oracle):
+        with QueryService(workers=2) as service:
+            service.register_graph("g", graph)
+            got = service.reach("g", QUERIES[0], source=5)
+            assert got == reach_oracle(oracle, QUERIES[0], 5)
+            snap = service.stats()
+            assert snap.counters["completed"] == 1
+            assert snap.latency["total"].count == 1
+            assert snap.plan_cache["misses"] == 1
+            assert snap.graph_store["graphs"] == 1
+            assert "service stats" in snap.render()
+
+    def test_pairs_and_cfpq_through_service(self, graph, oracle):
+        with QueryService(workers=1) as service:
+            service.register_graph("g", graph)
+            assert service.pairs("g", QUERIES[1]) == oracle[QUERIES[1]]
+
+            from repro.cfpq.engine import cfpq
+            from repro.grammar.cfg import CFG
+
+            grammar = "S -> a S b | a b"
+            octx = repro.Context(backend="cubool")
+            index = cfpq(graph, CFG.from_text(grammar), octx)
+            want = index.pairs()
+            index.free()
+            octx.finalize()
+            assert service.cfpq("g", grammar) == want
+
+    def test_submit_validates_before_admission(self, graph):
+        with QueryService(workers=0) as service:
+            service.register_graph("g", graph)
+            with pytest.raises(UnknownGraphError):
+                service.submit_reach("missing", QUERIES[0], source=0)
+            with pytest.raises(InvalidArgumentError):
+                service.submit_reach("g", QUERIES[0], source=graph.n)
+
+    def test_submit_after_close_raises(self, graph):
+        from repro.service.scheduler import KIND_REACH, QueryTicket
+
+        service = QueryService(workers=0)
+        service.register_graph("g", graph)
+        service.close()
+        # close() also drops the graphs, so the facade fails the graph
+        # lookup; the scheduler itself must reject admission too.
+        with pytest.raises(UnknownGraphError):
+            service.submit_reach("g", QUERIES[0], source=0)
+        with pytest.raises(QueryCancelledError):
+            service.scheduler.submit(
+                QueryTicket(kind=KIND_REACH, graph="g", query=QUERIES[0], source=0)
+            )
+
+    def test_close_cancels_queued(self, graph):
+        service = QueryService(workers=0, queue_limit=8)
+        service.register_graph("g", graph)
+        ticket = service.submit_reach("g", QUERIES[0], source=0)
+        service.close()
+        assert isinstance(ticket.exception(), QueryCancelledError)
+
+    def test_overload_sheds_at_admission(self, graph):
+        with QueryService(workers=0, queue_limit=2) as service:
+            service.register_graph("g", graph)
+            service.submit_reach("g", QUERIES[0], source=0)
+            service.submit_reach("g", QUERIES[0], source=1)
+            with pytest.raises(ServiceOverloadedError):
+                service.submit_reach("g", QUERIES[0], source=2)
+            assert service.stats().counters["rejected"] == 1
+
+
+class TestDeadlinesAndCancellation:
+    def test_expired_in_queue(self, graph):
+        with QueryService(workers=0) as service:
+            service.register_graph("g", graph)
+            ticket = service.submit_reach("g", QUERIES[0], source=0, timeout=0.0)
+            time.sleep(0.002)
+            service.scheduler._run_group([ticket])
+            assert isinstance(ticket.exception(), DeadlineExceededError)
+            assert service.stats().counters["expired"] == 1
+
+    def test_cancelled_before_run(self, graph):
+        with QueryService(workers=0) as service:
+            service.register_graph("g", graph)
+            ticket = service.submit_reach("g", QUERIES[0], source=0)
+            ticket.cancel()
+            assert ticket.cancelled
+            service.scheduler._run_group([ticket])
+            exc = ticket.exception()
+            assert isinstance(exc, QueryCancelledError)
+            assert not isinstance(exc, DeadlineExceededError)
+
+    def test_expired_end_to_end(self, graph):
+        # A real worker must report the deadline, not a wrong answer.
+        with QueryService(workers=1) as service:
+            service.register_graph("g", graph)
+            ticket = service.submit_reach("g", QUERIES[0], source=0, timeout=0.0)
+            with pytest.raises(DeadlineExceededError):
+                ticket.result(timeout=30.0)
+
+    def test_cancel_hook_spares_live_members(self, graph):
+        from repro.service.scheduler import QueryTicket, KIND_REACH
+
+        def mk():
+            return QueryTicket(
+                kind=KIND_REACH, graph="g", query=QUERIES[0], source=0
+            )
+
+        with QueryService(workers=0) as service:
+            doomed, live = mk(), mk()
+            hook = service.scheduler._make_cancel_hook([doomed, live])
+            doomed.cancel()
+            hook()  # one live member -> evaluation continues
+            live.cancel()
+            with pytest.raises(QueryCancelledError):
+                hook()  # nobody wants the answer -> abort
+
+    def test_result_timeout_pending(self, graph):
+        with QueryService(workers=0) as service:
+            service.register_graph("g", graph)
+            ticket = service.submit_reach("g", QUERIES[0], source=0)
+            with pytest.raises(TimeoutError):
+                ticket.result(timeout=0.01)
+            ticket.cancel()
+
+
+class TestStats:
+    def test_latency_summary_percentiles(self):
+        s = LatencySummary.of([i / 100 for i in range(100)])
+        assert s.count == 100
+        assert (s.p50, s.p90, s.p99, s.max) == (0.50, 0.90, 0.99, 0.99)
+
+    def test_empty_summary(self):
+        s = LatencySummary.of([])
+        assert s.count == 0 and s.max == 0.0
+
+
+class TestConcurrentStress:
+    def test_threaded_clients_match_sequential(self, graph, oracle):
+        """N client threads x M queries: identical to the oracle."""
+        n_clients, per_client = 4, 12
+        failures: list[str] = []
+        lock = threading.Lock()
+
+        with QueryService(workers=3, max_batch=8, queue_limit=256) as service:
+            service.register_graph("g", graph)
+
+            def client(cid: int) -> None:
+                jobs = [
+                    (QUERIES[(cid + i) % len(QUERIES)], (cid * 11 + 5 * i) % graph.n)
+                    for i in range(per_client)
+                ]
+                tickets = [
+                    service.submit_reach("g", q, source=src, timeout=60.0)
+                    for q, src in jobs
+                ]
+                for (q, src), ticket in zip(jobs, tickets):
+                    got = ticket.result(timeout=60.0)
+                    if got != reach_oracle(oracle, q, src):
+                        with lock:
+                            failures.append(f"{q!r} from {src}")
+
+            threads = [
+                threading.Thread(target=client, args=(cid,))
+                for cid in range(n_clients)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+            assert not failures
+            snap = service.stats()
+            assert snap.counters["completed"] == n_clients * per_client
+            assert snap.counters["submitted"] == n_clients * per_client
+            # The repeating templates must be served from the plan cache:
+            # len(QUERIES) compilations for the whole run, no more.
+            assert snap.plan_cache["misses"] == len(QUERIES)
+            assert snap.plan_cache["hits"] == n_clients * per_client - len(QUERIES)
+
+    def test_batching_actually_coalesces(self, graph, oracle):
+        """Concurrent same-graph queries ride shared evaluations."""
+        with QueryService(workers=1, max_batch=8, queue_limit=64) as service:
+            service.register_graph("g", graph)
+            jobs = [
+                (QUERIES[i % len(QUERIES)], (3 * i) % graph.n) for i in range(16)
+            ]
+            tickets = [
+                service.submit_reach("g", q, source=src) for q, src in jobs
+            ]
+            for (q, src), ticket in zip(jobs, tickets):
+                assert ticket.result(timeout=60.0) == reach_oracle(oracle, q, src)
+            snap = service.stats()
+            # A single worker draining a pre-filled queue must have
+            # grouped queries: strictly fewer evaluations than queries.
+            assert snap.batch_sizes["count"] < len(jobs)
+            assert snap.batch_sizes["max"] >= 2
+            assert max(t.batch_size for t in tickets) >= 2
