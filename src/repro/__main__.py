@@ -7,7 +7,12 @@ code is non-zero if any backend fails its smoke test (install check).
 ``python -m repro serve --selftest`` brings up the concurrent query
 service (:mod:`repro.service`) and runs its threaded end-to-end check —
 worker pool, plan cache, multi-query batching — against the sequential
-engines; CI runs it under both ``REPRO_HYBRID`` settings.
+engines; CI runs it under both ``REPRO_HYBRID`` settings (and once more
+with ``REPRO_CHECK_LOCKS=1`` to run the lock sentinel).
+
+``python -m repro lint [paths]`` runs reprolint, the repo's
+contract-checking static analysis (:mod:`repro.analysis`) — the same
+gate CI enforces; see ``docs/ANALYSIS.md``.
 """
 
 from __future__ import annotations
@@ -48,7 +53,8 @@ def main() -> int:
                 f"{ctx.device.name:>14s}"
             )
             ctx.finalize()
-        except Exception as exc:  # pragma: no cover - defensive
+        # Install check must report every backend, whatever broke.
+        except Exception as exc:  # pragma: no cover  # reprolint: disable=R4
             failures += 1
             print(f"{name:11s} FAIL    {exc!r}")
     print()
@@ -96,12 +102,23 @@ def serve(argv: list[str]) -> int:
     )
 
 
+def lint(argv: list[str]) -> int:
+    from repro.analysis.cli import main as lint_main
+
+    return lint_main(argv)
+
+
 def cli(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "serve":
         return serve(argv[1:])
+    if argv and argv[0] == "lint":
+        return lint(argv[1:])
     if argv:
-        print(f"unknown command {argv[0]!r} (usage: python -m repro [serve --selftest])")
+        print(
+            f"unknown command {argv[0]!r} "
+            "(usage: python -m repro [serve --selftest | lint PATHS])"
+        )
         return 2
     return main()
 

@@ -1,0 +1,44 @@
+"""Analysis subsystem: contract lint (reprolint) + runtime lock sentinel.
+
+Two halves guard the kernel/service boundary:
+
+* **reprolint** (static): an AST linter whose rules encode the repo's
+  domain contracts — no silent densification in hot paths (R1), arena
+  accounting for word buffers (R2), ``# guarded-by`` lock discipline
+  (R3), taxonomy-only error handling (R4), kernel purity (R5), and
+  shape-contract presence (R6).  Run it with ``python -m repro lint``.
+* **locktrace** (runtime): instrumented locks (``REPRO_CHECK_LOCKS=1``)
+  that build a lock-order graph across the service tier and report
+  ordering inversions, locks held across kernel calls, and long holds.
+
+See ``docs/ANALYSIS.md`` for every rule's rationale, example findings,
+and the suppression / allowlist policy.
+"""
+
+from repro.analysis.engine import ModuleContext, lint_paths
+from repro.analysis.findings import Finding, is_suppressed, parse_suppressions
+from repro.analysis.locktrace import (
+    Hazard,
+    LockTracer,
+    TracedLock,
+    kernel_boundary,
+    make_lock,
+)
+from repro.analysis.rules import Rule, default_rules, register, rule_registry
+
+__all__ = [
+    "Finding",
+    "Hazard",
+    "LockTracer",
+    "ModuleContext",
+    "Rule",
+    "TracedLock",
+    "default_rules",
+    "is_suppressed",
+    "kernel_boundary",
+    "lint_paths",
+    "make_lock",
+    "parse_suppressions",
+    "register",
+    "rule_registry",
+]

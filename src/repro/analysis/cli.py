@@ -1,0 +1,94 @@
+"""Command-line front end for reprolint.
+
+Reached three ways, all the same gate:
+
+* ``python -m repro lint src/`` — the contributor entry;
+* ``python -m tools.reprolint src/`` — the standalone tool;
+* the CI job step (``--json`` mode, fail on any finding).
+
+Exit status: 0 when clean, 1 when any non-suppressed finding remains,
+2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.analysis.engine import lint_paths
+from repro.analysis.rules import default_rules, rule_registry
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="Contract-checking static analysis for the SPbLA "
+        "reproduction (rules R1-R6; see docs/ANALYSIS.md).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src/"], help="files or directories to lint"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="machine-readable findings for CI"
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--no-suppress",
+        action="store_true",
+        help="report findings even on `# reprolint: disable=` lines",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    registry = rule_registry()
+    if args.list_rules:
+        for rule_id in sorted(registry):
+            rule = registry[rule_id]
+            print(f"{rule_id}  {rule.name:28s} {rule.rationale}")
+        return 0
+
+    select = None
+    if args.select:
+        select = {tok.strip().upper() for tok in args.select.split(",") if tok.strip()}
+        unknown = select - registry.keys()
+        if unknown:
+            print(f"unknown rule ids: {sorted(unknown)}", file=sys.stderr)
+            return 2
+
+    findings = lint_paths(
+        args.paths,
+        default_rules(select),
+        respect_suppressions=not args.no_suppress,
+    )
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "findings": [f.to_json() for f in findings],
+                    "count": len(findings),
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding.render())
+        noun = "finding" if len(findings) == 1 else "findings"
+        print(f"reprolint: {len(findings)} {noun}")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via -m entries
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""Finding and suppression model shared by the reprolint engine and rules.
+
+A :class:`Finding` is one rule violation at one source location.  Rules
+yield them; the engine filters out suppressed ones and renders the rest
+as ``path:line:col: Rn message`` text or as JSON for CI.
+
+Suppression is per-line: a trailing ``# reprolint: disable=R1`` (or a
+comma list, or ``*``) silences matching rules on that line only.  The
+escape hatch is deliberately loud — greppable, reviewable, and each
+long-lived use is expected to be justified in ``docs/ANALYSIS.md``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation: location first so findings sort by position."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    context: str = field(default="", compare=False)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_json(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+            "context": self.context,
+        }
+
+
+_DISABLE_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9*,\s]+)")
+
+
+def parse_suppressions(source_lines: list[str]) -> dict[int, set[str]]:
+    """Map 1-based line number -> set of suppressed rule ids ('*' = all)."""
+    out: dict[int, set[str]] = {}
+    for lineno, text in enumerate(source_lines, start=1):
+        match = _DISABLE_RE.search(text)
+        if match is None:
+            continue
+        rules = {tok.strip().upper() for tok in match.group(1).split(",") if tok.strip()}
+        if rules:
+            out[lineno] = rules
+    return out
+
+
+def is_suppressed(finding: Finding, suppressions: dict[int, set[str]]) -> bool:
+    rules = suppressions.get(finding.line)
+    if not rules:
+        return False
+    return "*" in rules or finding.rule in rules

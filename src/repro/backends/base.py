@@ -239,7 +239,9 @@ _REGISTRY: dict[str, Callable[..., Backend]] = {}
 
 def register_backend(name: str, factory: Callable[..., Backend]) -> None:
     """Register a backend factory under ``name`` (overwrites)."""
-    _REGISTRY[name] = factory
+    # Deliberate process-level registry: registration is an import-time
+    # plugin mechanism, not kernel state.
+    _REGISTRY[name] = factory  # reprolint: disable=R5
 
 
 def available_backends() -> list[str]:

@@ -77,7 +77,9 @@ class Matrix:
     def __del__(self):  # noqa: D105
         try:
             self.free()
-        except Exception:  # pragma: no cover - interpreter shutdown
+        # __del__ during interpreter shutdown: modules may already be
+        # torn down; raising here aborts the process.
+        except Exception:  # pragma: no cover  # reprolint: disable=R4
             pass
 
     # -- shape & introspection ----------------------------------------------

@@ -106,3 +106,22 @@ class UnknownGraphError(ServiceError, KeyError):
     def __init__(self, name: str) -> None:
         self.name = name
         super().__init__(f"no graph registered under {name!r}")
+
+
+class QueryExecutionError(ServiceError):
+    """An error outside the taxonomy escaped query evaluation.
+
+    The scheduler narrows its handlers to :class:`SpblaError`; anything
+    else is an internal invariant violation, wrapped here with the ids
+    of the queries it failed so the context survives the trip through
+    :meth:`~repro.service.scheduler.QueryTicket.result`.  The original
+    exception rides along as :attr:`original` (and ``__cause__``).
+    """
+
+    def __init__(self, query_ids, original: BaseException) -> None:
+        self.query_ids = tuple(query_ids)
+        self.original = original
+        ids = ", ".join(f"#{q}" for q in self.query_ids) or "?"
+        super().__init__(
+            f"query {ids}: unexpected {type(original).__name__}: {original}"
+        )

@@ -99,7 +99,9 @@ class DeviceBuffer:
         if not self._freed and self._arena is not None:
             try:
                 self._arena.free(self)
-            except Exception:  # pragma: no cover - interpreter shutdown
+            # __del__ during interpreter shutdown: arena/backing store may
+            # already be gone; raising here aborts the process.
+            except Exception:  # pragma: no cover  # reprolint: disable=R4
                 pass
 
 

@@ -13,9 +13,9 @@ labels start word-parallel instead of paying the packing cost per query.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass, field
 
+from repro.analysis.locktrace import make_lock
 from repro.errors import InvalidArgumentError, UnknownGraphError
 from repro.graph import LabeledGraph
 
@@ -33,7 +33,12 @@ class GraphHandle:
     #: label -> resident formats after the residency pass ("sparse",
     #: "bit" or "both"); non-hybrid backends always report "sparse".
     formats: dict = field(default_factory=dict)
-    queries_served: int = 0
+    queries_served: int = 0  # guarded-by: _lock
+    _lock: object = field(
+        default_factory=lambda: make_lock("GraphHandle._lock"),
+        repr=False,
+        compare=False,
+    )
 
     @property
     def n(self) -> int:
@@ -42,6 +47,15 @@ class GraphHandle:
     @property
     def labels(self) -> list[str]:
         return self.graph.labels
+
+    def record_served(self, count: int) -> None:
+        """Count queries answered from this handle (worker threads)."""
+        with self._lock:
+            self.queries_served += count
+
+    def served(self) -> int:
+        with self._lock:
+            return self.queries_served
 
     def memory_bytes(self) -> int:
         """Resident device bytes across all labels (every view)."""
@@ -58,8 +72,8 @@ class GraphStore:
 
     def __init__(self, ctx):
         self.ctx = ctx
-        self._graphs: dict[str, GraphHandle] = {}
-        self._lock = threading.Lock()
+        self._lock = make_lock("GraphStore._lock")
+        self._graphs: dict[str, GraphHandle] = {}  # guarded-by: _lock
 
     def register(
         self,
@@ -154,7 +168,7 @@ class GraphStore:
             "vertices": sum(h.n for h in handles),
             "edges": sum(h.graph.num_edges for h in handles),
             "resident_bytes": sum(h.memory_bytes() for h in handles),
-            "queries_served": sum(h.queries_served for h in handles),
+            "queries_served": sum(h.served() for h in handles),
             "per_graph": {
                 h.name: {
                     "n": h.n,
@@ -162,7 +176,7 @@ class GraphStore:
                     "residency": h.residency,
                     "formats": dict(h.formats),
                     "bytes": h.memory_bytes(),
-                    "queries_served": h.queries_served,
+                    "queries_served": h.served(),
                 }
                 for h in handles
             },

@@ -18,11 +18,11 @@ engine).
 
 from __future__ import annotations
 
-import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from repro.analysis.locktrace import make_lock
 from repro.automata.nfa import NFA
 from repro.automata.regex_ast import Regex
 from repro.automata.regex_parse import parse_regex
@@ -155,11 +155,11 @@ class PlanCache:
         if capacity < 1:
             raise InvalidArgumentError("plan cache capacity must be >= 1")
         self.capacity = capacity
-        self._entries: OrderedDict[tuple[str, str], QueryPlan] = OrderedDict()
-        self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        self._lock = make_lock("PlanCache._lock")
+        self._entries: OrderedDict = OrderedDict()  # guarded-by: _lock
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
+        self.evictions = 0  # guarded-by: _lock
 
     def __len__(self) -> int:
         with self._lock:

@@ -24,14 +24,18 @@ with ``result(timeout)``, ``cancel()`` and per-stage timings.
 
 from __future__ import annotations
 
+import itertools
 import queue
 import threading
 import time
 
+from repro.analysis.locktrace import kernel_boundary, make_lock
 from repro.errors import (
     DeadlineExceededError,
     QueryCancelledError,
+    QueryExecutionError,
     ServiceOverloadedError,
+    SpblaError,
 )
 
 #: Batch group keys by query kind.
@@ -40,6 +44,9 @@ KIND_PAIRS = "rpq-pairs"
 KIND_CFPQ = "cfpq"
 
 _SHUTDOWN = object()
+
+#: Process-wide query ids (itertools.count is atomic under the GIL).
+_TICKET_IDS = itertools.count(1)
 
 
 class QueryTicket:
@@ -61,6 +68,7 @@ class QueryTicket:
         source: int | None = None,
         timeout: float | None = None,
     ):
+        self.id = next(_TICKET_IDS)
         self.kind = kind
         self.graph = graph
         self.query = query
@@ -136,8 +144,8 @@ class QueryScheduler:
         self.stats = stats
         self.max_batch = max(1, int(max_batch))
         self._queue: queue.Queue = queue.Queue(maxsize=queue_limit)
-        self._closed = False
-        self._lock = threading.Lock()
+        self._lock = make_lock("QueryScheduler._lock")
+        self._closed = False  # guarded-by: _lock
         self._workers = [
             threading.Thread(
                 target=self._worker_loop, name=f"repro-svc-{i}", daemon=True
@@ -216,10 +224,14 @@ class QueryScheduler:
             for group in self._group(batch):
                 try:
                     self._run_group(group)
-                except BaseException as exc:  # defensive: never kill a worker
+                # Last-resort guard: a worker must survive anything
+                # _run_group escalates (it wraps and re-raises unexpected
+                # errors as QueryExecutionError; see docs/ANALYSIS.md).
+                except BaseException as exc:  # reprolint: disable=R4
                     for ticket in group:
-                        self.stats.count("failed")
-                        ticket._finish(error=exc)
+                        if not ticket.done():
+                            self.stats.count("failed")
+                            ticket._finish(error=exc)
 
     def _group(self, batch: list) -> list[list]:
         """Coalescible groups: reach queries by graph; others singleton."""
@@ -288,15 +300,28 @@ class QueryScheduler:
                 ticket.timings["compile"] = dt
                 self.stats.record_stage("compile", dt)
                 resolved.append((ticket, handle, plan))
-            except Exception as exc:
+            except SpblaError as exc:
+                # Expected failure modes (unknown graph, bad query, ...)
+                # already speak the taxonomy: deliver as-is.
                 self.stats.count("failed")
                 ticket._finish(error=exc)
+            except Exception as exc:
+                # Outside the taxonomy = internal invariant broken.
+                # Deliver with query context, then escalate to the
+                # worker guard so the rest of the group fails loudly.
+                self.stats.count("failed")
+                wrapped = QueryExecutionError((ticket.id,), exc)
+                ticket._finish(error=wrapped)
+                raise wrapped from exc
         if not resolved:
             return
 
         tickets = [t for t, _, _ in resolved]
         handle = resolved[0][1]
         cancel = self._make_cancel_hook(tickets)
+        # Under REPRO_CHECK_LOCKS: a traced lock held past this point
+        # would serialize the whole pool on the evaluation.
+        kernel_boundary("QueryScheduler.evaluate")
         t0 = time.perf_counter()
         try:
             if kind == KIND_REACH:
@@ -316,15 +341,23 @@ class QueryScheduler:
                     self.stats.count("cancelled")
                     ticket._finish(error=exc)
             return
-        except Exception as exc:
+        except SpblaError as exc:
             for ticket in tickets:
                 self.stats.count("failed")
                 ticket._finish(error=exc)
             return
+        except Exception as exc:
+            # See the resolve loop: wrap with every affected query id,
+            # deliver, then escalate to the worker guard.
+            wrapped = QueryExecutionError([t.id for t in tickets], exc)
+            for ticket in tickets:
+                self.stats.count("failed")
+                ticket._finish(error=wrapped)
+            raise wrapped from exc
         eval_time = time.perf_counter() - t0
 
         self.stats.record_batch(len(tickets))
-        handle.queries_served += len(tickets)
+        handle.record_served(len(tickets))
         now = time.monotonic()
         for ticket, result in zip(tickets, results):
             ticket.timings["evaluate"] = eval_time

@@ -11,7 +11,9 @@ from __future__ import annotations
 
 import threading
 
+from repro.analysis import locktrace
 from repro.datasets.random_graphs import uniform_random_graph
+from repro.errors import SpblaError
 from repro.service.core import QueryService
 
 #: Regex templates instantiated over the demo graph's labels.
@@ -84,7 +86,10 @@ def run_selftest(
                 q = SELFTEST_QUERIES[(cid + i) % len(SELFTEST_QUERIES)]
                 try:
                     got = ticket.result(timeout=60.0)
-                except Exception as exc:
+                # The service wraps everything into the taxonomy
+                # (QueryExecutionError for non-taxonomy escapes);
+                # TimeoutError is ticket.result's own still-pending path.
+                except (SpblaError, TimeoutError) as exc:
                     with lock:
                         failures.append(f"client {cid} query {q!r}: {exc!r}")
                     continue
@@ -115,6 +120,17 @@ def run_selftest(
         snapshot = service.stats()
         say("")
         say(snapshot.render())
+
+        # Lock sentinel (REPRO_CHECK_LOCKS=1): the concurrent workload
+        # above exercised every service lock under instrumentation; any
+        # ordering inversion / held-across-kernel / long-hold hazard it
+        # recorded is a failure.
+        tracer = locktrace.tracer()
+        if tracer is not None:
+            say("")
+            say(tracer.report())
+            for hazard in tracer.hazards():
+                failures.append(f"lock sentinel: {hazard.render()}")
 
         # Structural health checks: the repeated templates must have hit
         # the plan cache, and everything submitted must be accounted for.

@@ -11,9 +11,10 @@ lock.
 
 from __future__ import annotations
 
-import threading
 from collections import Counter, deque
 from dataclasses import dataclass, field
+
+from repro.analysis.locktrace import make_lock
 
 #: Per-stage reservoir size; percentiles are over the last N samples.
 RESERVOIR = 4096
@@ -112,12 +113,14 @@ class ServiceStats:
     """Mutable, thread-safe collector behind :class:`StatsSnapshot`."""
 
     def __init__(self):
-        self._lock = threading.Lock()
-        self._stages: dict[str, deque] = {s: deque(maxlen=RESERVOIR) for s in STAGES}
-        self._counters: Counter = Counter()
-        self._batch_sizes: deque = deque(maxlen=RESERVOIR)
-        self._queue_depth = 0
-        self._queue_depth_max = 0
+        self._lock = make_lock("ServiceStats._lock")
+        self._stages: dict[str, deque] = {
+            s: deque(maxlen=RESERVOIR) for s in STAGES
+        }  # guarded-by: _lock
+        self._counters: Counter = Counter()  # guarded-by: _lock
+        self._batch_sizes: deque = deque(maxlen=RESERVOIR)  # guarded-by: _lock
+        self._queue_depth = 0  # guarded-by: _lock
+        self._queue_depth_max = 0  # guarded-by: _lock
 
     # -- recording (hot path: one lock, O(1)) ------------------------------
 

@@ -1,0 +1,19 @@
+"""R5 fixture: nondeterminism and hidden state in a backend.
+
+Never imported — parsed by reprolint only.
+"""
+
+import numpy as np
+
+_CACHE = {}
+
+
+def noisy_kernel(a):
+    """Seeded violation: RNG inside a backend kernel."""
+    return a ^ np.random.default_rng().integers(0, 2)
+
+
+def memoized_kernel(key, value):
+    """Suppressed twin: justified process-level memo."""
+    _CACHE[key] = value  # reprolint: disable=R5
+    return value

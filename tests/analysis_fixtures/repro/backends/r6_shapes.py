@@ -1,0 +1,23 @@
+"""R6 fixture: backend op dispatching without a shape check.
+
+Never imported — parsed by reprolint only.
+"""
+
+
+class Backend:
+    pass
+
+
+class FixtureBackend(Backend):
+    def mxm(self, a, b):
+        """Seeded violation: straight to the kernel, no validation."""
+        return a @ b
+
+    def ewise_add(self, a, b):
+        """Clean: validates through the shared helper first."""
+        self._check_same_shape(a, b)
+        return a | b
+
+    def ewise_mult(self, a, b):  # reprolint: disable=R6
+        """Suppressed twin."""
+        return a & b

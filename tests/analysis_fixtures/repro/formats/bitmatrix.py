@@ -1,0 +1,23 @@
+"""R2 fixture: word-buffer allocation outside the arena-flow sites.
+
+Mirrors the real ``formats/bitmatrix.py`` path so the rule's module
+scoping applies.  Never imported — parsed by reprolint only.
+"""
+
+import numpy as np
+
+
+class BitMatrix:
+    @classmethod
+    def empty(cls, rows, cols):
+        """Audited arena-flow site: word alloc here is legal."""
+        words = np.zeros((rows, (cols + 63) // 64), dtype=np.uint64)
+        return words
+
+    def scratch_words(self, n):
+        """Seeded violation: word buffer invisible to the arena."""
+        return np.empty(n, dtype=np.uint64)
+
+    def pinned_words(self, n):
+        """Suppressed twin."""
+        return np.empty(n, dtype=np.uint64)  # reprolint: disable=R2

@@ -1,0 +1,15 @@
+"""R1 fixture: silent densification in a formats/ hot path.
+
+Never imported — parsed by reprolint only.
+"""
+
+
+def bad_mask_overlap(a, b):
+    """Seeded violation: dense round-trip inside a hot-path helper."""
+    dense = a.toarray()
+    return dense & b
+
+
+def allowed_readback(a):
+    """Suppressed twin: same pattern, inline escape hatch."""
+    return a.to_dense()  # reprolint: disable=R1

@@ -1,0 +1,24 @@
+"""R3 fixture: guarded-by annotation violated outside the lock.
+
+Never imported — parsed by reprolint only.
+"""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0  # guarded-by: _lock
+
+    def bump_guarded(self):
+        with self._lock:
+            self.value += 1
+
+    def bump_racy(self):
+        """Seeded violation: guarded attribute touched lock-free."""
+        self.value += 1
+
+    def peek_unsafe(self):
+        """Suppressed twin: deliberate dirty read."""
+        return self.value  # reprolint: disable=R3

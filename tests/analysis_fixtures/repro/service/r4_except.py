@@ -1,0 +1,28 @@
+"""R4 fixture: broad exception handler that swallows.
+
+Never imported — parsed by reprolint only.
+"""
+
+
+def swallow(op):
+    """Seeded violation: broad handler hides every failure."""
+    try:
+        return op()
+    except Exception:
+        return None
+
+
+def wrap_and_raise(op):
+    """Allowed boundary pattern: broad handler that re-raises."""
+    try:
+        return op()
+    except Exception as exc:
+        raise RuntimeError("wrapped") from exc
+
+
+def last_resort(op):
+    """Suppressed twin: justified shutdown-path swallow."""
+    try:
+        return op()
+    except Exception:  # reprolint: disable=R4
+        return None

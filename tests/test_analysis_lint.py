@@ -1,0 +1,146 @@
+"""reprolint: rule firing, suppression, CLI, and the repo's own cleanliness."""
+
+import json
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_paths
+from repro.analysis.cli import main as lint_main
+from repro.analysis.engine import package_relpath
+from repro.analysis.findings import Finding, parse_suppressions
+from repro.analysis.rules import default_rules, rule_registry
+
+REPO = Path(__file__).resolve().parent.parent
+FIXTURES = REPO / "tests" / "analysis_fixtures"
+ALL_RULES = ("R1", "R2", "R3", "R4", "R5", "R6")
+
+
+# -- fixture corpus -----------------------------------------------------------
+
+
+def test_every_rule_fires_exactly_once_on_corpus():
+    findings = lint_paths([str(FIXTURES)])
+    by_rule = Counter(f.rule for f in findings)
+    assert by_rule == {rule: 1 for rule in ALL_RULES}
+
+
+def test_seeded_violations_land_in_the_expected_files():
+    findings = lint_paths([str(FIXTURES)])
+    files = {f.rule: Path(f.path).name for f in findings}
+    assert files == {
+        "R1": "r1_densify.py",
+        "R2": "bitmatrix.py",
+        "R3": "r3_guarded.py",
+        "R4": "r4_except.py",
+        "R5": "r5_impure.py",
+        "R6": "r6_shapes.py",
+    }
+
+
+def test_suppressed_twins_surface_without_suppressions():
+    findings = lint_paths([str(FIXTURES)], respect_suppressions=False)
+    by_rule = Counter(f.rule for f in findings)
+    # Each fixture plants one live violation plus one suppressed twin.
+    assert by_rule == {rule: 2 for rule in ALL_RULES}
+
+
+def test_rule_selection_scopes_the_run():
+    findings = lint_paths([str(FIXTURES)], default_rules({"R4"}))
+    assert [f.rule for f in findings] == ["R4"]
+
+
+def test_single_file_root_resolves_package_paths():
+    target = FIXTURES / "repro" / "backends" / "r5_impure.py"
+    findings = lint_paths([str(target)])
+    assert [f.rule for f in findings] == ["R5"]
+
+
+# -- the repo itself ----------------------------------------------------------
+
+
+def test_repo_source_tree_is_clean():
+    assert lint_paths([str(REPO / "src" / "repro")]) == []
+
+
+# -- engine / findings plumbing ----------------------------------------------
+
+
+def test_package_relpath_strips_to_last_repro_component():
+    assert package_relpath("src/repro/backends/hybrid.py") == "backends/hybrid.py"
+    assert (
+        package_relpath("tests/analysis_fixtures/repro/formats/x.py")
+        == "formats/x.py"
+    )
+    # No package dir at all: path passes through untouched.
+    assert package_relpath("scripts/tool.py") == "scripts/tool.py"
+
+
+def test_parse_suppressions_handles_lists_and_wildcard():
+    sup = parse_suppressions(
+        [
+            "x = 1  # reprolint: disable=R1,R3",
+            "y = 2",
+            "z = 3  # reprolint: disable=*",
+        ]
+    )
+    assert sup == {1: {"R1", "R3"}, 3: {"*"}}
+
+
+def test_syntax_error_becomes_r0_finding(tmp_path):
+    bad = tmp_path / "repro" / "formats" / "broken.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("def broken(:\n")
+    findings = lint_paths([str(tmp_path)])
+    assert [f.rule for f in findings] == ["R0"]
+
+
+def test_registry_has_all_six_rules():
+    assert set(rule_registry()) == set(ALL_RULES)
+
+
+def test_finding_render_and_json_shape():
+    f = Finding(path="a.py", line=3, col=1, rule="R1", message="m")
+    assert f.render() == "a.py:3:1: R1 m"
+    assert f.to_json() == {
+        "path": "a.py",
+        "line": 3,
+        "col": 1,
+        "rule": "R1",
+        "message": "m",
+        "context": "",
+    }
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def test_cli_json_mode(capsys):
+    code = lint_main(["--json", str(FIXTURES)])
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["count"] == 6
+    assert Counter(f["rule"] for f in payload["findings"]) == {
+        rule: 1 for rule in ALL_RULES
+    }
+
+
+def test_cli_clean_run_exits_zero(capsys):
+    code = lint_main([str(REPO / "src" / "repro" / "analysis")])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "0 findings" in out
+
+
+def test_cli_select_unknown_rule_is_usage_error(capsys):
+    assert lint_main(["--select", "R99", str(FIXTURES)]) == 2
+
+
+@pytest.mark.parametrize("entry", ["repro.__main__", "tools.reprolint"])
+def test_lint_entry_points_agree(entry):
+    if entry == "repro.__main__":
+        from repro.__main__ import lint as entry_main
+    else:
+        from tools.reprolint import main as entry_main
+    assert entry_main([str(FIXTURES / "repro" / "service" / "r4_except.py")]) == 1
