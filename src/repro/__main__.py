@@ -13,6 +13,10 @@ with ``REPRO_CHECK_LOCKS=1`` to run the lock sentinel).
 ``python -m repro lint [paths]`` runs reprolint, the repo's
 contract-checking static analysis (:mod:`repro.analysis`) — the same
 gate CI enforces; see ``docs/ANALYSIS.md``.
+
+``python -m repro store {ls,info,compact,verify}`` inspects and
+maintains the on-disk graph store (:mod:`repro.store`); see
+``docs/STORAGE.md``.
 """
 
 from __future__ import annotations
@@ -108,16 +112,25 @@ def lint(argv: list[str]) -> int:
     return lint_main(argv)
 
 
+def store(argv: list[str]) -> int:
+    from repro.store.cli import main as store_main
+
+    return store_main(argv)
+
+
 def cli(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "serve":
         return serve(argv[1:])
     if argv and argv[0] == "lint":
         return lint(argv[1:])
+    if argv and argv[0] == "store":
+        return store(argv[1:])
     if argv:
         print(
             f"unknown command {argv[0]!r} "
-            "(usage: python -m repro [serve --selftest | lint PATHS])"
+            "(usage: python -m repro [serve --selftest | lint PATHS | "
+            "store ...])"
         )
         return 2
     return main()

@@ -166,6 +166,12 @@ class ArenaAccounting(Rule):
     inside the registered arena-flow functions — the constructors and
     kernels whose results are adopted into the arena by
     ``HybridBackend._adopt_bit`` (see docs/ANALYSIS.md for the audit).
+
+    Read-only ``np.memmap`` word views (the persistent store's
+    zero-copy snapshot loads) are the one sanctioned alternative flow:
+    they are accounted under the arena's ``mapped_bytes`` via
+    ``MemoryArena.adopt_external`` rather than the heap counters, and
+    are only legal inside the registered memmap-flow functions.
     """
 
     id = "R2"
@@ -173,7 +179,11 @@ class ArenaAccounting(Rule):
     rationale = "unaccounted word buffers falsify the memory experiments"
 
     #: Modules whose word allocations the arena must account for.
-    COVERED = ("formats/bitmatrix.py", "backends/hybrid.py")
+    COVERED = (
+        "formats/bitmatrix.py",
+        "backends/hybrid.py",
+        "store/container.py",
+    )
 
     #: Audited functions whose allocated words are arena-adopted.
     ARENA_FLOW_SITES = {
@@ -181,6 +191,15 @@ class ArenaAccounting(Rule):
         "formats/bitmatrix.py::BitMatrix.from_dense",
         "formats/bitmatrix.py::BitMatrix.mxm",
         "formats/bitmatrix.py::BitMatrix.transpose",
+        # Zero-row fallback of the snapshot loader; the mapped path is
+        # covered by MEMMAP_FLOW_SITES below.
+        "store/container.py::_map_words",
+    }
+
+    #: Audited functions whose mapped word views reach
+    #: ``MemoryArena.adopt_external`` (mapped_bytes accounting).
+    MEMMAP_FLOW_SITES = {
+        "store/container.py::_map_words",
     }
 
     def check(self, module: ModuleContext) -> Iterator[Finding]:
@@ -188,6 +207,20 @@ class ArenaAccounting(Rule):
             return
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.Call):
+                continue
+            if _is_np_call(node, "memmap"):
+                if not self._is_word_alloc(node):
+                    continue
+                site = module.site(node)
+                if site in self.MEMMAP_FLOW_SITES:
+                    continue
+                yield module.finding(
+                    self.id,
+                    node,
+                    f"uint64 memmap view outside the audited memmap-flow "
+                    f"functions (site {site.split('::')[-1]!r}; mapped "
+                    f"word views must reach MemoryArena.adopt_external)",
+                )
                 continue
             if not _is_np_call(node, "zeros", "empty", "ones", "full"):
                 continue

@@ -293,6 +293,25 @@ class HybridBackend(Backend):
             m.bit = self._adopt_bit(BitMatrix.from_coo(rows, cols, storage.shape))
         return m.bit
 
+    def adopt_bit_mapped(self, m: HybridMatrix, bit: BitMatrix) -> str:
+        """Attach a file-backed, read-only ``bit`` as ``m``'s bit view.
+
+        Zero-copy warm-start path for :mod:`repro.store`: ``bit.words``
+        is an ``np.memmap`` over a snapshot container, registered with
+        the arena via
+        :meth:`~repro.gpu.memory.MemoryArena.adopt_external` instead of
+        being copied to the heap (the packed words page in lazily from
+        the OS cache).  No-op when ``m`` already holds a bit view.
+        Returns :attr:`HybridMatrix.resident`.
+        """
+        m._check_alive()
+        if m.bit is None:
+            if bit.shape != m.shape:
+                raise DimensionMismatchError("adopt_bit_mapped", m.shape, bit.shape)
+            buf = self.device.arena.adopt_external(bit.words)
+            m.bit = BackendMatrix(bit, self, [buf])
+        return m.resident
+
     def ensure_resident(self, m: HybridMatrix, fmt: str) -> str:
         """Materialize (and keep) the requested view of ``m``.
 
@@ -586,6 +605,11 @@ def autotune_crossover(
     key = (inner.name, inner.device.name)
     if use_cache and key in _AUTOTUNE_CACHE:
         return _AUTOTUNE_CACHE[key]
+    if use_cache:
+        persisted = _load_persisted_crossover(*key)
+        if persisted is not None:
+            _AUTOTUNE_CACHE[key] = persisted  # reprolint: disable=R5
+            return persisted
 
     # Seeded calibration probe: deterministic (fixed seed), used only to
     # synthesize autotune workloads, never inside a kernel.
@@ -633,7 +657,45 @@ def autotune_crossover(
     # Process-level memo of the measured crossover; keyed by device and
     # backend, write-once per key.
     _AUTOTUNE_CACHE[key] = crossover  # reprolint: disable=R5
+    _save_persisted_crossover(key[0], key[1], crossover, probe_n=n)
     return crossover
+
+
+def _load_persisted_crossover(
+    backend_name: str, device_name: str
+) -> float | None:
+    """Crossover persisted in the ``REPRO_STORE`` metadata directory.
+
+    Consulted before the probe sweep so repeat deployments skip the
+    startup measurement (ROADMAP "Persist autotune measurements").
+    Always best-effort: no store configured, or an unreadable file,
+    just means measuring again.
+    """
+    from repro.store.metadata import load_autotune, store_root_from_env
+
+    root = store_root_from_env()
+    if root is None:
+        return None
+    return load_autotune(root, backend_name, device_name)
+
+
+def _save_persisted_crossover(
+    backend_name: str, device_name: str, crossover: float, *, probe_n: int
+) -> None:
+    """Best-effort write-back of a fresh measurement to the store."""
+    from repro.store.metadata import save_autotune, store_root_from_env
+
+    root = store_root_from_env()
+    if root is None:
+        return
+    try:
+        save_autotune(
+            root, backend_name, device_name, crossover, probe_n=probe_n
+        )
+    except OSError:
+        # A read-only or missing store root must never break context
+        # creation — the measurement still lives in the process cache.
+        pass
 
 
 register_backend("hybrid", lambda device=None: HybridBackend(device=device))

@@ -75,6 +75,22 @@ class IndexOutOfBoundsError(InvalidArgumentError, IndexError):
         super().__init__(f"{what} index {index} out of bounds [0, {bound})")
 
 
+# -- persistent store (repro.store) -------------------------------------------
+
+
+class StoreError(SpblaError):
+    """Base class for persistent-store failures (:mod:`repro.store`)."""
+
+
+class StoreCorruptError(StoreError):
+    """On-disk store data failed an integrity check.
+
+    Raised when a container's magic/version/checksum does not match,
+    when a WAL record is malformed beyond the recoverable torn tail,
+    or when a volume manifest contradicts the files on disk.
+    """
+
+
 # -- service tier (repro.service) ---------------------------------------------
 
 

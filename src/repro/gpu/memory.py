@@ -32,6 +32,13 @@ class MemoryStats:
     alloc_count: int = 0
     free_count: int = 0
     live_buffers: int = 0
+    #: Bytes/buffers adopted via :meth:`MemoryArena.adopt_external` —
+    #: file-backed (mmap) views registered with the arena but not drawn
+    #: from device capacity.  Tracked separately so the zero-copy claim
+    #: of the persistent store is checkable: a warm restore moves
+    #: ``mapped_bytes``, not ``live_bytes``.
+    mapped_bytes: int = 0
+    mapped_buffers: int = 0
 
     def copy(self) -> "MemoryStats":
         return MemoryStats(
@@ -41,6 +48,8 @@ class MemoryStats:
             alloc_count=self.alloc_count,
             free_count=self.free_count,
             live_buffers=self.live_buffers,
+            mapped_bytes=self.mapped_bytes,
+            mapped_buffers=self.mapped_buffers,
         )
 
 
@@ -54,13 +63,14 @@ class DeviceBuffer:
     counts an implicit free).
     """
 
-    __slots__ = ("_data", "_arena", "_nbytes_padded", "_freed", "__weakref__")
+    __slots__ = ("_data", "_arena", "_nbytes_padded", "_freed", "_mapped", "__weakref__")
 
     def __init__(self, data: np.ndarray, arena: "MemoryArena", nbytes_padded: int):
         self._data = data
         self._arena = arena
         self._nbytes_padded = nbytes_padded
         self._freed = False
+        self._mapped = False
 
     @property
     def data(self) -> np.ndarray:
@@ -82,6 +92,11 @@ class DeviceBuffer:
     @property
     def freed(self) -> bool:
         return self._freed
+
+    @property
+    def mapped(self) -> bool:
+        """True for file-backed buffers adopted via ``adopt_external``."""
+        return self._mapped
 
     def free(self) -> None:
         """Return the buffer to the arena (idempotent via arena check)."""
@@ -171,6 +186,31 @@ class MemoryArena:
         buf.data[...] = array
         return buf
 
+    def adopt_external(self, array: np.ndarray) -> DeviceBuffer:
+        """Register an externally backed, read-only array without copying.
+
+        Zero-copy adoption path for file-backed views — a
+        :class:`numpy.memmap` over a store container's word payload.
+        The pages belong to the OS page cache, not to simulated device
+        memory, so the bytes are accounted under ``mapped_bytes`` /
+        ``mapped_buffers`` instead of drawing down device capacity.
+        The buffer participates in the normal free / leak discipline;
+        the array must be read-only (snapshots are immutable — mutating
+        a mapped view would silently diverge from the file's checksums).
+        """
+        array = np.asarray(array)
+        if array.flags.writeable:
+            raise InvalidArgumentError(
+                "adopt_external requires a read-only array"
+            )
+        padded = self._padded(array.nbytes)
+        buf = DeviceBuffer(array, self, padded)
+        buf._mapped = True
+        with self._lock:
+            self._stats.mapped_bytes += padded
+            self._stats.mapped_buffers += 1
+        return buf
+
     def free(self, buf: DeviceBuffer) -> None:
         """Release a buffer.  Double-free raises."""
         if buf._arena is not self:
@@ -179,9 +219,13 @@ class MemoryArena:
             if buf._freed:
                 raise DeviceMemoryError("double free of device buffer")
             buf._freed = True
-            self._stats.live_bytes -= buf._nbytes_padded
+            if buf._mapped:
+                self._stats.mapped_bytes -= buf._nbytes_padded
+                self._stats.mapped_buffers -= 1
+            else:
+                self._stats.live_bytes -= buf._nbytes_padded
+                self._stats.live_buffers -= 1
             self._stats.free_count += 1
-            self._stats.live_buffers -= 1
         buf._data = None
 
     # -- introspection ---------------------------------------------------
@@ -193,6 +237,10 @@ class MemoryArena:
     @property
     def peak_bytes(self) -> int:
         return self._stats.peak_bytes
+
+    @property
+    def mapped_bytes(self) -> int:
+        return self._stats.mapped_bytes
 
     def stats(self) -> MemoryStats:
         """A copy of the current counters."""
@@ -215,4 +263,9 @@ class MemoryArena:
                 raise DeviceMemoryError(
                     f"arena leak: {self._stats.live_buffers} buffers / "
                     f"{self._stats.live_bytes} bytes still live"
+                )
+            if self._stats.mapped_buffers != 0 or self._stats.mapped_bytes != 0:
+                raise DeviceMemoryError(
+                    f"arena leak: {self._stats.mapped_buffers} mapped buffers / "
+                    f"{self._stats.mapped_bytes} bytes still registered"
                 )

@@ -14,10 +14,20 @@ adds the stateful tier a production deployment needs (the GraphBLAS
   a worker pool, per-query deadlines with cooperative cancellation, and
   multi-query batching (same-graph RPQ reachability queries coalesce
   into one multi-source fixpoint);
+* :class:`~repro.service.result_cache.ResultCache` — cross-request LRU
+  of query answers keyed on (graph version, plan, source), invalidated
+  by the version bump every edge delta applies;
 * :class:`~repro.service.stats.ServiceStats` — per-stage latency
   percentiles, batch sizes, queue depth, cache ratios;
 * :class:`~repro.service.core.QueryService` — the facade wiring it all
   to one shared, thread-safe :class:`~repro.core.context.Context`.
+
+With a store root attached (``store_root=`` or ``REPRO_STORE``), the
+graph registry round-trips to disk through :mod:`repro.store`:
+``persist_graph`` writes immutable snapshot generations,
+``restore_graph`` / ``restore_all`` warm-start from them (BitMatrix
+snapshots come back as zero-copy ``np.memmap`` views), and
+``add_edges`` / ``remove_edges`` WAL-log every mutation.
 
 ``python -m repro serve --selftest`` runs the concurrent end-to-end
 check (:func:`~repro.service.selftest.run_selftest`).
@@ -26,6 +36,7 @@ check (:func:`~repro.service.selftest.run_selftest`).
 from repro.service.core import QueryService
 from repro.service.graph_store import GraphHandle, GraphStore
 from repro.service.plan_cache import PlanCache, QueryPlan
+from repro.service.result_cache import ResultCache
 from repro.service.scheduler import QueryScheduler, QueryTicket
 from repro.service.selftest import run_selftest
 from repro.service.stats import LatencySummary, ServiceStats, StatsSnapshot
@@ -39,6 +50,7 @@ __all__ = [
     "QueryScheduler",
     "QueryService",
     "QueryTicket",
+    "ResultCache",
     "ServiceStats",
     "StatsSnapshot",
     "run_selftest",

@@ -35,6 +35,7 @@ from repro.service.scheduler import (
     QueryScheduler,
     QueryTicket,
 )
+from repro.service.result_cache import ResultCache
 from repro.service.stats import ServiceStats, StatsSnapshot
 
 
@@ -61,6 +62,16 @@ class QueryService:
         tests and manual draining).
     queue_limit / max_batch / plan_capacity:
         Admission-queue bound, batching window, and plan-cache size.
+    result_capacity:
+        Cross-request result cache size (entries); ``0`` disables it.
+        Exact repeats of a (graph version, plan, source) triple are
+        answered from memory without re-running the fixpoint.
+    store_root:
+        Directory of the persistent graph store (:mod:`repro.store`).
+        Defaults to the ``REPRO_STORE`` environment variable; when set,
+        :meth:`persist_graph` / :meth:`restore_graph` /
+        :meth:`restore_all` round-trip named graphs to disk and edge
+        mutations are WAL-logged.
     """
 
     def __init__(
@@ -74,6 +85,8 @@ class QueryService:
         queue_limit: int = 64,
         max_batch: int = 8,
         plan_capacity: int = 128,
+        result_capacity: int = 256,
+        store_root=None,
     ):
         if ctx is None:
             from repro.core.context import Context
@@ -84,9 +97,16 @@ class QueryService:
             self._owns_ctx = True
         else:
             self._owns_ctx = False
+        if store_root is None:
+            from repro.store.metadata import store_root_from_env
+
+            store_root = store_root_from_env()
         self.ctx = ctx
-        self.graphs = GraphStore(ctx)
+        self.graphs = GraphStore(ctx, store_root=store_root)
         self.plans = PlanCache(plan_capacity)
+        self.results = (
+            ResultCache(result_capacity) if result_capacity else None
+        )
         self.service_stats = ServiceStats()
         self.scheduler = QueryScheduler(
             ctx,
@@ -96,6 +116,7 @@ class QueryService:
             workers=workers,
             queue_limit=queue_limit,
             max_batch=max_batch,
+            results=self.results,
         )
         self._closed = False
 
@@ -105,10 +126,45 @@ class QueryService:
         self, name: str, graph: LabeledGraph, *, residency: str = "auto"
     ):
         """Register (or replace) a named graph; see :class:`GraphStore`."""
+        if self.results is not None:
+            self.results.invalidate_graph(name)
         return self.graphs.register(name, graph, residency=residency)
 
     def drop_graph(self, name: str) -> None:
+        if self.results is not None:
+            self.results.invalidate_graph(name)
         self.graphs.drop(name)
+
+    # -- persistence (repro.store) ----------------------------------------
+
+    def persist_graph(self, name: str) -> int:
+        """Snapshot a registered graph to its on-disk volume."""
+        return self.graphs.persist(name)
+
+    def restore_graph(
+        self, name: str, *, residency: str = "auto", mmap: bool = True
+    ):
+        """Warm-start a graph from disk (snapshot + WAL replay)."""
+        if self.results is not None:
+            self.results.invalidate_graph(name)
+        return self.graphs.restore(name, residency=residency, mmap=mmap)
+
+    def restore_all(
+        self, *, residency: str = "auto", mmap: bool = True
+    ) -> list[str]:
+        """Warm-start every graph volume under the store root."""
+        if self.results is not None:
+            self.results.clear()
+        return self.graphs.restore_all(residency=residency, mmap=mmap)
+
+    def add_edges(self, name: str, label: str, edges) -> int:
+        """Apply (and WAL-log) an edge addition; bumps the graph version,
+        which invalidates cached results for the graph."""
+        return self.graphs.add_edges(name, label, edges)
+
+    def remove_edges(self, name: str, label: str, edges) -> int:
+        """Apply (and WAL-log) an edge removal; bumps the graph version."""
+        return self.graphs.remove_edges(name, label, edges)
 
     # -- async surface -----------------------------------------------------
 
@@ -177,7 +233,9 @@ class QueryService:
 
     def stats(self) -> StatsSnapshot:
         return self.service_stats.snapshot(
-            plan_cache=self.plans, graph_store=self.graphs
+            plan_cache=self.plans,
+            graph_store=self.graphs,
+            result_cache=self.results,
         )
 
     # -- lifecycle ---------------------------------------------------------

@@ -14,9 +14,17 @@ labels start word-parallel instead of paying the packing cost per query.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
 
 from repro.analysis.locktrace import make_lock
-from repro.errors import InvalidArgumentError, UnknownGraphError
+from repro.errors import (
+    IndexOutOfBoundsError,
+    InvalidArgumentError,
+    StoreError,
+    UnknownGraphError,
+)
 from repro.graph import LabeledGraph
 
 RESIDENCY_MODES = ("auto", "bit", "sparse")
@@ -33,6 +41,12 @@ class GraphHandle:
     #: label -> resident formats after the residency pass ("sparse",
     #: "bit" or "both"); non-hybrid backends always report "sparse".
     formats: dict = field(default_factory=dict)
+    #: Monotonic mutation counter; every applied edge delta bumps it.
+    #: The result cache keys on it, so a bump invalidates stale answers.
+    version: int = 0  # guarded-by: _lock
+    #: Attached :class:`~repro.store.volume.GraphVolume` (or None for a
+    #: purely in-memory graph); deltas are WAL-logged through it.
+    volume: object = field(default=None, repr=False, compare=False)
     queries_served: int = 0  # guarded-by: _lock
     _lock: object = field(
         default_factory=lambda: make_lock("GraphHandle._lock"),
@@ -47,6 +61,10 @@ class GraphHandle:
     @property
     def labels(self) -> list[str]:
         return self.graph.labels
+
+    def current_version(self) -> int:
+        with self._lock:
+            return self.version
 
     def record_served(self, count: int) -> None:
         """Count queries answered from this handle (worker threads)."""
@@ -65,13 +83,24 @@ class GraphHandle:
         for m in self.matrices.values():
             m.free()
         self.matrices = {}
+        if self.volume is not None:
+            self.volume.close()
 
 
 class GraphStore:
-    """Thread-safe registry of named, device-resident graphs."""
+    """Thread-safe registry of named, device-resident graphs.
 
-    def __init__(self, ctx):
+    With a ``store_root`` attached, graphs can round-trip to disk:
+    :meth:`persist` writes a snapshot generation into the graph's
+    :class:`~repro.store.volume.GraphVolume`, :meth:`restore` warm-starts
+    a handle from the newest snapshot + WAL (BitMatrix snapshots come
+    back as zero-copy ``np.memmap`` views), and :meth:`add_edges` /
+    :meth:`remove_edges` WAL-log every mutation before applying it.
+    """
+
+    def __init__(self, ctx, *, store_root: str | Path | None = None):
         self.ctx = ctx
+        self.store_root = Path(store_root) if store_root is not None else None
         self._lock = make_lock("GraphStore._lock")
         self._graphs: dict[str, GraphHandle] = {}  # guarded-by: _lock
 
@@ -115,21 +144,23 @@ class GraphStore:
         return handle
 
     def _apply_residency(self, matrices: dict, residency: str) -> dict:
+        return {
+            label: self._label_residency(matrix, residency)
+            for label, matrix in matrices.items()
+        }
+
+    def _label_residency(self, matrix, residency: str) -> str:
         from repro.backends.hybrid import HybridBackend
 
         backend = self.ctx.backend
-        formats: dict[str, str] = {}
         if not isinstance(backend, HybridBackend):
-            return {label: "sparse" for label in matrices}
-        crossover = backend.policy.crossover_density
-        for label, matrix in matrices.items():
-            if residency == "bit" or (
-                residency == "auto" and matrix.density >= crossover
-            ):
-                formats[label] = backend.ensure_resident(matrix.handle, "bit")
-            else:
-                formats[label] = matrix.handle.resident
-        return formats
+            return "sparse"
+        if residency == "bit" or (
+            residency == "auto"
+            and matrix.density >= backend.policy.crossover_density
+        ):
+            return backend.ensure_resident(matrix.handle, "bit")
+        return matrix.handle.resident
 
     def get(self, name: str) -> GraphHandle:
         with self._lock:
@@ -160,6 +191,160 @@ class GraphStore:
         for handle in handles:
             handle.free()
 
+    # -- persistence (repro.store) ----------------------------------------
+
+    def _require_store(self) -> Path:
+        if self.store_root is None:
+            raise StoreError(
+                "no store attached (pass store_root= to GraphStore / "
+                "QueryService, or set REPRO_STORE)"
+            )
+        return self.store_root
+
+    def open_volume(self, name: str, *, create: bool = True):
+        """The :class:`~repro.store.volume.GraphVolume` for ``name``."""
+        from repro.store.volume import GraphVolume, volume_root
+
+        path = volume_root(self._require_store()) / name
+        if create:
+            return GraphVolume.create(path, name)
+        return GraphVolume.open(path)
+
+    def persist(self, name: str) -> int:
+        """Snapshot a registered graph into its volume; returns the new
+        generation.  Labels whose resident format includes a bit view
+        also get a bit container, so the next :meth:`restore` maps them
+        back zero-copy."""
+        handle = self.get(name)
+        volume = handle.volume
+        if volume is None:
+            volume = self.open_volume(name, create=True)
+        with handle._lock:
+            version = handle.version
+        bit_labels = {
+            label
+            for label, fmt in handle.formats.items()
+            if fmt in ("bit", "both")
+        }
+        generation = volume.write_snapshot(
+            handle.graph,
+            version=version,
+            bit_labels=bit_labels or None,
+        )
+        handle.volume = volume
+        return generation
+
+    def restore(
+        self,
+        name: str,
+        *,
+        residency: str = "auto",
+        mmap: bool = True,
+    ) -> GraphHandle:
+        """Warm-start ``name`` from its on-disk volume.
+
+        Loads the newest committed snapshot, replays the committed WAL
+        suffix, and registers the result.  Under the hybrid backend,
+        labels whose snapshot bit container is still valid (untouched by
+        WAL deltas) attach it as a read-only ``np.memmap`` view — the
+        packed words are *mapped*, not copied to the heap (visible as
+        arena ``mapped_bytes``, not ``live_bytes``).
+        """
+        from repro.backends.hybrid import HybridBackend
+
+        if residency not in RESIDENCY_MODES:
+            raise InvalidArgumentError(
+                f"residency {residency!r} not in {RESIDENCY_MODES}"
+            )
+        volume = self.open_volume(name, create=False)
+        state = volume.load(mmap=mmap)
+        matrices = state.graph.adjacency_matrices(self.ctx)
+        backend = self.ctx.backend
+        if mmap and isinstance(backend, HybridBackend):
+            from repro.store.container import load_matrix
+
+            for label, path in state.bit_paths.items():
+                if label in matrices:
+                    bit = load_matrix(path, mmap=True)
+                    backend.adopt_bit_mapped(matrices[label].handle, bit)
+        formats = self._apply_residency(matrices, residency)
+        handle = GraphHandle(
+            name=name,
+            graph=state.graph,
+            matrices=matrices,
+            residency=residency,
+            formats=formats,
+            version=state.version,
+            volume=volume,
+        )
+        with self._lock:
+            old = self._graphs.get(name)
+            self._graphs[name] = handle
+        if old is not None:
+            old.free()
+        return handle
+
+    def restore_all(
+        self, *, residency: str = "auto", mmap: bool = True
+    ) -> list[str]:
+        """Restore every volume under the store root; returns the names."""
+        from repro.store.volume import list_volumes
+
+        names = []
+        for volume in list_volumes(self._require_store()):
+            self.restore(volume.name, residency=residency, mmap=mmap)
+            names.append(volume.name)
+        return names
+
+    # -- mutation (edge deltas) -------------------------------------------
+
+    def add_edges(self, name: str, label: str, edges) -> int:
+        """Apply (and WAL-log) an edge-addition batch; returns the new
+        graph version."""
+        return self._mutate(name, "add", label, edges)
+
+    def remove_edges(self, name: str, label: str, edges) -> int:
+        """Apply (and WAL-log) an edge-removal batch; returns the new
+        graph version."""
+        return self._mutate(name, "remove", label, edges)
+
+    def _mutate(self, name: str, op: str, label: str, edges) -> int:
+        from repro.store.volume import apply_deltas
+        from repro.store.wal import EdgeDelta
+
+        handle = self.get(name)
+        batch = np.asarray(edges, dtype=np.int64)
+        if batch.ndim != 2 or batch.shape[1] != 2:
+            raise InvalidArgumentError("edges must have shape (count, 2)")
+        n = handle.n
+        if batch.size:
+            if batch.min() < 0 or batch[:, 0].max() >= n:
+                raise IndexOutOfBoundsError("row", int(batch[:, 0].max()), n)
+            if batch[:, 1].max() >= n:
+                raise IndexOutOfBoundsError("column", int(batch[:, 1].max()), n)
+        with handle._lock:
+            version = handle.version + 1
+            # WAL before state: once append_delta returns, the batch is
+            # fsynced; a crash after this point replays it on restore.
+            if handle.volume is not None:
+                handle.volume.append_delta(op, label, batch, version=version)
+            delta = EdgeDelta(op, label, batch.astype(np.uint32), version)
+            apply_deltas(handle.graph, [delta])
+            pairs = handle.graph.edges.get(label, [])
+            if pairs:
+                arr = np.asarray(pairs, dtype=np.int64)
+                matrix = self.ctx.matrix_from_lists((n, n), arr[:, 0], arr[:, 1])
+            else:
+                matrix = self.ctx.matrix_empty((n, n))
+            fmt = self._label_residency(matrix, handle.residency)
+            # The previous matrix is dereferenced, not freed: in-flight
+            # evaluations may still read it; the arena reclaims its
+            # buffers when the last reference drops.
+            handle.matrices[label] = matrix
+            handle.formats[label] = fmt
+            handle.version = version
+        return version
+
     def stats(self) -> dict:
         with self._lock:
             handles = list(self._graphs.values())
@@ -176,6 +361,8 @@ class GraphStore:
                     "residency": h.residency,
                     "formats": dict(h.formats),
                     "bytes": h.memory_bytes(),
+                    "version": h.current_version(),
+                    "persistent": h.volume is not None,
                     "queries_served": h.served(),
                 }
                 for h in handles

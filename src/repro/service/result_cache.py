@@ -1,0 +1,119 @@
+"""Cross-request result cache: (graph version, plan, source) → answer.
+
+A production query mix is heavily repetitive — the same templated
+reachability questions against a slowly-changing graph.  The plan cache
+already makes recompilation free; this cache makes *re-evaluation* free
+for exact repeats: a small LRU keyed on
+
+    (query kind, graph name, graph version, canonical plan key, source)
+
+The graph ``version`` — bumped by :class:`~repro.service.graph_store.
+GraphStore` on every applied edge delta (and stamped by the persistent
+store's WAL) — is the invalidation mechanism: a mutation changes the
+version, every subsequent lookup misses, and the stale entries age out
+of the LRU.  Entries are only written when the graph version is
+unchanged after evaluation, so a delta racing a fixpoint can never
+publish a result under a version it does not represent.
+
+Values are stored as frozensets and copied out on hit, so callers may
+mutate what they receive without corrupting the cache.  Uncacheable
+queries (prebuilt NFA/RSM plans have no canonical key) bypass the
+cache entirely.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.analysis.locktrace import make_lock
+from repro.errors import InvalidArgumentError
+
+_MISS = object()
+
+
+class ResultCache:
+    """Thread-safe LRU of query answers keyed on graph version."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise InvalidArgumentError("result cache capacity must be >= 1")
+        self.capacity = capacity
+        self._lock = make_lock("ResultCache._lock")
+        self._entries: OrderedDict = OrderedDict()  # guarded-by: _lock
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
+        self.evictions = 0  # guarded-by: _lock
+        self.invalidations = 0  # guarded-by: _lock
+
+    @staticmethod
+    def make_key(
+        kind: str,
+        graph: str,
+        version: int,
+        plan,
+        source,
+    ) -> tuple | None:
+        """Cache key for one query, or None when uncacheable.
+
+        ``plan.key`` is the plan cache's canonical source key; plans
+        without one (prebuilt automata) cannot be identified across
+        requests and never hit.
+        """
+        plan_key = getattr(plan, "key", None)
+        if plan_key is None:
+            return None
+        return (kind, graph, int(version), plan.kind, plan_key, source)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: tuple | None):
+        """``(hit, value)``; the value is a fresh mutable copy."""
+        if key is None:
+            return False, None
+        with self._lock:
+            value = self._entries.get(key, _MISS)
+            if value is _MISS:
+                self.misses += 1
+                return False, None
+            self.hits += 1
+            self._entries.move_to_end(key)
+        return True, set(value)
+
+    def put(self, key: tuple | None, value) -> None:
+        if key is None:
+            return
+        frozen = frozenset(value)
+        with self._lock:
+            self._entries[key] = frozen
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def invalidate_graph(self, graph: str) -> int:
+        """Drop every entry for ``graph`` (re-register / drop / restore)."""
+        with self._lock:
+            doomed = [k for k in self._entries if k[1] == graph]
+            for k in doomed:
+                del self._entries[k]
+            self.invalidations += len(doomed)
+        return len(doomed)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict:
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+                "hit_ratio": self.hits / lookups if lookups else 0.0,
+            }

@@ -137,11 +137,14 @@ class QueryScheduler:
         workers: int = 2,
         queue_limit: int = 64,
         max_batch: int = 8,
+        results=None,
     ):
         self.ctx = ctx
         self.graphs = graphs
         self.plans = plans
         self.stats = stats
+        #: Optional cross-request ResultCache; None disables it.
+        self.results = results
         self.max_batch = max(1, int(max_batch))
         self._queue: queue.Queue = queue.Queue(maxsize=queue_limit)
         self._lock = make_lock("QueryScheduler._lock")
@@ -316,6 +319,37 @@ class QueryScheduler:
         if not resolved:
             return
 
+        # Cross-request result cache: exact repeats against an unchanged
+        # graph version short-circuit here — no fixpoint, no batch slot.
+        keys: list = [None] * len(resolved)
+        if self.results is not None:
+            remaining = []
+            for ticket, handle, plan in resolved:
+                key = self.results.make_key(
+                    kind,
+                    ticket.graph,
+                    handle.current_version(),
+                    plan,
+                    ticket.source,
+                )
+                hit, value = self.results.get(key)
+                if hit:
+                    ticket.timings["evaluate"] = 0.0
+                    ticket.batch_size = 1
+                    handle.record_served(1)
+                    self.stats.count("completed")
+                    self.stats.count("result_cache_hits")
+                    ticket._finish(result=value)
+                    self.stats.record_stage(
+                        "total", time.monotonic() - ticket.submitted_at
+                    )
+                else:
+                    remaining.append((ticket, handle, plan, key))
+            if not remaining:
+                return
+            resolved = [(t, h, p) for t, h, p, _ in remaining]
+            keys = [k for _, _, _, k in remaining]
+
         tickets = [t for t, _, _ in resolved]
         handle = resolved[0][1]
         cancel = self._make_cancel_hook(tickets)
@@ -359,7 +393,7 @@ class QueryScheduler:
         self.stats.record_batch(len(tickets))
         handle.record_served(len(tickets))
         now = time.monotonic()
-        for ticket, result in zip(tickets, results):
+        for (ticket, result), key in zip(zip(tickets, results), keys):
             ticket.timings["evaluate"] = eval_time
             self.stats.record_stage("evaluate", eval_time)
             ticket.batch_size = len(tickets)
@@ -377,6 +411,15 @@ class QueryScheduler:
                 self.stats.record_stage(
                     "total", now - ticket.submitted_at
                 )
+                # Publish only if no delta raced the evaluation: the key
+                # embeds the pre-eval version (index 2); a mismatch means
+                # the answer may reflect newer matrices than it names.
+                if (
+                    self.results is not None
+                    and key is not None
+                    and handle.current_version() == key[2]
+                ):
+                    self.results.put(key, result)
 
     # -- evaluation backends ----------------------------------------------
 

@@ -63,6 +63,7 @@ class StatsSnapshot:
     queue_depth_max: int
     plan_cache: dict = field(default_factory=dict)
     graph_store: dict = field(default_factory=dict)
+    result_cache: dict = field(default_factory=dict)
 
     def render(self) -> str:
         """Human-readable multi-line report (CLI self-test output)."""
@@ -98,6 +99,14 @@ class StatsSnapshot:
                 f"  plan cache: {pc['entries']}/{pc['capacity']} entries, "
                 f"hits={pc['hits']} misses={pc['misses']} "
                 f"evictions={pc['evictions']} hit_ratio={pc['hit_ratio']:.2f}"
+            )
+        if self.result_cache:
+            rc = self.result_cache
+            lines.append(
+                f"  result cache: {rc['entries']}/{rc['capacity']} entries, "
+                f"hits={rc['hits']} misses={rc['misses']} "
+                f"invalidations={rc['invalidations']} "
+                f"hit_ratio={rc['hit_ratio']:.2f}"
             )
         if self.graph_store:
             gs = self.graph_store
@@ -146,7 +155,7 @@ class ServiceStats:
     # -- reading -----------------------------------------------------------
 
     def snapshot(
-        self, *, plan_cache=None, graph_store=None
+        self, *, plan_cache=None, graph_store=None, result_cache=None
     ) -> StatsSnapshot:
         with self._lock:
             stages = {s: list(v) for s, v in self._stages.items()}
@@ -167,4 +176,5 @@ class ServiceStats:
             queue_depth_max=depth_max,
             plan_cache=plan_cache.stats() if plan_cache is not None else {},
             graph_store=graph_store.stats() if graph_store is not None else {},
+            result_cache=result_cache.stats() if result_cache is not None else {},
         )

@@ -1,0 +1,110 @@
+"""Store metadata directory: persisted autotune measurements.
+
+The hybrid dispatcher's :func:`~repro.backends.hybrid.autotune_crossover`
+probe-sweeps the real sparse/bit ``mxm`` break-even at context creation
+— tens of milliseconds that repeat on every process start.  The
+measurement depends only on (backend, device, host), so a store root
+keeps it in ``<root>/metadata/autotune.json`` and the sweep consults the
+file before probing (opt-in via the ``REPRO_STORE`` environment
+variable pointing at the store root, or a ``Context`` with a store
+attached).
+
+The file is versioned JSON, rewritten atomically on every update::
+
+    {
+      "format_version": 1,
+      "entries": {
+        "cubool@cpu-sim-0": {"crossover": 0.0132, "probe_n": 192}
+      }
+    }
+
+Corrupt or stale files are treated as empty — autotune persistence is a
+warm-start optimisation, never a correctness dependency.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+AUTOTUNE_FORMAT_VERSION = 1
+
+#: Environment variable naming the store root whose metadata directory
+#: persists autotune measurements across processes.
+STORE_ENV = "REPRO_STORE"
+
+
+def metadata_dir(store_root: str | Path) -> Path:
+    return Path(store_root) / "metadata"
+
+
+def autotune_path(store_root: str | Path) -> Path:
+    return metadata_dir(store_root) / "autotune.json"
+
+
+def _key(backend_name: str, device_name: str) -> str:
+    return f"{backend_name}@{device_name}"
+
+
+def _read(path: Path) -> dict:
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        return {}
+    except (ValueError, OSError):
+        return {}
+    if payload.get("format_version") != AUTOTUNE_FORMAT_VERSION:
+        return {}
+    entries = payload.get("entries")
+    return entries if isinstance(entries, dict) else {}
+
+
+def load_autotune(
+    store_root: str | Path, backend_name: str, device_name: str
+) -> float | None:
+    """Persisted crossover for (backend, device), or None."""
+    entry = _read(autotune_path(store_root)).get(_key(backend_name, device_name))
+    if not isinstance(entry, dict):
+        return None
+    crossover = entry.get("crossover")
+    if isinstance(crossover, (int, float)) and 0.0 < crossover <= 1.0:
+        return float(crossover)
+    return None
+
+
+def save_autotune(
+    store_root: str | Path,
+    backend_name: str,
+    device_name: str,
+    crossover: float,
+    *,
+    probe_n: int | None = None,
+) -> None:
+    """Record a measured crossover (read-modify-write, atomic rename)."""
+    path = autotune_path(store_root)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    entries = _read(path)
+    entry: dict = {"crossover": float(crossover)}
+    if probe_n is not None:
+        entry["probe_n"] = int(probe_n)
+    entries[_key(backend_name, device_name)] = entry
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as f:
+        json.dump(
+            {"format_version": AUTOTUNE_FORMAT_VERSION, "entries": entries},
+            f,
+            indent=2,
+            sort_keys=True,
+        )
+        f.write("\n")
+        f.flush()
+        os.fsync(f.fileno())
+    os.replace(tmp, path)
+
+
+def store_root_from_env(environ=None) -> Path | None:
+    """The ``REPRO_STORE`` root, when configured and non-empty."""
+    raw = (environ if environ is not None else os.environ).get(STORE_ENV, "")
+    raw = raw.strip()
+    return Path(raw) if raw else None

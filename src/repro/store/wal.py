@@ -1,0 +1,261 @@
+"""Append-only edge-delta log with CRC framing and torn-tail recovery.
+
+A :class:`WriteAheadLog` records add/remove edge batches for one graph
+volume.  The durability contract mirrors the classic redo-log design:
+
+* every record is framed with a fixed header carrying its own CRC32, so
+  a reader can tell "valid record", "torn tail" (partial final write —
+  expected after a crash) and "corruption" (bad bytes *before* the last
+  committed point — a real integrity failure) apart;
+* a transaction is one or more ``delta`` records followed by a single
+  ``commit`` marker; the file is fsynced once per transaction, after
+  the commit marker is in the OS buffer;
+* recovery replays records strictly up to the last complete commit
+  marker and truncates everything after it.  A crash mid-append
+  therefore loses at most the uncommitted transaction — never a
+  committed one, and never the snapshot.
+
+Record framing (little-endian)::
+
+    magic    4 B   "RWAL"
+    kind     1 B   1 = edge delta, 2 = commit marker
+    op       1 B   delta: 1 = add, 2 = remove; commit: 0
+    reserved 2 B
+    version  8 B   graph version this record produces
+    length   4 B   payload byte count (0 for commit)
+    crc      4 B   CRC32 over (kind, op, version, payload)
+
+Delta payload::
+
+    label_len  2 B    label bytes  (utf-8)
+    count      4 B    edge pairs
+    edges      count x 2 x u32  (row, col), little-endian
+
+The ``version`` stamped on a commit marker is the graph version after
+applying every delta in its transaction; replay returns it so the
+volume can continue numbering from there.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import InvalidArgumentError, StoreCorruptError
+
+WAL_MAGIC = b"RWAL"
+
+_FRAME = struct.Struct("<4sBBHQII")  # 24 bytes
+
+KIND_DELTA = 1
+KIND_COMMIT = 2
+
+OP_ADD = 1
+OP_REMOVE = 2
+_OP_NAMES = {OP_ADD: "add", OP_REMOVE: "remove"}
+
+
+@dataclass(frozen=True)
+class EdgeDelta:
+    """One applied edge batch: ``op`` over ``edges`` of graph ``label``."""
+
+    op: str
+    label: str
+    edges: np.ndarray  # (count, 2) uint32
+    version: int
+
+    @property
+    def count(self) -> int:
+        return int(self.edges.shape[0])
+
+
+def _crc(kind: int, op: int, version: int, payload: bytes) -> int:
+    return zlib.crc32(bytes((kind, op)) + struct.pack("<Q", version) + payload)
+
+
+def _delta_payload(label: str, edges: np.ndarray) -> bytes:
+    raw = label.encode("utf-8")
+    if len(raw) > 0xFFFF:
+        raise InvalidArgumentError("graph label too long for WAL record")
+    body = np.ascontiguousarray(edges, dtype="<u4")
+    if body.ndim != 2 or body.shape[1] != 2:
+        raise InvalidArgumentError("edges must have shape (count, 2)")
+    return (
+        struct.pack("<HI", len(raw), body.shape[0]) + raw + body.tobytes()
+    )
+
+
+def _later_commit(data: bytes, start: int) -> bool:
+    """True if a structurally valid commit record exists after ``start``.
+
+    Distinguishes a torn tail from mid-log corruption: a commit marker
+    is only ever durable after everything before it was fsynced, so a
+    valid commit *past* a damaged record proves the damage is not a
+    crash artefact.
+    """
+    idx = data.find(WAL_MAGIC, start + 1)
+    while idx != -1:
+        frame = data[idx : idx + _FRAME.size]
+        if len(frame) == _FRAME.size:
+            _, kind, op_code, _, version, length, crc = _FRAME.unpack(frame)
+            payload = data[idx + _FRAME.size : idx + _FRAME.size + length]
+            if (
+                kind == KIND_COMMIT
+                and len(payload) == length
+                and _crc(kind, op_code, version, payload) == crc
+            ):
+                return True
+        idx = data.find(WAL_MAGIC, idx + 1)
+    return False
+
+
+def _parse_delta_payload(payload: bytes, where: str) -> tuple[str, np.ndarray]:
+    if len(payload) < 6:
+        raise StoreCorruptError(f"{where}: delta payload too short")
+    label_len, count = struct.unpack_from("<HI", payload)
+    need = 6 + label_len + count * 8
+    if len(payload) != need:
+        raise StoreCorruptError(
+            f"{where}: delta payload {len(payload)} B, framed for {need} B"
+        )
+    label = payload[6 : 6 + label_len].decode("utf-8")
+    edges = (
+        np.frombuffer(payload, dtype="<u4", count=count * 2, offset=6 + label_len)
+        .reshape(count, 2)
+        .astype(np.uint32, copy=True)
+    )
+    return label, edges
+
+
+class WriteAheadLog:
+    """Append/replay access to one volume's ``wal.log``.
+
+    Instances are not thread-safe; the owning :class:`GraphVolume`
+    serialises access under its own lock.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._file = None
+
+    # -- append side -------------------------------------------------------
+
+    def _handle(self):
+        if self._file is None or self._file.closed:
+            self._file = open(self.path, "ab")
+        return self._file
+
+    def append(self, op: str, label: str, edges, *, version: int) -> None:
+        """Append one committed edge-delta transaction and fsync.
+
+        Writes a delta record followed by its commit marker; both land
+        in one ``write`` + ``fsync`` pair, so the commit marker is never
+        durable without its delta.
+        """
+        op_code = {"add": OP_ADD, "remove": OP_REMOVE}.get(op)
+        if op_code is None:
+            raise InvalidArgumentError(f"unknown WAL op {op!r}")
+        payload = _delta_payload(label, np.asarray(edges))
+        delta = _FRAME.pack(
+            WAL_MAGIC, KIND_DELTA, op_code, 0, version, len(payload),
+            _crc(KIND_DELTA, op_code, version, payload),
+        ) + payload
+        commit = _FRAME.pack(
+            WAL_MAGIC, KIND_COMMIT, 0, 0, version, 0,
+            _crc(KIND_COMMIT, 0, version, b""),
+        )
+        f = self._handle()
+        f.write(delta + commit)
+        f.flush()
+        os.fsync(f.fileno())
+
+    def close(self) -> None:
+        if self._file is not None and not self._file.closed:
+            self._file.close()
+        self._file = None
+
+    # -- replay side -------------------------------------------------------
+
+    def replay(self, *, repair: bool = True) -> tuple[list[EdgeDelta], int]:
+        """Read back every committed delta; returns ``(deltas, version)``.
+
+        ``version`` is the last committed graph version (0 when the log
+        is empty).  A torn tail — a partial record, or complete delta
+        records with no commit marker — is truncated away when
+        ``repair=True`` (the default) or merely ignored otherwise.
+        Malformed bytes *before* the last commit marker raise
+        :class:`~repro.errors.StoreCorruptError`: those were fsynced as
+        part of a committed transaction, so damage there is corruption,
+        not a crash artefact.  The two are told apart by looking past
+        the damage — a structurally valid commit record after a bad one
+        can only mean mid-log corruption.
+        """
+        if not self.path.exists():
+            return [], 0
+        data = self.path.read_bytes()
+
+        committed: list[EdgeDelta] = []
+        pending: list[EdgeDelta] = []
+        last_version = 0
+        committed_end = 0  # byte offset just past the last commit marker
+        pos = 0
+        torn = False
+        while pos < len(data):
+            frame = data[pos : pos + _FRAME.size]
+            if len(frame) < _FRAME.size:
+                torn = True
+                break
+            magic, kind, op_code, _, version, length, crc = _FRAME.unpack(frame)
+            where = f"{self.path} @ {pos}"
+            payload = data[pos + _FRAME.size : pos + _FRAME.size + length]
+            bad = None
+            if magic != WAL_MAGIC:
+                bad = "bad record magic"
+            elif len(payload) < length:
+                bad = "truncated record payload"
+            elif _crc(kind, op_code, version, payload) != crc:
+                bad = "record checksum mismatch"
+            if bad is not None:
+                if _later_commit(data, pos):
+                    raise StoreCorruptError(
+                        f"{where}: {bad} before a later commit marker"
+                    )
+                torn = True
+                break
+            if kind == KIND_DELTA:
+                op = _OP_NAMES.get(op_code)
+                if op is None:
+                    raise StoreCorruptError(f"{where}: unknown delta op {op_code}")
+                label, edges = _parse_delta_payload(payload, where)
+                pending.append(EdgeDelta(op, label, edges, version))
+            elif kind == KIND_COMMIT:
+                committed.extend(pending)
+                pending.clear()
+                last_version = version
+                committed_end = pos + _FRAME.size + length
+            else:
+                raise StoreCorruptError(f"{where}: unknown record kind {kind}")
+            pos += _FRAME.size + length
+
+        if (torn or pending) and repair and committed_end < len(data):
+            self.close()
+            with open(self.path, "r+b") as f:
+                f.truncate(committed_end)
+                f.flush()
+                os.fsync(f.fileno())
+        return committed, last_version
+
+    def reset(self) -> None:
+        """Empty the log (after its deltas were folded into a snapshot)."""
+        self.close()
+        with open(self.path, "wb") as f:
+            f.flush()
+            os.fsync(f.fileno())
+
+    def size(self) -> int:
+        return self.path.stat().st_size if self.path.exists() else 0

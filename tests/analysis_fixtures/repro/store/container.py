@@ -1,0 +1,25 @@
+"""R2 fixture: uint64 memmap views outside the memmap-flow sites.
+
+Mirrors the real ``store/container.py`` path so the rule's module
+scoping applies.  Never imported — parsed by reprolint only.
+"""
+
+import numpy as np
+
+
+def _map_words(path, shape, offset):
+    """Audited memmap-flow site: mapped word view here is legal."""
+    if shape[0] == 0:
+        return np.zeros(shape, dtype=np.uint64)
+    flat = np.memmap(path, dtype=np.uint64, mode="r", offset=offset)
+    return flat.reshape(shape)
+
+
+def peek_words(path, offset):
+    """Seeded violation: mapped words invisible to the arena."""
+    return np.memmap(path, dtype=np.uint64, mode="r", offset=offset)
+
+
+def debug_words(path, offset):
+    """Suppressed twin."""
+    return np.memmap(path, dtype=np.uint64, mode="r")  # reprolint: disable=R2

@@ -1,0 +1,219 @@
+"""Volume generations, WAL integration, recovery, and compaction."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import IndexOutOfBoundsError, StoreError
+from repro.graph import LabeledGraph
+from repro.store import GraphVolume, apply_deltas, list_volumes
+from repro.store.wal import EdgeDelta
+
+import numpy as np
+
+
+def demo_graph(n=10):
+    g = LabeledGraph(n=n)
+    for u, v in [(0, 1), (1, 2), (2, 3), (3, 0)]:
+        g.add_edge(u, "a", v)
+    for u, v in [(0, 2), (2, 4)]:
+        g.add_edge(u, "b", v)
+    return g
+
+
+def delta(op, label, edges, version):
+    return EdgeDelta(op, label, np.asarray(edges, dtype=np.uint32), version)
+
+
+def test_create_open_and_identity(tmp_path):
+    vol = GraphVolume.create(tmp_path / "g", "g")
+    assert vol.name == "g"
+    assert vol.generations() == []
+    assert GraphVolume.open(tmp_path / "g").name == "g"
+    with pytest.raises(StoreError, match="not a graph volume"):
+        GraphVolume.open(tmp_path / "missing")
+
+
+def test_snapshot_load_round_trip(tmp_path):
+    vol = GraphVolume.create(tmp_path / "g", "g")
+    g = demo_graph()
+    gen = vol.write_snapshot(g, version=0)
+    assert gen == 1
+    state = vol.load()
+    assert state.generation == 1
+    assert state.version == 0
+    assert state.deltas_applied == 0
+    assert state.graph.n == g.n
+    assert state.graph.edges["a"] == sorted(g.edges["a"])
+    assert state.graph.edges["b"] == sorted(g.edges["b"])
+
+
+def test_load_replays_wal_suffix(tmp_path):
+    vol = GraphVolume.create(tmp_path / "g", "g")
+    vol.write_snapshot(demo_graph(), version=0)
+    vol.append_delta("add", "a", [(5, 6)], version=1)
+    vol.append_delta("remove", "a", [(0, 1)], version=2)
+    state = vol.load()
+    assert state.version == 2
+    assert state.deltas_applied == 2
+    assert (5, 6) in state.graph.edges["a"]
+    assert (0, 1) not in state.graph.edges["a"]
+    assert vol.current_version() == 2
+
+
+def test_deltas_at_or_below_snapshot_version_are_skipped(tmp_path):
+    """Crash between 'snapshot renamed' and 'wal reset': stale deltas
+    must not double-apply on the next load."""
+    vol = GraphVolume.create(tmp_path / "g", "g")
+    vol.write_snapshot(demo_graph(), version=0)
+    vol.append_delta("remove", "a", [(0, 1)], version=1)
+    state = vol.load()
+    # Fold into generation 2 but leave the WAL behind (simulated crash).
+    vol.write_snapshot(state.graph, version=state.version, reset_wal=False)
+    after = vol.load()
+    assert after.generation == 2
+    assert after.version == 1
+    assert after.deltas_applied == 0  # stale delta skipped, not re-applied
+    assert (0, 1) not in after.graph.edges["a"]
+
+
+def test_aborted_generation_is_invisible(tmp_path):
+    vol = GraphVolume.create(tmp_path / "g", "g")
+    vol.write_snapshot(demo_graph(), version=0)
+    # A gen dir without manifest.json is an aborted write.
+    (tmp_path / "g" / "snapshots" / "gen-000002").mkdir()
+    assert vol.generations() == [1]
+    assert vol.load().generation == 1
+
+
+def test_load_without_snapshot_raises(tmp_path):
+    vol = GraphVolume.create(tmp_path / "g", "g")
+    with pytest.raises(StoreError, match="no committed snapshot"):
+        vol.load()
+
+
+def test_bit_containers_written_for_requested_labels(tmp_path):
+    vol = GraphVolume.create(tmp_path / "g", "g")
+    vol.write_snapshot(demo_graph(), version=0, bit_labels={"a"})
+    state = vol.load()
+    assert set(state.bit_paths) == {"a"}
+    assert state.bit_paths["a"].exists()
+
+
+def test_deltas_invalidate_bit_paths(tmp_path):
+    vol = GraphVolume.create(tmp_path / "g", "g")
+    vol.write_snapshot(demo_graph(), version=0, bit_labels={"a", "b"})
+    vol.append_delta("add", "a", [(7, 8)], version=1)
+    state = vol.load()
+    # 'a' was touched past the snapshot: its packed bytes are stale.
+    assert set(state.bit_paths) == {"b"}
+
+
+def test_density_rule_selects_bit_labels(tmp_path):
+    g = LabeledGraph(n=4)
+    for u in range(4):
+        for v in range(4):
+            g.add_edge(u, "dense", v)
+    g.add_edge(0, "sparse", 1)
+    vol = GraphVolume.create(tmp_path / "g", "g")
+    vol.write_snapshot(g, version=0, bit_density=0.5)
+    state = vol.load()
+    assert set(state.bit_paths) == {"dense"}
+
+
+def test_compact_folds_wal_and_keeps_bit_labels(tmp_path):
+    vol = GraphVolume.create(tmp_path / "g", "g")
+    vol.write_snapshot(demo_graph(), version=0, bit_labels={"a"})
+    vol.append_delta("add", "b", [(5, 7)], version=1)
+    gen = vol.compact()
+    assert gen == 2
+    assert vol.wal.size() == 0
+    state = vol.load()
+    assert state.generation == 2
+    assert state.version == 1
+    assert state.deltas_applied == 0
+    assert (5, 7) in state.graph.edges["b"]
+    assert "a" in state.bit_paths  # bit coverage survives compaction
+
+
+def test_torn_wal_tail_recovers_to_last_commit(tmp_path):
+    vol = GraphVolume.create(tmp_path / "g", "g")
+    vol.write_snapshot(demo_graph(), version=0)
+    vol.append_delta("add", "a", [(5, 6)], version=1)
+    with open(tmp_path / "g" / "wal.log", "ab") as f:
+        f.write(b"RWAL\x01\x01\x00\x00torn")
+    state = vol.load()
+    assert state.version == 1
+    assert (5, 6) in state.graph.edges["a"]
+
+
+def test_info_and_verify(tmp_path):
+    vol = GraphVolume.create(tmp_path / "g", "g")
+    vol.write_snapshot(demo_graph(), version=0, bit_labels={"a"})
+    vol.append_delta("add", "a", [(5, 6)], version=1)
+    info = vol.info()
+    assert info["generation"] == 1
+    assert info["version"] == 1
+    assert info["wal_deltas"] == 1
+    assert info["labels"]["a"]["bit"] is True
+    assert info["labels"]["b"]["bit"] is False
+    summary = vol.verify()
+    assert summary["ok"] and summary["containers"] == 3
+
+
+def test_verify_catches_container_bitflip(tmp_path):
+    from repro.errors import StoreCorruptError
+
+    vol = GraphVolume.create(tmp_path / "g", "g")
+    vol.write_snapshot(demo_graph(), version=0, bit_labels={"a"})
+    gen_dir = tmp_path / "g" / "snapshots" / "gen-000001"
+    target = next(gen_dir.glob("*.bit.rpc"))
+    data = bytearray(target.read_bytes())
+    data[-1] ^= 0xFF
+    target.write_bytes(bytes(data))
+    with pytest.raises(StoreCorruptError):
+        vol.verify()
+
+
+def test_version_mismatch_rejected(tmp_path):
+    from repro.errors import StoreCorruptError
+
+    vol = GraphVolume.create(tmp_path / "g", "g")
+    meta = json.loads((tmp_path / "g" / "volume.json").read_text())
+    meta["store_version"] = 99
+    (tmp_path / "g" / "volume.json").write_text(json.dumps(meta))
+    with pytest.raises(StoreCorruptError, match="store version"):
+        GraphVolume.open(tmp_path / "g")
+
+
+def test_apply_deltas_bounds_checked():
+    g = LabeledGraph(n=4)
+    g.add_edge(0, "a", 1)
+    with pytest.raises(IndexOutOfBoundsError):
+        apply_deltas(g, [delta("add", "a", [(0, 9)], 1)])
+
+
+def test_apply_deltas_set_semantics():
+    g = demo_graph()
+    touched = apply_deltas(
+        g,
+        [
+            delta("add", "a", [(0, 1), (5, 5)], 1),  # (0,1) already present
+            delta("remove", "a", [(3, 0), (9, 9)], 2),  # (9,9) absent
+        ],
+    )
+    assert touched == {"a"}
+    edges = g.edges["a"]
+    assert edges == sorted(set(edges))
+    assert (5, 5) in edges and (3, 0) not in edges and (0, 1) in edges
+
+
+def test_list_volumes(tmp_path):
+    from repro.store import volume_root
+
+    GraphVolume.create(volume_root(tmp_path) / "beta", "beta")
+    GraphVolume.create(volume_root(tmp_path) / "alpha", "alpha")
+    assert [v.name for v in list_volumes(tmp_path)] == ["alpha", "beta"]
+    assert list_volumes(tmp_path / "nowhere") == []
