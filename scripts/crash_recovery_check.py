@@ -63,10 +63,16 @@ def main() -> int:
             f"committed version"
         )
 
-        # Recovery truncated the torn tail in place; the store must now
-        # pass a full integrity sweep.
+        # Torn-tail repair is a writer-only action (readers must not
+        # mutate a volume a live service could own); a writer load
+        # truncates in place and the store then passes a full sweep.
         wal_path.write_bytes(full[: len(full) - 7])  # leave a torn tail
-        GraphVolume.open(volume_dir).load()          # repairs it
+        writer = GraphVolume.open(volume_dir, writer=True)
+        writer.load()
+        writer.close()
+        if wal_path.stat().st_size != committed_size:
+            print("FAIL: writer recovery did not truncate the torn tail")
+            return 1
         if store_main(["--root", tmp, "verify"]) != 0:
             print("FAIL: store verify after recovery")
             return 1

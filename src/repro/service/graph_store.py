@@ -202,13 +202,15 @@ class GraphStore:
         return self.store_root
 
     def open_volume(self, name: str, *, create: bool = True):
-        """The :class:`~repro.store.volume.GraphVolume` for ``name``."""
+        """The :class:`~repro.store.volume.GraphVolume` for ``name``,
+        opened as a writer (the service mutates volumes; the advisory
+        lock keeps CLI maintenance off a live one)."""
         from repro.store.volume import GraphVolume, volume_root
 
         path = volume_root(self._require_store()) / name
         if create:
             return GraphVolume.create(path, name)
-        return GraphVolume.open(path)
+        return GraphVolume.open(path, writer=True)
 
     def persist(self, name: str) -> int:
         """Snapshot a registered graph into its volume; returns the new
@@ -216,22 +218,27 @@ class GraphStore:
         also get a bit container, so the next :meth:`restore` maps them
         back zero-copy."""
         handle = self.get(name)
-        volume = handle.volume
-        if volume is None:
-            volume = self.open_volume(name, create=True)
+        # The whole snapshot+WAL-reset runs under the handle lock: a
+        # concurrent add/remove_edges must not fsync a delta (and bump
+        # the version) between "snapshot serialised version V" and
+        # "WAL reset", or the reset would discard an acknowledged write
+        # the snapshot does not contain.  Concurrent persist() calls
+        # serialise here too, so generation numbers cannot collide.
         with handle._lock:
-            version = handle.version
-        bit_labels = {
-            label
-            for label, fmt in handle.formats.items()
-            if fmt in ("bit", "both")
-        }
-        generation = volume.write_snapshot(
-            handle.graph,
-            version=version,
-            bit_labels=bit_labels or None,
-        )
-        handle.volume = volume
+            volume = handle.volume
+            if volume is None:
+                volume = self.open_volume(name, create=True)
+                handle.volume = volume
+            generation = volume.write_snapshot(
+                handle.graph,
+                version=handle.version,
+                bit_labels={
+                    label
+                    for label, fmt in handle.formats.items()
+                    if fmt in ("bit", "both")
+                }
+                or None,
+            )
         return generation
 
     def restore(
@@ -256,17 +263,36 @@ class GraphStore:
             raise InvalidArgumentError(
                 f"residency {residency!r} not in {RESIDENCY_MODES}"
             )
-        volume = self.open_volume(name, create=False)
-        state = volume.load(mmap=mmap)
-        matrices = state.graph.adjacency_matrices(self.ctx)
-        backend = self.ctx.backend
-        if mmap and isinstance(backend, HybridBackend):
-            from repro.store.container import load_matrix
+        # A registered handle already holds the volume's writer lock;
+        # take over its GraphVolume instead of re-opening (a second
+        # writer open would conflict with our own advisory lock).
+        with self._lock:
+            prior = self._graphs.get(name)
+        volume = None
+        handed_off = False
+        if prior is not None:
+            with prior._lock:
+                volume, prior.volume = prior.volume, None
+            handed_off = volume is not None
+        if volume is None:
+            volume = self.open_volume(name, create=False)
+        try:
+            state = volume.load(mmap=mmap)
+            matrices = state.graph.adjacency_matrices(self.ctx)
+            backend = self.ctx.backend
+            if mmap and isinstance(backend, HybridBackend):
+                from repro.store.container import load_matrix
 
-            for label, path in state.bit_paths.items():
-                if label in matrices:
-                    bit = load_matrix(path, mmap=True)
-                    backend.adopt_bit_mapped(matrices[label].handle, bit)
+                for label, path in state.bit_paths.items():
+                    if label in matrices:
+                        bit = load_matrix(path, mmap=True)
+                        backend.adopt_bit_mapped(matrices[label].handle, bit)
+        except Exception:
+            if handed_off:
+                prior.volume = volume  # hand the lease back
+            else:
+                volume.close()
+            raise
         formats = self._apply_residency(matrices, residency)
         handle = GraphHandle(
             name=name,
@@ -318,10 +344,10 @@ class GraphStore:
             raise InvalidArgumentError("edges must have shape (count, 2)")
         n = handle.n
         if batch.size:
-            if batch.min() < 0 or batch[:, 0].max() >= n:
-                raise IndexOutOfBoundsError("row", int(batch[:, 0].max()), n)
-            if batch[:, 1].max() >= n:
-                raise IndexOutOfBoundsError("column", int(batch[:, 1].max()), n)
+            for axis, values in (("row", batch[:, 0]), ("column", batch[:, 1])):
+                lo, hi = int(values.min()), int(values.max())
+                if lo < 0 or hi >= n:
+                    raise IndexOutOfBoundsError(axis, lo if lo < 0 else hi, n)
         with handle._lock:
             version = handle.version + 1
             # WAL before state: once append_delta returns, the batch is

@@ -10,6 +10,11 @@ Subcommands::
 The store root comes from ``--root`` or the ``REPRO_STORE`` environment
 variable.  ``verify`` exits non-zero on the first corrupt container or
 WAL record; CI runs it as a smoke step after the crash-recovery matrix.
+
+``ls``/``info``/``verify`` are read-only and safe against a live
+service.  ``compact`` takes the volume's advisory writer lock and fails
+fast when a service (or another maintenance command) holds it — a WAL
+reset under a live writer's append handle would silently drop deltas.
 """
 
 from __future__ import annotations
@@ -32,8 +37,8 @@ def _resolve_root(args) -> str:
     return str(root)
 
 
-def _open(root: str, name: str) -> GraphVolume:
-    return GraphVolume.open(volume_root(root) / name)
+def _open(root: str, name: str, *, writer: bool = False) -> GraphVolume:
+    return GraphVolume.open(volume_root(root) / name, writer=writer)
 
 
 def _emit(payload, as_json: bool) -> None:
@@ -90,7 +95,10 @@ def _info(args) -> int:
 
 
 def _compact(args) -> int:
-    vol = _open(_resolve_root(args), args.name)
+    # Writer open: folding the WAL resets it, which must never happen
+    # under a live service's open append handle — the advisory volume
+    # lock makes that a fast failure instead of silent delta loss.
+    vol = _open(_resolve_root(args), args.name, writer=True)
     before = vol.info()
     generation = vol.compact()
     print(

@@ -61,6 +61,26 @@ _ALIGN = 64
 FORMAT_TAGS = {"coo": 1, "csr": 2, "dcsr": 3, "bit": 4, "valcsr": 5}
 _TAG_TO_KIND = {v: k for k, v in FORMAT_TAGS.items()}
 
+
+def fsync_dir(path: str | Path) -> None:
+    """fsync a directory so a just-renamed entry survives power loss.
+
+    ``os.replace`` makes a rename atomic but not durable: the new
+    directory entry lives in the parent's metadata, which needs its own
+    fsync.  Best-effort — some filesystems refuse fsync on directories,
+    and a refusal must not fail the write that already landed.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY | getattr(os, "O_DIRECTORY", 0))
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
 #: dtype code <-> little-endian dtype string.
 _DTYPE_CODES = {
     1: "<u4",
@@ -165,6 +185,7 @@ def dump_matrix(m, path: str | Path) -> dict:
         f.flush()
         os.fsync(f.fileno())
     os.replace(tmp, path)
+    fsync_dir(path.parent)
     return {
         "kind": kind,
         "shape": (m.nrows, m.ncols),

@@ -37,6 +37,11 @@ import shutil
 from dataclasses import dataclass, field
 from pathlib import Path
 
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None
+
 import numpy as np
 
 from repro.errors import (
@@ -51,6 +56,7 @@ from repro.graph import LabeledGraph
 from repro.store.container import (
     container_info,
     dump_matrix,
+    fsync_dir,
     load_matrix,
     verify_container,
 )
@@ -64,6 +70,9 @@ BIT_SNAPSHOT_DENSITY = 0.02
 
 _GEN_PREFIX = "gen-"
 
+#: Advisory writer-lock file inside a volume directory.
+_LOCK_FILE = ".lock"
+
 
 def _atomic_json(path: Path, payload: dict) -> None:
     tmp = path.with_name(path.name + ".tmp")
@@ -73,6 +82,7 @@ def _atomic_json(path: Path, payload: dict) -> None:
         f.flush()
         os.fsync(f.fileno())
     os.replace(tmp, path)
+    fsync_dir(path.parent)
 
 
 def apply_deltas(graph: LabeledGraph, deltas) -> set:
@@ -121,19 +131,37 @@ class RestoredGraph:
 
 
 class GraphVolume:
-    """On-disk home of one named graph.  Single-writer; the service
-    tier serialises mutations through the graph handle's lock."""
+    """On-disk home of one named graph.
 
-    def __init__(self, path: str | Path):
+    Single-writer: in-process mutations are serialised through the
+    graph handle's lock, and *cross-process* writers are excluded by an
+    advisory ``flock`` on the volume's ``.lock`` file, held for the
+    lifetime of every ``writer=True`` instance.  Opening a second
+    writer — e.g. ``python -m repro store compact`` against a volume a
+    live service has attached — fails fast instead of resetting the WAL
+    under the service's open append handle.  Readers (``ls``, ``info``,
+    ``verify``) take no lock and never mutate the volume.
+    """
+
+    def __init__(self, path: str | Path, *, writer: bool = False):
         self.path = Path(path)
         self._meta = self._read_volume_meta()
+        self._lock_file = None
+        if writer:
+            self._acquire_writer_lock()
         self.wal = WriteAheadLog(self.path / "wal.log")
 
     # -- lifecycle ---------------------------------------------------------
 
     @classmethod
-    def create(cls, path: str | Path, name: str) -> "GraphVolume":
-        """Initialise an empty volume directory (idempotent)."""
+    def create(
+        cls, path: str | Path, name: str, *, writer: bool = True
+    ) -> "GraphVolume":
+        """Initialise an empty volume directory (idempotent).
+
+        Creation implies write intent, so the instance holds the
+        volume's writer lock unless ``writer=False``.
+        """
         path = Path(path)
         (path / "snapshots").mkdir(parents=True, exist_ok=True)
         meta_path = path / "volume.json"
@@ -141,14 +169,41 @@ class GraphVolume:
             _atomic_json(
                 meta_path, {"store_version": STORE_VERSION, "name": name}
             )
-        return cls(path)
+        return cls(path, writer=writer)
 
     @classmethod
-    def open(cls, path: str | Path) -> "GraphVolume":
+    def open(cls, path: str | Path, *, writer: bool = False) -> "GraphVolume":
         path = Path(path)
         if not (path / "volume.json").exists():
             raise StoreError(f"{path} is not a graph volume (no volume.json)")
-        return cls(path)
+        return cls(path, writer=writer)
+
+    def _acquire_writer_lock(self) -> None:
+        if fcntl is None:  # pragma: no cover - non-POSIX
+            self._lock_file = True  # in-process guard only
+            return
+        f = open(self.path / _LOCK_FILE, "a+b")
+        try:
+            fcntl.flock(f.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            f.close()
+            raise StoreError(
+                f"{self.path}: volume is locked by another writer (a live "
+                f"service, or a concurrent maintenance command); quiesce it "
+                f"before compacting or repairing"
+            ) from None
+        self._lock_file = f
+
+    @property
+    def is_writer(self) -> bool:
+        return self._lock_file is not None
+
+    def _require_writer(self, what: str) -> None:
+        if self._lock_file is None:
+            raise StoreError(
+                f"{self.path}: {what} requires the volume writer lock "
+                f"(open with writer=True)"
+            )
 
     def _read_volume_meta(self) -> dict:
         meta_path = self.path / "volume.json"
@@ -172,6 +227,11 @@ class GraphVolume:
 
     def close(self) -> None:
         self.wal.close()
+        if self._lock_file not in (None, True):
+            if fcntl is not None:
+                fcntl.flock(self._lock_file.fileno(), fcntl.LOCK_UN)
+            self._lock_file.close()
+        self._lock_file = None
 
     # -- generations -------------------------------------------------------
 
@@ -233,6 +293,7 @@ class GraphVolume:
         temporary name and renamed into place after fsync, then the WAL
         is reset (its deltas are folded into the snapshot).
         """
+        self._require_writer("write_snapshot")
         latest = self.latest_generation() or 0
         generation = latest + 1
         final_dir = self._gen_dir(generation)
@@ -285,6 +346,7 @@ class GraphVolume:
             },
         )
         os.replace(tmp_dir, final_dir)
+        fsync_dir(final_dir.parent)
         if reset_wal:
             self.wal.reset()
         return generation
@@ -298,6 +360,9 @@ class GraphVolume:
         are truncated (crash recovery).  Deltas at or below the snapshot
         version are skipped — they were folded into the snapshot by a
         compaction whose log reset did not survive the crash.
+
+        Torn-tail truncation is a write, so a reader instance replays
+        with ``repair=False`` (the tail is ignored, not repaired).
         """
         generation = self.latest_generation()
         if generation is None:
@@ -322,7 +387,7 @@ class GraphVolume:
             if entry.get("bit"):
                 bit_paths[label] = gen_dir / entry["bit"]
 
-        deltas, wal_version = self.wal.replay()
+        deltas, wal_version = self.wal.replay(repair=self.is_writer)
         live = [d for d in deltas if d.version > snapshot_version]
         touched = apply_deltas(graph, live)
         for label in touched:
@@ -351,6 +416,7 @@ class GraphVolume:
 
     def append_delta(self, op: str, label: str, edges, *, version: int) -> None:
         """Durably log one committed edge batch (fsynced before return)."""
+        self._require_writer("append_delta")
         self.wal.append(op, label, edges, version=version)
 
     def compact(self, *, bit_density: float = BIT_SNAPSHOT_DENSITY) -> int:
@@ -359,6 +425,7 @@ class GraphVolume:
         Labels keep a bit container if the previous snapshot had one or
         their density now clears ``bit_density``.
         """
+        self._require_writer("compact")
         state = self.load(mmap=False)
         manifest = self.read_manifest(state.generation)
         prev_bit = {e["label"] for e in manifest["labels"] if e.get("bit")}

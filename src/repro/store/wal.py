@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import os
 import struct
+import warnings
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
@@ -90,14 +91,19 @@ def _delta_payload(label: str, edges: np.ndarray) -> bytes:
     )
 
 
-def _later_commit(data: bytes, start: int) -> bool:
-    """True if a structurally valid commit record exists after ``start``.
+def _valid_frames_after(data: bytes, start: int) -> tuple[int, int]:
+    """Count structurally valid (delta, commit) frames after ``start``.
 
-    Distinguishes a torn tail from mid-log corruption: a commit marker
-    is only ever durable after everything before it was fsynced, so a
-    valid commit *past* a damaged record proves the damage is not a
-    crash artefact.
+    Classifies damage at ``start``.  One append is one delta + one
+    commit in a single ``write`` + ``fsync``, and real disks do not
+    order sectors within a write: a crash can persist the final
+    transaction's commit frame while tearing its delta.  So a lone
+    valid commit past the damage is still consistent with a torn tail.
+    Anything more — a valid delta, or a second commit — can only have
+    been written after the damaged bytes were fsynced as part of a
+    committed transaction, which makes the damage corruption.
     """
+    deltas = commits = 0
     idx = data.find(WAL_MAGIC, start + 1)
     while idx != -1:
         frame = data[idx : idx + _FRAME.size]
@@ -105,13 +111,15 @@ def _later_commit(data: bytes, start: int) -> bool:
             _, kind, op_code, _, version, length, crc = _FRAME.unpack(frame)
             payload = data[idx + _FRAME.size : idx + _FRAME.size + length]
             if (
-                kind == KIND_COMMIT
-                and len(payload) == length
+                len(payload) == length
                 and _crc(kind, op_code, version, payload) == crc
             ):
-                return True
+                if kind == KIND_COMMIT:
+                    commits += 1
+                elif kind == KIND_DELTA:
+                    deltas += 1
         idx = data.find(WAL_MAGIC, idx + 1)
-    return False
+    return deltas, commits
 
 
 def _parse_delta_payload(payload: bytes, where: str) -> tuple[str, np.ndarray]:
@@ -188,12 +196,16 @@ class WriteAheadLog:
         is empty).  A torn tail — a partial record, or complete delta
         records with no commit marker — is truncated away when
         ``repair=True`` (the default) or merely ignored otherwise.
-        Malformed bytes *before* the last commit marker raise
+        Malformed bytes *before* the last committed transaction raise
         :class:`~repro.errors.StoreCorruptError`: those were fsynced as
         part of a committed transaction, so damage there is corruption,
         not a crash artefact.  The two are told apart by looking past
-        the damage — a structurally valid commit record after a bad one
-        can only mean mid-log corruption.
+        the damage — a valid *delta* record, or more than one commit
+        marker, after a bad record can only mean mid-log corruption.  A
+        lone valid commit past the damage is still a crash artefact
+        (sectors within one ``write`` persist in any order, so the
+        final transaction's commit can survive a tear of its delta) and
+        is truncated away with a :class:`RuntimeWarning`.
         """
         if not self.path.exists():
             return [], 0
@@ -221,9 +233,21 @@ class WriteAheadLog:
             elif _crc(kind, op_code, version, payload) != crc:
                 bad = "record checksum mismatch"
             if bad is not None:
-                if _later_commit(data, pos):
+                deltas_after, commits_after = _valid_frames_after(data, pos)
+                if deltas_after or commits_after > 1:
                     raise StoreCorruptError(
-                        f"{where}: {bad} before a later commit marker"
+                        f"{where}: {bad} before later committed records"
+                    )
+                if commits_after:
+                    # The final transaction's commit sectors persisted
+                    # but its delta tore; the commit is unusable without
+                    # its delta, so the whole tail is truncated.
+                    warnings.warn(
+                        f"{where}: {bad} with an orphaned trailing commit "
+                        f"marker; treating as a torn final transaction and "
+                        f"recovering to the previous commit",
+                        RuntimeWarning,
+                        stacklevel=3,
                     )
                 torn = True
                 break

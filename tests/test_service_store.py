@@ -95,7 +95,29 @@ class TestPersistRestore:
                 svc.add_edges("g", "a", [(0, 1, 2)])
             with pytest.raises(UnknownGraphError):
                 svc.add_edges("nope", "a", [(0, 1)])
+            # The error names the axis the offending value came from.
+            with pytest.raises(IndexOutOfBoundsError) as exc:
+                svc.add_edges("g", "a", [(0, -1)])
+            assert exc.value.what == "column" and exc.value.index == -1
+            with pytest.raises(IndexOutOfBoundsError) as exc:
+                svc.add_edges("g", "a", [(-3, 1)])
+            assert exc.value.what == "row" and exc.value.index == -3
             assert svc.graphs.get("g").current_version() == 0
+
+    def test_restore_over_live_handle_reuses_volume(self, tmp_path, graph):
+        """Same-process restore hands the volume writer lease from the
+        old handle to the new one instead of re-opening (which would
+        collide with our own advisory lock)."""
+        with QueryService(workers=1, store_root=tmp_path) as svc:
+            svc.register_graph("g", graph)
+            svc.persist_graph("g")
+            svc.add_edges("g", "a", [(0, graph.n - 1)])
+            svc.restore_graph("g")
+            handle = svc.graphs.get("g")
+            assert handle.current_version() == 1
+            assert (0, graph.n - 1) in handle.graph.edges["a"]
+            # The handed-off volume keeps accepting mutations.
+            assert svc.add_edges("g", "a", [(1, 0)]) == 2
 
     def test_restore_unknown_volume_raises(self, tmp_path):
         with QueryService(workers=1, store_root=tmp_path) as svc:
@@ -209,6 +231,23 @@ class TestStoreCli:
 
     def test_unknown_volume_errors(self, tmp_path, capsys):
         assert store_main(["--root", str(tmp_path), "info", "ghost"]) == 1
+        capsys.readouterr()
+
+    def test_compact_refuses_live_volume(self, tmp_path, graph, capsys):
+        """compact against a volume a live service holds must fail fast
+        — a WAL reset under the service's open append handle would drop
+        committed deltas out from under the running writer."""
+        with QueryService(workers=0, store_root=tmp_path) as svc:
+            svc.register_graph("g", graph)
+            svc.persist_graph("g")
+            svc.add_edges("g", "a", [(0, 1)])
+            assert store_main(["--root", str(tmp_path), "compact", "g"]) == 1
+            assert "locked by another writer" in capsys.readouterr().err
+            # Read-only maintenance stays available against a live volume.
+            assert store_main(["--root", str(tmp_path), "verify", "g"]) == 0
+            capsys.readouterr()
+        # Service quiesced: the lock is released and compaction proceeds.
+        assert store_main(["--root", str(tmp_path), "compact", "g"]) == 0
         capsys.readouterr()
 
 

@@ -188,6 +188,42 @@ def test_version_mismatch_rejected(tmp_path):
         GraphVolume.open(tmp_path / "g")
 
 
+def test_writer_lock_excludes_second_writer(tmp_path):
+    vol = GraphVolume.create(tmp_path / "g", "g")
+    with pytest.raises(StoreError, match="locked by another writer"):
+        GraphVolume.open(tmp_path / "g", writer=True)
+    # Read-only opens are unaffected by a live writer.
+    assert GraphVolume.open(tmp_path / "g").name == "g"
+    vol.close()
+    GraphVolume.open(tmp_path / "g", writer=True).close()
+
+
+def test_mutations_require_writer_lock(tmp_path):
+    GraphVolume.create(tmp_path / "g", "g").close()
+    reader = GraphVolume.open(tmp_path / "g")
+    with pytest.raises(StoreError, match="writer lock"):
+        reader.write_snapshot(demo_graph(), version=0)
+    with pytest.raises(StoreError, match="writer lock"):
+        reader.append_delta("add", "a", [(0, 1)], version=1)
+    with pytest.raises(StoreError, match="writer lock"):
+        reader.compact()
+
+
+def test_reader_load_does_not_truncate_torn_tail(tmp_path):
+    vol = GraphVolume.create(tmp_path / "g", "g")
+    vol.write_snapshot(demo_graph(), version=0)
+    vol.append_delta("add", "a", [(5, 6)], version=1)
+    vol.close()
+    wal_path = tmp_path / "g" / "wal.log"
+    with open(wal_path, "ab") as f:
+        f.write(b"RWAL\x01\x01\x00\x00torn")
+    size = wal_path.stat().st_size
+    state = GraphVolume.open(tmp_path / "g").load()
+    assert state.version == 1
+    assert (5, 6) in state.graph.edges["a"]
+    assert wal_path.stat().st_size == size  # repair is writer-only
+
+
 def test_apply_deltas_bounds_checked():
     g = LabeledGraph(n=4)
     g.add_edge(0, "a", 1)

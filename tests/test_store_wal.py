@@ -110,6 +110,31 @@ def test_garbage_tail_is_a_torn_tail(tmp_path):
     assert version == 1 and len(deltas) == 1
 
 
+def test_torn_delta_with_surviving_commit_truncates(tmp_path):
+    """Sector-reorder crash: one write() holds delta + commit, and disks
+    may persist the commit's sectors while tearing the delta's.  That is
+    a torn tail (truncate + warn), not corruption (refuse to start)."""
+    from repro.store.wal import _FRAME
+
+    log = wal(tmp_path)
+    log.append("add", "a", [(0, 1)], version=1)
+    log.close()
+    committed_size = log.size()
+    log.append("add", "b", [(2, 3)], version=2)
+    log.close()
+    data = bytearray(log.path.read_bytes())
+    # Flip a payload byte of the final delta; its commit frame survives.
+    data[committed_size + _FRAME.size + 2] ^= 0xFF
+    log.path.write_bytes(bytes(data))
+
+    with pytest.warns(RuntimeWarning, match="orphaned trailing commit"):
+        deltas, version = WriteAheadLog(log.path).replay()
+    assert version == 1
+    assert [d.label for d in deltas] == ["a"]
+    # The orphaned commit was truncated away with the damaged delta.
+    assert log.path.stat().st_size == committed_size
+
+
 def test_corruption_before_last_commit_raises(tmp_path):
     """A bit flip inside a committed transaction is integrity damage,
     not a crash artefact: replay must refuse rather than truncate."""
