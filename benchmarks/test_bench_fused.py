@@ -1,0 +1,162 @@
+"""E13 — the fused accumulate contract, end to end.
+
+The tentpole claim: rewriting the fixpoint inner loops on the fused
+``accumulate=`` contract (one arena output buffer seeded with the
+accumulator, ``*_into`` kernels, no product temporary) makes the bit
+path both faster and allocation-flat.  Three configurations of the same
+transitive closure isolate the contributions:
+
+* **unfused** — the pre-fusion pipeline (blocked kernel into a product
+  temporary, then an OR merge); the ablation baseline.
+* **fused/blocked** — fusion on, Four-Russians off: the fusion-only
+  contrast.
+* **fused** — the shipped configuration (fusion + autotuned kernel
+  choice).
+
+Acceptance: fused ≥ 1.3x over unfused at n=512, d=0.05, and the fused
+arena peak is strictly lower.  A second table shows the fused Kronecker
+accumulate (the RPQ/tensor-CFPQ product build) against its compose
+baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+import repro
+from repro.algorithms.closure import transitive_closure
+
+from .conftest import BENCH_SCALE, add_report, defer_report, timed_runs
+
+SPEEDUP_FLOOR = 1.3
+
+_RESULTS: dict[str, dict] = {}
+
+CONFIGS = {
+    "unfused": dict(fuse=False, four_russians_min_rows=0),
+    "fused/blocked": dict(fuse=True, four_russians_min_rows=0),
+    "fused": dict(fuse=True),
+}
+
+
+def _ctx(config: str) -> repro.Context:
+    ctx = repro.Context(backend="cubool", hybrid="auto")
+    ctx.backend.policy = replace(ctx.backend.policy, **CONFIGS[config])
+    return ctx
+
+
+class TestFusedClosure:
+    @pytest.mark.parametrize("config", list(CONFIGS))
+    def test_closure(self, benchmark, config):
+        n = max(128, int(512 * BENCH_SCALE))
+        density = 0.05
+        rng = np.random.default_rng(13)
+        dense = rng.random((n, n)) < density
+
+        ctx = _ctx(config)
+        m = ctx.matrix_from_dense(dense)
+        arena = ctx.device.arena
+        arena.reset_peak()
+        mean, best = timed_runs(lambda: transitive_closure(m).free(), runs=3)
+        _RESULTS.setdefault("closure", {})[config] = {
+            "n": n,
+            "mean": mean,
+            "best": best,
+            "peak": arena.peak_bytes,
+            "kernels": {
+                op: dict(c) for op, c in ctx.backend.kernel_counts.items()
+            },
+        }
+        benchmark(lambda: transitive_closure(m).free())
+        ctx.finalize()
+
+    def test_fused_speedup_and_peak(self):
+        """The acceptance gate: ≥ 1.3x and a lower arena peak."""
+        rows = _RESULTS.get("closure", {})
+        if len(rows) < len(CONFIGS):
+            pytest.skip("run the full closure matrix first")
+        fused, unfused = rows["fused"], rows["unfused"]
+        speedup = unfused["best"] / max(fused["best"], 1e-9)
+        assert fused["peak"] < unfused["peak"], (fused["peak"], unfused["peak"])
+        if fused["n"] >= 512:
+            assert speedup >= SPEEDUP_FLOOR, f"fused speedup {speedup:.2f}x"
+
+
+class TestFusedKron:
+    @pytest.mark.parametrize("config", ["unfused", "fused"])
+    def test_kron_accumulate(self, benchmark, config):
+        """The RPQ/tensor-CFPQ product-build shape: small automaton ⊗
+        graph, OR-accumulated across labels."""
+        k = 12
+        n = max(64, int(256 * BENCH_SCALE))
+        rng = np.random.default_rng(17)
+        r = rng.random((k, k)) < 0.25
+        g = rng.random((n, n)) < 0.05
+
+        ctx = _ctx(config)
+        mr = ctx.matrix_from_dense(r)
+        mg = ctx.matrix_from_dense(g)
+        acc = ctx.matrix_empty((k * n, k * n))
+
+        def build():
+            out = mr.kron(mg, accumulate=acc)
+            out.free()
+
+        arena = ctx.device.arena
+        arena.reset_peak()
+        mean, best = timed_runs(build, runs=3)
+        _RESULTS.setdefault("kron", {})[config] = {
+            "n": k * n,
+            "mean": mean,
+            "best": best,
+            "peak": arena.peak_bytes,
+        }
+        benchmark(build)
+        ctx.finalize()
+
+
+def _report():
+    closure = _RESULTS.get("closure", {})
+    if closure:
+        lines = [
+            "E13 — fused accumulate contract: transitive closure "
+            f"(n={next(iter(closure.values()))['n']}, d=0.05, hybrid auto)",
+            "",
+            f"{'config':<16} {'best ms':>9} {'mean ms':>9} "
+            f"{'arena peak KiB':>15} {'vs unfused':>11}",
+        ]
+        base = closure.get("unfused")
+        for config, row in closure.items():
+            speedup = (
+                base["best"] / max(row["best"], 1e-9) if base else float("nan")
+            )
+            lines.append(
+                f"{config:<16} {row['best'] * 1e3:>9.2f} "
+                f"{row['mean'] * 1e3:>9.2f} {row['peak'] / 1024:>15.0f} "
+                f"{speedup:>10.2f}x"
+            )
+        fused = closure.get("fused")
+        if fused and fused.get("kernels"):
+            lines.append("")
+            lines.append(f"fused kernel dispatch: {fused['kernels']}")
+        add_report("E13_fused", "\n".join(lines) + "\n")
+    kron = _RESULTS.get("kron", {})
+    if kron:
+        lines = [
+            "E13 — fused kron-accumulate (automaton ⊗ graph product build, "
+            f"product n={next(iter(kron.values()))['n']})",
+            "",
+            f"{'config':<16} {'best ms':>9} {'arena peak KiB':>15}",
+        ]
+        for config, row in kron.items():
+            lines.append(
+                f"{config:<16} {row['best'] * 1e3:>9.2f} "
+                f"{row['peak'] / 1024:>15.0f}"
+            )
+        add_report("E13_fused", "\n".join(lines) + "\n")
+
+
+defer_report(_report)

@@ -106,10 +106,6 @@ class NoSilentDensification(Rule):
         "formats/bitmatrix.py::BitMatrix.from_dense",
         # COO readback: unpack-then-nonzero is the readback path itself.
         "formats/bitmatrix.py::BitMatrix.to_coo_arrays",
-        # kron expands one A-row block at a time via a dense view; the
-        # packed rewrite is a ROADMAP follow-on ("Bit-packed Kronecker
-        # for the tensor CFPQ index").  Bounded: one (p, n*q) block.
-        "formats/bitmatrix.py::BitMatrix.kron",
     }
 
     def check(self, module: ModuleContext) -> Iterator[Finding]:
@@ -185,12 +181,20 @@ class ArenaAccounting(Rule):
         "store/container.py",
     )
 
-    #: Audited functions whose allocated words are arena-adopted.
+    #: Audited functions whose allocated words are arena-adopted, plus
+    #: fused kernels whose bounded word scratch never outlives the call
+    #: (audit in docs/ANALYSIS.md).
     ARENA_FLOW_SITES = {
         "formats/bitmatrix.py::BitMatrix.empty",
         "formats/bitmatrix.py::BitMatrix.from_dense",
-        "formats/bitmatrix.py::BitMatrix.mxm",
         "formats/bitmatrix.py::BitMatrix.transpose",
+        # Fused kron: one shifted (p, span) B-block scratch per set A
+        # column, freed before return; the result words are the caller's.
+        "formats/bitmatrix.py::BitMatrix.kron_into",
+        # Four-Russians tables: 32x B's words of workspace, freed before
+        # return; the hybrid router charges it against the arena budget
+        # before choosing this kernel.
+        "formats/bitmatrix.py::BitMatrix.mxm_four_russians_into",
         # Zero-row fallback of the snapshot loader; the mapped path is
         # covered by MEMMAP_FLOW_SITES below.
         "store/container.py::_map_words",
@@ -487,17 +491,29 @@ class KernelPurity(Rule):
     * any use of ``np.random`` or the stdlib ``random`` module;
     * ``global`` declarations in functions;
     * writes to module-level mutable names from inside a function
-      (subscript stores / augmented assigns on a module-global).
+      (subscript stores / augmented assigns on a module-global);
+    * subscript stores into a function *parameter*'s storage
+      (``param[...]`` / ``param.words[...]``) — a hidden output channel
+      — **unless** the function declares the in-place contract: its
+      name ends in ``_into`` or ``_inplace`` (the fused accumulate
+      kernels, whose out-parameter mutation *is* the declared result),
+      or the mutated parameter is named ``out``.
     """
 
     id = "R5"
     name = "kernel-purity"
     rationale = "nondeterministic or stateful kernels break agreement tests"
 
+    #: Function-name suffixes declaring a sanctioned in-place kernel.
+    INTO_SUFFIXES = ("_into", "_inplace")
+    #: Parameter names that are an explicit output by convention.
+    OUT_PARAMS = ("out", "self", "cls")
+
     def check(self, module: ModuleContext) -> Iterator[Finding]:
         if not module.in_dirs("backends/"):
             return
         module_globals = self._module_level_names(module.tree)
+        param_scopes = self._parameter_scopes(module.tree)
         for node in ast.walk(module.tree):
             if isinstance(node, ast.Attribute):
                 if (
@@ -537,6 +553,74 @@ class KernelPurity(Rule):
                             f"mutation of module-level {name!r} from inside "
                             f"a function (hidden kernel state)",
                         )
+                        continue
+                    scope = param_scopes.get(id(node))
+                    if scope is None:
+                        continue
+                    fn_name, params = scope
+                    root = self._subscript_root(tgt)
+                    if root is None or root not in params:
+                        continue
+                    if fn_name.endswith(self.INTO_SUFFIXES):
+                        continue  # declared in-place kernel contract
+                    if root in self.OUT_PARAMS:
+                        continue
+                    yield module.finding(
+                        self.id,
+                        node,
+                        f"{fn_name} mutates parameter {root!r} in place "
+                        f"(hidden output channel — name the kernel "
+                        f"*_into/*_inplace or the parameter 'out' to "
+                        f"declare the contract)",
+                    )
+
+    @classmethod
+    def _parameter_scopes(
+        cls, tree: ast.Module
+    ) -> dict[int, tuple[str, frozenset[str]]]:
+        """id(stmt) -> (enclosing function name, its parameter names).
+
+        Statements map to their *innermost* enclosing function, so a
+        closure's writes are judged against the closure's own signature
+        (enclosing-scope locals are not parameters).
+        """
+        scopes: dict[int, tuple[str, frozenset[str]]] = {}
+
+        def visit(node: ast.AST, current: tuple[str, frozenset[str]] | None):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    args = child.args
+                    params = frozenset(
+                        a.arg
+                        for a in (
+                            *args.posonlyargs,
+                            *args.args,
+                            *args.kwonlyargs,
+                            *((args.vararg,) if args.vararg else ()),
+                            *((args.kwarg,) if args.kwarg else ()),
+                        )
+                    )
+                    visit(child, (child.name, params))
+                else:
+                    if current is not None and isinstance(
+                        child, (ast.Assign, ast.AugAssign)
+                    ):
+                        scopes[id(child)] = current
+                    visit(child, current)
+
+        visit(tree, None)
+        return scopes
+
+    @staticmethod
+    def _subscript_root(tgt: ast.expr) -> str | None:
+        """Root name of a subscript store, through attribute chains:
+        ``a[i]`` and ``a.words[i]`` both root at ``'a'``."""
+        if not isinstance(tgt, ast.Subscript):
+            return None
+        base = tgt.value
+        while isinstance(base, ast.Attribute):
+            base = base.value
+        return base.id if isinstance(base, ast.Name) else None
 
     @staticmethod
     def _module_level_names(tree: ast.Module) -> set[str]:

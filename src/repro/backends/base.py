@@ -163,8 +163,28 @@ class Backend(abc.ABC):
         b: BackendMatrix,
         accumulate: BackendMatrix | None = None,
     ) -> BackendMatrix:
-        """Boolean matrix product ``A·B``, optionally OR-accumulated into
-        a copy of ``accumulate`` (the C API's ``C += A x B``)."""
+        """Boolean matrix product ``A·B`` (the C API's ``C += A x B``).
+
+        With ``accumulate`` the result is ``accumulate ∨ (A·B)``.  The
+        accumulate contract, uniform across every backend:
+
+        * **Fusion point, not post-merge.**  When the executing format
+          supports in-place output (the bit-packed kernels'
+          ``mxm_into``), the accumulate pattern is seeded into the one
+          result buffer and the product is OR'd directly into it — no
+          product temporary, no merge pass.  Formats without in-place
+          kernels (the sparse backends) fall back to composing product
+          + ``ewise_add``; semantics are identical, only the allocation
+          profile differs.
+        * **Functional result.**  A *new* handle is always returned;
+          ``accumulate`` (and ``a``/``b``) are never mutated or
+          consumed — callers free their operands themselves.
+        * **Aliasing is allowed.**  ``accumulate`` may alias ``a``
+          and/or ``b`` (the fixpoint engines' ``C ← C ∨ C·C`` passes
+          the same handle three times); implementations must read the
+          accumulate pattern as-of call time, never Gauss–Seidel
+          through a half-written output.
+        """
 
     @abc.abstractmethod
     def ewise_add(self, a: BackendMatrix, b: BackendMatrix) -> BackendMatrix:
@@ -179,6 +199,37 @@ class Backend(abc.ABC):
     @abc.abstractmethod
     def kron(self, a: BackendMatrix, b: BackendMatrix) -> BackendMatrix:
         """Kronecker product ``A ⊗ B``."""
+
+    @abc.abstractmethod
+    def kron_accumulate(
+        self,
+        a: BackendMatrix,
+        b: BackendMatrix,
+        accumulate: BackendMatrix,
+    ) -> BackendMatrix:
+        """``accumulate ∨ (A ⊗ B)`` — the fused form of the tensor
+        engines' ``M ← M ∨ (R_sym ⊗ G_sym)`` inner sum.
+
+        Same contract as :meth:`mxm`'s accumulate: a new handle is
+        returned, operands are never mutated, ``accumulate`` may alias
+        ``a`` or ``b``, and backends whose format has an in-place kron
+        (the bit path's ``kron_into``) fuse into one result buffer
+        while sparse backends compose ``kron`` + ``ewise_add``.
+        """
+
+    def _compose_kron_accumulate(
+        self,
+        a: BackendMatrix,
+        b: BackendMatrix,
+        accumulate: BackendMatrix,
+    ) -> BackendMatrix:
+        """Shared sparse fallback: product then merge, freeing the
+        temporary.  Callers must have validated shapes."""
+        product = self.kron(a, b)
+        try:
+            return self.ewise_add(product, accumulate)
+        finally:
+            product.free()
 
     @abc.abstractmethod
     def transpose(self, a: BackendMatrix) -> BackendMatrix:
@@ -217,6 +268,16 @@ class Backend(abc.ABC):
     def _check_same_shape(op: str, a: BackendMatrix, b: BackendMatrix) -> None:
         if a.shape != b.shape:
             raise DimensionMismatchError(op, a.shape, b.shape)
+
+    @staticmethod
+    def _check_kron_accumulate(
+        a: BackendMatrix, b: BackendMatrix, accumulate: BackendMatrix
+    ) -> None:
+        expected = (a.nrows * b.nrows, a.ncols * b.ncols)
+        if accumulate.shape != expected:
+            raise DimensionMismatchError(
+                "kron-accumulate", accumulate.shape, expected
+            )
 
     @staticmethod
     def _check_submatrix(a: BackendMatrix, i: int, j: int, nrows: int, ncols: int) -> None:

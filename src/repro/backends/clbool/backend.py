@@ -150,6 +150,12 @@ class ClBoolBackend(Backend):
             b_ptr_buf.free()
         return self._adopt_coo(shape, rows_buf.data, cols_buf.data, [rows_buf, cols_buf])
 
+    def kron_accumulate(self, a, b, accumulate):
+        # COO has no in-place output form; compose (contract-sanctioned
+        # sparse fallback — see Backend.kron_accumulate).
+        self._check_kron_accumulate(a, b, accumulate)
+        return self._compose_kron_accumulate(a, b, accumulate)
+
     def transpose(self, a):
         sa: BoolCoo = a.storage
 

@@ -81,6 +81,12 @@ class CpuBackend(Backend):
         shape = (a.nrows * b.nrows, a.ncols * b.ncols)
         return BackendMatrix(BoolCsr.from_coo(out_rows, out_cols, shape, canonical=True), self)
 
+    def kron_accumulate(self, a, b, accumulate):
+        # Sparse COO has no in-place output form; compose (contract
+        # allows the fallback — see Backend.kron_accumulate).
+        self._check_kron_accumulate(a, b, accumulate)
+        return self._compose_kron_accumulate(a, b, accumulate)
+
     def transpose(self, a):
         rows, cols = a.storage.to_coo_arrays()
         t_rows, t_cols = common.transpose_coo(rows, cols, a.nrows)

@@ -136,6 +136,12 @@ class CuBoolBackend(Backend):
         shape = (a.nrows * b.nrows, a.ncols * b.ncols)
         return self._adopt_csr(shape, rowptr, cols, buffers)
 
+    def kron_accumulate(self, a, b, accumulate):
+        # CSR has no in-place output form; compose (contract-sanctioned
+        # sparse fallback — see Backend.kron_accumulate).
+        self._check_kron_accumulate(a, b, accumulate)
+        return self._compose_kron_accumulate(a, b, accumulate)
+
     def transpose(self, a):
         sa: BoolCsr = a.storage
         rowptr, cols, buffers = kernels.transpose_csr(

@@ -66,7 +66,7 @@ def _hash_positions(cols: np.ndarray, mask: int) -> np.ndarray:
     )
 
 
-def hash_insert(
+def hash_insert_inplace(
     tables: np.ndarray, row_local: np.ndarray, cols: np.ndarray
 ) -> tuple[np.ndarray, np.ndarray]:
     """Insert candidate columns into per-row open-addressing tables.
@@ -184,7 +184,7 @@ def _process_chunk(
         rows_chunk, a_rowptr, a_cols, b_rowptr, b_cols
     )
     view = tables[:nrows_chunk]
-    out_rows, out_cols = hash_insert(view, row_local, cand_cols)
+    out_rows, out_cols = hash_insert_inplace(view, row_local, cand_cols)
     counts = np.bincount(out_rows, minlength=nrows_chunk)
     # Row-group + column-sort via one composite-key sort (the numeric
     # phase of the CUDA kernel sorts each table segment in shared memory).

@@ -248,6 +248,12 @@ class GenericBackend(Backend):
             shape, out_rows.astype(np.int64), out_cols.astype(np.int64), values
         )
 
+    def kron_accumulate(self, a, b, accumulate):
+        # Value-carrying CSR composes: contract-sanctioned sparse
+        # fallback (see Backend.kron_accumulate).
+        self._check_kron_accumulate(a, b, accumulate)
+        return self._compose_kron_accumulate(a, b, accumulate)
+
     def transpose(self, a):
         sa: ValCsr = a.storage
         rows = rows_from_rowptr(sa.rowptr)

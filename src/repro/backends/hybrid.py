@@ -55,7 +55,7 @@ import numpy as np
 
 from repro.backends.base import Backend, BackendMatrix, get_backend, register_backend
 from repro.errors import DimensionMismatchError, InvalidArgumentError
-from repro.formats.bitmatrix import WORD_BITS, BitMatrix, _words_per_row
+from repro.formats.bitmatrix import _WORD, WORD_BITS, BitMatrix, _words_per_row
 from repro.gpu.device import Device
 
 #: Calibrated per-element sparse-kernel overheads, in word-op units.
@@ -64,9 +64,22 @@ from repro.gpu.device import Device
 #: density instead — see HybridPolicy.spgemm_flop_cost.)
 EWISE_SPARSE_COST = 4.0
 KRON_SPARSE_COST = 6.0
-#: Word-op cost per *output word* of the bit kron (dense block expansion
-#: + repack ≈ 8 bool bytes + 1 packed word).
-KRON_BIT_WORD_COST = 9.0
+#: Word-op cost per *output word* of the bit kron.  The fused
+#: ``kron_into`` kernel shifts each B word-row into place and OR-scatters
+#: it (two shifted reads + one OR-write per output word ≈ 3 word ops);
+#: the old dense block-expansion constant was 9.
+KRON_BIT_WORD_COST = 3.0
+
+#: Four-Russians multiply: 8-row groups of B, one 256-entry table of OR
+#: combinations per group.  The table build is a fixed cost amortized
+#: over output rows, so the kernel only wins for tall-enough products —
+#: the break-even row count is what :func:`autotune_four_russians`
+#: measures (``HybridPolicy.four_russians_min_rows``).
+_FR_GROUP_ROWS = 8
+_FR_TABLE_ENTRIES = 1 << _FR_GROUP_ROWS
+#: Hard floor on the reduction dimension: under a word of k the grouped
+#: table never amortizes regardless of output rows.
+FOUR_RUSSIANS_MIN_K = 64
 
 
 def hybrid_mode_from_env(environ=None) -> str | None:
@@ -106,12 +119,27 @@ class HybridPolicy:
         push arena live bytes beyond this fraction of device capacity
         (keeps the E0/E8 memory story honest: the dense format must
         never OOM a workload the sparse path can run).
+    fuse:
+        When True (default) the bit path of ``mxm(accumulate=)`` /
+        ``kron_accumulate`` seeds the accumulator into a single
+        arena-resident output buffer and runs the ``*_into`` kernel —
+        zero full-matrix temporaries per call.  ``False`` restores the
+        compose-then-merge path (product temporary + ewise OR), kept as
+        the E13 ablation baseline.
+    four_russians_min_rows:
+        Smallest output row count for which the table-driven
+        Four-Russians multiply is routed instead of the blocked
+        broadcast kernel; ``0`` disables the kernel.  The default is the
+        simulated-executor break-even; ``autotune=True`` replaces it
+        with a measured one (:func:`autotune_four_russians`).
     """
 
     mode: str = "auto"
     crossover_density: float = 0.02
     fixpoint_bias: float = 0.5
     max_arena_fraction: float = 0.9
+    fuse: bool = True
+    four_russians_min_rows: int = 128
 
     def __post_init__(self):
         if self.mode not in ("auto", "sparse", "bit"):
@@ -120,6 +148,8 @@ class HybridPolicy:
             )
         if not 0.0 < self.crossover_density <= 1.0:
             raise InvalidArgumentError("crossover_density must be in (0, 1]")
+        if self.four_russians_min_rows < 0:
+            raise InvalidArgumentError("four_russians_min_rows must be >= 0")
 
     @property
     def spgemm_flop_cost(self) -> float:
@@ -251,6 +281,9 @@ class HybridBackend(Backend):
         #: op -> Counter of route decisions ("sparse"/"bit"), for the
         #: ablation benchmark and tests.
         self.dispatch_counts: dict[str, Counter] = {}
+        #: op -> Counter of bit-kernel choices (e.g. mxm "blocked" vs
+        #: "four_russians"), separate from route decisions.
+        self.kernel_counts: dict[str, Counter] = {}
         self._fixpoint_depth = 0
 
     # -- residency hint ----------------------------------------------------
@@ -278,6 +311,38 @@ class HybridBackend(Backend):
         buf = self.device.arena.to_device(bit.words)
         bit.words = buf.data
         return BackendMatrix(bit, self, [buf])
+
+    def _alloc_bit(self, shape: tuple[int, int]) -> tuple[BitMatrix, object]:
+        """Allocate an *uninitialized* bit matrix directly in the arena.
+
+        This is the fused-path allocation: one arena buffer that is both
+        the accumulator seed and the kernel output, so ``mxm_into`` /
+        ``kron_into`` run without any host-side word array or adoption
+        copy.  ``MemoryArena.alloc`` returns ``np.empty`` storage — the
+        caller MUST seed the words (zero-fill or copy the accumulator)
+        before running an ``*_into`` kernel.
+        """
+        buf = self.device.arena.alloc(
+            (shape[0], _words_per_row(shape[1])), _WORD
+        )
+        # No-copy: the arena hands back a contiguous uint64 array, which
+        # BitMatrix adopts as-is.
+        return BitMatrix(shape, buf.data), buf
+
+    def _fr_eligible(self, m: int, k: int, n: int) -> bool:
+        """Whether Four-Russians may be routed for an m×k · k×n multiply.
+
+        Gates: kernel enabled, output tall enough to amortize the table
+        build, reduction dimension at least a word, and the table
+        scratch (``256 * ceil(k/8)`` word rows — 32× B's words) fits the
+        arena budget alongside the live sets.
+        """
+        min_rows = self.policy.four_russians_min_rows
+        if min_rows <= 0 or m < min_rows or k < FOUR_RUSSIANS_MIN_K:
+            return False
+        groups = -(-k // _FR_GROUP_ROWS)
+        table_bytes = _FR_TABLE_ENTRIES * groups * _words_per_row(n) * 8
+        return self._bit_fits(table_bytes)
 
     def _ensure_sparse(self, m: HybridMatrix) -> BackendMatrix:
         if m.sparse is None:
@@ -361,7 +426,16 @@ class HybridBackend(Backend):
             n = b.ncols
             flops = a.nnz * b.nnz / max(1, k)
             sparse = pol.spgemm_flop_cost * flops
-            bit = m * k * _words_per_row(n) + conv
+            wpr = _words_per_row(n)
+            bit_kernel = m * k * wpr
+            if self._fr_eligible(m, k, n):
+                # Table build (256 entries/group) + one gather per
+                # output row per group.
+                groups = -(-k // _FR_GROUP_ROWS)
+                bit_kernel = min(
+                    bit_kernel, (m + _FR_TABLE_ENTRIES) * groups * wpr
+                )
+            bit = bit_kernel + conv
             bytes_needed += self._bit_words(m, n) * 8
         elif op in ("ewise_add", "ewise_mult"):
             m, n = a.shape
@@ -432,15 +506,52 @@ class HybridBackend(Backend):
 
     def mxm(self, a, b, accumulate=None):
         self._check_mxm_shapes(a, b)
+        out_shape = (a.nrows, b.ncols)
+        if accumulate is not None and accumulate.shape != out_shape:
+            raise DimensionMismatchError(
+                "mxm-accumulate", accumulate.shape, out_shape
+            )
         if self._route("mxm", a, b) == "bit":
-            product = self._ensure_bit(a).storage.mxm(self._ensure_bit(b).storage)
-            if accumulate is not None:
-                if accumulate.shape != product.shape:
-                    raise DimensionMismatchError(
-                        "mxm-accumulate", accumulate.shape, product.shape
+            a_bit: BitMatrix = self._ensure_bit(a).storage
+            b_bit: BitMatrix = self._ensure_bit(b).storage
+            if not self.policy.fuse:
+                # E13 ablation baseline — the pre-fusion pipeline:
+                # blocked kernel into an arena product temporary, then
+                # an OR merge into a second allocation.  (To isolate
+                # fusion from kernel choice, pair this with
+                # four_russians_min_rows=0; E13 reports both contrasts.)
+                tmp, tmp_buf = self._alloc_bit(out_shape)
+                tmp.words.fill(0)
+                tmp.mxm_into(a_bit, b_bit)
+                if accumulate is None:
+                    return HybridMatrix(
+                        self, bit=BackendMatrix(tmp, self, [tmp_buf])
                     )
-                product = product.ewise_or(self._ensure_bit(accumulate).storage)
-            return self._wrap_bit(product)
+                out, buf = self._alloc_bit(out_shape)
+                np.copyto(
+                    out.words, self._ensure_bit(accumulate).storage.words
+                )
+                out.or_into(tmp)
+                tmp_buf.free()
+                return HybridMatrix(self, bit=BackendMatrix(out, self, [buf]))
+            # Fused path: one arena allocation that is accumulator seed
+            # and output at once.  The seed copy reads the accumulator
+            # as-of call time, so `accumulate` may alias a or b (the
+            # contract's C <- C OR C*C case) — the *_into kernel never
+            # writes into its operands.
+            out, buf = self._alloc_bit(out_shape)
+            if accumulate is not None:
+                np.copyto(out.words, self._ensure_bit(accumulate).storage.words)
+            else:
+                out.words.fill(0)
+            if self._fr_eligible(a.nrows, a.ncols, b.ncols):
+                out.mxm_four_russians_into(a_bit, b_bit)
+                kernel = "four_russians"
+            else:
+                out.mxm_into(a_bit, b_bit)
+                kernel = "blocked"
+            self.kernel_counts.setdefault("mxm", Counter())[kernel] += 1
+            return HybridMatrix(self, bit=BackendMatrix(out, self, [buf]))
         acc = self._ensure_sparse(accumulate) if accumulate is not None else None
         return self._wrap_sparse(
             self.inner.mxm(self._ensure_sparse(a), self._ensure_sparse(b), acc)
@@ -469,11 +580,47 @@ class HybridBackend(Backend):
     def kron(self, a, b):
         out_shape = (a.nrows * b.nrows, a.ncols * b.ncols)
         if self._route("kron", a, b, out_shape) == "bit":
-            return self._wrap_bit(
-                self._ensure_bit(a).storage.kron(self._ensure_bit(b).storage)
-            )
+            a_bit: BitMatrix = self._ensure_bit(a).storage
+            b_bit: BitMatrix = self._ensure_bit(b).storage
+            # Allocate the product in the arena and scatter into it
+            # directly — no host word array, no adoption copy.
+            out, buf = self._alloc_bit(out_shape)
+            out.words.fill(0)
+            out.kron_into(a_bit, b_bit)
+            return HybridMatrix(self, bit=BackendMatrix(out, self, [buf]))
         return self._wrap_sparse(
             self.inner.kron(self._ensure_sparse(a), self._ensure_sparse(b))
+        )
+
+    def kron_accumulate(self, a, b, accumulate):
+        self._check_kron_accumulate(a, b, accumulate)
+        out_shape = (a.nrows * b.nrows, a.ncols * b.ncols)
+        if self._route("kron", a, b, out_shape) == "bit":
+            a_bit: BitMatrix = self._ensure_bit(a).storage
+            b_bit: BitMatrix = self._ensure_bit(b).storage
+            acc_bit: BitMatrix = self._ensure_bit(accumulate).storage
+            if not self.policy.fuse:
+                # E13 ablation baseline: product temporary + OR merge.
+                tmp, tmp_buf = self._alloc_bit(out_shape)
+                tmp.words.fill(0)
+                tmp.kron_into(a_bit, b_bit)
+                out, buf = self._alloc_bit(out_shape)
+                np.copyto(out.words, acc_bit.words)
+                out.or_into(tmp)
+                tmp_buf.free()
+                return HybridMatrix(self, bit=BackendMatrix(out, self, [buf]))
+            # Fused: seed the accumulator into the one output buffer,
+            # then OR-scatter the Kronecker blocks over it.
+            out, buf = self._alloc_bit(out_shape)
+            np.copyto(out.words, acc_bit.words)
+            out.kron_into(a_bit, b_bit)
+            return HybridMatrix(self, bit=BackendMatrix(out, self, [buf]))
+        return self._wrap_sparse(
+            self.inner.kron_accumulate(
+                self._ensure_sparse(a),
+                self._ensure_sparse(b),
+                self._ensure_sparse(accumulate),
+            )
         )
 
     def _stay_resident(self, a: HybridMatrix) -> str:
@@ -550,18 +697,26 @@ def wrap_backend(
     mode: str = "auto",
     crossover_density: float | None = None,
     autotune: bool = False,
+    fuse: bool = True,
 ) -> HybridBackend:
     """Wrap an existing sparse backend instance in a hybrid dispatcher.
 
-    ``autotune=True`` replaces the analytic default crossover with a
-    measured one (:func:`autotune_crossover`) unless an explicit
-    ``crossover_density`` is given.
+    ``autotune=True`` replaces the analytic defaults with measured ones:
+    the sparse/bit crossover density (:func:`autotune_crossover`, unless
+    an explicit ``crossover_density`` is given) and the Four-Russians
+    row break-even (:func:`autotune_four_russians`).  ``fuse=False``
+    selects the unfused compose-then-merge accumulate path (E13
+    ablation).
     """
-    policy = HybridPolicy(mode=mode)
+    policy = HybridPolicy(mode=mode, fuse=fuse)
     if crossover_density is not None:
         policy = replace(policy, crossover_density=crossover_density)
     elif autotune:
         policy = replace(policy, crossover_density=autotune_crossover(inner))
+    if autotune:
+        policy = replace(
+            policy, four_russians_min_rows=autotune_four_russians(inner)
+        )
     return HybridBackend(inner=inner, policy=policy)
 
 
@@ -659,6 +814,106 @@ def autotune_crossover(
     _AUTOTUNE_CACHE[key] = crossover  # reprolint: disable=R5
     _save_persisted_crossover(key[0], key[1], crossover, probe_n=n)
     return crossover
+
+
+#: (backend name, device name) -> measured Four-Russians row break-even.
+_FR_AUTOTUNE_CACHE: dict[tuple[str, str], int] = {}
+
+#: Output-row ladder probed by :func:`autotune_four_russians`.
+FOUR_RUSSIANS_ROW_LADDER = (16, 32, 64, 128, 256)
+
+
+def autotune_four_russians(
+    inner: Backend,
+    *,
+    k: int = 512,
+    density: float = 0.05,
+    rows: tuple[int, ...] = FOUR_RUSSIANS_ROW_LADDER,
+    runs: int = 2,
+    use_cache: bool = True,
+) -> int:
+    """Measure the Four-Russians row break-even on this host.
+
+    The table-driven multiply pays a fixed 256-entry table build per
+    8-row group of B; that amortizes over *output rows*, so square
+    closure products win big while skinny batched-RPQ frontiers lose
+    badly.  This times ``mxm_into`` against ``mxm_four_russians_into``
+    for an ``m x k · k x k`` ladder of m and returns the smallest m
+    where the table kernel wins (doubled past the ladder end when it
+    never does).  Cached per (backend, device) and persisted next to
+    the crossover density.
+    """
+    key = (inner.name, inner.device.name)
+    if use_cache and key in _FR_AUTOTUNE_CACHE:
+        return _FR_AUTOTUNE_CACHE[key]
+    if use_cache:
+        persisted = _load_persisted_fr_min_rows(*key)
+        if persisted is not None:
+            _FR_AUTOTUNE_CACHE[key] = persisted  # reprolint: disable=R5
+            return persisted
+
+    # Seeded calibration probe (same contract as the crossover probe).
+    rng = np.random.default_rng(0xE13)  # reprolint: disable=R5
+
+    def best_time(out: BitMatrix, fn) -> float:
+        best = float("inf")
+        for _ in range(runs):
+            out.words.fill(0)
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    nnz_b = max(1, int(round(density * k * k)))
+    b = BitMatrix.from_coo(
+        rng.integers(0, k, size=nnz_b), rng.integers(0, k, size=nnz_b), (k, k)
+    )
+    break_even = rows[-1] * 2
+    for m in rows:
+        nnz_a = max(1, int(round(density * m * k)))
+        a = BitMatrix.from_coo(
+            rng.integers(0, m, size=nnz_a),
+            rng.integers(0, k, size=nnz_a),
+            (m, k),
+        )
+        out = BitMatrix.empty((m, k))
+        t_blocked = best_time(out, lambda: out.mxm_into(a, b))
+        t_fr = best_time(out, lambda: out.mxm_four_russians_into(a, b))
+        if t_fr <= t_blocked:
+            break_even = m
+            break
+    _FR_AUTOTUNE_CACHE[key] = break_even  # reprolint: disable=R5
+    _save_persisted_fr_min_rows(key[0], key[1], break_even, probe_k=k)
+    return break_even
+
+
+def _load_persisted_fr_min_rows(
+    backend_name: str, device_name: str
+) -> int | None:
+    """Four-Russians break-even persisted in the store metadata."""
+    from repro.store.metadata import load_autotune_fr_min_rows, store_root_from_env
+
+    root = store_root_from_env()
+    if root is None:
+        return None
+    return load_autotune_fr_min_rows(root, backend_name, device_name)
+
+
+def _save_persisted_fr_min_rows(
+    backend_name: str, device_name: str, min_rows: int, *, probe_k: int
+) -> None:
+    """Best-effort write-back of a fresh measurement to the store."""
+    from repro.store.metadata import save_autotune_fr_min_rows, store_root_from_env
+
+    root = store_root_from_env()
+    if root is None:
+        return
+    try:
+        save_autotune_fr_min_rows(
+            root, backend_name, device_name, min_rows, probe_k=probe_k
+        )
+    except OSError:
+        pass
 
 
 def _load_persisted_crossover(

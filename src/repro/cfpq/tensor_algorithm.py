@@ -113,7 +113,12 @@ def tensor_cfpq(
     k = rsm.n_states
 
     def build_product(symbols, fact_matrices) -> object:
-        """Σ R_sym ⊗ G_sym over the given symbols."""
+        """Σ R_sym ⊗ G_sym over the given symbols.
+
+        Each step is the fused ``product <- product ∨ (R ⊗ G)`` — on
+        the bit path the Kronecker blocks OR-scatter straight into the
+        new sum's words, with no per-symbol product temporary.
+        """
         product = ctx.matrix_empty((k * n, k * n))
         for sym in symbols:
             r = r_mats.get(sym)
@@ -124,9 +129,7 @@ def tensor_cfpq(
             g = g_term.get(sym) if sym in g_term else fact_matrices.get(sym)
             if g is None or g.nnz == 0:
                 continue
-            term = r.kron(g)
-            merged = product.ewise_add(term)
-            term.free()
+            merged = r.kron(g, accumulate=product)
             product.free()
             product = merged
         return product

@@ -188,9 +188,19 @@ class Matrix:
     def __and__(self, other: "Matrix") -> "Matrix":
         return self.ewise_mult(other)
 
-    def kron(self, other: "Matrix") -> "Matrix":
-        """Kronecker product ``self ⊗ other``."""
-        out = self._ctx.backend.kron(self.handle, self._peer(other, "kron"))
+    def kron(self, other: "Matrix", accumulate: "Matrix | None" = None) -> "Matrix":
+        """Kronecker product ``self ⊗ other``; with ``accumulate``
+        computes ``accumulate ∨ (self ⊗ other)`` under the fused
+        accumulate contract (see :meth:`Backend.mxm`): functional
+        result, operands untouched, ``accumulate`` may alias either."""
+        if accumulate is not None:
+            out = self._ctx.backend.kron_accumulate(
+                self.handle,
+                self._peer(other, "kron"),
+                self._peer(accumulate, "kron"),
+            )
+        else:
+            out = self._ctx.backend.kron(self.handle, self._peer(other, "kron"))
         return self._ctx._wrap(out)
 
     def transpose(self) -> "Matrix":

@@ -151,30 +151,72 @@ class BitMatrix(SparseFormat):
         self.same_shape(other, "ewise_or")
         return BitMatrix(self.shape, self.words | other.words)
 
+    def or_into(self, other: "BitMatrix") -> "BitMatrix":
+        """In-place OR: ``self |= other``.  Returns ``self``.
+
+        The accumulate primitive of the fused kernels: callers that own
+        a result buffer fold another pattern in without allocating.
+        """
+        self.same_shape(other, "or_into")
+        self.words |= other.words
+        return self
+
     def ewise_and(self, other: "BitMatrix") -> "BitMatrix":
         self.same_shape(other, "ewise_and")
         return BitMatrix(self.shape, self.words & other.words)
 
+    def _check_into(self, op: str, a: "BitMatrix", b: "BitMatrix",
+                    out_shape: tuple[int, int]) -> None:
+        """Shared contract of the ``*_into`` kernels: ``self`` is the
+        output, must match ``out_shape`` and must not alias an operand
+        (the kernels stream over operand words while writing)."""
+        if self.shape != out_shape:
+            raise DimensionMismatchError(op, self.shape, out_shape)
+        if np.may_share_memory(self.words, a.words) or np.may_share_memory(
+            self.words, b.words
+        ):
+            raise InvalidArgumentError(
+                f"{op}: output words must not alias an operand"
+            )
+
     def mxm(self, other: "BitMatrix") -> "BitMatrix":
         """Boolean matrix product over packed words.
 
-        ``C.words[i] = OR_{j : A[i,j]} B.words[j]``, evaluated block-wise
-        directly on A's packed words: each word column ``wa`` of A selects
-        among the 64 corresponding word-rows of B.  The A word column is
-        unpacked into per-bit masks (an ``m x 64`` boolean — tiny compared
-        to a dense ``m x k``) and the masked B block is OR-reduced with a
-        single vectorized broadcast per row chunk.  Row chunks bound the
-        ``rows x 64 x wpr_b`` select temporary to ``_MXM_TEMP_WORDS``.
+        Allocates a zeroed result and delegates to :meth:`mxm_into` (the
+        fused in-place kernel, which also documents the algorithm).
         """
         if self.ncols != other.nrows:
             raise DimensionMismatchError("mxm", self.shape, other.shape)
-        m, k = self.shape
-        wpr_b = other.words.shape[1]
-        out = np.zeros((m, wpr_b), dtype=_WORD)
-        if m == 0 or k == 0 or other.ncols == 0:
-            return BitMatrix((m, other.ncols), out)
-        a_words = self.words
-        b_words = other.words
+        out = BitMatrix.empty((self.nrows, other.ncols))
+        return out.mxm_into(self, other)
+
+    def mxm_into(self, a: "BitMatrix", b: "BitMatrix") -> "BitMatrix":
+        """OR the boolean product ``a @ b`` into ``self``'s words.
+
+        ``self.words[i] |= OR_{j : A[i,j]} B.words[j]``, evaluated
+        block-wise directly on A's packed words: each word column ``wa``
+        of A selects among the 64 corresponding word-rows of B.  The A
+        word column is unpacked into per-bit masks (an ``m x 64``
+        boolean — tiny compared to a dense ``m x k``) and the masked B
+        block is OR-reduced with a single vectorized broadcast per row
+        chunk.  Row chunks bound the ``rows x 64 x wpr_b`` select
+        temporary to ``_MXM_TEMP_WORDS``.
+
+        This is the fused form of ``C ∨= A·B``: the accumulate pattern
+        already sitting in ``self`` is never copied or merged in a
+        second pass, and no product temporary exists.  ``self`` must not
+        alias ``a`` or ``b``.  Returns ``self``.
+        """
+        if a.ncols != b.nrows:
+            raise DimensionMismatchError("mxm_into", a.shape, b.shape)
+        self._check_into("mxm_into", a, b, (a.nrows, b.ncols))
+        m, k = a.shape
+        if m == 0 or k == 0 or b.ncols == 0:
+            return self
+        out = self.words
+        a_words = a.words
+        b_words = b.words
+        wpr_b = b_words.shape[1]
         chunk = max(1, _MXM_TEMP_WORDS // (WORD_BITS * wpr_b))
         zero = _WORD(0)
         for wa in range(a_words.shape[1]):
@@ -196,32 +238,135 @@ class BitMatrix(SparseFormat):
                 r1 = min(m, r0 + chunk)
                 sel = np.where(abits[r0:r1, None, :], bblk[None, :, :], zero)
                 out[r0:r1] |= np.bitwise_or.reduce(sel, axis=2)
-        return BitMatrix((m, other.ncols), out)
+        return self
+
+    def mxm_four_russians(self, other: "BitMatrix") -> "BitMatrix":
+        """Boolean product via the Four-Russians table method (dense
+        regime).  Allocates a zeroed result and delegates to
+        :meth:`mxm_four_russians_into`."""
+        if self.ncols != other.nrows:
+            raise DimensionMismatchError("mxm_four_russians", self.shape, other.shape)
+        out = BitMatrix.empty((self.nrows, other.ncols))
+        return out.mxm_four_russians_into(self, other)
+
+    def mxm_four_russians_into(self, a: "BitMatrix", b: "BitMatrix") -> "BitMatrix":
+        """OR ``a @ b`` into ``self`` with precomputed OR-combination
+        tables (Four Russians / Karppa–Kaski style).
+
+        B's rows are cut into ``G = ceil(k/8)`` groups of 8; for each
+        group a 256-entry table holds every OR-combination of its packed
+        word-rows (built by doubling: 255 OR's of ``wpr_b`` words per
+        group).  Row ``i`` of the product is then the OR of ``G`` table
+        gathers selected by A's row *bytes* — ``k/8`` word-row lookups
+        instead of ``k`` in the blocked kernel, at the cost of the table
+        build (amortized once over all ``m`` rows) and ``32x`` B's words
+        of table workspace.  Wins once ``m`` is large enough to amortize
+        the build; the hybrid backend routes here per its autotuned
+        ``four_russians_min_k`` break-even.
+
+        Same contract as :meth:`mxm_into`: fused accumulate, no product
+        temporary, ``self`` must not alias an operand.  Returns ``self``.
+        """
+        if a.ncols != b.nrows:
+            raise DimensionMismatchError("mxm_four_russians_into", a.shape, b.shape)
+        self._check_into("mxm_four_russians_into", a, b, (a.nrows, b.ncols))
+        m, k = a.shape
+        if m == 0 or k == 0 or b.ncols == 0:
+            return self
+        wpr_b = b.words.shape[1]
+        groups = (k + 7) // 8
+        # Group B's word-rows 8 at a time (zero-padded tail group).
+        grouped = np.zeros((groups * 8, wpr_b), dtype=_WORD)
+        grouped[:k] = b.words
+        grouped = grouped.reshape(groups, 8, wpr_b)
+        # table[g, mask] = OR of the group's rows selected by mask's bits,
+        # built by doubling: entries [2^t, 2^(t+1)) = entries [0, 2^t) | row t.
+        table = np.zeros((groups, 256, wpr_b), dtype=_WORD)
+        for t in range(8):
+            half = 1 << t
+            table[:, half : 2 * half] = table[:, :half] | grouped[:, t : t + 1]
+        # A's row bytes select table entries; padding bits are zero, so
+        # tail-group bytes never index past the zero-padded rows.
+        a_bytes = np.ascontiguousarray(a.words).view(np.uint8).reshape(m, -1)
+        out = self.words
+        chunk = max(1, _MXM_TEMP_WORDS // wpr_b)
+        for g in range(groups):
+            sel = a_bytes[:, g]
+            if not sel.any():
+                continue
+            t_g = table[g]
+            for r0 in range(0, m, chunk):
+                r1 = min(m, r0 + chunk)
+                out[r0:r1] |= t_g[sel[r0:r1]]
+        return self
 
     def kron(self, other: "BitMatrix") -> "BitMatrix":
         """Kronecker product ``self ⊗ other`` in packed form.
 
-        ``K[i*p + r, j*q + c] = A[i, j] & B[r, c]``.  Built one A-row at
-        a time: the ``p x (n*q)`` block for A row ``i`` is the Kronecker
-        product of that row with the dense view of B, packed directly
-        into the output words — so the unpacked temporary is one block,
-        never the full result.
+        Allocates a zeroed result and delegates to :meth:`kron_into`
+        (the fused word-stride kernel, which documents the algorithm).
         """
-        m, n = self.shape
-        p, q = other.shape
-        shape = (m * p, n * q)
+        shape = (self.nrows * other.nrows, self.ncols * other.ncols)
         out = BitMatrix.empty(shape)
+        return out.kron_into(self, other)
+
+    def kron_into(self, a: "BitMatrix", b: "BitMatrix") -> "BitMatrix":
+        """OR the Kronecker product ``a ⊗ b`` into ``self``'s words.
+
+        ``K[i*p + r, j*q + c] = A[i, j] & B[r, c]``.  Fully packed: for
+        each set column ``j`` of A, B's word-rows are shifted once to
+        the product's bit offset ``j*q = w0*64 + s`` (two shifts and an
+        OR per word — the carry out of B's last word is provably zero
+        when the shifted block stays within ``ceil((s+q)/64)`` words,
+        because B's padding bits are zero) and OR-scattered into the
+        word stride ``[w0, w0+span)`` of every A-row block that has bit
+        ``j`` set.  No dense expansion of either operand or the result
+        exists at any point; the only scratch is one shifted ``p x span``
+        B block, and row batches bound the scatter temporary to
+        ``_MXM_TEMP_WORDS``.
+
+        Same contract as :meth:`mxm_into`: fused accumulate (the
+        pattern already in ``self`` is preserved), ``self`` must not
+        alias an operand.  Returns ``self``.
+        """
+        m, n = a.shape
+        p, q = b.shape
+        self._check_into("kron_into", a, b, (m * p, n * q))
         if m == 0 or n == 0 or p == 0 or q == 0:
-            return out
-        a_dense = self.to_dense()
-        b_dense = other.to_dense()
-        for i in range(m):
-            row = a_dense[i]
-            if not row.any():
+            return self
+        if not a.words.any() or not b.words.any():
+            return self
+        wq = b.words.shape[1]
+        wpr_out = self.words.shape[1]
+        # View output rows as (A row block, B row, words) — a reshape,
+        # never a copy.
+        out3 = self.words.reshape(m, p, wpr_out)
+        # One OR-reduced word row of A marks which columns j are set
+        # anywhere, letting empty columns skip at word speed.
+        col_any = np.bitwise_or.reduce(a.words, axis=0)
+        one = _WORD(1)
+        for j in range(n):
+            wa, bit = divmod(j, WORD_BITS)
+            if not (col_any[wa] >> _WORD(bit)) & one:
                 continue
-            block = np.kron(row[None, :], b_dense)  # (p, n*q) bool
-            out.words[i * p : (i + 1) * p] = BitMatrix.from_dense(block).words
-        return out
+            rows = np.nonzero((a.words[:, wa] >> _WORD(bit)) & one)[0]
+            w0, s = divmod(j * q, WORD_BITS)
+            span = (s + q + WORD_BITS - 1) // WORD_BITS
+            if s == 0:
+                sb = b.words  # aligned: B's words drop in verbatim
+            else:
+                sb = np.zeros((p, span), dtype=_WORD)
+                sb[:, :wq] = b.words << _WORD(s)
+                # Carry of the high bits into the next word; when
+                # span == wq the last word's carry is zero (B's padding
+                # bits are zero), so the slice simply drops it.
+                sb[:, 1:span] |= b.words[:, : span - 1] >> _WORD(WORD_BITS - s)
+            target = out3[:, :, w0 : w0 + span]
+            chunk = max(1, _MXM_TEMP_WORDS // (p * span))
+            for r0 in range(0, rows.size, chunk):
+                batch = rows[r0 : r0 + chunk]
+                target[batch] |= sb
+        return self
 
     def extract_submatrix(self, i: int, j: int, nrows: int, ncols: int) -> "BitMatrix":
         """Copy of ``self[i : i + nrows, j : j + ncols]``.

@@ -109,9 +109,9 @@ def _product_matrix(nfa: NFA, g_mats: dict, n: int, ctx, labels):
     try:
         with ctx.backend.fixpoint():
             for label in labels:
-                term = r_mats[label].kron(g_mats[label])
-                merged = product.ewise_add(term)
-                term.free()
+                # Fused product <- product ∨ (R ⊗ G): no per-label
+                # Kronecker temporary on the bit path.
+                merged = r_mats[label].kron(g_mats[label], accumulate=product)
                 product.free()
                 product = merged
     finally:

@@ -236,7 +236,30 @@ class QueryService:
             plan_cache=self.plans,
             graph_store=self.graphs,
             result_cache=self.results,
+            backend=self._backend_stats(),
         )
+
+    def _backend_stats(self) -> dict:
+        """Dispatch/kernel telemetry of the compute backend.
+
+        Exposes the hybrid router's decisions (sparse vs bit routes,
+        blocked vs Four-Russians mxm kernels) and the arena peak so
+        operators can see whether the fused bit path is actually
+        carrying the query load."""
+        out: dict = {}
+        device = getattr(self.ctx, "device", None)
+        if device is not None:
+            out["arena_peak_bytes"] = device.arena.peak_bytes
+        backend = self.ctx.backend
+        if hasattr(backend, "dispatch_counts"):
+            out["dispatch"] = {
+                op: dict(c) for op, c in backend.dispatch_counts.items()
+            }
+        if hasattr(backend, "kernel_counts"):
+            out["kernels"] = {
+                op: dict(c) for op, c in backend.kernel_counts.items()
+            }
+        return out
 
     # -- lifecycle ---------------------------------------------------------
 

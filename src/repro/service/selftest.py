@@ -169,6 +169,9 @@ def run_selftest(
     with tempfile.TemporaryDirectory(prefix="repro-store-") as tmp:
         failures.extend(_store_phase(tmp, graph, workers=workers, say=say))
 
+    # -- phase 3: fused fixpoint allocation profile ------------------------
+    failures.extend(_fused_phase(say=say))
+
     if failures:
         say("")
         for f in failures:
@@ -178,9 +181,48 @@ def run_selftest(
     say(
         f"selftest ok: {4 * queries} concurrent reach queries + all-pairs "
         f"+ cfpq match the sequential engines; store warm-restart "
-        f"(mmap snapshots + WAL recovery) verified"
+        f"(mmap snapshots + WAL recovery) verified; fused bit fixpoint "
+        f"holds arena peak flat"
     )
     return 0
+
+
+def _fused_phase(*, say) -> list[str]:
+    """Fused accumulate contract: a bit-path fixpoint must allocate
+    exactly one output buffer per iteration — arena ``peak_bytes`` over
+    the live set stays constant from the second iteration on."""
+    import repro
+
+    failures: list[str] = []
+    ctx = repro.Context(backend="cubool", hybrid="bit")
+    try:
+        backend = ctx.backend
+        arena = ctx.device.arena
+        cur = ctx.matrix_random((128, 128), 0.05, seed=11)
+        peaks: list[int] = []
+        with backend.fixpoint():
+            # Iteration 0 pays the one-time sparse->bit packing of the
+            # operand; steady-state iterations must be allocation-flat.
+            for _ in range(5):
+                arena.reset_peak()
+                step = cur.mxm(cur, accumulate=cur)
+                peaks.append(arena.peak_bytes)
+                cur.free()
+                cur = step
+        cur.free()
+        if len(set(peaks[1:])) != 1:
+            failures.append(
+                f"fused bit fixpoint arena peak not flat across "
+                f"iterations: {peaks}"
+            )
+        else:
+            say(
+                f"fused phase ok: arena peak flat at {peaks[-1]} "
+                f"bytes/iteration over {len(peaks)} fixpoint steps"
+            )
+    finally:
+        ctx.finalize()
+    return failures
 
 
 def _store_phase(store_root: str, graph, *, workers: int, say) -> list[str]:

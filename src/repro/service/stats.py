@@ -64,6 +64,7 @@ class StatsSnapshot:
     plan_cache: dict = field(default_factory=dict)
     graph_store: dict = field(default_factory=dict)
     result_cache: dict = field(default_factory=dict)
+    backend: dict = field(default_factory=dict)
 
     def render(self) -> str:
         """Human-readable multi-line report (CLI self-test output)."""
@@ -115,6 +116,13 @@ class StatsSnapshot:
                 f"vertices, {gs['edges']} edges, "
                 f"{gs['resident_bytes'] / 1024:.0f} KiB resident"
             )
+        if self.backend:
+            be = self.backend
+            lines.append(
+                f"  backend: arena peak {be.get('arena_peak_bytes', 0) / 1024:.0f} "
+                f"KiB, routes {be.get('dispatch', {})}, "
+                f"kernels {be.get('kernels', {})}"
+            )
         return "\n".join(lines)
 
 
@@ -155,7 +163,8 @@ class ServiceStats:
     # -- reading -----------------------------------------------------------
 
     def snapshot(
-        self, *, plan_cache=None, graph_store=None, result_cache=None
+        self, *, plan_cache=None, graph_store=None, result_cache=None,
+        backend=None,
     ) -> StatsSnapshot:
         with self._lock:
             stages = {s: list(v) for s, v in self._stages.items()}
@@ -177,4 +186,5 @@ class ServiceStats:
             plan_cache=plan_cache.stats() if plan_cache is not None else {},
             graph_store=graph_store.stats() if graph_store is not None else {},
             result_cache=result_cache.stats() if result_cache is not None else {},
+            backend=backend or {},
         )

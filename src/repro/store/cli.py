@@ -4,7 +4,9 @@ Subcommands::
 
     ls                      list graph volumes under the store root
     info NAME               one volume's generations, WAL state, labels
-    compact NAME            fold the WAL into a new snapshot generation
+    compact NAME [--retain N]
+                            fold the WAL into a new snapshot generation;
+                            with --retain, prune all but the newest N
     verify [NAME ...]       full integrity sweep (all volumes by default)
 
 The store root comes from ``--root`` or the ``REPRO_STORE`` environment
@@ -100,10 +102,15 @@ def _compact(args) -> int:
     # lock makes that a fast failure instead of silent delta loss.
     vol = _open(_resolve_root(args), args.name, writer=True)
     before = vol.info()
-    generation = vol.compact()
+    generation = vol.compact(retain=args.retain)
+    pruned = ""
+    if args.retain is not None:
+        kept = vol.generations()
+        pruned = f"; retained {len(kept)} generation(s)"
     print(
         f"{vol.name}: folded {before['wal_deltas']} delta(s) "
-        f"({before['wal_bytes']} WAL bytes) into generation {generation}"
+        f"({before['wal_bytes']} WAL bytes) into generation "
+        f"{generation}{pruned}"
     )
     return 0
 
@@ -157,6 +164,13 @@ def main(argv: list[str] | None = None) -> int:
     p_info.add_argument("name")
     p_compact = sub.add_parser("compact", help="fold the WAL into a snapshot")
     p_compact.add_argument("name")
+    p_compact.add_argument(
+        "--retain",
+        type=int,
+        default=None,
+        metavar="N",
+        help="prune generations older than the newest N (default: keep all)",
+    )
     p_verify = sub.add_parser("verify", help="integrity-check volumes")
     p_verify.add_argument("names", nargs="*")
 

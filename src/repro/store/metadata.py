@@ -14,9 +14,16 @@ The file is versioned JSON, rewritten atomically on every update::
     {
       "format_version": 1,
       "entries": {
-        "cubool@cpu-sim-0": {"crossover": 0.0132, "probe_n": 192}
+        "cubool@cpu-sim-0": {
+          "crossover": 0.0132, "probe_n": 192,
+          "four_russians_min_rows": 64, "fr_probe_k": 512
+        }
       }
     }
+
+Each entry key may carry any subset of the measurements — the crossover
+sweep and the Four-Russians row-break-even probe write their fields
+independently (read-modify-write, so one never clobbers the other).
 
 Corrupt or stale files are treated as empty — autotune persistence is a
 warm-start optimisation, never a correctness dependency.
@@ -82,13 +89,55 @@ def save_autotune(
     probe_n: int | None = None,
 ) -> None:
     """Record a measured crossover (read-modify-write, atomic rename)."""
+    fields: dict = {"crossover": float(crossover)}
+    if probe_n is not None:
+        fields["probe_n"] = int(probe_n)
+    _merge_entry(store_root, backend_name, device_name, fields)
+
+
+def load_autotune_fr_min_rows(
+    store_root: str | Path, backend_name: str, device_name: str
+) -> int | None:
+    """Persisted Four-Russians row break-even, or None."""
+    entry = _read(autotune_path(store_root)).get(_key(backend_name, device_name))
+    if not isinstance(entry, dict):
+        return None
+    min_rows = entry.get("four_russians_min_rows")
+    if isinstance(min_rows, int) and min_rows >= 0:
+        return min_rows
+    return None
+
+
+def save_autotune_fr_min_rows(
+    store_root: str | Path,
+    backend_name: str,
+    device_name: str,
+    min_rows: int,
+    *,
+    probe_k: int | None = None,
+) -> None:
+    """Record a measured Four-Russians break-even (atomic rename)."""
+    fields: dict = {"four_russians_min_rows": int(min_rows)}
+    if probe_k is not None:
+        fields["fr_probe_k"] = int(probe_k)
+    _merge_entry(store_root, backend_name, device_name, fields)
+
+
+def _merge_entry(
+    store_root: str | Path,
+    backend_name: str,
+    device_name: str,
+    fields: dict,
+) -> None:
+    """Merge measurement fields into one entry and rewrite atomically."""
     path = autotune_path(store_root)
     path.parent.mkdir(parents=True, exist_ok=True)
     entries = _read(path)
-    entry: dict = {"crossover": float(crossover)}
-    if probe_n is not None:
-        entry["probe_n"] = int(probe_n)
-    entries[_key(backend_name, device_name)] = entry
+    key = _key(backend_name, device_name)
+    entry = entries.get(key)
+    entry = dict(entry) if isinstance(entry, dict) else {}
+    entry.update(fields)
+    entries[key] = entry
     tmp = path.with_name(path.name + ".tmp")
     with open(tmp, "w", encoding="utf-8") as f:
         json.dump(

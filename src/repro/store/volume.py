@@ -419,11 +419,18 @@ class GraphVolume:
         self._require_writer("append_delta")
         self.wal.append(op, label, edges, version=version)
 
-    def compact(self, *, bit_density: float = BIT_SNAPSHOT_DENSITY) -> int:
+    def compact(
+        self,
+        *,
+        bit_density: float = BIT_SNAPSHOT_DENSITY,
+        retain: int | None = None,
+    ) -> int:
         """Fold the WAL into a fresh snapshot generation and reset it.
 
         Labels keep a bit container if the previous snapshot had one or
-        their density now clears ``bit_density``.
+        their density now clears ``bit_density``.  With ``retain=N``,
+        generations older than the newest N are pruned afterwards
+        (:meth:`prune_generations`); the default keeps all.
         """
         self._require_writer("compact")
         state = self.load(mmap=False)
@@ -435,11 +442,41 @@ class GraphVolume:
             for label, pairs in state.graph.edges.items()
             if n and len(set(pairs)) / (n * n) >= bit_density
         }
-        return self.write_snapshot(
+        generation = self.write_snapshot(
             state.graph,
             version=state.version,
             bit_labels=prev_bit | dense_now,
         )
+        if retain is not None:
+            self.prune_generations(retain=retain)
+        return generation
+
+    def prune_generations(self, *, retain: int) -> list[int]:
+        """Delete committed generations older than the newest ``retain``.
+
+        Snapshot GC: every generation is a *full* dump (never a delta
+        chain), so nothing — no newer generation, no WAL record — ever
+        references a pruned one; recovery only needs the newest
+        generation plus the log suffix.  ``retain`` must be >= 1: the
+        newest generation is the recovery point and is never pruned.
+        Returns the pruned generation numbers, ascending.
+        """
+        self._require_writer("prune_generations")
+        if retain < 1:
+            raise InvalidArgumentError("retain must be >= 1")
+        gens = self.generations()
+        doomed = gens[:-retain]
+        for gen in doomed:
+            gen_dir = self._gen_dir(gen)
+            # Drop the commit marker first: a crash mid-removal leaves a
+            # marker-less directory, which every reader already ignores
+            # as an aborted write.
+            marker = gen_dir / "manifest.json"
+            marker.unlink(missing_ok=True)
+            fsync_dir(gen_dir)
+            shutil.rmtree(gen_dir)
+            fsync_dir(gen_dir.parent)
+        return doomed
 
     # -- introspection -----------------------------------------------------
 

@@ -17,3 +17,30 @@ def memoized_kernel(key, value):
     """Suppressed twin: justified process-level memo."""
     _CACHE[key] = value  # reprolint: disable=R5
     return value
+
+
+def sneaky_kernel(a, scratch):
+    """Seeded violation: mutates a parameter without declaring the
+    contract in its name (hidden output channel)."""
+    scratch[0] = a.sum()
+    return scratch[0]
+
+
+def sneaky_kernel_justified(a, scratch):
+    """Suppressed twin: documented caller-owned workspace."""
+    scratch[0] = a.sum()  # reprolint: disable=R5
+    return scratch[0]
+
+
+def or_words_into(out, a, b):
+    """Legal: the ``_into`` suffix declares the in-place output
+    contract, so writing through ``out`` must NOT fire."""
+    out[...] = a | b
+    return out
+
+
+def scatter(a, out):
+    """Legal: a parameter literally named ``out`` is a declared output
+    channel regardless of the function name."""
+    out[a] = True
+    return out

@@ -8,7 +8,7 @@ from repro.backends.cubool.backend import CuBoolBackend
 from repro.backends.cubool.spgemm_hash import (
     DEFAULT_BIN_BOUNDS,
     EMPTY,
-    hash_insert,
+    hash_insert_inplace,
 )
 from repro.backends.common import spgemm_upper_bound
 from repro.formats.csr import BoolCsr
@@ -19,7 +19,7 @@ from .conftest import bool_mxm, random_dense
 class TestHashInsert:
     def test_insert_unique(self):
         tables = np.full((2, 8), EMPTY, dtype=np.uint32)
-        hash_insert(
+        hash_insert_inplace(
             tables,
             np.array([0, 0, 1], dtype=np.int64),
             np.array([3, 5, 3], dtype=np.uint32),
@@ -29,7 +29,7 @@ class TestHashInsert:
 
     def test_duplicates_collapse(self):
         tables = np.full((1, 8), EMPTY, dtype=np.uint32)
-        hash_insert(
+        hash_insert_inplace(
             tables,
             np.zeros(6, dtype=np.int64),
             np.array([7, 7, 7, 2, 2, 7], dtype=np.uint32),
@@ -41,20 +41,20 @@ class TestHashInsert:
         tables = np.full((1, 8), EMPTY, dtype=np.uint32)
         # With table size 8 any 5 distinct values force collisions.
         vals = np.array([0, 8, 16, 24, 32], dtype=np.uint32)
-        hash_insert(tables, np.zeros(5, dtype=np.int64), vals)
+        hash_insert_inplace(tables, np.zeros(5, dtype=np.int64), vals)
         stored = sorted(tables[0][tables[0] != EMPTY].tolist())
         assert stored == [0, 8, 16, 24, 32]
 
     def test_near_full_table(self):
         tables = np.full((1, 16), EMPTY, dtype=np.uint32)
         vals = np.arange(15, dtype=np.uint32) * 3
-        hash_insert(tables, np.zeros(15, dtype=np.int64), vals)
+        hash_insert_inplace(tables, np.zeros(15, dtype=np.int64), vals)
         stored = sorted(tables[0][tables[0] != EMPTY].tolist())
         assert stored == vals.tolist()
 
     def test_empty_input(self):
         tables = np.full((1, 4), EMPTY, dtype=np.uint32)
-        hash_insert(tables, np.empty(0, np.int64), np.empty(0, np.uint32))
+        hash_insert_inplace(tables, np.empty(0, np.int64), np.empty(0, np.uint32))
         assert np.all(tables == EMPTY)
 
 

@@ -138,6 +138,54 @@ def test_compact_folds_wal_and_keeps_bit_labels(tmp_path):
     assert "a" in state.bit_paths  # bit coverage survives compaction
 
 
+def test_compact_retain_prunes_old_generations(tmp_path):
+    vol = GraphVolume.create(tmp_path / "g", "g")
+    g = demo_graph()
+    vol.write_snapshot(g, version=0)
+    for v in range(1, 5):
+        g.add_edge(5, "a", v)
+        vol.append_delta("add", "a", [(5, v)], version=v)
+        vol.compact()
+    assert vol.generations() == [1, 2, 3, 4, 5]
+    gen = vol.compact(retain=2)
+    assert gen == 6
+    assert vol.generations() == [5, 6]
+    # Pruned directories are fully gone, not just de-committed.
+    snap_root = tmp_path / "g" / "snapshots"
+    assert sorted(p.name for p in snap_root.iterdir()) == [
+        "gen-000005",
+        "gen-000006",
+    ]
+    # Nothing references the pruned generations: recovery needs only the
+    # retained snapshots, and the volume still verifies and loads clean.
+    assert vol.verify()["ok"]
+    state = vol.load()
+    assert state.generation == 6
+    assert state.version == 4
+    assert (5, 4) in state.graph.edges["a"]
+
+
+def test_prune_generations_bounds(tmp_path):
+    from repro.errors import InvalidArgumentError
+
+    vol = GraphVolume.create(tmp_path / "g", "g")
+    vol.write_snapshot(demo_graph(), version=0)
+    with pytest.raises(InvalidArgumentError):
+        vol.prune_generations(retain=0)
+    # retain >= generation count is a no-op.
+    assert vol.prune_generations(retain=5) == []
+    assert vol.generations() == [1]
+
+
+def test_prune_requires_writer(tmp_path):
+    vol = GraphVolume.create(tmp_path / "g", "g")
+    vol.write_snapshot(demo_graph(), version=0)
+    vol.close()
+    reader = GraphVolume.open(tmp_path / "g")
+    with pytest.raises(StoreError, match="writer"):
+        reader.prune_generations(retain=1)
+
+
 def test_torn_wal_tail_recovers_to_last_commit(tmp_path):
     vol = GraphVolume.create(tmp_path / "g", "g")
     vol.write_snapshot(demo_graph(), version=0)
