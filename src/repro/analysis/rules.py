@@ -177,6 +177,7 @@ class ArenaAccounting(Rule):
     #: Modules whose word allocations the arena must account for.
     COVERED = (
         "formats/bitmatrix.py",
+        "formats/tiled.py",
         "backends/hybrid.py",
         "store/container.py",
     )
@@ -187,7 +188,10 @@ class ArenaAccounting(Rule):
     ARENA_FLOW_SITES = {
         "formats/bitmatrix.py::BitMatrix.empty",
         "formats/bitmatrix.py::BitMatrix.from_dense",
-        "formats/bitmatrix.py::BitMatrix.transpose",
+        # Transpose scratch fallback: one (wpr, row_blocks, 64) tile
+        # cube when no arena scratch is passed; the hybrid route always
+        # passes arena-allocated scratch.
+        "formats/bitmatrix.py::BitMatrix.transpose_into",
         # Fused kron: one shifted (p, span) B-block scratch per set A
         # column, freed before return; the result words are the caller's.
         "formats/bitmatrix.py::BitMatrix.kron_into",
@@ -195,6 +199,16 @@ class ArenaAccounting(Rule):
         # return; the hybrid router charges it against the arena budget
         # before choosing this kernel.
         "formats/bitmatrix.py::BitMatrix.mxm_four_russians_into",
+        # Tiled kernels: per-worker (sel, red) scratch fallback when the
+        # caller passes none (the hybrid route passes arena scratch),
+        # per-present-tile FR tables, and the per-A-column kron B-block
+        # scratch — all bounded and freed before return.
+        "formats/tiled.py::TiledBitMatrix.mxm_into",
+        "formats/tiled.py::_build_fr_tables",
+        "formats/tiled.py::_kron_rows_into",
+        # Tiled-parallel autotune probe: two transient scratch pairs for
+        # a synthetic timing sweep, never adopted.
+        "backends/hybrid.py::autotune_tiled_parallel",
         # Zero-row fallback of the snapshot loader; the mapped path is
         # covered by MEMMAP_FLOW_SITES below.
         "store/container.py::_map_words",

@@ -34,6 +34,16 @@ two costs break even for a square equal-density multiply exactly at
 crossover and E9 records it; the default ``d* = 0.02`` matches the
 simulated executor.
 
+Within the bit route a second arbitration picks the *kernel*: flat
+blocked, flat Four-Russians, or their tiled counterparts over a
+:class:`~repro.formats.tiled.TiledBitMatrix` grid
+(:meth:`HybridBackend._bit_mxm_plan`).  The tiled costs charge only
+present tile pairs — the zero-tile-skipping win on block-structured
+operands — and, past ``tiled_parallel_min_words``, fan output tile
+strips over a worker pool (``HybridPolicy.workers`` /
+``REPRO_BIT_WORKERS``).  Kernel choices and per-kernel wall time land
+in ``kernel_counts`` / ``kernel_times`` (E14 and the service stats).
+
 Policy / ablation switches
 --------------------------
 ``REPRO_HYBRID`` env var (read at :class:`~repro.core.context.Context`
@@ -56,6 +66,12 @@ import numpy as np
 from repro.backends.base import Backend, BackendMatrix, get_backend, register_backend
 from repro.errors import DimensionMismatchError, InvalidArgumentError
 from repro.formats.bitmatrix import _WORD, WORD_BITS, BitMatrix, _words_per_row
+from repro.formats.tiled import (
+    DEFAULT_TILE,
+    TiledBitMatrix,
+    bit_workers_from_env,
+    scratch_shapes,
+)
 from repro.gpu.device import Device
 
 #: Calibrated per-element sparse-kernel overheads, in word-op units.
@@ -80,6 +96,16 @@ _FR_TABLE_ENTRIES = 1 << _FR_GROUP_ROWS
 #: Hard floor on the reduction dimension: under a word of k the grouped
 #: table never amortizes regardless of output rows.
 FOUR_RUSSIANS_MIN_K = 64
+
+#: Python dispatch/launch overhead charged per visited tile pair of the
+#: tiled route (word-op units).  Keeps fully-occupied grids on the flat
+#: kernels, where the per-pair loop overhead would dominate the saved
+#: work; block-structured operands amortize it over skipped tiles.
+TILE_PAIR_OVERHEAD_WORDS = 4096.0
+
+#: Sentinel "never go parallel" threshold written by the autotuner when
+#: the probe finds no 2-worker speedup (e.g. a single-core host).
+TILED_PARALLEL_NEVER = 1 << 62
 
 
 def hybrid_mode_from_env(environ=None) -> str | None:
@@ -132,6 +158,23 @@ class HybridPolicy:
         broadcast kernel; ``0`` disables the kernel.  The default is the
         simulated-executor break-even; ``autotune=True`` replaces it
         with a measured one (:func:`autotune_four_russians`).
+    tiled:
+        When True (default) the bit route may execute ``mxm`` / ``kron``
+        over a :class:`~repro.formats.tiled.TiledBitMatrix` grid —
+        skipping all-zero tiles and (above ``tiled_parallel_min_words``)
+        fanning output tile strips over a worker pool.  The cost model
+        arbitrates flat vs tiled per call using the exact present-tile
+        pair count; ``False`` pins the flat kernels (ablation baseline).
+    tile_size:
+        Tile edge in bits (multiple of 64).
+    workers:
+        Worker-pool width for the parallel tiled kernels; ``0`` (the
+        default) defers to ``REPRO_BIT_WORKERS`` (serial when unset).
+    tiled_parallel_min_words:
+        Smallest predicted kernel cost (word-op units) worth fanning out
+        to the pool — below it thread handoff outweighs the work.
+        ``autotune=True`` replaces the default with a measured value
+        (:func:`autotune_tiled_parallel`), persisted like the crossover.
     """
 
     mode: str = "auto"
@@ -140,6 +183,10 @@ class HybridPolicy:
     max_arena_fraction: float = 0.9
     fuse: bool = True
     four_russians_min_rows: int = 128
+    tiled: bool = True
+    tile_size: int = DEFAULT_TILE
+    workers: int = 0
+    tiled_parallel_min_words: int = 1 << 22
 
     def __post_init__(self):
         if self.mode not in ("auto", "sparse", "bit"):
@@ -150,6 +197,14 @@ class HybridPolicy:
             raise InvalidArgumentError("crossover_density must be in (0, 1]")
         if self.four_russians_min_rows < 0:
             raise InvalidArgumentError("four_russians_min_rows must be >= 0")
+        if self.tile_size < WORD_BITS or self.tile_size % WORD_BITS:
+            raise InvalidArgumentError(
+                f"tile_size {self.tile_size} must be a positive multiple of 64"
+            )
+        if self.workers < 0:
+            raise InvalidArgumentError("workers must be >= 0")
+        if self.tiled_parallel_min_words < 0:
+            raise InvalidArgumentError("tiled_parallel_min_words must be >= 0")
 
     @property
     def spgemm_flop_cost(self) -> float:
@@ -187,21 +242,28 @@ class HybridMatrix(BackendMatrix):
     handle whose storage is a :class:`BitMatrix` with its word array
     living in the device arena.  At least one view is always present;
     the other materializes lazily on first use and stays cached, so a
-    fixpoint loop converts each operand at most once.
+    fixpoint loop converts each operand at most once.  ``tiled`` is an
+    optional :class:`TiledBitMatrix` over the *same* arena words as the
+    bit view (zero-copy — only the presence bitmap is extra), cached the
+    same way for the tiled kernels' occupancy lookups.
     """
 
-    __slots__ = ("sparse", "bit", "_nnz")
+    __slots__ = ("sparse", "bit", "tiled", "_nnz")
 
     def __init__(
         self,
         backend: "HybridBackend",
         sparse: BackendMatrix | None = None,
         bit: BackendMatrix | None = None,
+        tiled: TiledBitMatrix | None = None,
     ):
         if sparse is None and bit is None:
             raise InvalidArgumentError("hybrid matrix needs at least one view")
+        if tiled is not None and bit is None:
+            raise InvalidArgumentError("tiled view requires the bit view")
         self.sparse = sparse
         self.bit = bit
+        self.tiled = tiled
         self.backend = backend
         self.buffers = []
         self._freed = False
@@ -246,12 +308,15 @@ class HybridMatrix(BackendMatrix):
             total += self.sparse.storage.memory_bytes()
         if self.bit is not None:
             total += self.bit.storage.memory_bytes()
+        if self.tiled is not None:
+            total += self.tiled.present.nbytes
         return total
 
     def free(self) -> None:
         if self._freed:
             return
         self._freed = True
+        self.tiled = None
         for view in (self.sparse, self.bit):
             if view is not None:
                 view.free()
@@ -281,10 +346,25 @@ class HybridBackend(Backend):
         #: op -> Counter of route decisions ("sparse"/"bit"), for the
         #: ablation benchmark and tests.
         self.dispatch_counts: dict[str, Counter] = {}
-        #: op -> Counter of bit-kernel choices (e.g. mxm "blocked" vs
-        #: "four_russians"), separate from route decisions.
+        #: op -> Counter of bit-kernel choices (mxm "blocked" /
+        #: "four_russians" / "tiled" / "tiled_four_russians", kron
+        #: "flat" / "tiled"), separate from route decisions.
         self.kernel_counts: dict[str, Counter] = {}
+        #: op -> kernel -> accumulated wall seconds, the per-route
+        #: timing telemetry surfaced by the service tier and selftest.
+        self.kernel_times: dict[str, dict[str, float]] = {}
         self._fixpoint_depth = 0
+
+    @property
+    def bit_workers(self) -> int:
+        """Resolved worker-pool width: ``policy.workers``, else
+        ``REPRO_BIT_WORKERS``, else 1 (serial)."""
+        return max(1, self.policy.workers or bit_workers_from_env())
+
+    def _record_kernel(self, op: str, kernel: str, seconds: float) -> None:
+        self.kernel_counts.setdefault(op, Counter())[kernel] += 1
+        times = self.kernel_times.setdefault(op, {})
+        times[kernel] = times.get(kernel, 0.0) + seconds
 
     # -- residency hint ----------------------------------------------------
 
@@ -344,6 +424,161 @@ class HybridBackend(Backend):
         table_bytes = _FR_TABLE_ENTRIES * groups * _words_per_row(n) * 8
         return self._bit_fits(table_bytes)
 
+    # -- tiled-route arbitration -------------------------------------------
+
+    def _occupancy_estimate(self, m: HybridMatrix, ntiles: int) -> float:
+        """Expected present-tile fraction for ``m.nnz`` random bits over
+        ``ntiles`` tiles (used when no tiled view is materialized)."""
+        if ntiles <= 1:
+            return 1.0 if m.nnz else 0.0
+        return float(-np.expm1(m.nnz * np.log1p(-1.0 / ntiles)))
+
+    def _tile_pairs(
+        self, a: HybridMatrix, b: HybridMatrix, ntr: int, ntk: int, ntj: int
+    ) -> tuple[float, float]:
+        """(tile-pair count, extra word-op cost to learn it).
+
+        Exact — the dot product of A's per-column and B's per-row
+        present-tile counts — when both operands are bit-resident (the
+        tiled views are zero-copy wraps, cached on the handle);
+        otherwise an independence estimate from nnz, charged with the
+        presence-scan cost the tiled route would pay.
+        """
+        if a.bit is not None and b.bit is not None:
+            return float(self._ensure_tiled(a).present_pairs(self._ensure_tiled(b))), 0.0
+        occ_a = self._occupancy_estimate(a, ntr * ntk)
+        occ_b = self._occupancy_estimate(b, ntk * ntj)
+        pairs = ntr * ntk * ntj * occ_a * occ_b
+        scan = float(
+            self._bit_words(a.nrows, a.ncols) + self._bit_words(b.nrows, b.ncols)
+        )
+        return pairs, scan
+
+    def _bit_mxm_plan(self, a: HybridMatrix, b: HybridMatrix) -> tuple[str, int]:
+        """Choose the bit ``mxm`` kernel and worker count.
+
+        Compares the flat blocked kernel, flat Four-Russians, and their
+        tiled counterparts in word-op units.  The tiled costs charge
+        only *present* tile pairs (plus a per-pair dispatch overhead and
+        the output presence rescan), so block-structured operands route
+        tiled while fully-occupied grids stay flat.  Workers fan out
+        only when the chosen tiled kernel's predicted cost clears
+        ``tiled_parallel_min_words``.
+        """
+        pol = self.policy
+        m, k = a.shape
+        n = b.ncols
+        wpr = _words_per_row(n)
+        kernel, cost = "blocked", float(m * k * wpr)
+        if self._fr_eligible(m, k, n):
+            groups = -(-k // _FR_GROUP_ROWS)
+            flat_fr = float((m + _FR_TABLE_ENTRIES) * groups * wpr)
+            if flat_fr < cost:
+                kernel, cost = "four_russians", flat_fr
+        if not (pol.tiled and m and k and n):
+            return kernel, 1
+        tile = pol.tile_size
+        ntr, ntk, ntj = -(-m // tile), -(-k // tile), -(-n // tile)
+        if ntr * ntk * ntj <= 1:
+            # Single-tile grid: same work as flat plus scan overhead.
+            return kernel, 1
+        wpt = tile // WORD_BITS
+        pairs, conv = self._tile_pairs(a, b, ntr, ntk, ntj)
+        refresh = float(m * wpr)
+        tiled_cost = (
+            pairs * (tile * tile * wpt + TILE_PAIR_OVERHEAD_WORDS)
+            + conv + refresh
+        )
+        sel_shape, red_shape = scratch_shapes(tile)
+        scratch_bytes = 8 * (
+            sel_shape[0] * sel_shape[1] * sel_shape[2]
+            + red_shape[0] * red_shape[1]
+        )
+        if tiled_cost < cost and self._bit_fits(scratch_bytes):
+            kernel, cost = "tiled", tiled_cost
+        if (
+            pol.four_russians_min_rows
+            and m >= pol.four_russians_min_rows
+            and tile >= FOUR_RUSSIANS_MIN_K
+        ):
+            if b.bit is not None:
+                b_tiles = float(self._ensure_tiled(b).present.sum())
+            else:
+                b_tiles = ntk * ntj * self._occupancy_estimate(b, ntk * ntj)
+            groups_t = tile // _FR_GROUP_ROWS
+            table_words = b_tiles * _FR_TABLE_ENTRIES * groups_t * wpt
+            fr_tiled = (
+                pairs * (tile * groups_t * wpt + TILE_PAIR_OVERHEAD_WORDS)
+                + table_words + conv + refresh
+            )
+            if fr_tiled < cost and self._bit_fits(int(table_words) * 8):
+                kernel, cost = "tiled_four_russians", fr_tiled
+        workers = 1
+        if kernel in ("tiled", "tiled_four_russians"):
+            pool = self.bit_workers
+            if pool > 1 and cost >= pol.tiled_parallel_min_words:
+                workers = pool
+        return kernel, workers
+
+    def _run_tiled_mxm(
+        self,
+        out: BitMatrix,
+        a: HybridMatrix,
+        b: HybridMatrix,
+        kernel: str,
+        workers: int,
+    ) -> TiledBitMatrix:
+        """Execute the tiled multiply with arena-accounted worker scratch.
+
+        The per-worker ``(sel, red)`` buffers of the blocked path come
+        from the device arena (and are freed before returning), so the
+        parallel route's scratch footprint is visible to the memory
+        experiments; the Four-Russians variant's per-present-tile tables
+        are bounded host scratch charged by :meth:`_bit_mxm_plan`.
+        """
+        a_t = self._ensure_tiled(a)
+        b_t = self._ensure_tiled(b)
+        out_t = TiledBitMatrix(out, self.policy.tile_size, scan=False)
+        four_russians = kernel == "tiled_four_russians"
+        scratch = None
+        scratch_bufs = []
+        if not four_russians:
+            sel_shape, red_shape = scratch_shapes(self.policy.tile_size)
+            scratch = []
+            for _ in range(workers):
+                sel_buf = self.device.arena.alloc(sel_shape, _WORD)
+                red_buf = self.device.arena.alloc(red_shape, _WORD)
+                scratch_bufs += [sel_buf, red_buf]
+                scratch.append((sel_buf.data, red_buf.data))
+        try:
+            out_t.mxm_into(
+                a_t,
+                b_t,
+                four_russians=four_russians,
+                workers=workers,
+                scratch=scratch,
+            )
+        finally:
+            for sbuf in scratch_bufs:
+                sbuf.free()
+        return out_t
+
+    def _bit_kron_plan(
+        self, a: HybridMatrix, out_shape: tuple[int, int]
+    ) -> tuple[str, int]:
+        """Choose flat vs parallel-tiled kron: tiles only pay off here
+        through the worker pool (the flat kernel already skips empty A
+        columns), so go tiled exactly when the pool exists and the
+        output is big enough to amortize the fan-out."""
+        pol = self.policy
+        workers = self.bit_workers
+        if not pol.tiled or workers <= 1 or a.nrows <= 1:
+            return "flat", 1
+        est = KRON_BIT_WORD_COST * self._bit_words(*out_shape)
+        if est < pol.tiled_parallel_min_words:
+            return "flat", 1
+        return "tiled", min(workers, a.nrows)
+
     def _ensure_sparse(self, m: HybridMatrix) -> BackendMatrix:
         if m.sparse is None:
             storage: BitMatrix = m.bit.storage
@@ -357,6 +592,15 @@ class HybridBackend(Backend):
             rows, cols = storage.to_coo_arrays()
             m.bit = self._adopt_bit(BitMatrix.from_coo(rows, cols, storage.shape))
         return m.bit
+
+    def _ensure_tiled(self, m: HybridMatrix) -> TiledBitMatrix:
+        """Cached tiled view over ``m``'s bit words (zero-copy wrap plus
+        one presence scan; rebuilt if the policy's tile size changed)."""
+        if m.tiled is None or m.tiled.tile != self.policy.tile_size:
+            m.tiled = TiledBitMatrix(
+                self._ensure_bit(m).storage, self.policy.tile_size
+            )
+        return m.tiled
 
     def adopt_bit_mapped(self, m: HybridMatrix, bit: BitMatrix) -> str:
         """Attach a file-backed, read-only ``bit`` as ``m``'s bit view.
@@ -383,10 +627,14 @@ class HybridBackend(Backend):
         Residency hint used by long-lived holders (the service tier's
         :class:`~repro.service.graph_store.GraphStore`): a hot graph
         pinned ``"bit"`` skips the per-operation packing cost on every
-        query that touches it.  Returns :attr:`HybridMatrix.resident`.
+        query that touches it; ``"tiled"`` additionally pins the tile
+        presence bitmap so the tiled kernels' occupancy lookups are
+        free.  Returns :attr:`HybridMatrix.resident`.
         """
         if fmt == "bit":
             self._ensure_bit(m)
+        elif fmt == "tiled":
+            self._ensure_tiled(m)
         elif fmt == "sparse":
             self._ensure_sparse(m)
         else:
@@ -539,19 +787,24 @@ class HybridBackend(Backend):
             # as-of call time, so `accumulate` may alias a or b (the
             # contract's C <- C OR C*C case) — the *_into kernel never
             # writes into its operands.
+            kernel, workers = self._bit_mxm_plan(a, b)
             out, buf = self._alloc_bit(out_shape)
             if accumulate is not None:
                 np.copyto(out.words, self._ensure_bit(accumulate).storage.words)
             else:
                 out.words.fill(0)
-            if self._fr_eligible(a.nrows, a.ncols, b.ncols):
+            started = time.perf_counter()
+            out_tiled = None
+            if kernel in ("tiled", "tiled_four_russians"):
+                out_tiled = self._run_tiled_mxm(out, a, b, kernel, workers)
+            elif kernel == "four_russians":
                 out.mxm_four_russians_into(a_bit, b_bit)
-                kernel = "four_russians"
             else:
                 out.mxm_into(a_bit, b_bit)
-                kernel = "blocked"
-            self.kernel_counts.setdefault("mxm", Counter())[kernel] += 1
-            return HybridMatrix(self, bit=BackendMatrix(out, self, [buf]))
+            self._record_kernel("mxm", kernel, time.perf_counter() - started)
+            return HybridMatrix(
+                self, bit=BackendMatrix(out, self, [buf]), tiled=out_tiled
+            )
         acc = self._ensure_sparse(accumulate) if accumulate is not None else None
         return self._wrap_sparse(
             self.inner.mxm(self._ensure_sparse(a), self._ensure_sparse(b), acc)
@@ -586,11 +839,37 @@ class HybridBackend(Backend):
             # directly — no host word array, no adoption copy.
             out, buf = self._alloc_bit(out_shape)
             out.words.fill(0)
-            out.kron_into(a_bit, b_bit)
-            return HybridMatrix(self, bit=BackendMatrix(out, self, [buf]))
+            out_tiled = self._run_kron(out, a, b, a_bit, b_bit)
+            return HybridMatrix(
+                self, bit=BackendMatrix(out, self, [buf]), tiled=out_tiled
+            )
         return self._wrap_sparse(
             self.inner.kron(self._ensure_sparse(a), self._ensure_sparse(b))
         )
+
+    def _run_kron(
+        self,
+        out: BitMatrix,
+        a: HybridMatrix,
+        b: HybridMatrix,
+        a_bit: BitMatrix,
+        b_bit: BitMatrix,
+    ) -> TiledBitMatrix | None:
+        """Scatter ``a ⊗ b`` into ``out``, parallel over A-row blocks
+        when the plan engages the pool.  Returns the tiled output view
+        (None on the flat path)."""
+        kernel, workers = self._bit_kron_plan(a, out.shape)
+        started = time.perf_counter()
+        out_tiled = None
+        if kernel == "tiled":
+            out_tiled = TiledBitMatrix(out, self.policy.tile_size, scan=False)
+            out_tiled.kron_into(
+                self._ensure_tiled(a), self._ensure_tiled(b), workers=workers
+            )
+        else:
+            out.kron_into(a_bit, b_bit)
+        self._record_kernel("kron", kernel, time.perf_counter() - started)
+        return out_tiled
 
     def kron_accumulate(self, a, b, accumulate):
         self._check_kron_accumulate(a, b, accumulate)
@@ -613,8 +892,10 @@ class HybridBackend(Backend):
             # then OR-scatter the Kronecker blocks over it.
             out, buf = self._alloc_bit(out_shape)
             np.copyto(out.words, acc_bit.words)
-            out.kron_into(a_bit, b_bit)
-            return HybridMatrix(self, bit=BackendMatrix(out, self, [buf]))
+            out_tiled = self._run_kron(out, a, b, a_bit, b_bit)
+            return HybridMatrix(
+                self, bit=BackendMatrix(out, self, [buf]), tiled=out_tiled
+            )
         return self._wrap_sparse(
             self.inner.kron_accumulate(
                 self._ensure_sparse(a),
@@ -636,7 +917,24 @@ class HybridBackend(Backend):
         decision = self._stay_resident(a)
         self.dispatch_counts.setdefault("transpose", Counter())[decision] += 1
         if decision == "bit":
-            return self._wrap_bit(self._ensure_bit(a).storage.transpose())
+            # Arena-accounted out-parameter form: output words and the
+            # 64x64 tile workspace are arena buffers, and the source is
+            # only read — a read-only memmap-backed snapshot view never
+            # densifies into unaccounted host arrays.
+            src: BitMatrix = self._ensure_bit(a).storage
+            out, buf = self._alloc_bit((a.ncols, a.nrows))
+            if a.nrows == 0 or a.ncols == 0:
+                out.words.fill(0)
+            else:
+                tiles_buf = self.device.arena.alloc(
+                    (src.words.shape[1], _words_per_row(a.nrows), WORD_BITS),
+                    _WORD,
+                )
+                try:
+                    out.transpose_into(src, tiles_scratch=tiles_buf.data)
+                finally:
+                    tiles_buf.free()
+            return HybridMatrix(self, bit=BackendMatrix(out, self, [buf]))
         return self._wrap_sparse(self.inner.transpose(self._ensure_sparse(a)))
 
     def extract_submatrix(self, a, i, j, nrows, ncols):
@@ -644,9 +942,11 @@ class HybridBackend(Backend):
         decision = self._stay_resident(a)
         self.dispatch_counts.setdefault("extract", Counter())[decision] += 1
         if decision == "bit":
-            return self._wrap_bit(
-                self._ensure_bit(a).storage.extract_submatrix(i, j, nrows, ncols)
-            )
+            # Same arena-accounted contract as transpose above.
+            src: BitMatrix = self._ensure_bit(a).storage
+            out, buf = self._alloc_bit((nrows, ncols))
+            out.extract_submatrix_into(src, i, j)
+            return HybridMatrix(self, bit=BackendMatrix(out, self, [buf]))
         return self._wrap_sparse(
             self.inner.extract_submatrix(self._ensure_sparse(a), i, j, nrows, ncols)
         )
@@ -698,17 +998,24 @@ def wrap_backend(
     crossover_density: float | None = None,
     autotune: bool = False,
     fuse: bool = True,
+    tiled: bool = True,
+    workers: int | None = None,
 ) -> HybridBackend:
     """Wrap an existing sparse backend instance in a hybrid dispatcher.
 
     ``autotune=True`` replaces the analytic defaults with measured ones:
     the sparse/bit crossover density (:func:`autotune_crossover`, unless
-    an explicit ``crossover_density`` is given) and the Four-Russians
-    row break-even (:func:`autotune_four_russians`).  ``fuse=False``
-    selects the unfused compose-then-merge accumulate path (E13
-    ablation).
+    an explicit ``crossover_density`` is given), the Four-Russians row
+    break-even (:func:`autotune_four_russians`), and the tiled parallel
+    threshold (:func:`autotune_tiled_parallel`).  ``fuse=False`` selects
+    the unfused compose-then-merge accumulate path (E13 ablation);
+    ``tiled=False`` pins the flat bit kernels (E14 ablation).
+    ``workers`` overrides the pool width (None defers to
+    ``REPRO_BIT_WORKERS``).
     """
-    policy = HybridPolicy(mode=mode, fuse=fuse)
+    policy = HybridPolicy(mode=mode, fuse=fuse, tiled=tiled)
+    if workers is not None:
+        policy = replace(policy, workers=workers)
     if crossover_density is not None:
         policy = replace(policy, crossover_density=crossover_density)
     elif autotune:
@@ -717,6 +1024,11 @@ def wrap_backend(
         policy = replace(
             policy, four_russians_min_rows=autotune_four_russians(inner)
         )
+        if tiled:
+            policy = replace(
+                policy,
+                tiled_parallel_min_words=autotune_tiled_parallel(inner),
+            )
     return HybridBackend(inner=inner, policy=policy)
 
 
@@ -885,6 +1197,113 @@ def autotune_four_russians(
     _FR_AUTOTUNE_CACHE[key] = break_even  # reprolint: disable=R5
     _save_persisted_fr_min_rows(key[0], key[1], break_even, probe_k=k)
     return break_even
+
+
+#: (backend name, device name) -> measured tiled parallel threshold.
+_TILED_AUTOTUNE_CACHE: dict[tuple[str, str], int] = {}
+
+
+def autotune_tiled_parallel(
+    inner: Backend,
+    *,
+    tile: int = DEFAULT_TILE,
+    blocks: int = 3,
+    block_density: float = 0.15,
+    runs: int = 2,
+    use_cache: bool = True,
+) -> int:
+    """Measure whether the worker pool pays off on this host.
+
+    Times the tiled multiply of a block-diagonal probe (the structure
+    the tiled route exists for) serially and with two workers.  When
+    two workers win, the threshold is set to half the probe's predicted
+    kernel cost so comparable-and-larger multiplies fan out; when they
+    lose (single-core hosts, GIL-bound kernels), the
+    :data:`TILED_PARALLEL_NEVER` sentinel keeps the route serial.
+    Cached per (backend, device) and persisted next to the crossover.
+    """
+    key = (inner.name, inner.device.name)
+    if use_cache and key in _TILED_AUTOTUNE_CACHE:
+        return _TILED_AUTOTUNE_CACHE[key]
+    if use_cache:
+        persisted = _load_persisted_tiled_min_words(*key)
+        if persisted is not None:
+            _TILED_AUTOTUNE_CACHE[key] = persisted  # reprolint: disable=R5
+            return persisted
+
+    # Seeded calibration probe (same contract as the crossover probe).
+    rng = np.random.default_rng(0xE14)  # reprolint: disable=R5
+    n = blocks * tile
+    per_block = max(1, int(round(block_density * tile * tile)))
+    rows = np.concatenate(
+        [rng.integers(0, tile, size=per_block) + bi * tile for bi in range(blocks)]
+    )
+    cols = np.concatenate(
+        [rng.integers(0, tile, size=per_block) + bi * tile for bi in range(blocks)]
+    )
+    a = TiledBitMatrix(BitMatrix.from_coo(rows, cols, (n, n)), tile)
+    out = TiledBitMatrix(BitMatrix.empty((n, n)), tile, scan=False)
+    sel_shape, red_shape = scratch_shapes(tile)
+    scratch = [
+        (np.empty(sel_shape, dtype=_WORD), np.empty(red_shape, dtype=_WORD))
+        for _ in range(2)
+    ]
+
+    def best_time(workers: int) -> float:
+        best = float("inf")
+        for _ in range(runs):
+            out.flat.words.fill(0)
+            t0 = time.perf_counter()
+            out.mxm_into(a, a, workers=workers, scratch=scratch[:workers])
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    t_serial = best_time(1)
+    t_parallel = best_time(2)
+    wpt = tile // WORD_BITS
+    probe_words = a.present_pairs(a) * (tile * tile * wpt)
+    if t_parallel < 0.85 * t_serial:
+        threshold = max(1, probe_words // 2)
+    else:
+        threshold = TILED_PARALLEL_NEVER
+    _TILED_AUTOTUNE_CACHE[key] = threshold  # reprolint: disable=R5
+    _save_persisted_tiled_min_words(key[0], key[1], threshold, probe_n=n)
+    return threshold
+
+
+def _load_persisted_tiled_min_words(
+    backend_name: str, device_name: str
+) -> int | None:
+    """Tiled parallel threshold persisted in the store metadata."""
+    from repro.store.metadata import (
+        load_autotune_tiled_min_words,
+        store_root_from_env,
+    )
+
+    root = store_root_from_env()
+    if root is None:
+        return None
+    return load_autotune_tiled_min_words(root, backend_name, device_name)
+
+
+def _save_persisted_tiled_min_words(
+    backend_name: str, device_name: str, min_words: int, *, probe_n: int
+) -> None:
+    """Best-effort write-back of a fresh measurement to the store."""
+    from repro.store.metadata import (
+        save_autotune_tiled_min_words,
+        store_root_from_env,
+    )
+
+    root = store_root_from_env()
+    if root is None:
+        return
+    try:
+        save_autotune_tiled_min_words(
+            root, backend_name, device_name, min_words, probe_n=probe_n
+        )
+    except OSError:
+        pass
 
 
 def _load_persisted_fr_min_rows(

@@ -17,6 +17,10 @@ paper's *Implementation Details* section:
 * :class:`~repro.formats.bitmatrix.BitMatrix` — dense bit-packed rows
   (64 columns per machine word); the classic dense-boolean alternative
   used for ablation and as a small-matrix fast path.
+* :class:`~repro.formats.tiled.TiledBitMatrix` — grid-of-bit-tiles view
+  over a flat bit matrix with a presence bitmap: zero tiles are skipped
+  and independent output tile strips run on a worker pool (the hybrid
+  backend's multi-core bit route).
 
 :mod:`repro.formats.convert` provides conversions among all of them.
 """
@@ -27,6 +31,7 @@ from repro.formats.coo import BoolCoo
 from repro.formats.dcsr import BoolDcsr
 from repro.formats.valcsr import ValCsr
 from repro.formats.bitmatrix import BitMatrix
+from repro.formats.tiled import TiledBitMatrix
 from repro.formats import convert
 
 __all__ = [
@@ -35,6 +40,7 @@ __all__ = [
     "BoolCsr",
     "BoolDcsr",
     "SparseFormat",
+    "TiledBitMatrix",
     "ValCsr",
     "convert",
 ]

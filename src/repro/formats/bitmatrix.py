@@ -385,50 +385,123 @@ class BitMatrix(SparseFormat):
         out = BitMatrix.empty((nrows, ncols))
         if nrows == 0 or ncols == 0:
             return out
-        src = self.words[i : i + nrows]
+        return out.extract_submatrix_into(self, i, j)
+
+    def extract_submatrix_into(self, src: "BitMatrix", i: int, j: int) -> "BitMatrix":
+        """Overwrite ``self`` with ``src[i : i + nrows, j : j + ncols]``.
+
+        Out-parameter form of :meth:`extract_submatrix`: the output
+        words are caller-owned (the hybrid backend passes an arena
+        buffer), and ``src`` is only read — so a read-only memmap-backed
+        snapshot view works unmodified.  Returns ``self``.
+        """
+        nrows, ncols = self.shape
+        if i < 0 or j < 0 or i + nrows > src.nrows or j + ncols > src.ncols:
+            raise InvalidArgumentError(
+                f"submatrix [{i}:{i + nrows}, {j}:{j + ncols}] outside "
+                f"{src.nrows}x{src.ncols}"
+            )
+        if np.may_share_memory(self.words, src.words):
+            raise InvalidArgumentError(
+                "extract_submatrix_into: output words must not alias the source"
+            )
+        self.words.fill(0)
+        if nrows == 0 or ncols == 0:
+            return self
+        rows = src.words[i : i + nrows]
         w0, shift = divmod(j, WORD_BITS)
-        wpr_src = src.shape[1]
-        for w in range(out.words.shape[1]):
+        wpr_src = rows.shape[1]
+        for w in range(self.words.shape[1]):
             lo_idx = w0 + w
             if lo_idx >= wpr_src:
                 break
-            word = src[:, lo_idx] >> _WORD(shift)
+            word = rows[:, lo_idx] >> _WORD(shift)
             if shift and lo_idx + 1 < wpr_src:
-                word = word | (src[:, lo_idx + 1] << _WORD(WORD_BITS - shift))
-            out.words[:, w] = word
-        tail_bits = out.words.shape[1] * WORD_BITS - ncols
+                word = word | (rows[:, lo_idx + 1] << _WORD(WORD_BITS - shift))
+            self.words[:, w] = word
+        tail_bits = self.words.shape[1] * WORD_BITS - ncols
         if tail_bits:
-            out.words[:, -1] &= _tail_mask(tail_bits)
-        return out
+            self.words[:, -1] &= _tail_mask(tail_bits)
+        return self
 
     def transpose(self) -> "BitMatrix":
         """Word-level transpose — no dense round-trip.
 
-        The matrix is viewed as a grid of 64×64 bit tiles; tile
-        ``(R, C)`` of the input becomes tile ``(C, R)`` of the output,
-        and each tile is transposed in place by the classic delta-swap
-        ladder (6 masked exchange levels, Hacker's Delight 7-3),
-        vectorized over every tile at once.  Total work is
-        ``O(words · 6)`` word ops versus the old path's full unpack /
-        repack of ``m · n`` booleans.
+        Allocates the output and delegates to :meth:`transpose_into`
+        (which documents the 64×64 delta-swap tile algorithm).
         """
         m, n = self.shape
-        out_shape = (n, m)
+        out = BitMatrix.empty((n, m))
         if m == 0 or n == 0:
-            return BitMatrix.empty(out_shape)
+            return out
+        return out.transpose_into(self)
+
+    def transpose_into(
+        self, src: "BitMatrix", tiles_scratch: np.ndarray | None = None
+    ) -> "BitMatrix":
+        """Overwrite ``self`` with ``src``'s transpose (word-level).
+
+        ``src`` is viewed as a grid of 64×64 bit tiles; tile ``(R, C)``
+        of the input becomes tile ``(C, R)`` of the output, each tile
+        transposed by the classic delta-swap ladder (6 masked exchange
+        levels, Hacker's Delight 7-3) vectorized over every tile at
+        once — ``O(words · 6)`` word ops, never a dense round-trip.
+
+        Out-parameter form: the output words and the tile workspace are
+        caller-owned, so the hybrid backend keeps the whole operation
+        arena-accounted and ``src`` may be a read-only memmap snapshot
+        view.  ``tiles_scratch`` must be a ``(src_words_per_row,
+        words_per_row(src.nrows), 64)`` uint64 array (every element is
+        overwritten); None allocates host scratch.  Returns ``self``.
+        """
+        m, n = src.shape
+        if self.shape != (n, m):
+            raise DimensionMismatchError("transpose_into", self.shape, (n, m))
+        if np.may_share_memory(self.words, src.words):
+            raise InvalidArgumentError(
+                "transpose_into: output words must not alias the source"
+            )
+        if m == 0 or n == 0:
+            self.words.fill(0)
+            return self
         row_blocks = _words_per_row(m)   # 64-row tiles == output words/row
-        wpr = self.words.shape[1]        # input words/row == output row tiles
-        padded = np.zeros((row_blocks * WORD_BITS, wpr), dtype=_WORD)
-        padded[:m] = self.words
-        # tiles[C, R, r] = word at input row R*64+r, word column C.
-        tiles = np.ascontiguousarray(
-            padded.reshape(row_blocks, WORD_BITS, wpr).transpose(2, 0, 1)
-        )
+        wpr = src.words.shape[1]         # input words/row == output row tiles
+        shape = (wpr, row_blocks, WORD_BITS)
+        if tiles_scratch is None:
+            tiles = np.empty(shape, dtype=_WORD)
+        else:
+            if tiles_scratch.shape != shape or tiles_scratch.dtype != _WORD:
+                raise InvalidArgumentError(
+                    f"tiles_scratch must be uint64 of shape {shape}, "
+                    f"got {tiles_scratch.dtype} {tiles_scratch.shape}"
+                )
+            tiles = tiles_scratch
+        # tiles[C, R, r] = word at input row R*64+r, word column C; the
+        # strided assignments below cover every element (padding rows
+        # beyond m are zeroed), so reused scratch never leaks state.
+        full = m // WORD_BITS
+        if full:
+            tiles[:, :full, :] = (
+                src.words[: full * WORD_BITS]
+                .reshape(full, WORD_BITS, wpr)
+                .transpose(2, 0, 1)
+            )
+        rem = m - full * WORD_BITS
+        if rem:
+            tiles[:, full, :rem] = src.words[full * WORD_BITS :].T
+            tiles[:, full, rem:] = _WORD(0)
         _transpose64(tiles)
         # After the in-tile transpose, tiles[C, R, c] is output word
-        # (C*64+c, R); flatten tile rows and drop the padding rows.
-        out_words = tiles.transpose(0, 2, 1).reshape(wpr * WORD_BITS, row_blocks)
-        return BitMatrix(out_shape, out_words[:n].copy())
+        # (C*64+c, R); write tile rows back, dropping padding rows >= n.
+        out_full = n // WORD_BITS
+        if out_full:
+            self.words[: out_full * WORD_BITS].reshape(
+                out_full, WORD_BITS, row_blocks
+            )[...] = tiles.transpose(0, 2, 1)[:out_full]
+        out_rem = n - out_full * WORD_BITS
+        if out_rem:
+            self.words[out_full * WORD_BITS :] = tiles[out_full, :, :out_rem].T
+        return self
 
     def reduce_rows(self) -> np.ndarray:
         """Boolean OR along each row: True where the row has any entry."""

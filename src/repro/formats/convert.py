@@ -15,6 +15,7 @@ from repro.formats.bitmatrix import BitMatrix
 from repro.formats.coo import BoolCoo
 from repro.formats.csr import BoolCsr
 from repro.formats.dcsr import BoolDcsr
+from repro.formats.tiled import TiledBitMatrix
 from repro.formats.valcsr import ValCsr
 from repro.utils.arrays import rows_from_rowptr, rowptr_from_sorted_rows
 
@@ -63,6 +64,22 @@ def bitmatrix_to_coo(m: BitMatrix) -> BoolCoo:
     return BoolCoo.from_coo(rows, cols, m.shape, canonical=True)
 
 
+def bitmatrix_to_tiled(m: BitMatrix) -> TiledBitMatrix:
+    """Flat bit → tiled view (zero-copy: the words are shared; only the
+    presence bitmap is scanned)."""
+    return TiledBitMatrix(m)
+
+
+def tiled_to_bitmatrix(m: TiledBitMatrix) -> BitMatrix:
+    """Tiled → flat bit: drop the presence bitmap (zero-copy words)."""
+    return m.flat
+
+
+def to_tiled(m: SparseFormat) -> TiledBitMatrix:
+    """Any sparse format → tiled bit (through the flat bit packing)."""
+    return TiledBitMatrix(to_bitmatrix(m))
+
+
 _CONVERTERS = {
     ("csr", "coo"): csr_to_coo,
     ("coo", "csr"): coo_to_csr,
@@ -70,6 +87,8 @@ _CONVERTERS = {
     ("valcsr", "csr"): valcsr_to_csr,
     ("bit", "csr"): bitmatrix_to_csr,
     ("bit", "coo"): bitmatrix_to_coo,
+    ("bit", "tiled"): bitmatrix_to_tiled,
+    ("tiled", "bit"): tiled_to_bitmatrix,
 }
 
 
@@ -83,6 +102,9 @@ def convert(m: SparseFormat, kind: str) -> SparseFormat:
     direct = _CONVERTERS.get((m.kind, kind))
     if direct is not None:
         return direct(m)
+    if isinstance(m, TiledBitMatrix):
+        # Tiled wraps a flat bit matrix — convert from the flat words.
+        return convert(m.flat, kind)
     # Generic route through coordinates.
     rows, cols = m.to_coo_arrays()
     if kind == "csr":
@@ -93,6 +115,8 @@ def convert(m: SparseFormat, kind: str) -> SparseFormat:
         return ValCsr.from_coo(rows, cols, m.shape, canonical=True)
     if kind == "bit":
         return BitMatrix.from_coo(rows, cols, m.shape)
+    if kind == "tiled":
+        return TiledBitMatrix(BitMatrix.from_coo(rows, cols, m.shape))
     if kind == "dcsr":
         return BoolDcsr.from_coo(rows, cols, m.shape, canonical=True)
     raise InvalidArgumentError(f"unknown format kind {kind!r}")

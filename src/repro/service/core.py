@@ -259,6 +259,13 @@ class QueryService:
             out["kernels"] = {
                 op: dict(c) for op, c in backend.kernel_counts.items()
             }
+        if hasattr(backend, "kernel_times"):
+            out["kernel_times_ms"] = {
+                op: {k: round(s * 1e3, 3) for k, s in times.items()}
+                for op, times in backend.kernel_times.items()
+            }
+        if hasattr(backend, "bit_workers"):
+            out["bit_workers"] = backend.bit_workers
         return out
 
     # -- lifecycle ---------------------------------------------------------

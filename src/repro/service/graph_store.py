@@ -27,7 +27,7 @@ from repro.errors import (
 )
 from repro.graph import LabeledGraph
 
-RESIDENCY_MODES = ("auto", "bit", "sparse")
+RESIDENCY_MODES = ("auto", "bit", "tiled", "sparse")
 
 
 @dataclass
@@ -117,6 +117,8 @@ class GraphStore:
 
         * ``"sparse"`` — stay CSR/COO-resident;
         * ``"bit"`` — pin every label's bit-packed view eagerly;
+        * ``"tiled"`` — pin the bit view *and* its tiled presence grid
+          (zero-tile skipping kernels start warm);
         * ``"auto"`` — pin the bit view only for labels whose density
           is at or above the dispatcher's crossover (those are the ones
           the cost model would route to the bit kernel anyway).
@@ -155,6 +157,8 @@ class GraphStore:
         backend = self.ctx.backend
         if not isinstance(backend, HybridBackend):
             return "sparse"
+        if residency == "tiled":
+            return backend.ensure_resident(matrix.handle, "tiled")
         if residency == "bit" or (
             residency == "auto"
             and matrix.density >= backend.policy.crossover_density

@@ -172,6 +172,9 @@ def run_selftest(
     # -- phase 3: fused fixpoint allocation profile ------------------------
     failures.extend(_fused_phase(say=say))
 
+    # -- phase 4: tiled bit kernels vs flat --------------------------------
+    failures.extend(_tiled_phase(say=say))
+
     if failures:
         say("")
         for f in failures:
@@ -182,7 +185,7 @@ def run_selftest(
         f"selftest ok: {4 * queries} concurrent reach queries + all-pairs "
         f"+ cfpq match the sequential engines; store warm-restart "
         f"(mmap snapshots + WAL recovery) verified; fused bit fixpoint "
-        f"holds arena peak flat"
+        f"holds arena peak flat; tiled kernels agree with flat"
     )
     return 0
 
@@ -222,6 +225,77 @@ def _fused_phase(*, say) -> list[str]:
             )
     finally:
         ctx.finalize()
+    return failures
+
+
+def _tiled_phase(*, say) -> list[str]:
+    """Tiled bit route: the zero-tile-skipping kernels must agree with
+    the flat kernels on a block-diagonal transitive closure, actually
+    engage a tiled mxm kernel, and — when ``REPRO_BIT_WORKERS`` widens
+    the pool — run the worker fan-out under the lock sentinel."""
+    import numpy as np
+
+    from repro.backends import get_backend
+    from repro.backends.hybrid import HybridBackend, HybridPolicy
+
+    failures: list[str] = []
+    n, blocks, tile = 1024, 4, 256
+    rng = np.random.default_rng(0x20210705)
+    dense = np.zeros((n, n), dtype=bool)
+    bs = n // blocks
+    for b in range(blocks):
+        lo = b * bs
+        dense[lo:lo + bs, lo:lo + bs] = rng.random((bs, bs)) < 0.04
+
+    def closure_pairs(tiled: bool) -> tuple[set, HybridBackend]:
+        policy = HybridPolicy(mode="bit", tiled=tiled, tile_size=tile)
+        backend = HybridBackend(inner=get_backend("cubool"), policy=policy)
+        if tiled and backend.bit_workers > 1:
+            # Force the parallel threshold to zero so CI's
+            # REPRO_BIT_WORKERS=2 exercises the pool even on a probe
+            # this small (the autotuned threshold would stay serial).
+            policy = HybridPolicy(
+                mode="bit", tiled=True, tile_size=tile,
+                tiled_parallel_min_words=0,
+            )
+            backend = HybridBackend(inner=get_backend("cubool"), policy=policy)
+        rows, cols = np.nonzero(dense)
+        cur = backend.matrix_from_coo(
+            rows.astype(np.int64), cols.astype(np.int64), (n, n)
+        )
+        with backend.fixpoint():
+            for _ in range(4):
+                step = backend.mxm(cur, cur, accumulate=cur)
+                cur.free()
+                cur = step
+        r, c = cur.storage.to_coo_arrays()
+        pairs = set(zip(r.tolist(), c.tolist()))
+        cur.free()
+        return pairs, backend
+
+    tiled_pairs, tiled_backend = closure_pairs(tiled=True)
+    flat_pairs, _ = closure_pairs(tiled=False)
+    if tiled_pairs != flat_pairs:
+        failures.append(
+            f"tiled closure disagrees with flat: {len(tiled_pairs)} vs "
+            f"{len(flat_pairs)} pairs"
+        )
+    mxm_kernels = tiled_backend.kernel_counts.get("mxm", {})
+    if not any(k.startswith("tiled") for k in mxm_kernels):
+        failures.append(
+            f"block-diagonal closure never engaged a tiled mxm kernel "
+            f"(kernels: {dict(mxm_kernels)})"
+        )
+    if not failures:
+        times = {
+            op: {k: f"{s * 1e3:.1f}ms" for k, s in ts.items()}
+            for op, ts in tiled_backend.kernel_times.items()
+        }
+        say(
+            f"tiled phase ok: closure matches flat over {len(tiled_pairs)} "
+            f"pairs, kernels {dict(mxm_kernels)}, "
+            f"workers={tiled_backend.bit_workers}, times {times}"
+        )
     return failures
 
 

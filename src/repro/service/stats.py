@@ -123,6 +123,11 @@ class StatsSnapshot:
                 f"KiB, routes {be.get('dispatch', {})}, "
                 f"kernels {be.get('kernels', {})}"
             )
+            if be.get("kernel_times_ms"):
+                lines.append(
+                    f"  kernel times (ms): {be['kernel_times_ms']}, "
+                    f"bit workers {be.get('bit_workers', 1)}"
+                )
         return "\n".join(lines)
 
 

@@ -123,6 +123,34 @@ def save_autotune_fr_min_rows(
     _merge_entry(store_root, backend_name, device_name, fields)
 
 
+def load_autotune_tiled_min_words(
+    store_root: str | Path, backend_name: str, device_name: str
+) -> int | None:
+    """Persisted tiled-parallel word threshold, or None."""
+    entry = _read(autotune_path(store_root)).get(_key(backend_name, device_name))
+    if not isinstance(entry, dict):
+        return None
+    min_words = entry.get("tiled_parallel_min_words")
+    if isinstance(min_words, int) and min_words >= 0:
+        return min_words
+    return None
+
+
+def save_autotune_tiled_min_words(
+    store_root: str | Path,
+    backend_name: str,
+    device_name: str,
+    min_words: int,
+    *,
+    probe_n: int | None = None,
+) -> None:
+    """Record a measured tiled-parallel threshold (atomic rename)."""
+    fields: dict = {"tiled_parallel_min_words": int(min_words)}
+    if probe_n is not None:
+        fields["tiled_probe_n"] = int(probe_n)
+    _merge_entry(store_root, backend_name, device_name, fields)
+
+
 def _merge_entry(
     store_root: str | Path,
     backend_name: str,

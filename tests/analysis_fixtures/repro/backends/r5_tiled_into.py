@@ -1,0 +1,38 @@
+"""R5 fixture: out-parameter contract on tiled ``_into`` kernels.
+
+Never imported — parsed by reprolint only.  Exercises the declared
+output channels the tiled route relies on: ``_into``-suffixed kernels
+and ``out``-named parameters write through their destination legally,
+while an undeclared write into a presence grid must fire.
+"""
+
+
+def tiled_mxm_into(out, a, b, scratch):
+    """Legal: ``_into`` suffix declares the in-place output contract,
+    so writing the output words and refreshing its presence grid must
+    NOT fire."""
+    out.words[...] = 0
+    out.present[...] = False
+    for strip in a.strips:
+        out.words[strip] |= a.words[strip] & b.words[strip]
+    return out
+
+
+def tiled_kron_strip(a, b, out):
+    """Legal: a parameter literally named ``out`` is a declared output
+    channel regardless of the function name."""
+    out[a.rows] = b.words
+    return out
+
+
+def mark_present(grid, ti, tj):
+    """Seeded violation: mutates a parameter without declaring the
+    contract (no ``_into`` suffix, parameter not named ``out``)."""
+    grid[ti, tj] = True
+    return grid
+
+
+def mark_present_justified(grid, ti, tj):
+    """Suppressed twin: documented caller-owned presence grid."""
+    grid[ti, tj] = True  # reprolint: disable=R5
+    return grid

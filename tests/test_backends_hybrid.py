@@ -352,3 +352,168 @@ class TestWrap:
         assert np.array_equal(got[0], ref[0]) and np.array_equal(got[1], ref[1])
         ctx_h.finalize()
         ctx_s.finalize()
+
+
+class TestTiledRoute:
+    """Tiled-kernel arbitration: cost model, worker gating, telemetry."""
+
+    @staticmethod
+    def _backend(**policy_kwargs):
+        from repro.backends import get_backend
+
+        policy = HybridPolicy(mode="bit", **policy_kwargs)
+        return HybridBackend(inner=get_backend("cubool"), policy=policy)
+
+    @staticmethod
+    def _block_diag(backend, n, blocks, density, seed=5):
+        rng = np.random.default_rng(seed)
+        dense = np.zeros((n, n), dtype=bool)
+        bs = n // blocks
+        for b in range(blocks):
+            lo = b * bs
+            dense[lo:lo + bs, lo:lo + bs] = rng.random((bs, bs)) < density
+        rows, cols = np.nonzero(dense)
+        return backend.matrix_from_coo(rows, cols, (n, n)), dense
+
+    def test_policy_validation(self):
+        with pytest.raises(InvalidArgumentError):
+            HybridPolicy(tile_size=100)
+        with pytest.raises(InvalidArgumentError):
+            HybridPolicy(tile_size=0)
+        with pytest.raises(InvalidArgumentError):
+            HybridPolicy(workers=-1)
+        with pytest.raises(InvalidArgumentError):
+            HybridPolicy(tiled_parallel_min_words=-1)
+
+    def test_block_diagonal_routes_tiled(self):
+        hb = self._backend()
+        a, dense = self._block_diag(hb, 1024, 4, 0.05)
+        out = hb.mxm(a, a)
+        kernels = hb.kernel_counts["mxm"]
+        assert any(k.startswith("tiled") for k in kernels), dict(kernels)
+        rows, cols = out.storage.to_coo_arrays()
+        got = np.zeros((1024, 1024), dtype=bool)
+        got[rows, cols] = True
+        assert np.array_equal(got, dense @ dense)
+
+    def test_tiled_disabled_stays_flat(self):
+        hb = self._backend(tiled=False)
+        a, _ = self._block_diag(hb, 1024, 4, 0.05)
+        hb.mxm(a, a)
+        kernels = hb.kernel_counts["mxm"]
+        assert not any(k.startswith("tiled") for k in kernels), dict(kernels)
+
+    def test_single_tile_grid_stays_flat(self):
+        hb = self._backend()
+        a, _ = self._block_diag(hb, 192, 2, 0.2)
+        kernel, workers = hb._bit_mxm_plan(a, a)
+        assert not kernel.startswith("tiled")
+        assert workers == 1
+
+    def test_worker_threshold_gates_fanout(self):
+        from repro.backends.hybrid import TILED_PARALLEL_NEVER
+
+        hb = self._backend(workers=4, tiled_parallel_min_words=0)
+        a, _ = self._block_diag(hb, 1024, 4, 0.05)
+        hb._ensure_bit(a)
+        kernel, workers = hb._bit_mxm_plan(a, a)
+        assert kernel.startswith("tiled") and workers == 4
+        never = self._backend(
+            workers=4, tiled_parallel_min_words=TILED_PARALLEL_NEVER
+        )
+        b, _ = self._block_diag(never, 1024, 4, 0.05)
+        never._ensure_bit(b)
+        kernel, workers = never._bit_mxm_plan(b, b)
+        assert workers == 1
+
+    def test_bit_workers_resolution(self, monkeypatch):
+        hb = self._backend(workers=3)
+        assert hb.bit_workers == 3
+        monkeypatch.setenv("REPRO_BIT_WORKERS", "2")
+        env_hb = self._backend()  # workers=0 defers to the environment
+        assert env_hb.bit_workers == 2
+        monkeypatch.delenv("REPRO_BIT_WORKERS")
+        assert self._backend().bit_workers == 1
+
+    def test_ensure_resident_tiled(self):
+        hb = self._backend()
+        a, _ = self._block_diag(hb, 512, 2, 0.05)
+        hb.ensure_resident(a, "tiled")
+        assert a.bit is not None and a.tiled is not None
+        a.tiled.validate()
+        # Cached: a second call reuses the wrap.
+        view = a.tiled
+        hb.ensure_resident(a, "tiled")
+        assert a.tiled is view
+
+    def test_kernel_times_accumulate(self):
+        hb = self._backend()
+        a, _ = self._block_diag(hb, 1024, 4, 0.05)
+        hb.mxm(a, a)
+        times = hb.kernel_times["mxm"]
+        assert set(times) == set(hb.kernel_counts["mxm"])
+        assert all(t >= 0.0 for t in times.values())
+
+    def test_wrap_backend_tiled_knobs(self):
+        from repro.backends import get_backend
+
+        hb = wrap_backend(get_backend("clbool"), tiled=False, workers=5)
+        assert hb.policy.tiled is False
+        assert hb.policy.workers == 5
+        assert hb.bit_workers == 5
+
+
+class TestTiledAutotune:
+    def test_probe_returns_threshold_or_never(self):
+        from repro.backends import get_backend
+        from repro.backends.hybrid import (
+            TILED_PARALLEL_NEVER,
+            autotune_tiled_parallel,
+        )
+
+        t = autotune_tiled_parallel(
+            get_backend("cubool"), blocks=2, runs=1, use_cache=False
+        )
+        assert t == TILED_PARALLEL_NEVER or t >= 1
+
+    def test_process_cache_hit(self, monkeypatch):
+        from repro.backends import get_backend
+        from repro.backends.hybrid import (
+            _TILED_AUTOTUNE_CACHE,
+            autotune_tiled_parallel,
+        )
+
+        inner = get_backend("cubool")
+        key = (inner.name, inner.device.name)
+        monkeypatch.setitem(_TILED_AUTOTUNE_CACHE, key, 777)
+        assert autotune_tiled_parallel(inner) == 777
+
+    def test_persistence_round_trip(self, tmp_path):
+        from repro.store.metadata import (
+            load_autotune_tiled_min_words,
+            save_autotune_tiled_min_words,
+        )
+
+        assert load_autotune_tiled_min_words(tmp_path, "cubool", "dev") is None
+        save_autotune_tiled_min_words(
+            tmp_path, "cubool", "dev", 4096, probe_n=768
+        )
+        assert (
+            load_autotune_tiled_min_words(tmp_path, "cubool", "dev") == 4096
+        )
+
+    def test_wrap_backend_autotune_sets_threshold(self, monkeypatch):
+        from repro.backends import get_backend
+        from repro.backends.hybrid import (
+            _AUTOTUNE_CACHE,
+            _FR_AUTOTUNE_CACHE,
+            _TILED_AUTOTUNE_CACHE,
+        )
+
+        inner = get_backend("clbool")
+        key = (inner.name, inner.device.name)
+        monkeypatch.setitem(_AUTOTUNE_CACHE, key, 0.02)
+        monkeypatch.setitem(_FR_AUTOTUNE_CACHE, key, 64)
+        monkeypatch.setitem(_TILED_AUTOTUNE_CACHE, key, 31337)
+        hybrid = wrap_backend(inner, autotune=True)
+        assert hybrid.policy.tiled_parallel_min_words == 31337
