@@ -76,15 +76,18 @@ def incremental_transitive_closure(closure: Matrix, delta: Matrix) -> Matrix:
 
     Given ``closure`` already transitively closed and ``delta`` a batch
     of new edges, returns the closure of their union.  Every genuinely
-    new path decomposes as old-path · new-edge · old-path segments, so
-    the loop multiplies through the delta only:
+    new path crosses at least one new edge, so the loop is semi-naive:
+    a *frontier* of newly discovered pairs (initially the delta itself)
+    is multiplied against the bulk state from both sides under the
+    structural complement mask
 
-        ``new ← (closure ∨ new) · delta · (closure ∨ new)`` until fixpoint,
+        ``new ← (total·frontier ∨ frontier·total) ∧ ¬total``
 
-    realized as repeated accumulate-products; the iteration count is
-    bounded by the longest chain of *new* edges on any new path, which
-    is typically tiny compared to the diameter (the property the tensor
-    CFPQ algorithm exploits).
+    so each round's products return only genuinely new pairs.  The
+    fixpoint test is ``new.nnz == 0`` — the size of the *change*, not a
+    full-matrix entry-count comparison — and each round's work scales
+    with the shrinking frontier rather than the whole closure (the
+    property the tensor CFPQ algorithm and :mod:`repro.incr` exploit).
     """
     _check_square(closure, "incremental_transitive_closure")
     if closure.shape != delta.shape:
@@ -94,14 +97,17 @@ def incremental_transitive_closure(closure: Matrix, delta: Matrix) -> Matrix:
     total = closure.ewise_add(delta)
     if delta.nnz == 0:
         return total
+    frontier = delta.dup()
     with closure.context.backend.fixpoint():
         while True:
-            # One hop through at least one new edge each round:
-            left = total.mxm(delta, accumulate=total)   # paths ending with a new edge
-            grown = left.mxm(total, accumulate=left)    # extended by old/new paths
+            # Paths gaining one frontier pair, minus everything known:
+            left = total.mxm(frontier, mask=total)
+            new = frontier.mxm(total, accumulate=left, mask=total)
             left.free()
-            if grown.nnz == total.nnz:
-                grown.free()
+            frontier.free()
+            if new.nnz == 0:
+                new.free()
                 return total
+            grown = total.ewise_add(new)
             total.free()
-            total = grown
+            total, frontier = grown, new

@@ -511,7 +511,10 @@ class KernelPurity(Rule):
       — **unless** the function declares the in-place contract: its
       name ends in ``_into`` or ``_inplace`` (the fused accumulate
       kernels, whose out-parameter mutation *is* the declared result),
-      or the mutated parameter is named ``out``.
+      or the mutated parameter is named ``out``.  A parameter named
+      ``mask`` is exempt from the exemption: the masked-accumulate
+      contract makes the mask a read-only operand even inside a
+      declared in-place kernel, so writes to it always fire.
     """
 
     id = "R5"
@@ -522,6 +525,10 @@ class KernelPurity(Rule):
     INTO_SUFFIXES = ("_into", "_inplace")
     #: Parameter names that are an explicit output by convention.
     OUT_PARAMS = ("out", "self", "cls")
+    #: Parameter names that are read-only by contract *everywhere*,
+    #: including declared in-place kernels (masked accumulate: the mask
+    #: filters the product, it is never an output).
+    READONLY_PARAMS = ("mask",)
 
     def check(self, module: ModuleContext) -> Iterator[Finding]:
         if not module.in_dirs("backends/"):
@@ -574,6 +581,15 @@ class KernelPurity(Rule):
                     fn_name, params = scope
                     root = self._subscript_root(tgt)
                     if root is None or root not in params:
+                        continue
+                    if root in self.READONLY_PARAMS:
+                        yield module.finding(
+                            self.id,
+                            node,
+                            f"{fn_name} writes to its {root!r} parameter "
+                            f"(read-only by the masked-accumulate "
+                            f"contract, even in *_into kernels)",
+                        )
                         continue
                     if fn_name.endswith(self.INTO_SUFFIXES):
                         continue  # declared in-place kernel contract

@@ -162,6 +162,7 @@ class Backend(abc.ABC):
         a: BackendMatrix,
         b: BackendMatrix,
         accumulate: BackendMatrix | None = None,
+        mask: BackendMatrix | None = None,
     ) -> BackendMatrix:
         """Boolean matrix product ``A·B`` (the C API's ``C += A x B``).
 
@@ -184,7 +185,47 @@ class Backend(abc.ABC):
           the same handle three times); implementations must read the
           accumulate pattern as-of call time, never Gauss–Seidel
           through a half-written output.
+
+        With ``mask`` the product is filtered by the *complement*
+        before the merge: the result is ``accumulate ∨ ((A·B) ∧ ¬mask)``
+        (GraphBLAS structural complement mask).  ``mask`` must match
+        the output shape, is never mutated, may alias any other
+        operand, and composes with ``accumulate`` — the masked product
+        of the incremental fixpoints passes ``mask=accumulate`` so only
+        *new* facts survive (``nnz == 0`` on the returned delta means
+        the fixed point is reached, no full-matrix comparison pass).
+        On the bit path the mask is applied inside the ``*_into``
+        kernels per contribution; sparse backends subtract the mask
+        pattern from the product before the accumulate merge.
         """
+
+    def _apply_complement_mask(
+        self, product: BackendMatrix, mask: BackendMatrix
+    ) -> BackendMatrix:
+        """Shared sparse fallback for :meth:`mxm`'s ``mask``: rebuild
+        ``product ∧ ¬mask`` by key difference on host COO, consuming
+        (freeing) ``product`` and returning a new handle.
+
+        Both patterns read back in canonical row-major order, so the
+        mask keys are already sorted for ``searchsorted`` membership.
+        """
+        self._check_same_shape("mxm-mask", product, mask)
+        try:
+            rows, cols = self.matrix_to_coo(product)
+            mrows, mcols = self.matrix_to_coo(mask)
+            ncols = product.ncols
+            keys = rows.astype(np.int64) * ncols + cols.astype(np.int64)
+            mkeys = mrows.astype(np.int64) * ncols + mcols.astype(np.int64)
+            if mkeys.size and keys.size:
+                pos = np.searchsorted(mkeys, keys)
+                # A key past every mask key cannot match mkeys[0]
+                # (it is strictly greater), so clamping is safe.
+                pos[pos == mkeys.size] = 0
+                keep = mkeys[pos] != keys
+                rows, cols = rows[keep], cols[keep]
+            return self.matrix_from_coo(rows, cols, product.shape)
+        finally:
+            product.free()
 
     @abc.abstractmethod
     def ewise_add(self, a: BackendMatrix, b: BackendMatrix) -> BackendMatrix:

@@ -52,7 +52,7 @@ class ClBoolBackend(Backend):
 
     # -- operations ------------------------------------------------------
 
-    def mxm(self, a, b, accumulate=None):
+    def mxm(self, a, b, accumulate=None, mask=None):
         self._check_mxm_shapes(a, b)
         sa: BoolCoo = a.storage
         sb: BoolCoo = b.storage
@@ -68,6 +68,8 @@ class ClBoolBackend(Backend):
         )
         shape = (a.nrows, b.ncols)
         product = self._adopt_coo(shape, rows, cols, buffers)
+        if mask is not None:
+            product = self._apply_complement_mask(product, mask)
         if accumulate is None:
             return product
         self._check_same_shape("mxm-accumulate", accumulate, product)

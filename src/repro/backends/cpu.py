@@ -36,18 +36,26 @@ class CpuBackend(Backend):
 
     # -- operations ------------------------------------------------------
 
-    def mxm(self, a, b, accumulate=None):
+    def mxm(self, a, b, accumulate=None, mask=None):
         self._check_mxm_shapes(a, b)
         sa: BoolCsr = a.storage
         sb: BoolCsr = b.storage
         a_rows, a_cols = sa.to_coo_arrays()
         c_rows, c_cols = common.expand_products(a_rows, a_cols, sb.rowptr, sb.cols)
         shape = (a.nrows, b.ncols)
+        if mask is not None:
+            # The mask filters the raw product only — accumulate entries
+            # must survive it — so subtract before the concatenation.
+            self._check_same_shape("mxm-mask", mask, _shape_proxy(shape))
+            product = BackendMatrix(BoolCsr.from_coo(c_rows, c_cols, shape), self)
+            masked = self._apply_complement_mask(product, mask)
+            c_rows, c_cols = masked.storage.to_coo_arrays()
+            masked.free()
         if accumulate is not None:
             self._check_same_shape("mxm-accumulate", accumulate, _shape_proxy(shape))
             acc_rows, acc_cols = accumulate.storage.to_coo_arrays()
-            c_rows = np.concatenate([c_rows, acc_rows.astype(np.int64)])
-            c_cols = np.concatenate([c_cols, acc_cols.astype(np.int64)])
+            c_rows = np.concatenate([c_rows.astype(np.int64), acc_rows.astype(np.int64)])
+            c_cols = np.concatenate([c_cols.astype(np.int64), acc_cols.astype(np.int64)])
         return BackendMatrix(BoolCsr.from_coo(c_rows, c_cols, shape), self)
 
     def ewise_add(self, a, b):

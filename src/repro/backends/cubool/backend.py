@@ -70,7 +70,7 @@ class CuBoolBackend(Backend):
 
     # -- operations ------------------------------------------------------
 
-    def mxm(self, a, b, accumulate=None):
+    def mxm(self, a, b, accumulate=None, mask=None):
         self._check_mxm_shapes(a, b)
         sa: BoolCsr = a.storage
         sb: BoolCsr = b.storage
@@ -88,6 +88,8 @@ class CuBoolBackend(Backend):
         )
         shape = (a.nrows, b.ncols)
         product = self._adopt_csr(shape, rowptr, cols, buffers)
+        if mask is not None:
+            product = self._apply_complement_mask(product, mask)
         if accumulate is None:
             return product
         self._check_same_shape("mxm-accumulate", accumulate, product)

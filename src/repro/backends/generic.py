@@ -92,7 +92,7 @@ class GenericBackend(Backend):
 
     # -- operations ------------------------------------------------------
 
-    def mxm(self, a, b, accumulate=None):
+    def mxm(self, a, b, accumulate=None, mask=None):
         self._check_mxm_shapes(a, b)
         sa: ValCsr = a.storage
         sb: ValCsr = b.storage
@@ -148,6 +148,8 @@ class GenericBackend(Backend):
 
         rows_u, cols_u = common.coo_from_keys(keys_u, shape[1])
         product = self._emit(shape, rows_u.astype(np.int64), cols_u.astype(np.int64), vals_u)
+        if mask is not None:
+            product = self._apply_complement_mask(product, mask)
         if accumulate is None:
             return product
         self._check_same_shape("mxm-accumulate", accumulate, product)

@@ -23,9 +23,11 @@ device).  For ``C = A·B`` with ``A: m x k``, ``B: k x n``:
 
 * bit kernel:     ``m * k * ceil(n / 64)`` word ops (the blocked
   broadcast OR-reduction touches every A bit once per B word column);
-* sparse kernel:  ``alpha * nnz(A) * nnz(B) / k`` — the expected
-  multiset expansion size, scaled by ``alpha``, the measured per-product
-  overhead of hashing/sorting relative to a word op.
+* sparse kernel:  ``alpha * (nnz(A) * nnz(B) / k + nnz(A) + nnz(B))``
+  — the expected multiset expansion size plus one traversal of each
+  stored operand (format prep is O(nnz) even when the product itself is
+  tiny), scaled by ``alpha``, the measured per-product overhead of
+  hashing/sorting relative to a word op.
 
 ``alpha`` is derived from the configured crossover density ``d*`` so the
 two costs break even for a square equal-density multiply exactly at
@@ -454,6 +456,33 @@ class HybridBackend(Backend):
         )
         return pairs, scan
 
+    def _tiled_mxm_estimate(self, a: HybridMatrix, b: HybridMatrix) -> float:
+        """Word-op estimate of the tiled bit ``mxm`` route — ``inf``
+        when the policy disables tiling or the grid is a single tile.
+
+        Present tile pairs × per-pair work, plus the presence-scan cost
+        for non-resident operands and the output presence rescan.  Used
+        both by :meth:`_bit_mxm_plan` (kernel arbitration) and by
+        :meth:`estimate_costs` (route arbitration), so the cost model
+        sees the same tile-skipping win the kernel would realize.
+        """
+        pol = self.policy
+        m, k = a.shape
+        n = b.ncols
+        if not (pol.tiled and m and k and n):
+            return float("inf")
+        tile = pol.tile_size
+        ntr, ntk, ntj = -(-m // tile), -(-k // tile), -(-n // tile)
+        if ntr * ntk * ntj <= 1:
+            return float("inf")
+        pairs, conv = self._tile_pairs(a, b, ntr, ntk, ntj)
+        wpt = tile // WORD_BITS
+        return (
+            pairs * (tile * tile * wpt + TILE_PAIR_OVERHEAD_WORDS)
+            + conv
+            + float(m * _words_per_row(n))
+        )
+
     def _bit_mxm_plan(self, a: HybridMatrix, b: HybridMatrix) -> tuple[str, int]:
         """Choose the bit ``mxm`` kernel and worker count.
 
@@ -485,10 +514,7 @@ class HybridBackend(Backend):
         wpt = tile // WORD_BITS
         pairs, conv = self._tile_pairs(a, b, ntr, ntk, ntj)
         refresh = float(m * wpr)
-        tiled_cost = (
-            pairs * (tile * tile * wpt + TILE_PAIR_OVERHEAD_WORDS)
-            + conv + refresh
-        )
+        tiled_cost = self._tiled_mxm_estimate(a, b)
         sel_shape, red_shape = scratch_shapes(tile)
         scratch_bytes = 8 * (
             sel_shape[0] * sel_shape[1] * sel_shape[2]
@@ -527,6 +553,7 @@ class HybridBackend(Backend):
         b: HybridMatrix,
         kernel: str,
         workers: int,
+        mask: BitMatrix | None = None,
     ) -> TiledBitMatrix:
         """Execute the tiled multiply with arena-accounted worker scratch.
 
@@ -557,6 +584,7 @@ class HybridBackend(Backend):
                 four_russians=four_russians,
                 workers=workers,
                 scratch=scratch,
+                mask=mask,
             )
         finally:
             for sbuf in scratch_bufs:
@@ -673,7 +701,12 @@ class HybridBackend(Backend):
             m, k = a.shape
             n = b.ncols
             flops = a.nnz * b.nnz / max(1, k)
-            sparse = pol.spgemm_flop_cost * flops
+            # Charge the operand traversal too: the sparse kernel reads
+            # every stored element at least once (format prep, column
+            # gather), so a huge-closure × one-edge-frontier product is
+            # O(nnz(closure)), not O(flops) — without this term the
+            # incremental fixpoints' asymmetric products misroute sparse.
+            sparse = pol.spgemm_flop_cost * (flops + a.nnz + b.nnz)
             wpr = _words_per_row(n)
             bit_kernel = m * k * wpr
             if self._fr_eligible(m, k, n):
@@ -683,6 +716,11 @@ class HybridBackend(Backend):
                 bit_kernel = min(
                     bit_kernel, (m + _FR_TABLE_ENTRIES) * groups * wpr
                 )
+            # Credit tile skipping before the route is chosen: against a
+            # few-tile operand the tiled kernel visits only present tile
+            # pairs, and pricing the bit route at the flat kernel's full
+            # m*k word count would hand those products to sparse.
+            bit_kernel = min(bit_kernel, self._tiled_mxm_estimate(a, b))
             bit = bit_kernel + conv
             bytes_needed += self._bit_words(m, n) * 8
         elif op in ("ewise_add", "ewise_mult"):
@@ -752,16 +790,21 @@ class HybridBackend(Backend):
 
     # -- operations --------------------------------------------------------
 
-    def mxm(self, a, b, accumulate=None):
+    def mxm(self, a, b, accumulate=None, mask=None):
         self._check_mxm_shapes(a, b)
         out_shape = (a.nrows, b.ncols)
         if accumulate is not None and accumulate.shape != out_shape:
             raise DimensionMismatchError(
                 "mxm-accumulate", accumulate.shape, out_shape
             )
+        if mask is not None and mask.shape != out_shape:
+            raise DimensionMismatchError("mxm-mask", mask.shape, out_shape)
         if self._route("mxm", a, b) == "bit":
             a_bit: BitMatrix = self._ensure_bit(a).storage
             b_bit: BitMatrix = self._ensure_bit(b).storage
+            mask_bit: BitMatrix | None = (
+                self._ensure_bit(mask).storage if mask is not None else None
+            )
             if not self.policy.fuse:
                 # E13 ablation baseline — the pre-fusion pipeline:
                 # blocked kernel into an arena product temporary, then
@@ -771,6 +814,10 @@ class HybridBackend(Backend):
                 tmp, tmp_buf = self._alloc_bit(out_shape)
                 tmp.words.fill(0)
                 tmp.mxm_into(a_bit, b_bit)
+                if mask_bit is not None:
+                    # Post-pass complement on the product temporary —
+                    # the unfused pipeline has a real product to filter.
+                    tmp.words &= ~mask_bit.words
                 if accumulate is None:
                     return HybridMatrix(
                         self, bit=BackendMatrix(tmp, self, [tmp_buf])
@@ -786,7 +833,9 @@ class HybridBackend(Backend):
             # and output at once.  The seed copy reads the accumulator
             # as-of call time, so `accumulate` may alias a or b (the
             # contract's C <- C OR C*C case) — the *_into kernel never
-            # writes into its operands.
+            # writes into its operands.  The mask is applied inside the
+            # kernel per contribution (AND-NOT distributes over the OR
+            # accumulation), so the masked product never materializes.
             kernel, workers = self._bit_mxm_plan(a, b)
             out, buf = self._alloc_bit(out_shape)
             if accumulate is not None:
@@ -796,18 +845,24 @@ class HybridBackend(Backend):
             started = time.perf_counter()
             out_tiled = None
             if kernel in ("tiled", "tiled_four_russians"):
-                out_tiled = self._run_tiled_mxm(out, a, b, kernel, workers)
+                out_tiled = self._run_tiled_mxm(
+                    out, a, b, kernel, workers, mask=mask_bit
+                )
             elif kernel == "four_russians":
-                out.mxm_four_russians_into(a_bit, b_bit)
+                out.mxm_four_russians_into(a_bit, b_bit, mask_bit)
             else:
-                out.mxm_into(a_bit, b_bit)
-            self._record_kernel("mxm", kernel, time.perf_counter() - started)
+                out.mxm_into(a_bit, b_bit, mask_bit)
+            self._record_kernel(
+                "mxm", kernel if mask_bit is None else f"{kernel}_masked",
+                time.perf_counter() - started,
+            )
             return HybridMatrix(
                 self, bit=BackendMatrix(out, self, [buf]), tiled=out_tiled
             )
         acc = self._ensure_sparse(accumulate) if accumulate is not None else None
+        msk = self._ensure_sparse(mask) if mask is not None else None
         return self._wrap_sparse(
-            self.inner.mxm(self._ensure_sparse(a), self._ensure_sparse(b), acc)
+            self.inner.mxm(self._ensure_sparse(a), self._ensure_sparse(b), acc, msk)
         )
 
     def ewise_add(self, a, b):

@@ -77,18 +77,35 @@ def matrix_cfpq(
     ctx,
     *,
     record_witnesses: bool = False,
+    warm_start: dict | None = None,
 ) -> MatrixIndex:
     """Run Azimov's algorithm; the timed "index creation" of Table IV.
 
     ``record_witnesses=True`` additionally builds the single-path
     witness table (a post-pass; excluded from ``stats["time_s"]`` so the
     benchmark times match the paper's reachability-only measurement).
+
+    ``warm_start`` maps nonterminal → host ``(rows, cols)`` fact pairs
+    from a previous fixed point (see :mod:`repro.incr`): the matrices
+    are seeded with them, so after an adds-only edge delta the fixpoint
+    only derives the facts the new edges enable.  Seeding facts that no
+    longer derive (i.e. after a removal) is the caller's bug — the loop
+    is monotone and will happily keep them.
     """
     t0 = time.perf_counter()
     wcnf = cached_wcnf(grammar)
     n = graph.n
 
     matrices = {nt: ctx.matrix_empty((n, n)) for nt in wcnf.nonterminals}
+    if warm_start:
+        for nt, (w_rows, w_cols) in warm_start.items():
+            if nt not in matrices or not len(w_rows):
+                continue
+            seed = ctx.matrix_from_lists((n, n), w_rows, w_cols)
+            merged = matrices[nt].ewise_add(seed)
+            seed.free()
+            matrices[nt].free()
+            matrices[nt] = merged
 
     # Seed terminal rules and the epsilon rule.
     binary_rules: list[tuple[str, str, str]] = []
@@ -150,6 +167,7 @@ def matrix_cfpq(
             "wcnf_rules": len(wcnf.productions),
             "original_rules": len(grammar.productions),
             "nonterminals": len(wcnf.nonterminals),
+            "warm_started": bool(warm_start),
         },
         witnesses=witnesses,
     )

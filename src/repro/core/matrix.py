@@ -158,11 +158,26 @@ class Matrix:
 
     # -- operations ------------------------------------------------------
 
-    def mxm(self, other: "Matrix", accumulate: "Matrix | None" = None) -> "Matrix":
+    def mxm(
+        self,
+        other: "Matrix",
+        accumulate: "Matrix | None" = None,
+        mask: "Matrix | None" = None,
+    ) -> "Matrix":
         """Boolean matrix product; with ``accumulate`` computes
-        ``accumulate ∨ (self · other)`` (the C API's ``C += M × N``)."""
+        ``accumulate ∨ (self · other)`` (the C API's ``C += M × N``).
+
+        ``mask`` is the GraphBLAS structural *complement* mask: the
+        product is filtered to ``(self · other) ∧ ¬mask`` before the
+        accumulate merge.  Passing the previous fixpoint as ``mask``
+        makes the returned delta carry only *new* facts — its ``nnz``
+        is the convergence test of the incremental engines
+        (:mod:`repro.incr`)."""
         acc = self._peer(accumulate, "mxm") if accumulate is not None else None
-        out = self._ctx.backend.mxm(self.handle, self._peer(other, "mxm"), acc)
+        msk = self._peer(mask, "mxm") if mask is not None else None
+        out = self._ctx.backend.mxm(
+            self.handle, self._peer(other, "mxm"), acc, msk
+        )
         return self._ctx._wrap(out)
 
     def __matmul__(self, other: "Matrix") -> "Matrix":

@@ -179,6 +179,21 @@ class BitMatrix(SparseFormat):
                 f"{op}: output words must not alias an operand"
             )
 
+    def _check_mask(self, op: str, mask: "BitMatrix | None") -> np.ndarray | None:
+        """Contract of the ``mask=`` complement filter: same shape as
+        the output, read-only during the kernel, so it may alias an
+        operand but never the output words (the kernel ORs into the
+        output while reading the mask)."""
+        if mask is None:
+            return None
+        if mask.shape != self.shape:
+            raise DimensionMismatchError(f"{op} mask", mask.shape, self.shape)
+        if np.may_share_memory(self.words, mask.words):
+            raise InvalidArgumentError(
+                f"{op}: mask words must not alias the output"
+            )
+        return mask.words
+
     def mxm(self, other: "BitMatrix") -> "BitMatrix":
         """Boolean matrix product over packed words.
 
@@ -190,7 +205,9 @@ class BitMatrix(SparseFormat):
         out = BitMatrix.empty((self.nrows, other.ncols))
         return out.mxm_into(self, other)
 
-    def mxm_into(self, a: "BitMatrix", b: "BitMatrix") -> "BitMatrix":
+    def mxm_into(
+        self, a: "BitMatrix", b: "BitMatrix", mask: "BitMatrix | None" = None
+    ) -> "BitMatrix":
         """OR the boolean product ``a @ b`` into ``self``'s words.
 
         ``self.words[i] |= OR_{j : A[i,j]} B.words[j]``, evaluated
@@ -206,10 +223,19 @@ class BitMatrix(SparseFormat):
         already sitting in ``self`` is never copied or merged in a
         second pass, and no product temporary exists.  ``self`` must not
         alias ``a`` or ``b``.  Returns ``self``.
+
+        ``mask`` filters with the *complement*: the kernel computes
+        ``self ∨= (a·b) ∧ ¬mask``.  AND-NOT distributes over the OR
+        accumulation (``(x ∧ ¬m) ∨ (y ∧ ¬m) = (x ∨ y) ∧ ¬m``), so each
+        per-chunk contribution is masked independently — the full
+        product never materializes even in masked form.  ``mask`` must
+        match the output shape, is only read (it may alias ``a``/``b``),
+        and must not alias the output words.
         """
         if a.ncols != b.nrows:
             raise DimensionMismatchError("mxm_into", a.shape, b.shape)
         self._check_into("mxm_into", a, b, (a.nrows, b.ncols))
+        mask_words = self._check_mask("mxm_into", mask)
         m, k = a.shape
         if m == 0 or k == 0 or b.ncols == 0:
             return self
@@ -237,7 +263,10 @@ class BitMatrix(SparseFormat):
             for r0 in range(0, m, chunk):
                 r1 = min(m, r0 + chunk)
                 sel = np.where(abits[r0:r1, None, :], bblk[None, :, :], zero)
-                out[r0:r1] |= np.bitwise_or.reduce(sel, axis=2)
+                contrib = np.bitwise_or.reduce(sel, axis=2)
+                if mask_words is not None:
+                    contrib &= ~mask_words[r0:r1]
+                out[r0:r1] |= contrib
         return self
 
     def mxm_four_russians(self, other: "BitMatrix") -> "BitMatrix":
@@ -249,7 +278,9 @@ class BitMatrix(SparseFormat):
         out = BitMatrix.empty((self.nrows, other.ncols))
         return out.mxm_four_russians_into(self, other)
 
-    def mxm_four_russians_into(self, a: "BitMatrix", b: "BitMatrix") -> "BitMatrix":
+    def mxm_four_russians_into(
+        self, a: "BitMatrix", b: "BitMatrix", mask: "BitMatrix | None" = None
+    ) -> "BitMatrix":
         """OR ``a @ b`` into ``self`` with precomputed OR-combination
         tables (Four Russians / Karppa–Kaski style).
 
@@ -265,11 +296,14 @@ class BitMatrix(SparseFormat):
         ``four_russians_min_k`` break-even.
 
         Same contract as :meth:`mxm_into`: fused accumulate, no product
-        temporary, ``self`` must not alias an operand.  Returns ``self``.
+        temporary, ``self`` must not alias an operand, and ``mask``
+        (complement filter, ``self ∨= (a·b) ∧ ¬mask``) is applied per
+        table-gather contribution.  Returns ``self``.
         """
         if a.ncols != b.nrows:
             raise DimensionMismatchError("mxm_four_russians_into", a.shape, b.shape)
         self._check_into("mxm_four_russians_into", a, b, (a.nrows, b.ncols))
+        mask_words = self._check_mask("mxm_four_russians_into", mask)
         m, k = a.shape
         if m == 0 or k == 0 or b.ncols == 0:
             return self
@@ -297,7 +331,10 @@ class BitMatrix(SparseFormat):
             t_g = table[g]
             for r0 in range(0, m, chunk):
                 r1 = min(m, r0 + chunk)
-                out[r0:r1] |= t_g[sel[r0:r1]]
+                if mask_words is None:
+                    out[r0:r1] |= t_g[sel[r0:r1]]
+                else:
+                    out[r0:r1] |= t_g[sel[r0:r1]] & ~mask_words[r0:r1]
         return self
 
     def kron(self, other: "BitMatrix") -> "BitMatrix":

@@ -212,6 +212,7 @@ class TiledBitMatrix(SparseFormat):
         four_russians: bool = False,
         workers: int = 1,
         scratch: list | None = None,
+        mask: BitMatrix | None = None,
     ) -> "TiledBitMatrix":
         """OR the boolean product ``a @ b`` into ``self``'s words,
         visiting only present tile pairs.
@@ -227,12 +228,17 @@ class TiledBitMatrix(SparseFormat):
         of :func:`scratch_shapes` for the blocked path (the hybrid
         backend passes arena-accounted buffers); None allocates host
         scratch.  The Four-Russians variant replaces the scratch with
-        per-present-B-tile 256-entry OR tables.  Returns ``self``.
+        per-present-B-tile 256-entry OR tables.  ``mask`` is a *flat*
+        :class:`BitMatrix` complement filter of the output shape
+        (``self ∨= (a·b) ∧ ¬mask``, per-contribution like the flat
+        kernels — read-only, so workers share it safely).  Returns
+        ``self``.
         """
         if a.ncols != b.nrows:
             raise DimensionMismatchError("mxm_into", a.shape, b.shape)
         _check_tiles("mxm_into", self, a, b)
         self.flat._check_into("mxm_into", a.flat, b.flat, (a.nrows, b.ncols))
+        mask_words = self.flat._check_mask("mxm_into", mask)
         m, k = a.shape
         if m == 0 or k == 0 or b.ncols == 0:
             self.refresh_presence()
@@ -257,7 +263,7 @@ class TiledBitMatrix(SparseFormat):
         else:
             scratch = [None] * workers
         if workers == 1:
-            _mxm_strips(self.flat.words, a, b, strips, scratch[0], tables)
+            _mxm_strips(self.flat.words, a, b, strips, scratch[0], tables, mask_words)
         else:
             pool = _pool(workers)
             futures = [
@@ -269,6 +275,7 @@ class TiledBitMatrix(SparseFormat):
                     strips[w::workers],
                     scratch[w],
                     tables,
+                    mask_words,
                 )
                 for w in range(workers)
             ]
@@ -376,6 +383,7 @@ def _mxm_strips(
     strips: list[int],
     scratch: tuple[np.ndarray, np.ndarray] | None,
     tables: dict | None,
+    mask_words: np.ndarray | None = None,
 ) -> None:
     """Run the tiled multiply for the given output row-strips.
 
@@ -383,7 +391,8 @@ def _mxm_strips(
     worker-pool partitioning contract.  ``tables`` switches to the
     Four-Russians byte-gather path (tables built per present B tile);
     otherwise ``scratch`` is the ``(sel, red)`` pair of
-    :func:`scratch_shapes`.
+    :func:`scratch_shapes`.  ``mask_words`` (read-only, shared across
+    workers) AND-NOTs each tile contribution before the output OR.
     """
     tile = a.tile
     wpt = tile // WORD_BITS
@@ -420,11 +429,19 @@ def _mxm_strips(
                     wn = min(wpr_b, w0 + wpt) - w0
                     out_blk = out_words[r0:r1, w0 : w0 + wn]
                     table = tables[(int(tk), int(tj))]
+                    notm = (
+                        None
+                        if mask_words is None
+                        else ~mask_words[r0:r1, w0 : w0 + wn]
+                    )
                     for g in range(groups):
                         selb = a_bytes[:, g]
                         if not selb.any():
                             continue
-                        out_blk |= table[g][selb]
+                        if notm is None:
+                            out_blk |= table[g][selb]
+                        else:
+                            out_blk |= table[g][selb] & notm
                 continue
             # Blocked path: unpack each A word column of the tile once,
             # reuse the per-bit masks across every present B tile in
@@ -450,6 +467,11 @@ def _mxm_strips(
                 w0 = tj * wpt
                 wn = min(wpr_b, w0 + wpt) - w0
                 out_blk = out_words[r0:r1, w0 : w0 + wn]
+                notm = (
+                    None
+                    if mask_words is None
+                    else ~mask_words[r0:r1, w0 : w0 + wn]
+                )
                 for wa, abits in enumerate(abits_per_word):
                     if abits is None:
                         continue
@@ -462,7 +484,10 @@ def _mxm_strips(
                     sub.fill(0)
                     np.copyto(sub, bblk[None, :, :], where=abits[:, None, :])
                     np.bitwise_or.reduce(sub, axis=2, out=red[:rt, :wn])
-                    out_blk |= red[:rt, :wn]
+                    if notm is None:
+                        out_blk |= red[:rt, :wn]
+                    else:
+                        out_blk |= red[:rt, :wn] & notm
 
 
 def _build_fr_tables(b: TiledBitMatrix) -> dict:

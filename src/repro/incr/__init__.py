@@ -1,0 +1,43 @@
+"""repro.incr — incremental evaluation: O(Δ) answers that track the WAL.
+
+The query engines compute fixed points; the service tier's mutations
+arrive as tiny WAL-logged edge deltas.  This package closes the loop
+between the two so that a query issued *after* a small delta pays for
+the delta, not for the graph:
+
+* :class:`~repro.incr.overlay.DeltaOverlay` — a per-(graph, label) COO
+  overlay of pending adds/removes.  :meth:`~repro.service.graph_store.
+  GraphStore.add_edges` records into it instead of rebuilding the full
+  label matrix; query operands merge the overlay lazily (cached per
+  version) and the overlay folds into the base matrices on persist /
+  compaction or when it outgrows its budget.
+* :class:`~repro.incr.state.FixpointState` — host-COO snapshots of an
+  engine's fixed point (closure words, final frontier, tensor facts),
+  small enough to live inside the service's
+  :class:`~repro.service.result_cache.ResultCache` next to the answer.
+* :mod:`~repro.incr.engine` — delta-driven fixpoint restarts for the
+  closure, RPQ (reach + pairs) and CFPQ (matrix + tensor) engines.  All
+  of them lean on the masked-accumulate primitive
+  ``mxm(..., accumulate=C, mask=M)`` = ``C ∨ ((A·B) ∧ ¬M)``: passing
+  the previous fixed point as the mask makes every product return only
+  *new* facts, so "no new facts" is a delta-``nnz`` test instead of a
+  full-matrix entry count.
+
+Correctness rests on Kleene warm-starting: the fixpoint operators here
+are monotone, so iterating from any point between the old and the new
+least fixed point converges to the new one — which is exactly where an
+adds-only delta leaves the cached state.  Removals break monotonicity
+and always fall back to recomputation (the version bump has already
+invalidated the exact-match cache entry).
+
+See ``docs/INCREMENTAL.md`` for the end-to-end walkthrough.
+"""
+
+from repro.incr.overlay import DeltaOverlay, DeltaSummary
+from repro.incr.state import FixpointState
+
+__all__ = [
+    "DeltaOverlay",
+    "DeltaSummary",
+    "FixpointState",
+]

@@ -1,0 +1,65 @@
+"""Host-COO fixed-point state: what a warm restart needs to remember.
+
+A fixed point is a device matrix; caching it *as* a device matrix would
+pin arena memory for answers that may never be asked again.  Instead the
+engines snapshot the coordinate pattern to host arrays —
+:class:`FixpointState` is a named bag of ``(rows, cols)`` pairs plus the
+metadata needed to validate that a later query is allowed to resume from
+it (same engine, same automaton/grammar geometry, same graph size).
+
+States ride inside the service's
+:class:`~repro.service.result_cache.ResultCache` next to the frozen
+answer, so LRU eviction bounds their memory and a graph drop /
+re-register invalidates them with the answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def matrix_coo(matrix) -> tuple[np.ndarray, np.ndarray]:
+    """Snapshot a device matrix's pattern to host int64 arrays."""
+    rows, cols = matrix.to_arrays()
+    return rows.astype(np.int64, copy=False), cols.astype(np.int64, copy=False)
+
+
+@dataclass(frozen=True)
+class FixpointState:
+    """One engine's resumable fixed point, in host memory.
+
+    ``kind`` names the producing engine (``"closure"``, ``"reach"``,
+    ``"tensor"``, ``"matrix-cfpq"``); ``shape`` is the device shape of
+    the primary matrix; ``coo`` maps component name → host ``(rows,
+    cols)``; ``meta`` carries the geometry checks (``n``, automaton
+    state count, ...).  Instances are immutable — a state is a snapshot
+    of one version, never edited in place.
+    """
+
+    kind: str
+    shape: tuple[int, int]
+    coo: dict = field(default_factory=dict)
+    meta: dict = field(default_factory=dict)
+
+    def nnz(self, name: str) -> int:
+        rows, _ = self.coo.get(name, (np.empty(0, np.int64),) * 2)
+        return int(rows.size)
+
+    def matrix(self, ctx, name: str, shape: tuple[int, int] | None = None):
+        """Rebuild component ``name`` as a device matrix on ``ctx``."""
+        rows, cols = self.coo[name]
+        return ctx.matrix_from_lists(shape or self.shape, rows, cols)
+
+    def compatible(self, kind: str, shape: tuple[int, int], **meta) -> bool:
+        """May an engine of ``kind``/``shape`` resume from this state?
+
+        Geometry must match exactly: a plan-cache recompile yields the
+        same automaton, but a graph re-register with a different vertex
+        count (new handle, same name) must never warm-start — the extra
+        ``meta`` items (``n``, ``k``...) pin that down.
+        """
+        if self.kind != kind or tuple(self.shape) != tuple(shape):
+            return False
+        return all(self.meta.get(key) == value for key, value in meta.items())

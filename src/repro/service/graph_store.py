@@ -47,6 +47,11 @@ class GraphHandle:
     #: Attached :class:`~repro.store.volume.GraphVolume` (or None for a
     #: purely in-memory graph); deltas are WAL-logged through it.
     volume: object = field(default=None, repr=False, compare=False)
+    #: :class:`~repro.incr.overlay.DeltaOverlay` of pending edge deltas
+    #: (None when the store runs with ``overlay=False``): mutations
+    #: record here instead of rebuilding label matrices, and
+    #: :meth:`query_matrices` merges it into the operands.
+    overlay: object = field(default=None, repr=False, compare=False)
     queries_served: int = 0  # guarded-by: _lock
     _lock: object = field(
         default_factory=lambda: make_lock("GraphHandle._lock"),
@@ -79,10 +84,37 @@ class GraphHandle:
         """Resident device bytes across all labels (every view)."""
         return sum(m.memory_bytes() for m in self.matrices.values())
 
+    def query_matrices(self) -> dict:
+        """Label → operand matrix, with pending deltas merged in.
+
+        Without an overlay this is ``matrices`` itself (always rebuilt
+        eagerly).  With one, labels carrying pending deltas are replaced
+        by the overlay's merged view (cached per overlay stamp), and
+        labels born purely from deltas appear even though no base matrix
+        exists yet.  Borrowed either way — callers must not free.
+        """
+        if self.overlay is None:
+            return self.matrices
+        out = dict(self.matrices)
+        for label in self.overlay.touched_labels():
+            merged = self.overlay.operand(label, out.get(label))
+            if merged is not None:
+                out[label] = merged
+        return out
+
+    def delta_since(self, version: int):
+        """Overlay journal summary after ``version`` (None = unknowable);
+        the scheduler's warm-start arbitration input."""
+        if self.overlay is None:
+            return None
+        return self.overlay.delta_since(version)
+
     def free(self) -> None:
         for m in self.matrices.values():
             m.free()
         self.matrices = {}
+        if self.overlay is not None:
+            self.overlay.free()
         if self.volume is not None:
             self.volume.close()
 
@@ -98,11 +130,32 @@ class GraphStore:
     :meth:`remove_edges` WAL-log every mutation before applying it.
     """
 
-    def __init__(self, ctx, *, store_root: str | Path | None = None):
+    def __init__(
+        self,
+        ctx,
+        *,
+        store_root: str | Path | None = None,
+        overlay: bool = True,
+        overlay_fold_limit: int = 8192,
+    ):
         self.ctx = ctx
         self.store_root = Path(store_root) if store_root is not None else None
+        #: With ``overlay=True`` (default) mutations record into a
+        #: :class:`~repro.incr.overlay.DeltaOverlay` instead of
+        #: rebuilding label matrices; a label folds back into its base
+        #: matrix once its pending set reaches ``overlay_fold_limit``
+        #: edges (and on every persist).
+        self.use_overlay = bool(overlay)
+        self.overlay_fold_limit = int(overlay_fold_limit)
         self._lock = make_lock("GraphStore._lock")
         self._graphs: dict[str, GraphHandle] = {}  # guarded-by: _lock
+
+    def _make_overlay(self, graph: LabeledGraph, version: int):
+        if not self.use_overlay:
+            return None
+        from repro.incr.overlay import DeltaOverlay
+
+        return DeltaOverlay(self.ctx, (graph.n, graph.n), version)
 
     def register(
         self,
@@ -137,6 +190,7 @@ class GraphStore:
             matrices=matrices,
             residency=residency,
             formats=formats,
+            overlay=self._make_overlay(graph, 0),
         )
         with self._lock:
             old = self._graphs.get(name)
@@ -229,6 +283,13 @@ class GraphStore:
         # the snapshot does not contain.  Concurrent persist() calls
         # serialise here too, so generation numbers cannot collide.
         with handle._lock:
+            # Compaction point: fold pending overlay deltas into the base
+            # matrices so the snapshotted formats and the resident state
+            # agree, and the overlay restarts empty.
+            if handle.overlay is not None:
+                for label in handle.overlay.touched_labels():
+                    self._rebuild_label(handle, label)
+                handle.overlay.fold()
             volume = handle.volume
             if volume is None:
                 volume = self.open_volume(name, create=True)
@@ -306,6 +367,7 @@ class GraphStore:
             formats=formats,
             version=state.version,
             volume=volume,
+            overlay=self._make_overlay(state.graph, state.version),
         )
         with self._lock:
             old = self._graphs.get(name)
@@ -338,11 +400,8 @@ class GraphStore:
         graph version."""
         return self._mutate(name, "remove", label, edges)
 
-    def _mutate(self, name: str, op: str, label: str, edges) -> int:
-        from repro.store.volume import apply_deltas
-        from repro.store.wal import EdgeDelta
-
-        handle = self.get(name)
+    @staticmethod
+    def _edge_batch(handle: GraphHandle, edges) -> np.ndarray:
         batch = np.asarray(edges, dtype=np.int64)
         if batch.ndim != 2 or batch.shape[1] != 2:
             raise InvalidArgumentError("edges must have shape (count, 2)")
@@ -352,26 +411,81 @@ class GraphStore:
                 lo, hi = int(values.min()), int(values.max())
                 if lo < 0 or hi >= n:
                     raise IndexOutOfBoundsError(axis, lo if lo < 0 else hi, n)
+        return batch
+
+    def _rebuild_label(self, handle: GraphHandle, label: str) -> None:
+        """Rebuild one label's base matrix from the authoritative host
+        edge list — the O(label) conversion the overlay path defers to
+        fold time.  Caller holds ``handle._lock``."""
+        n = handle.n
+        pairs = handle.graph.edges.get(label, [])
+        if pairs:
+            arr = np.asarray(pairs, dtype=np.int64)
+            matrix = self.ctx.matrix_from_lists((n, n), arr[:, 0], arr[:, 1])
+        else:
+            matrix = self.ctx.matrix_empty((n, n))
+        fmt = self._label_residency(matrix, handle.residency)
+        # The previous matrix is dereferenced, not freed: in-flight
+        # evaluations may still read it; the arena reclaims its
+        # buffers when the last reference drops.
+        handle.matrices[label] = matrix
+        handle.formats[label] = fmt
+
+    def _mutate(self, name: str, op: str, label: str, edges) -> int:
+        return self.apply_batch(name, [(op, label, edges)])
+
+    def apply_batch(self, name: str, deltas) -> int:
+        """Apply (and WAL-log) a heterogeneous mutation batch.
+
+        ``deltas`` is an iterable of ``(op, label, edges)`` triples with
+        ``op`` in ``{"add", "remove"}``; each triple gets its own WAL
+        record and version bump (matching :meth:`add_edges` semantics),
+        all applied under one handle lock acquisition.
+
+        On the overlay path no matrix is rebuilt at all — batches land
+        in the :class:`~repro.incr.overlay.DeltaOverlay` and labels fold
+        only once their pending set reaches ``overlay_fold_limit``.
+        Without an overlay, each *touched label* is rebuilt exactly once
+        at the end — not once per batch element, which is what made
+        multi-delta ingest O(batch · graph) before.
+
+        Returns the final graph version.
+        """
+        from repro.store.volume import apply_deltas
+        from repro.store.wal import EdgeDelta
+
+        handle = self.get(name)
+        items = []
+        for op, label, edges in deltas:
+            if op not in ("add", "remove"):
+                raise InvalidArgumentError(
+                    f"unknown delta op {op!r} (add / remove)"
+                )
+            items.append((op, str(label), self._edge_batch(handle, edges)))
         with handle._lock:
-            version = handle.version + 1
-            # WAL before state: once append_delta returns, the batch is
-            # fsynced; a crash after this point replays it on restore.
-            if handle.volume is not None:
-                handle.volume.append_delta(op, label, batch, version=version)
-            delta = EdgeDelta(op, label, batch.astype(np.uint32), version)
-            apply_deltas(handle.graph, [delta])
-            pairs = handle.graph.edges.get(label, [])
-            if pairs:
-                arr = np.asarray(pairs, dtype=np.int64)
-                matrix = self.ctx.matrix_from_lists((n, n), arr[:, 0], arr[:, 1])
-            else:
-                matrix = self.ctx.matrix_empty((n, n))
-            fmt = self._label_residency(matrix, handle.residency)
-            # The previous matrix is dereferenced, not freed: in-flight
-            # evaluations may still read it; the arena reclaims its
-            # buffers when the last reference drops.
-            handle.matrices[label] = matrix
-            handle.formats[label] = fmt
+            version = handle.version
+            touched: set[str] = set()
+            for op, label, batch in items:
+                version += 1
+                # WAL before state: once append_delta returns, the batch
+                # is fsynced; a crash after this point replays it on
+                # restore.
+                if handle.volume is not None:
+                    handle.volume.append_delta(op, label, batch, version=version)
+                delta = EdgeDelta(op, label, batch.astype(np.uint32), version)
+                apply_deltas(handle.graph, [delta])
+                if handle.overlay is not None:
+                    handle.overlay.record(op, label, batch, version)
+                touched.add(label)
+            for label in sorted(touched):
+                if handle.overlay is None:
+                    self._rebuild_label(handle, label)
+                elif (
+                    handle.overlay.pending_edges(label)
+                    >= self.overlay_fold_limit
+                ):
+                    self._rebuild_label(handle, label)
+                    handle.overlay.fold(label)
             handle.version = version
         return version
 
@@ -394,6 +508,9 @@ class GraphStore:
                     "version": h.current_version(),
                     "persistent": h.volume is not None,
                     "queries_served": h.served(),
+                    "overlay": (
+                        h.overlay.stats() if h.overlay is not None else None
+                    ),
                 }
                 for h in handles
             },

@@ -19,6 +19,13 @@ Values are stored as frozensets and copied out on hit, so callers may
 mutate what they receive without corrupting the cache.  Uncacheable
 queries (prebuilt NFA/RSM plans have no canonical key) bypass the
 cache entirely.
+
+Entries optionally carry a :class:`~repro.incr.state.FixpointState`
+next to the answer — the engine's resumable fixed point.  A query at
+version ``v+k`` that misses exactly can still find its *ancestor* (same
+key at the newest version ≤ v+k) via :meth:`ResultCache.get_ancestor`
+and, when the delta since then was adds-only and small, warm-start the
+fixpoint from it instead of recomputing (see :mod:`repro.incr`).
 """
 
 from __future__ import annotations
@@ -44,6 +51,7 @@ class ResultCache:
         self.misses = 0  # guarded-by: _lock
         self.evictions = 0  # guarded-by: _lock
         self.invalidations = 0  # guarded-by: _lock
+        self.ancestor_hits = 0  # guarded-by: _lock
 
     @staticmethod
     def make_key(
@@ -73,20 +81,48 @@ class ResultCache:
         if key is None:
             return False, None
         with self._lock:
-            value = self._entries.get(key, _MISS)
-            if value is _MISS:
+            entry = self._entries.get(key, _MISS)
+            if entry is _MISS:
                 self.misses += 1
                 return False, None
             self.hits += 1
             self._entries.move_to_end(key)
-        return True, set(value)
+        return True, set(entry[0])
 
-    def put(self, key: tuple | None, value) -> None:
+    def get_ancestor(self, key: tuple | None):
+        """Newest same-query entry at a version ≤ the requested one.
+
+        Scans for entries equal to ``key`` in every component except
+        version (index 2) and returns ``(version, value, state)`` for
+        the newest match, or None.  The value is the cached answer *as
+        of that version* — the caller owns deciding whether the delta
+        since then permits reuse (adds-only, small; see the scheduler's
+        arbitration).  Does not count as a hit/miss and does not touch
+        LRU order: lineage lookups must not keep stale entries alive.
+        """
+        if key is None:
+            return None
+        rest = key[:2] + key[3:]
+        version = key[2]
+        best = None
+        with self._lock:
+            for k, (value, state) in self._entries.items():
+                if k[:2] + k[3:] != rest or k[2] > version:
+                    continue
+                if best is None or k[2] > best[0]:
+                    best = (k[2], value, state)
+            if best is not None:
+                self.ancestor_hits += 1
+        return best
+
+    def put(self, key: tuple | None, value, state=None) -> None:
+        """Store an answer, optionally with its resumable fixpoint
+        ``state`` (a :class:`~repro.incr.state.FixpointState`)."""
         if key is None:
             return
         frozen = frozenset(value)
         with self._lock:
-            self._entries[key] = frozen
+            self._entries[key] = (frozen, state)
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
@@ -115,5 +151,6 @@ class ResultCache:
                 "misses": self.misses,
                 "evictions": self.evictions,
                 "invalidations": self.invalidations,
+                "ancestor_hits": self.ancestor_hits,
                 "hit_ratio": self.hits / lookups if lookups else 0.0,
             }

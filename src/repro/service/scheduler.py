@@ -125,7 +125,22 @@ class QueryTicket:
 
 
 class QueryScheduler:
-    """Bounded-queue worker pool with same-graph query coalescing."""
+    """Bounded-queue worker pool with same-graph query coalescing.
+
+    Evaluation is two-speed (see :mod:`repro.incr`): a cache miss first
+    looks for an *ancestor* entry — the same query at an older graph
+    version whose cached fixed point can be warm-started — and only
+    falls back to the from-scratch fixpoint when the delta since that
+    version was empty-handed (removals, too large, or unknowable).
+    Counters ``incremental_evals`` / ``full_evals`` /
+    ``incremental_declined`` report which path ran.
+    """
+
+    #: Warm-start is declined when the delta exceeds
+    #: ``max(INCR_MIN_BUDGET, edges / INCR_BUDGET_FRACTION)`` — past
+    #: that point replaying the delta approaches recomputation cost.
+    INCR_MIN_BUDGET = 64
+    INCR_BUDGET_FRACTION = 8
 
     def __init__(
         self,
@@ -359,11 +374,13 @@ class QueryScheduler:
         t0 = time.perf_counter()
         try:
             if kind == KIND_REACH:
-                results = self._eval_reach(resolved, cancel)
+                results, states = self._eval_reach(resolved, keys, cancel)
             elif kind == KIND_PAIRS:
-                results = [self._eval_pairs(handle, resolved[0][2])]
+                result, state = self._eval_pairs(handle, resolved[0][2], keys[0])
+                results, states = [result], [state]
             elif kind == KIND_CFPQ:
-                results = [self._eval_cfpq(handle, resolved[0][2])]
+                result, state = self._eval_cfpq(handle, resolved[0][2], keys[0])
+                results, states = [result], [state]
             else:  # pragma: no cover - submit() validates kinds
                 raise QueryCancelledError(f"unknown query kind {kind!r}")
         except QueryCancelledError as exc:
@@ -393,7 +410,7 @@ class QueryScheduler:
         self.stats.record_batch(len(tickets))
         handle.record_served(len(tickets))
         now = time.monotonic()
-        for (ticket, result), key in zip(zip(tickets, results), keys):
+        for (ticket, result), key, state in zip(zip(tickets, results), keys, states):
             ticket.timings["evaluate"] = eval_time
             self.stats.record_stage("evaluate", eval_time)
             ticket.batch_size = len(tickets)
@@ -419,41 +436,134 @@ class QueryScheduler:
                     and key is not None
                     and handle.current_version() == key[2]
                 ):
-                    self.results.put(key, result)
+                    self.results.put(key, result, state=state)
+
+    # -- incremental arbitration ------------------------------------------
+
+    def _warm_start(self, handle, key):
+        """``(state, adds)`` when an incremental restart is worthwhile.
+
+        Requires an ancestor cache entry carrying a fixpoint state AND
+        an overlay journal proving the delta since that version was
+        adds-only and small.  Removals, oversized deltas, and unknowable
+        spans (overlay disabled, journal pruned) all return None — the
+        from-scratch path is the only safe answer there.
+        """
+        if self.results is None or key is None:
+            return None
+        ancestor = self.results.get_ancestor(key)
+        if ancestor is None:
+            return None
+        version, _value, state = ancestor
+        if state is None:
+            return None
+        summary = handle.delta_since(version)
+        if summary is None or not summary.adds_only or summary.count == 0:
+            return None
+        budget = max(
+            self.INCR_MIN_BUDGET,
+            handle.graph.num_edges // self.INCR_BUDGET_FRACTION,
+        )
+        if summary.count > budget:
+            self.stats.count("incremental_declined")
+            return None
+        return state, summary.adds
+
+    def _wants_state(self, key) -> bool:
+        """Capture fixpoint state only when it can be cached at all."""
+        return self.results is not None and key is not None
 
     # -- evaluation backends ----------------------------------------------
 
-    def _eval_reach(self, resolved: list, cancel) -> list:
+    def _eval_reach(self, resolved: list, keys: list, cancel):
         from repro.rpq.engine import rpq_reach_batch
 
         # All members share one graph (grouping key); plans may differ —
         # the batch evaluator deduplicates identical plan objects.
         handle = resolved[0][1]
-        return rpq_reach_batch(
+        adjacency = handle.query_matrices()
+        if len(resolved) == 1:
+            # Singleton groups run the frontier engine directly: same
+            # answer as a batch of one, but it can warm-start from (and
+            # snapshot) the final frontier.
+            from repro.incr.engine import rpq_reach_incremental
+
+            ticket, handle, plan = resolved[0]
+            warm = self._warm_start(handle, keys[0])
+            targets, state, used, _ = rpq_reach_incremental(
+                plan.nfa,
+                handle.n,
+                ticket.source,
+                self.ctx,
+                adjacency,
+                warm[0] if warm is not None else None,
+                cancel,
+            )
+            self.stats.count("incremental_evals" if used else "full_evals")
+            if not self._wants_state(keys[0]):
+                state = None
+            return [targets], [state]
+        # Coalesced batches share one frontier matrix; its final state
+        # is not attributable to a single cache key, so no state rides.
+        self.stats.count("full_evals", len(resolved))
+        results = rpq_reach_batch(
             handle.graph,
             [plan.nfa for _, _, plan in resolved],
             [ticket.source for ticket, _, _ in resolved],
             self.ctx,
-            adjacency=handle.matrices,
+            adjacency=adjacency,
             cancel=cancel,
         )
+        return results, [None] * len(resolved)
 
-    def _eval_pairs(self, handle, plan) -> set:
+    def _eval_pairs(self, handle, plan, key):
         from repro.rpq.engine import rpq_index
 
+        warm = self._warm_start(handle, key)
+        if warm is not None:
+            from repro.incr.engine import rpq_pairs_incremental
+
+            out = rpq_pairs_incremental(
+                plan.nfa, handle.n, self.ctx, warm[0], warm[1]
+            )
+            if out is not None:
+                self.stats.count("incremental_evals")
+                return out
+        self.stats.count("full_evals")
+        from repro.incr.engine import pairs_state_from_index
+
         index = rpq_index(
-            handle.graph, plan.nfa, self.ctx, adjacency=handle.matrices
+            handle.graph, plan.nfa, self.ctx, adjacency=handle.query_matrices()
         )
         try:
-            return index.pairs()
+            state = (
+                pairs_state_from_index(index) if self._wants_state(key) else None
+            )
+            return index.pairs(), state
         finally:
             index.free()
 
-    def _eval_cfpq(self, handle, plan) -> set:
+    def _eval_cfpq(self, handle, plan, key):
         from repro.cfpq.tensor_algorithm import tensor_cfpq
+
+        warm = self._warm_start(handle, key)
+        if warm is not None:
+            from repro.incr.engine import tensor_cfpq_incremental
+
+            out = tensor_cfpq_incremental(
+                handle.graph, plan.rsm, self.ctx, warm[0], warm[1]
+            )
+            if out is not None:
+                self.stats.count("incremental_evals")
+                return out
+        self.stats.count("full_evals")
+        from repro.incr.engine import tensor_state_from_index
 
         index = tensor_cfpq(handle.graph, plan.rsm, self.ctx)
         try:
-            return index.pairs()
+            state = (
+                tensor_state_from_index(index) if self._wants_state(key) else None
+            )
+            return index.pairs(), state
         finally:
             index.free()

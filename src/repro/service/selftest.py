@@ -9,8 +9,11 @@ deltas → tear the log tail → stop → warm-restart a fresh service from
 disk, asserting recovery to the last committed version, result
 agreement, and — under the hybrid backend — that BitMatrix snapshots
 came back as zero-copy mmap views (arena ``mapped_bytes``, not heap
-copies).  Exercised by CI under both ``REPRO_HYBRID`` settings; exit
-status is the install check.
+copies).  Later phases cover the fused-accumulate allocation profile,
+the tiled bit kernels, and incremental evaluation (interleaved
+mutations must warm-start, removals must recompute, answers must track
+the oracle).  Exercised by CI under both ``REPRO_HYBRID`` settings;
+exit status is the install check.
 """
 
 from __future__ import annotations
@@ -175,6 +178,9 @@ def run_selftest(
     # -- phase 4: tiled bit kernels vs flat --------------------------------
     failures.extend(_tiled_phase(say=say))
 
+    # -- phase 5: incremental evaluation over live deltas ------------------
+    failures.extend(_incremental_phase(say=say))
+
     if failures:
         say("")
         for f in failures:
@@ -185,7 +191,8 @@ def run_selftest(
         f"selftest ok: {4 * queries} concurrent reach queries + all-pairs "
         f"+ cfpq match the sequential engines; store warm-restart "
         f"(mmap snapshots + WAL recovery) verified; fused bit fixpoint "
-        f"holds arena peak flat; tiled kernels agree with flat"
+        f"holds arena peak flat; tiled kernels agree with flat; "
+        f"incremental warm starts track interleaved mutations"
     )
     return 0
 
@@ -295,6 +302,120 @@ def _tiled_phase(*, say) -> list[str]:
             f"tiled phase ok: closure matches flat over {len(tiled_pairs)} "
             f"pairs, kernels {dict(mxm_kernels)}, "
             f"workers={tiled_backend.bit_workers}, times {times}"
+        )
+    return failures
+
+
+def _incremental_phase(*, say) -> list[str]:
+    """Incremental evaluation: interleave mutations with queries and
+    assert (a) small adds-only deltas take the warm-start path, (b)
+    removals force a full recompute, (c) every answer — warm or cold —
+    agrees with a from-scratch oracle over the mutated graph, and (d)
+    the masked-accumulate kernels the warm path relies on record their
+    ``_masked`` telemetry on the hybrid bit route."""
+    import numpy as np
+
+    import repro
+    from repro.graph import LabeledGraph
+    from repro.rpq import rpq_pairs
+
+    failures: list[str] = []
+    n = 96
+    graph = uniform_random_graph(n, 4 * n, labels=("a", "b"), seed=0xE15)
+    query = "(a | b)+"
+    probe_src = 5
+    rng = np.random.default_rng(0xE15)
+
+    def oracle_pairs(g):
+        ctx = repro.Context(backend="cubool")
+        try:
+            return rpq_pairs(g, query, ctx)
+        finally:
+            ctx.finalize()
+
+    with QueryService(workers=2) as svc:
+        svc.register_graph("incr", graph, residency="auto")
+        current = LabeledGraph.from_triples(graph.triples(), n=n)
+        want = oracle_pairs(current)
+        if svc.pairs("incr", query) != want:
+            failures.append("incremental phase: cold all-pairs diverges")
+        if svc.reach("incr", query, source=probe_src) != {
+            v for u, v in want if u == probe_src
+        }:
+            failures.append("incremental phase: cold reach diverges")
+
+        # Rounds of small adds-only deltas; each re-query must be able
+        # to restart from the previous round's cached fixed point.
+        rounds = 3
+        for i in range(rounds):
+            delta = rng.integers(0, n, size=(4, 2))
+            svc.add_edges("incr", "a", delta)
+            for u, v in delta:
+                current.add_edge(int(u), "a", int(v))
+            want = oracle_pairs(current)
+            if svc.pairs("incr", query) != want:
+                failures.append(f"incremental round {i}: pairs diverge")
+            if svc.reach("incr", query, source=probe_src) != {
+                v for u, v in want if u == probe_src
+            }:
+                failures.append(f"incremental round {i}: reach diverges")
+        counters = svc.stats().counters
+        if counters.get("incremental_evals", 0) < rounds:
+            failures.append(
+                f"adds-only re-queries took the full path "
+                f"(incremental_evals="
+                f"{counters.get('incremental_evals', 0)}, want >= {rounds})"
+            )
+
+        # A removal breaks the adds-only precondition: the next query
+        # must recompute from scratch and track the removal.
+        full_before = counters.get("full_evals", 0)
+        u, v = current.edges["a"][0]
+        svc.remove_edges("incr", "a", [(u, v)])
+        current.edges["a"] = [e for e in current.edges["a"] if e != (u, v)]
+        if svc.pairs("incr", query) != oracle_pairs(current):
+            failures.append("post-removal pairs diverge from oracle")
+        counters = svc.stats().counters
+        if counters.get("full_evals", 0) <= full_before:
+            failures.append(
+                "removal delta did not force a full re-evaluation"
+            )
+        overlay = svc.stats().graph_store["per_graph"]["incr"].get("overlay")
+        if not overlay or overlay["journal_entries"] < rounds + 1:
+            failures.append(
+                f"overlay journal missing mutation history: {overlay}"
+            )
+
+    # Masked-accumulate telemetry: the warm path's mask pushdown must be
+    # visible as `_masked` kernel counts when forced onto the bit route
+    # (deterministic regardless of the REPRO_HYBRID dispatch setting).
+    from repro.backends import get_backend
+    from repro.backends.hybrid import HybridBackend, HybridPolicy
+
+    backend = HybridBackend(
+        inner=get_backend("cubool"), policy=HybridPolicy(mode="bit")
+    )
+    rows = np.arange(64, dtype=np.int64)
+    a = backend.matrix_from_coo(rows, (rows + 1) % 64, (64, 64))
+    out = backend.mxm(a, a, mask=a)
+    out.free()
+    a.free()
+    masked = [
+        k for k in backend.kernel_counts.get("mxm", {})
+        if k.endswith("_masked")
+    ]
+    if not masked:
+        failures.append(
+            f"masked mxm on the bit route recorded no _masked kernel "
+            f"(kernels: {dict(backend.kernel_counts.get('mxm', {}))})"
+        )
+
+    if not failures:
+        say(
+            f"incremental phase ok: {rounds} adds-only rounds warm-"
+            f"started ({counters.get('incremental_evals', 0)} incremental "
+            f"vs {counters.get('full_evals', 0)} full evals), removal "
+            f"forced recompute, masked kernels {masked}"
         )
     return failures
 

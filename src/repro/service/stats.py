@@ -78,6 +78,12 @@ class StatsSnapshot:
         lines.append(
             f"  queue: depth={self.queue_depth} max={self.queue_depth_max}"
         )
+        if c.get("full_evals") or c.get("incremental_evals"):
+            lines.append(
+                f"  evaluations: full={c.get('full_evals', 0)} "
+                f"incremental={c.get('incremental_evals', 0)} "
+                f"declined={c.get('incremental_declined', 0)}"
+            )
         bs = self.batch_sizes
         if bs.get("count"):
             lines.append(

@@ -1,0 +1,34 @@
+"""R5 fixture: the mask stays read-only inside masked ``_into`` kernels.
+
+Never imported — parsed by reprolint only.  The ``_into`` suffix
+declares the in-place *output* contract, but the masked-accumulate
+contract (``C ∨ ((A·B) ∧ ¬M)``) makes the ``mask`` operand input-only
+even there: a kernel that scribbles on its mask corrupts every later
+iteration of the fixpoint that passed ``mask=total``.
+"""
+
+
+def masked_mxm_into(out, a, b, mask):
+    """Legal: writes flow to ``out`` only; the mask is read, never
+    written — this must NOT fire."""
+    for strip in a.strips:
+        out.words[strip] |= (a.words[strip] & b.words[strip]) & ~mask.words[
+            strip
+        ]
+    return out
+
+
+def masked_mxm_scratch_into(out, a, b, mask):
+    """Seeded violation: "normalising" the mask in place looks like a
+    harmless prep step but mutates a read-only operand the caller still
+    owns (typically the fixpoint's own ``total``)."""
+    mask.words[...] &= a.present_words()
+    out.words[...] |= a.words & b.words & ~mask.words
+    return out
+
+
+def masked_mxm_padded_into(out, a, b, mask):
+    """Suppressed twin: documented caller-approved mask padding."""
+    mask.words[...] &= a.present_words()  # reprolint: disable=R5
+    out.words[...] |= a.words & b.words & ~mask.words
+    return out

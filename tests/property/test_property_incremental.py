@@ -1,0 +1,271 @@
+"""Property tests: incremental evaluation ≡ from-scratch.
+
+Two families of invariants pin the repro.incr subsystem:
+
+* **overlay transparency** — for any interleaving of add/remove batches,
+  the overlay-merged operand is element-identical to a matrix rebuilt
+  from the mutated edge set;
+* **warm-start soundness** — for any adds-only delta, restarting a
+  fixpoint from the previous fixed point (closure, single-source reach,
+  all-pairs RPQ, tensor and matrix CFPQ) produces exactly the answer a
+  from-scratch run over the merged graph produces.  The service-level
+  test additionally interleaves removals, where the scheduler must fall
+  back to recomputation — answers must track the oracle either way.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.algorithms.closure import (
+    incremental_transitive_closure,
+    transitive_closure,
+)
+from repro.cfpq import matrix_cfpq, tensor_cfpq
+from repro.grammar import CFG
+from repro.graph import LabeledGraph
+from repro.incr.engine import (
+    matrix_cfpq_incremental,
+    pairs_state_from_index,
+    rpq_pairs_incremental,
+    rpq_reach_incremental,
+    tensor_cfpq_incremental,
+    tensor_state_from_index,
+)
+from repro.incr.overlay import DeltaOverlay
+from repro.rpq import rpq_index, rpq_pairs
+from repro.rpq.engine import _compile
+from repro.service import QueryService
+
+CTX = repro.Context(backend="cpu")
+
+QUERIES = ("(a | b)+", "a b*", "(a b)+ | b")
+GRAMMAR = CFG.from_text("S -> a S b | a b")
+
+
+@st.composite
+def edge_batches(draw, n, max_batches=5, max_batch=4, labels=("a", "b")):
+    """A random interleaving of add/remove batches."""
+    out = []
+    for _ in range(draw(st.integers(1, max_batches))):
+        op = draw(st.sampled_from(["add", "remove"]))
+        size = draw(st.integers(1, max_batch))
+        batch = [
+            (draw(st.integers(0, n - 1)), draw(st.integers(0, n - 1)))
+            for _ in range(size)
+        ]
+        out.append((op, draw(st.sampled_from(labels)), batch))
+    return out
+
+
+@st.composite
+def random_graph(draw, max_n=10, labels=("a", "b")):
+    n = draw(st.integers(3, max_n))
+    g = LabeledGraph(n=n)
+    for _ in range(draw(st.integers(0, 3 * n))):
+        g.add_edge(
+            draw(st.integers(0, n - 1)),
+            draw(st.sampled_from(labels)),
+            draw(st.integers(0, n - 1)),
+        )
+    return g
+
+
+@st.composite
+def adds_only(draw, n, max_edges=5, labels=("a", "b")):
+    """label → (rows, cols) host arrays of added edges."""
+    out = {}
+    for label in labels:
+        size = draw(st.integers(0, max_edges))
+        if size:
+            pairs = [
+                (draw(st.integers(0, n - 1)), draw(st.integers(0, n - 1)))
+                for _ in range(size)
+            ]
+            out[label] = (
+                np.array([u for u, _ in pairs], np.int64),
+                np.array([v for _, v in pairs], np.int64),
+            )
+    return out
+
+
+def _to_set(matrix):
+    rows, cols = matrix.to_arrays()
+    return set(zip(rows.tolist(), cols.tolist()))
+
+
+def _apply(graph, deltas):
+    """Mutated copy of ``graph`` under matrix (set) semantics."""
+    edges = {
+        label: {(u, v) for u, v in pairs}
+        for label, pairs in graph.edges.items()
+    }
+    for op, label, batch in deltas:
+        target = edges.setdefault(label, set())
+        for u, v in batch:
+            (target.add if op == "add" else target.discard)((u, v))
+    out = LabeledGraph(n=graph.n)
+    for label, pairs in edges.items():
+        for u, v in sorted(pairs):
+            out.add_edge(u, label, v)
+    return out
+
+
+def _merged(graph, adds):
+    out = LabeledGraph.from_triples(graph.triples(), n=graph.n)
+    for label, (rows, cols) in adds.items():
+        for u, v in zip(rows.tolist(), cols.tolist()):
+            out.add_edge(u, label, v)
+    return out
+
+
+# -- overlay transparency ----------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_graph(), st.data())
+def test_overlay_operand_matches_rebuild(graph, data):
+    deltas = data.draw(edge_batches(graph.n))
+    base_mats = graph.adjacency_matrices(CTX)
+    overlay = DeltaOverlay(CTX, (graph.n, graph.n), 0)
+    for version, (op, label, batch) in enumerate(deltas, start=1):
+        overlay.record(op, label, np.asarray(batch, np.int64), version)
+    want_graph = _apply(graph, deltas)
+    labels = set(base_mats) | set(overlay.touched_labels())
+    for label in labels:
+        merged = overlay.operand(label, base_mats.get(label))
+        got = _to_set(merged) if merged is not None else set()
+        want = {(u, v) for u, v in want_graph.edges.get(label, ())}
+        assert got == want, (label, deltas)
+    overlay.free()
+    for m in base_mats.values():
+        m.free()
+
+
+# -- warm-start soundness, engine by engine ----------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(random_graph(), st.data())
+def test_incremental_closure_matches_scratch(graph, data):
+    base = graph.adjacency_union(CTX)
+    n = graph.n
+    delta_pairs = data.draw(edge_batches(n, max_batches=1))[0][2]
+    delta = CTX.matrix_from_lists(
+        (n, n),
+        [u for u, _ in delta_pairs],
+        [v for _, v in delta_pairs],
+    )
+    closure = transitive_closure(base)
+    warm = incremental_transitive_closure(closure, delta)
+    both = base.ewise_add(delta)
+    cold = transitive_closure(both)
+    assert _to_set(warm) == _to_set(cold)
+    for m in (base, delta, closure, warm, both, cold):
+        m.free()
+
+
+@settings(max_examples=20, deadline=None)
+@given(random_graph(), st.data())
+def test_incremental_reach_matches_scratch(graph, data):
+    query = data.draw(st.sampled_from(QUERIES))
+    source = data.draw(st.integers(0, graph.n - 1))
+    adds = data.draw(adds_only(graph.n))
+    nfa = _compile(query)
+    adjacency = graph.adjacency_matrices(CTX)
+    targets, state, warm, _ = rpq_reach_incremental(
+        nfa, graph.n, source, CTX, adjacency
+    )
+    assert not warm
+    merged = _merged(graph, adds)
+    merged_adj = merged.adjacency_matrices(CTX)
+    warm_targets, _, warm_used, _ = rpq_reach_incremental(
+        nfa, graph.n, source, CTX, merged_adj, state=state
+    )
+    assert warm_used
+    want = {v for u, v in rpq_pairs(merged, query, CTX) if u == source}
+    assert warm_targets == want
+    assert targets == {
+        v for u, v in rpq_pairs(graph, query, CTX) if u == source
+    }
+    for m in (*adjacency.values(), *merged_adj.values()):
+        m.free()
+
+
+@settings(max_examples=20, deadline=None)
+@given(random_graph(), st.data())
+def test_incremental_pairs_matches_scratch(graph, data):
+    query = data.draw(st.sampled_from(QUERIES))
+    adds = data.draw(adds_only(graph.n))
+    nfa = _compile(query)
+    index = rpq_index(graph, nfa, CTX)
+    state = pairs_state_from_index(index)
+    index.free()
+    result = rpq_pairs_incremental(nfa, graph.n, CTX, state, adds)
+    assert result is not None
+    pairs, new_state = result
+    merged = _merged(graph, adds)
+    assert pairs == rpq_pairs(merged, query, CTX)
+    # The republished state must itself be a valid restart point.
+    again = rpq_pairs_incremental(nfa, graph.n, CTX, new_state, {})
+    assert again is not None and again[0] == pairs
+
+
+@settings(max_examples=15, deadline=None)
+@given(random_graph(), st.data())
+def test_incremental_tensor_cfpq_matches_scratch(graph, data):
+    adds = data.draw(adds_only(graph.n))
+    index = tensor_cfpq(graph, GRAMMAR, CTX)
+    state = tensor_state_from_index(index)
+    index.free()
+    result = tensor_cfpq_incremental(graph, GRAMMAR, CTX, state, adds)
+    assert result is not None
+    pairs, _ = result
+    merged = _merged(graph, adds)
+    cold = tensor_cfpq(merged, GRAMMAR, CTX)
+    want = cold.pairs()
+    cold.free()
+    assert pairs == want
+
+
+@settings(max_examples=15, deadline=None)
+@given(random_graph(), st.data())
+def test_incremental_matrix_cfpq_matches_scratch(graph, data):
+    adds = data.draw(adds_only(graph.n))
+    cold_base = matrix_cfpq(graph, GRAMMAR, CTX)
+    prev = {
+        nt: m.to_arrays() for nt, m in cold_base.matrices.items()
+    }
+    cold_base.free()
+    merged = _merged(graph, adds)
+    warm = matrix_cfpq_incremental(merged, GRAMMAR, CTX, prev)
+    cold = matrix_cfpq(merged, GRAMMAR, CTX)
+    assert warm.stats["warm_started"]
+    assert warm.pairs() == cold.pairs()
+    warm.free()
+    cold.free()
+
+
+# -- service level: random add/remove interleavings --------------------------
+
+
+@settings(max_examples=8, deadline=None)
+@given(random_graph(max_n=8), st.data())
+def test_service_tracks_interleaved_mutations(graph, data):
+    query = data.draw(st.sampled_from(QUERIES))
+    deltas = data.draw(edge_batches(graph.n, max_batches=4, max_batch=3))
+    current = LabeledGraph.from_triples(graph.triples(), n=graph.n)
+    with QueryService(backend="cpu", workers=1) as svc:
+        svc.register_graph("g", graph)
+        assert svc.pairs("g", query) == rpq_pairs(current, query, CTX)
+        applied = []
+        for op, label, batch in deltas:
+            if op == "add":
+                svc.add_edges("g", label, batch)
+            else:
+                svc.remove_edges("g", label, batch)
+            applied.append((op, label, batch))
+            want = _apply(graph, applied)
+            got = svc.pairs("g", query)
+            assert got == rpq_pairs(want, query, CTX), (op, label, batch)

@@ -22,10 +22,12 @@ ALL_RULES = ("R1", "R2", "R3", "R4", "R5", "R6")
 
 # R2 has two fixtures: the arena-flow one (bitmatrix.py) and the
 # memmap-flow one (store/container.py).  R5 plants two violations in
-# r5_impure.py (hidden nondeterminism, undeclared parameter mutation)
-# and one in r5_tiled_into.py (undeclared presence-grid write among
-# legal tiled ``_into`` kernels that must not fire).
-PER_RULE = {rule: {"R2": 2, "R5": 3}.get(rule, 1) for rule in ALL_RULES}
+# r5_impure.py (hidden nondeterminism, undeclared parameter mutation),
+# one in r5_tiled_into.py (undeclared presence-grid write among legal
+# tiled ``_into`` kernels that must not fire), and one in
+# r5_masked_into.py (mask mutation inside a declared ``_into`` kernel —
+# the mask is read-only by the masked-accumulate contract).
+PER_RULE = {rule: {"R2": 2, "R5": 4}.get(rule, 1) for rule in ALL_RULES}
 
 
 def test_every_seeded_violation_fires_on_corpus():
@@ -44,6 +46,7 @@ def test_seeded_violations_land_in_the_expected_files():
         ("R3", "r3_guarded.py"),
         ("R4", "r4_except.py"),
         ("R5", "r5_impure.py"),
+        ("R5", "r5_masked_into.py"),
         ("R5", "r5_tiled_into.py"),
         ("R6", "r6_shapes.py"),
     }
@@ -64,7 +67,7 @@ def test_rule_selection_scopes_the_run():
 def test_single_file_root_resolves_package_paths():
     target = FIXTURES / "repro" / "backends" / "r5_impure.py"
     findings = lint_paths([str(target)])
-    # r5_impure.py alone carries two of R5's three seeded violations.
+    # r5_impure.py alone carries two of R5's four seeded violations.
     assert [f.rule for f in findings] == ["R5"] * 2
 
 

@@ -1,0 +1,427 @@
+"""Incremental evaluation (repro.incr): overlay, state, warm starts.
+
+Covers the delta subsystem end to end: the :class:`DeltaOverlay` merge
+semantics and journal arbitration, the per-label rebuild batching in
+``GraphStore.apply_batch`` (conversion-count regressions for both the
+overlay and the eager path), the resumable :class:`FixpointState` +
+``ResultCache.get_ancestor`` lineage, the scheduler's incremental-vs-
+recompute arbitration, and the remove_edges crash/recovery story
+through the persistent store.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.datasets.random_graphs import uniform_random_graph
+from repro.graph import LabeledGraph
+from repro.incr.overlay import DeltaOverlay, DeltaSummary
+from repro.incr.state import FixpointState, matrix_coo
+from repro.rpq import rpq_pairs
+from repro.service import QueryService
+from repro.service.graph_store import GraphStore
+from repro.service.result_cache import ResultCache
+
+
+@pytest.fixture(scope="module")
+def mctx():
+    context = repro.Context(backend="cpu")
+    yield context
+    context.finalize()
+
+
+def _to_set(matrix):
+    rows, cols = matrix.to_arrays()
+    return set(zip(rows.tolist(), cols.tolist()))
+
+
+def _graph(n=24, edges=90, labels=("a", "b"), seed=3):
+    return uniform_random_graph(n, edges, labels=labels, seed=seed)
+
+
+# -- DeltaOverlay ------------------------------------------------------------
+
+
+class TestDeltaOverlay:
+    def test_merge_matches_rebuild(self, mctx):
+        n = 16
+        rng = np.random.default_rng(5)
+        base_pairs = {(int(u), int(v)) for u, v in rng.integers(0, n, (30, 2))}
+        base = mctx.matrix_from_lists(
+            (n, n),
+            [u for u, _ in base_pairs],
+            [v for _, v in base_pairs],
+        )
+        overlay = DeltaOverlay(mctx, (n, n), 0)
+        expected = set(base_pairs)
+        version = 0
+        for op, batch in (
+            ("add", [(0, 1), (2, 3)]),
+            ("remove", [(0, 1)]),
+            ("add", [(0, 1), (5, 6)]),          # re-add after remove
+            ("remove", list(base_pairs)[:4]),   # drop base edges
+        ):
+            version += 1
+            overlay.record(op, "a", np.asarray(batch, np.int64), version)
+            if op == "add":
+                expected |= {(int(u), int(v)) for u, v in batch}
+            else:
+                expected -= {(int(u), int(v)) for u, v in batch}
+        merged = overlay.operand("a", base)
+        assert merged is not base
+        assert _to_set(merged) == expected
+        # Cached until the next mutation: same object back.
+        assert overlay.operand("a", base) is merged
+        overlay.record("add", "a", np.asarray([(7, 8)], np.int64), version + 1)
+        merged2 = overlay.operand("a", base)
+        assert merged2 is not merged
+        assert _to_set(merged2) == expected | {(7, 8)}
+        overlay.free()
+        base.free()
+
+    def test_untouched_label_borrows_base(self, mctx):
+        base = mctx.matrix_from_lists((4, 4), [0], [1])
+        overlay = DeltaOverlay(mctx, (4, 4), 0)
+        assert overlay.operand("a", base) is base
+        overlay.record("add", "b", np.asarray([(1, 2)], np.int64), 1)
+        assert overlay.operand("a", base) is base
+        born = overlay.operand("b", None)  # label born in the overlay
+        assert _to_set(born) == {(1, 2)}
+        overlay.free()
+        base.free()
+
+    def test_delta_since_arbitration(self, mctx):
+        overlay = DeltaOverlay(mctx, (8, 8), 0)
+        overlay.record("add", "a", np.asarray([(0, 1), (1, 2)], np.int64), 1)
+        overlay.record("add", "b", np.asarray([(2, 3)], np.int64), 2)
+        summary = overlay.delta_since(0)
+        assert isinstance(summary, DeltaSummary)
+        assert summary.adds_only and summary.count == 3
+        assert set(summary.adds) == {"a", "b"}
+        rows, cols = summary.adds["a"]
+        assert list(zip(rows.tolist(), cols.tolist())) == [(0, 1), (1, 2)]
+        # Mid-stream version: only the suffix.
+        assert overlay.delta_since(1).count == 1
+        # Nothing after the current version.
+        empty = overlay.delta_since(2)
+        assert empty.adds_only and empty.count == 0 and not empty.adds
+        # A removal anywhere in the span kills adds_only (and adds).
+        overlay.record("remove", "a", np.asarray([(0, 1)], np.int64), 3)
+        tainted = overlay.delta_since(0)
+        assert not tainted.adds_only and tainted.count == 4 and not tainted.adds
+        overlay.free()
+
+    def test_journal_prune_raises_floor(self, mctx):
+        overlay = DeltaOverlay(mctx, (8, 8), 0, journal_limit=2)
+        for version in (1, 2, 3):
+            overlay.record(
+                "add", "a", np.asarray([(0, version)], np.int64), version
+            )
+        # Version 1 was pruned: spans reaching below the floor are
+        # unknowable and must force a recompute.
+        assert overlay.delta_since(0) is None
+        assert overlay.delta_since(1).count == 2
+        overlay.free()
+
+    def test_fold_clears_pending_keeps_journal(self, mctx):
+        overlay = DeltaOverlay(mctx, (8, 8), 0)
+        overlay.record("add", "a", np.asarray([(0, 1)], np.int64), 1)
+        base = mctx.matrix_from_lists((8, 8), [0], [1])  # post-rebuild base
+        overlay.fold("a")
+        assert overlay.pending_edges() == 0
+        assert overlay.operand("a", base) is base
+        # Warm starts survive the fold: the journal still answers.
+        assert overlay.delta_since(0).count == 1
+        overlay.free()
+        base.free()
+
+
+# -- GraphStore batching (conversion-count regressions) ----------------------
+
+
+class TestApplyBatch:
+    @staticmethod
+    def _count_conversions(monkeypatch, ctx):
+        calls = []
+        original = ctx.matrix_from_lists
+
+        def counting(shape, rows, cols):
+            calls.append(shape)
+            return original(shape, rows, cols)
+
+        monkeypatch.setattr(ctx, "matrix_from_lists", counting)
+        return calls
+
+    def test_eager_path_rebuilds_once_per_label(self, mctx, monkeypatch):
+        store = GraphStore(mctx, overlay=False)
+        store.register("g", _graph())
+        calls = self._count_conversions(monkeypatch, mctx)
+        version = store.apply_batch(
+            "g",
+            [
+                ("add", "a", [(0, 1)]),
+                ("add", "a", [(1, 2)]),
+                ("remove", "a", [(0, 1)]),
+                ("add", "b", [(2, 3)]),
+            ],
+        )
+        assert version == 4  # one version bump per triple
+        # Two touched labels -> exactly two rebuilds, not four.
+        assert len(calls) == 2
+        handle = store.get("g")
+        assert (1, 2) in _to_set(handle.matrices["a"])
+        assert (0, 1) not in {
+            e for e in handle.graph.edges["a"] if e == (0, 1)
+        }
+        store.clear()
+
+    def test_overlay_path_defers_all_rebuilds(self, mctx, monkeypatch):
+        store = GraphStore(mctx, overlay=True)
+        store.register("g", _graph())
+        calls = self._count_conversions(monkeypatch, mctx)
+        store.apply_batch(
+            "g",
+            [
+                ("add", "a", [(0, 1)]),
+                ("remove", "b", [(3, 4)]),
+                ("add", "a", [(1, 2)]),
+            ],
+        )
+        assert calls == []  # O(delta) acknowledge: no matrix touched
+        handle = store.get("g")
+        assert handle.overlay.pending_edges() == 3
+        # The merge happens lazily, at query-operand time.
+        operands = handle.query_matrices()
+        assert calls  # now the overlay built its merged views
+        assert (0, 1) in _to_set(operands["a"])
+        store.clear()
+
+    def test_overlay_folds_at_limit(self, mctx):
+        store = GraphStore(mctx, overlay=True, overlay_fold_limit=4)
+        store.register("g", _graph())
+        handle = store.get("g")
+        store.apply_batch("g", [("add", "a", [(0, 1), (1, 2), (2, 3)])])
+        assert handle.overlay.pending_edges("a") == 3
+        store.apply_batch("g", [("add", "a", [(3, 4), (4, 5)])])
+        # Limit reached: folded into the base matrix, overlay drained.
+        assert handle.overlay.pending_edges("a") == 0
+        assert handle.overlay.folds == 1
+        assert (4, 5) in _to_set(handle.matrices["a"])
+        store.clear()
+
+    def test_rejects_unknown_op(self, mctx):
+        store = GraphStore(mctx)
+        store.register("g", _graph())
+        with pytest.raises(repro.errors.InvalidArgumentError):
+            store.apply_batch("g", [("upsert", "a", [(0, 1)])])
+        store.clear()
+
+
+# -- FixpointState / ResultCache lineage -------------------------------------
+
+
+class TestFixpointState:
+    def test_round_trip(self, mctx):
+        m = mctx.matrix_from_lists((6, 6), [0, 1, 5], [1, 2, 0])
+        state = FixpointState(
+            "closure", (6, 6), {"closure": matrix_coo(m)}, {"n": 6, "k": 1}
+        )
+        back = state.matrix(mctx, "closure")
+        assert _to_set(back) == _to_set(m)
+        assert state.nnz("closure") == 3
+        assert state.compatible("closure", (6, 6), n=6, k=1)
+        assert not state.compatible("closure", (6, 6), n=6, k=2)
+        assert not state.compatible("reach", (6, 6), n=6, k=1)
+        assert not state.compatible("closure", (7, 7), n=6, k=1)
+        back.free()
+        m.free()
+
+
+class TestAncestorLookup:
+    def test_get_ancestor_prefers_newest_at_or_below(self):
+        cache = ResultCache(8)
+        key_v0 = ("pairs", "g", 0, "regex", "a+", None)
+        key_v2 = ("pairs", "g", 2, "regex", "a+", None)
+        key_v5 = ("pairs", "g", 5, "regex", "a+", None)
+        cache.put(key_v0, {(0, 1)}, state="s0")
+        cache.put(key_v2, {(0, 1), (1, 2)}, state="s2")
+        version, value, state = cache.get_ancestor(key_v5)
+        assert (version, state) == (2, "s2")
+        assert value == {(0, 1), (1, 2)}
+        # Exact version counts as its own ancestor.
+        assert cache.get_ancestor(key_v2)[0] == 2
+        # Different plan / graph / source never matches.
+        assert cache.get_ancestor(("pairs", "h", 5, "regex", "a+", None)) is None
+        assert (
+            cache.get_ancestor(("pairs", "g", 5, "regex", "b+", None)) is None
+        )
+        assert cache.get_ancestor(None) is None
+        assert cache.stats()["ancestor_hits"] == 2
+
+    def test_ancestor_does_not_refresh_lru(self):
+        cache = ResultCache(2)
+        old = ("pairs", "g", 0, "regex", "a+", None)
+        cache.put(old, {(0, 0)}, state="s")
+        cache.get_ancestor(("pairs", "g", 9, "regex", "a+", None))
+        cache.put(("pairs", "g", 1, "regex", "b+", None), set())
+        cache.put(("pairs", "g", 2, "regex", "c+", None), set())
+        # The lineage lookup must not have kept the stale entry alive.
+        assert cache.get(old) == (False, None)
+
+
+# -- service arbitration -----------------------------------------------------
+
+
+class TestServiceArbitration:
+    QUERY = "(a | b)+"
+
+    def _mirror(self, graph):
+        return LabeledGraph.from_triples(graph.triples(), n=graph.n)
+
+    def test_small_adds_warm_start_all_engines(self):
+        graph = _graph(n=32, edges=120)
+        current = self._mirror(graph)
+        grammar = "S -> a S b | a b"
+        with QueryService(backend="cpu", workers=1) as svc:
+            svc.register_graph("g", graph)
+            svc.pairs("g", self.QUERY)
+            svc.reach("g", self.QUERY, source=3)
+            svc.cfpq("g", grammar)
+            delta = [(0, 9), (4, 17)]
+            svc.add_edges("g", "a", delta)
+            for u, v in delta:
+                current.add_edge(u, "a", v)
+            got_pairs = svc.pairs("g", self.QUERY)
+            got_reach = svc.reach("g", self.QUERY, source=3)
+            got_cfpq = svc.cfpq("g", grammar)
+            counters = svc.stats().counters
+            assert counters.get("incremental_evals", 0) == 3
+            assert counters.get("incremental_declined", 0) == 0
+        oracle_ctx = repro.Context(backend="cpu")
+        try:
+            want = rpq_pairs(current, self.QUERY, oracle_ctx)
+            from repro.cfpq.engine import cfpq
+            from repro.grammar.cfg import CFG
+
+            index = cfpq(current, CFG.from_text(grammar), oracle_ctx)
+            want_cfpq = index.pairs()
+            index.free()
+        finally:
+            oracle_ctx.finalize()
+        assert got_pairs == want
+        assert got_reach == {v for u, v in want if u == 3}
+        assert got_cfpq == want_cfpq
+
+    def test_removal_declines_warm_start(self):
+        graph = _graph(n=24, edges=90)
+        with QueryService(backend="cpu", workers=1) as svc:
+            svc.register_graph("g", graph)
+            svc.pairs("g", self.QUERY)
+            u, v = graph.edges["a"][0]
+            svc.remove_edges("g", "a", [(u, v)])
+            svc.pairs("g", self.QUERY)
+            counters = svc.stats().counters
+            assert counters.get("incremental_evals", 0) == 0
+            assert counters.get("full_evals", 0) == 2
+
+    def test_oversized_delta_declined(self):
+        graph = _graph(n=24, edges=40)
+        with QueryService(backend="cpu", workers=1) as svc:
+            svc.register_graph("g", graph)
+            svc.pairs("g", self.QUERY)
+            rng = np.random.default_rng(1)
+            # Budget is max(64, edges // 8): exceed it.
+            svc.add_edges("g", "a", rng.integers(0, 24, (80, 2)))
+            svc.pairs("g", self.QUERY)
+            counters = svc.stats().counters
+            assert counters.get("incremental_evals", 0) == 0
+            assert counters.get("incremental_declined", 0) == 1
+
+    def test_overlay_off_still_correct(self):
+        graph = _graph(n=24, edges=90)
+        current = self._mirror(graph)
+        with QueryService(backend="cpu", workers=1, overlay=False) as svc:
+            svc.register_graph("g", graph)
+            svc.pairs("g", self.QUERY)
+            svc.add_edges("g", "a", [(0, 5)])
+            current.add_edge(0, "a", 5)
+            got = svc.pairs("g", self.QUERY)
+            counters = svc.stats().counters
+            assert counters.get("incremental_evals", 0) == 0
+        oracle_ctx = repro.Context(backend="cpu")
+        try:
+            assert got == rpq_pairs(current, self.QUERY, oracle_ctx)
+        finally:
+            oracle_ctx.finalize()
+
+
+# -- remove_edges through the persistent store -------------------------------
+
+
+class TestRemoveEdgesRecovery:
+    def test_removal_survives_crash_restore(self, tmp_path):
+        n = 24
+        graph = _graph(n=n, edges=90)
+        query = "a"
+        # A removable edge that visibly changes single-label answers.
+        probe = graph.edges["a"][0]
+        with QueryService(backend="cpu", workers=1, store_root=tmp_path) as svc:
+            svc.register_graph("g", graph)
+            svc.persist_graph("g")
+            before = svc.reach("g", query, source=probe[0])
+            assert probe[1] in before
+            svc.add_edges("g", "b", [(0, n - 1)])
+            version = svc.remove_edges("g", "a", [probe])
+            # The version bump invalidated the cached answer: the
+            # re-query must see the removal, not the cached target set.
+            after = svc.reach("g", query, source=probe[0])
+            assert probe[1] not in after
+            handle = svc.graphs.get("g")
+            assert handle.overlay.has_removes("a")
+
+        # Crash simulation: a torn, uncommitted record at the WAL tail.
+        wal = tmp_path / "volumes" / "g" / "wal.log"
+        assert wal.exists()
+        with open(wal, "ab") as f:
+            f.write(b"RWAL\x01\x01\x00\x00torn-tail-garbage")
+
+        with QueryService(backend="cpu", workers=1, store_root=tmp_path) as svc:
+            svc.restore_graph("g")
+            handle = svc.graphs.get("g")
+            assert handle.current_version() == version
+            assert probe not in handle.graph.edges["a"]
+            assert svc.reach("g", query, source=probe[0]) == after
+            # Oracle over an independently mutated host graph.
+            mirror = LabeledGraph.from_triples(
+                (
+                    (u, label, v)
+                    for u, label, v in graph.triples()
+                    if not (label == "a" and (u, v) == probe)
+                ),
+                n=n,
+            )
+            mirror.add_edge(0, "b", n - 1)
+            oracle_ctx = repro.Context(backend="cpu")
+            try:
+                want = {
+                    t
+                    for s, t in rpq_pairs(mirror, query, oracle_ctx)
+                    if s == probe[0]
+                }
+            finally:
+                oracle_ctx.finalize()
+            assert after == want
+
+    def test_persist_folds_overlay(self, tmp_path):
+        graph = _graph()
+        with QueryService(backend="cpu", workers=1, store_root=tmp_path) as svc:
+            svc.register_graph("g", graph)
+            svc.add_edges("g", "a", [(0, 1), (1, 2)])
+            handle = svc.graphs.get("g")
+            assert handle.overlay.pending_edges() == 2
+            svc.persist_graph("g")
+            assert handle.overlay.pending_edges() == 0
+            assert handle.overlay.folds == 1
+            assert (0, 1) in _to_set(handle.matrices["a"])
