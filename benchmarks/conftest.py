@@ -72,7 +72,7 @@ def pytest_sessionfinish(session, exitstatus):
     for builder in _DEFERRED:
         try:
             builder()
-        except Exception as exc:  # pragma: no cover - report best-effort
+        except Exception as exc:  # pragma: no cover - report best-effort  # reprolint: disable=R4
             add_report("errors", f"report builder failed: {exc!r}")
     if not _REPORTS:
         return
@@ -80,7 +80,7 @@ def pytest_sessionfinish(session, exitstatus):
     tw = None
     try:
         tw = session.config.get_terminal_writer()
-    except Exception:
+    except Exception:  # pytest internals, not the repro taxonomy  # reprolint: disable=R4
         pass
     for experiment, blocks in sorted(_REPORTS.items()):
         text = "\n\n".join(blocks) + "\n"

@@ -1,0 +1,71 @@
+"""Baseline snapshot/diff workflow for reprolint.
+
+A baseline is a committed multiset of known findings
+(``metadata/lint_baseline.json``): CI runs ``--baseline`` against it
+and fails only on findings *not* in the snapshot, so a new rule can
+land with its pre-existing debt recorded instead of blocking the tree,
+while any regression — or any seeded test of the gate — still fails.
+
+Entries are keyed by ``(path, rule, message)`` with a count, not by
+line number: unrelated edits move lines constantly, but a genuinely
+new violation changes the key multiset.  Paths are recorded exactly as
+reported, so the baseline must be produced and consumed with the same
+invocation shape (CI uses repo-relative roots: ``src/ tools/
+benchmarks/``).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.findings import Finding
+
+BASELINE_VERSION = 1
+
+
+def _key(finding: Finding) -> tuple[str, str, str]:
+    return (finding.path, finding.rule, finding.message)
+
+
+def load_baseline(path: str | Path) -> Counter:
+    """Known-finding multiset from a snapshot file."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    counts: Counter = Counter()
+    for entry in payload.get("entries", ()):
+        key = (entry["path"], entry["rule"], entry["message"])
+        counts[key] += int(entry.get("count", 1))
+    return counts
+
+
+def write_baseline(path: str | Path, findings: Iterable[Finding]) -> int:
+    """Snapshot ``findings`` to ``path``; returns the entry count."""
+    counts = Counter(_key(f) for f in findings)
+    entries = [
+        {"path": p, "rule": r, "message": m, "count": n}
+        for (p, r, m), n in sorted(counts.items())
+    ]
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return len(entries)
+
+
+def apply_baseline(
+    findings: Iterable[Finding], baseline: Counter
+) -> tuple[list[Finding], int]:
+    """Split findings into (new, baselined-count) against a snapshot."""
+    remaining = Counter(baseline)
+    fresh: list[Finding] = []
+    suppressed = 0
+    for finding in sorted(findings):
+        key = _key(finding)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            suppressed += 1
+        else:
+            fresh.append(finding)
+    return fresh, suppressed

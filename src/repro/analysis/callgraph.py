@@ -1,0 +1,571 @@
+"""Whole-program index and conservative call graph for reprolint v2.
+
+The per-module rules (R1-R6) cannot see a contract violation that
+spans a call boundary: a lock acquired here and a second one taken
+three frames deeper, a read-only ``mask`` forwarded into a helper that
+scribbles on it, a memmapped word buffer handed to a mutating kernel.
+This module builds the shared substrate the interprocedural analyses
+in :mod:`repro.analysis.dataflow` run on:
+
+* :class:`ProgramIndex` — every class, method, and module-level
+  function across a set of :class:`~repro.analysis.engine.ModuleContext`
+  objects, plus per-module import tables, a module-import graph, the
+  subclass relation, and per-class facts the lock rules need (lock
+  attributes and their sentinel role names, ``# guarded-by:``
+  annotations).
+* :class:`CallResolver` — conservative call-target resolution.  A call
+  resolves only when the receiver's class is *known*: ``self``, a
+  parameter or attribute with a (possibly string) annotation naming an
+  indexed class, a local assigned from a constructor or from a call
+  whose return annotation names one, or an ``isinstance``-narrowed
+  name.  Untyped attribute calls resolve only through ``Backend``
+  dispatch — method names declared on the abstract ``Backend`` base
+  resolve to every subclass implementation.  Everything else resolves
+  to *nothing*: the analyses treat unresolved calls as opaque, which
+  keeps them sound-for-reporting (no fabricated lock edges from, say,
+  ``dict.get`` colliding with ``GraphStore.get``) at the cost of
+  missing hazards behind untyped indirection — the documented
+  soundness caveat in docs/ANALYSIS.md.
+
+Names resolve by *simple class name* across the whole index, not by
+import chasing alone, so the fixture corpus (which mimics package
+layout without being importable) and string annotations both work.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.engine import ModuleContext
+from repro.analysis.rules import _GUARDED_RE
+
+
+def _param_names(args: ast.arguments) -> list[str]:
+    return [
+        a.arg
+        for a in (
+            *args.posonlyargs,
+            *args.args,
+            *args.kwonlyargs,
+            *((args.vararg,) if args.vararg else ()),
+            *((args.kwarg,) if args.kwarg else ()),
+        )
+    ]
+
+
+class FunctionInfo:
+    """One module-level function or method in the program index."""
+
+    __slots__ = ("module", "node", "qual", "owner")
+
+    def __init__(
+        self,
+        module: ModuleContext,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        qual: str,
+        owner: "ClassInfo | None",
+    ):
+        self.module = module
+        self.node = node
+        #: Dotted name within the module ("GraphStore.persist", "load_matrix").
+        self.qual = qual
+        self.owner = owner
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.module.relpath, self.qual)
+
+    @property
+    def params(self) -> list[str]:
+        return _param_names(self.node.args)
+
+    def site(self) -> str:
+        return f"{self.module.relpath}::{self.qual}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FunctionInfo({self.site()})"
+
+
+class ClassInfo:
+    """One class definition plus the facts the lock analyses need."""
+
+    __slots__ = (
+        "module",
+        "node",
+        "name",
+        "bases",
+        "methods",
+        "guarded",
+        "locks",
+        "attr_annotations",
+        "attr_exprs",
+    )
+
+    def __init__(self, module: ModuleContext, node: ast.ClassDef):
+        self.module = module
+        self.node = node
+        self.name = node.name
+        self.bases: list[str] = []
+        for base in node.bases:
+            if isinstance(base, ast.Name):
+                self.bases.append(base.id)
+            elif isinstance(base, ast.Attribute):
+                self.bases.append(base.attr)
+        self.methods: dict[str, FunctionInfo] = {}
+        #: attr -> guard lock attr name, from ``# guarded-by:`` comments.
+        self.guarded: dict[str, str] = {}
+        #: lock attr -> sentinel role name (the ``make_lock`` literal,
+        #: or ``Class.attr`` for plain threading locks).
+        self.locks: dict[str, str] = {}
+        #: attr -> annotation AST (class-level or ``__init__`` param).
+        self.attr_annotations: dict[str, ast.expr] = {}
+        #: attr -> value expr of its ``__init__`` assignment (for
+        #: constructor-call typing: ``self.x = Thing()``).
+        self.attr_exprs: dict[str, ast.expr] = {}
+        self._collect(module, node)
+
+    def _collect(self, module: ModuleContext, node: ast.ClassDef) -> None:
+        def note_guard(stmt: ast.stmt, attr: str) -> None:
+            end = getattr(stmt, "end_lineno", stmt.lineno)
+            for lineno in range(stmt.lineno, min(end, len(module.lines)) + 1):
+                match = _GUARDED_RE.search(module.lines[lineno - 1])
+                if match:
+                    self.guarded[attr] = match.group(1)
+                    return
+
+        def note_lock(attr: str, value: ast.expr | None) -> None:
+            if value is None or attr in self.locks:
+                return
+            for sub in ast.walk(value):
+                if not isinstance(sub, ast.Call):
+                    continue
+                fname = (
+                    sub.func.id
+                    if isinstance(sub.func, ast.Name)
+                    else getattr(sub.func, "attr", "")
+                )
+                if fname == "make_lock":
+                    if sub.args and isinstance(sub.args[0], ast.Constant):
+                        self.locks[attr] = str(sub.args[0].value)
+                    else:
+                        self.locks[attr] = f"{self.name}.{attr}"
+                    return
+                if fname in ("Lock", "RLock"):
+                    self.locks[attr] = f"{self.name}.{attr}"
+                    return
+
+        for stmt in node.body:
+            if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                attr = stmt.target.id
+                note_guard(stmt, attr)
+                note_lock(attr, stmt.value)
+                self.attr_annotations.setdefault(attr, stmt.annotation)
+            elif isinstance(stmt, ast.Assign):
+                for tgt in stmt.targets:
+                    if isinstance(tgt, ast.Name):
+                        note_guard(stmt, tgt.id)
+                        note_lock(tgt.id, stmt.value)
+
+        init = next(
+            (
+                s
+                for s in node.body
+                if isinstance(s, ast.FunctionDef) and s.name == "__init__"
+            ),
+            None,
+        )
+        if init is None:
+            return
+        ann_by_param = {
+            a.arg: a.annotation
+            for a in (*init.args.posonlyargs, *init.args.args, *init.args.kwonlyargs)
+            if a.annotation is not None
+        }
+        for sub in ast.walk(init):
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(sub, ast.Assign):
+                targets, value = sub.targets, sub.value
+            elif isinstance(sub, ast.AnnAssign):
+                targets, value = [sub.target], sub.value
+            for tgt in targets:
+                if not (
+                    isinstance(tgt, ast.Attribute)
+                    and isinstance(tgt.value, ast.Name)
+                    and tgt.value.id == "self"
+                ):
+                    continue
+                note_guard(sub, tgt.attr)
+                note_lock(tgt.attr, value)
+                if isinstance(sub, ast.AnnAssign) and sub.annotation is not None:
+                    self.attr_annotations.setdefault(tgt.attr, sub.annotation)
+                if value is not None:
+                    self.attr_exprs.setdefault(tgt.attr, value)
+                    # ``self.x = x`` with an annotated ctor param types
+                    # the attribute by that parameter's annotation.
+                    if isinstance(value, ast.Name) and value.id in ann_by_param:
+                        self.attr_annotations.setdefault(
+                            tgt.attr, ann_by_param[value.id]
+                        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ClassInfo({self.module.relpath}::{self.name})"
+
+
+class ProgramIndex:
+    """All classes/functions/imports across one set of modules."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleContext] = {}
+        #: relpath -> import statements, resolved in _link once every
+        #: module is known (resolution consults self.modules).
+        self._pending_imports: dict[str, list[ast.stmt]] = {}
+        #: relpath -> {class name -> ClassInfo}
+        self.classes: dict[str, dict[str, ClassInfo]] = {}
+        self.classes_by_name: dict[str, list[ClassInfo]] = {}
+        #: (relpath, qual) -> FunctionInfo (methods + module functions).
+        self.functions: dict[tuple[str, str], FunctionInfo] = {}
+        #: relpath -> {function name -> FunctionInfo} (module level only).
+        self.module_functions: dict[str, dict[str, FunctionInfo]] = {}
+        #: relpath -> {local alias -> ("module", relpath) | ("symbol", relpath, name)}
+        self.imports: dict[str, dict[str, tuple]] = {}
+        #: Module-import graph over indexed modules.
+        self.import_graph: dict[str, set[str]] = {}
+        #: class name -> transitive subclasses (by simple name).
+        self.subclasses: dict[str, list[ClassInfo]] = {}
+        #: Methods declared on the abstract ``Backend`` base, for
+        #: untyped-receiver dispatch.
+        self.backend_methods: dict[str, list[FunctionInfo]] = {}
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def build(cls, modules: Iterable[ModuleContext]) -> "ProgramIndex":
+        index = cls()
+        for module in modules:
+            index._add_module(module)
+        index._link()
+        return index
+
+    def _add_module(self, module: ModuleContext) -> None:
+        rel = module.relpath
+        self.modules[rel] = module
+        self.classes[rel] = {}
+        self.module_functions[rel] = {}
+        self.imports[rel] = {}
+        for stmt in module.tree.body:
+            if isinstance(stmt, ast.ClassDef):
+                info = ClassInfo(module, stmt)
+                self.classes[rel][info.name] = info
+                self.classes_by_name.setdefault(info.name, []).append(info)
+                for item in stmt.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        fn = FunctionInfo(
+                            module, item, f"{info.name}.{item.name}", info
+                        )
+                        info.methods[item.name] = fn
+                        self.functions[fn.key] = fn
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fn = FunctionInfo(module, stmt, stmt.name, None)
+                self.module_functions[rel][stmt.name] = fn
+                self.functions[fn.key] = fn
+        self._pending_imports[rel] = [
+            stmt
+            for stmt in ast.walk(module.tree)
+            if isinstance(stmt, (ast.Import, ast.ImportFrom))
+        ]
+
+    def _resolve_imports(self) -> None:
+        """Fill the per-module import tables.  Runs in _link, after every
+        module is indexed — package-vs-module disambiguation consults
+        ``self.modules``, which is incomplete during _add_module."""
+        for rel, stmts in self._pending_imports.items():
+            for stmt in stmts:
+                if isinstance(stmt, ast.Import):
+                    for alias in stmt.names:
+                        target = self._module_relpath(stmt, alias.name, rel)
+                        local = alias.asname or alias.name.split(".")[0]
+                        if target is not None:
+                            self.imports[rel][local] = ("module", target)
+                elif isinstance(stmt, ast.ImportFrom):
+                    target = self._module_relpath(stmt, stmt.module or "", rel)
+                    if target is None:
+                        continue
+                    for alias in stmt.names:
+                        local = alias.asname or alias.name
+                        self.imports[rel][local] = ("symbol", target, alias.name)
+        self._pending_imports.clear()
+
+    def _module_relpath(
+        self, stmt: ast.stmt, dotted: str, importer: str
+    ) -> str | None:
+        """Map an import target onto a package-relative module path."""
+        level = getattr(stmt, "level", 0)
+        parts = [p for p in dotted.split(".") if p]
+        if level:
+            base = importer.rsplit("/", 1)[0] if "/" in importer else ""
+            for _ in range(level - 1):
+                base = base.rsplit("/", 1)[0] if "/" in base else ""
+            parts = ([base] if base else []) + parts
+        elif parts and parts[0] == "repro":
+            parts = parts[1:]
+        else:
+            return None  # third-party / stdlib
+        rel = "/".join(parts) + ".py" if parts else "__init__.py"
+        pkg = "/".join(parts) + "/__init__.py" if parts else "__init__.py"
+        if rel in self.modules or rel not in self.modules and pkg not in self.modules:
+            return rel
+        return pkg
+
+    def _link(self) -> None:
+        self._resolve_imports()
+        # Transitive subclass relation over simple names.
+        direct: dict[str, list[ClassInfo]] = {}
+        for infos in self.classes.values():
+            for info in infos.values():
+                for base in info.bases:
+                    direct.setdefault(base, []).append(info)
+        for name in set(direct) | set(self.classes_by_name):
+            out: list[ClassInfo] = []
+            seen: set[tuple[str, str]] = set()
+            frontier = list(direct.get(name, []))
+            while frontier:
+                info = frontier.pop()
+                key = (info.module.relpath, info.name)
+                if key in seen:
+                    continue
+                seen.add(key)
+                out.append(info)
+                frontier.extend(direct.get(info.name, []))
+            self.subclasses[name] = out
+
+        # Backend dispatch table: names declared on the abstract base.
+        for base in self.classes_by_name.get("Backend", []):
+            for mname in base.methods:
+                if mname.startswith("__"):
+                    continue
+                impls = [base.methods[mname]]
+                for sub in self.subclasses.get("Backend", []):
+                    if mname in sub.methods:
+                        impls.append(sub.methods[mname])
+                self.backend_methods[mname] = impls
+
+        # Module-import graph restricted to indexed modules.
+        for rel, table in self.imports.items():
+            edges = {
+                entry[1]
+                for entry in table.values()
+                if entry[1] in self.modules and entry[1] != rel
+            }
+            self.import_graph[rel] = edges
+
+    # -- queries -----------------------------------------------------------
+
+    def iter_functions(self) -> list[FunctionInfo]:
+        return [self.functions[k] for k in sorted(self.functions)]
+
+    def lookup_class(self, name: str) -> list[ClassInfo]:
+        return self.classes_by_name.get(name, [])
+
+
+class CallResolver:
+    """Conservative type oracle + call-target resolution over an index."""
+
+    def __init__(self, index: ProgramIndex):
+        self.index = index
+        self._attr_cache: dict[tuple[str, str, str], tuple[str, ...]] = {}
+
+    # -- annotations -------------------------------------------------------
+
+    def annotation_names(self, node: ast.expr | None) -> set[str]:
+        """Indexed class names an annotation can refer to."""
+        if node is None:
+            return set()
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            try:
+                parsed = ast.parse(node.value, mode="eval").body
+            except SyntaxError:
+                return set()
+            return self.annotation_names(parsed)
+        if isinstance(node, ast.Name):
+            return {node.id} if node.id in self.index.classes_by_name else set()
+        if isinstance(node, ast.Attribute):
+            return {node.attr} if node.attr in self.index.classes_by_name else set()
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+            return self.annotation_names(node.left) | self.annotation_names(
+                node.right
+            )
+        if isinstance(node, ast.Subscript):
+            base = node.value
+            if isinstance(base, ast.Name) and base.id == "Optional":
+                return self.annotation_names(node.slice)
+        return set()
+
+    # -- attribute typing --------------------------------------------------
+
+    def attr_type_names(self, cls: ClassInfo, attr: str) -> tuple[str, ...]:
+        key = (cls.module.relpath, cls.name, attr)
+        cached = self._attr_cache.get(key)
+        if cached is not None:
+            return cached
+        self._attr_cache[key] = ()  # cycle guard
+        names = self.annotation_names(cls.attr_annotations.get(attr))
+        if not names:
+            expr = cls.attr_exprs.get(attr)
+            if isinstance(expr, ast.Call):
+                names = self.call_constructs(expr, cls.module.relpath)
+        result = tuple(sorted(names))
+        self._attr_cache[key] = result
+        return result
+
+    def call_constructs(self, call: ast.Call, rel: str) -> set[str]:
+        """Class names a call expression constructs (``Thing(...)``)."""
+        func = call.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name is None:
+            return set()
+        if name in self.index.classes.get(rel, {}):
+            return {name}
+        entry = self.index.imports.get(rel, {}).get(name)
+        if entry is not None and entry[0] == "symbol":
+            _, target, symbol = entry
+            if symbol in self.index.classes.get(target, {}):
+                return {symbol}
+        # Fall back to the global class table for lazy in-function
+        # imports the per-module table may not capture precisely.
+        if name in self.index.classes_by_name:
+            return {name}
+        return set()
+
+    # -- expression typing -------------------------------------------------
+
+    def param_env(self, fn: FunctionInfo) -> dict[str, set[str]]:
+        env: dict[str, set[str]] = {}
+        if fn.owner is not None and fn.params and fn.params[0] in ("self", "cls"):
+            env[fn.params[0]] = {fn.owner.name}
+        for arg in (
+            *fn.node.args.posonlyargs,
+            *fn.node.args.args,
+            *fn.node.args.kwonlyargs,
+        ):
+            names = self.annotation_names(arg.annotation)
+            if names:
+                env[arg.arg] = names
+        return env
+
+    def type_names(
+        self, expr: ast.expr, env: dict[str, set[str]], fn: FunctionInfo
+    ) -> set[str]:
+        if isinstance(expr, ast.Name):
+            return set(env.get(expr.id, ()))
+        if isinstance(expr, ast.Attribute):
+            out: set[str] = set()
+            for cname in self.type_names(expr.value, env, fn):
+                for cls in self.index.lookup_class(cname):
+                    out.update(self.attr_type_names(cls, expr.attr))
+            return out
+        if isinstance(expr, ast.Call):
+            constructed = self.call_constructs(expr, fn.module.relpath)
+            if constructed:
+                return constructed
+            out = set()
+            for target in self.resolve_call(expr, env, fn):
+                out.update(self.annotation_names(target.node.returns))
+            return out
+        return set()
+
+    # -- call resolution ---------------------------------------------------
+
+    def _method_targets(self, cls: ClassInfo, name: str) -> list[FunctionInfo]:
+        """Method lookup through bases, plus subclass overrides."""
+        targets: list[FunctionInfo] = []
+        seen: set[tuple[str, str]] = set()
+        frontier = [cls]
+        while frontier:
+            cur = frontier.pop()
+            key = (cur.module.relpath, cur.name)
+            if key in seen:
+                continue
+            seen.add(key)
+            if name in cur.methods:
+                targets.append(cur.methods[name])
+            else:
+                for base in cur.bases:
+                    frontier.extend(self.index.lookup_class(base))
+        for sub in self.index.subclasses.get(cls.name, []):
+            if name in sub.methods:
+                targets.append(sub.methods[name])
+        return targets
+
+    def resolve_call(
+        self, call: ast.Call, env: dict[str, set[str]], fn: FunctionInfo
+    ) -> list[FunctionInfo]:
+        rel = fn.module.relpath
+        func = call.func
+        targets: dict[tuple[str, str], FunctionInfo] = {}
+
+        def add(infos: Iterable[FunctionInfo]) -> None:
+            for info in infos:
+                targets[info.key] = info
+
+        if isinstance(func, ast.Name):
+            name = func.id
+            local = self.index.module_functions.get(rel, {}).get(name)
+            if local is not None:
+                add([local])
+            elif name in self.index.classes.get(rel, {}):
+                init = self.index.classes[rel][name].methods.get("__init__")
+                add([init] if init else [])
+            else:
+                entry = self.index.imports.get(rel, {}).get(name)
+                if entry is not None and entry[0] == "symbol":
+                    _, target, symbol = entry
+                    imported = self.index.module_functions.get(target, {}).get(
+                        symbol
+                    )
+                    if imported is not None:
+                        add([imported])
+                    elif symbol in self.index.classes.get(target, {}):
+                        init = self.index.classes[target][symbol].methods.get(
+                            "__init__"
+                        )
+                        add([init] if init else [])
+                elif name in self.index.classes_by_name:
+                    # Lazy in-function import of a known class.
+                    for cls in self.index.lookup_class(name):
+                        init = cls.methods.get("__init__")
+                        add([init] if init else [])
+        elif isinstance(func, ast.Attribute):
+            mname = func.attr
+            # Module-qualified call: ``locktrace.make_lock(...)``.
+            if isinstance(func.value, ast.Name):
+                entry = self.index.imports.get(rel, {}).get(func.value.id)
+                if entry is not None and entry[0] == "module":
+                    target_rel = entry[1]
+                    imported = self.index.module_functions.get(
+                        target_rel, {}
+                    ).get(mname)
+                    if imported is not None:
+                        add([imported])
+                        return sorted(
+                            targets.values(), key=lambda t: t.key
+                        )
+            recv_names = self.type_names(func.value, env, fn)
+            if recv_names:
+                for cname in sorted(recv_names):
+                    for cls in self.index.lookup_class(cname):
+                        add(self._method_targets(cls, mname))
+            elif mname in self.index.backend_methods:
+                # Untyped receiver, Backend-declared method: dispatch to
+                # every subclass implementation (the conservative set).
+                add(self.index.backend_methods[mname])
+        return sorted(targets.values(), key=lambda t: t.key)

@@ -4,10 +4,11 @@ Reached three ways, all the same gate:
 
 * ``python -m repro lint src/`` — the contributor entry;
 * ``python -m tools.reprolint src/`` — the standalone tool;
-* the CI job step (``--json`` mode, fail on any finding).
+* the CI job steps (``--json`` mode, ``--baseline`` against the
+  committed ``metadata/lint_baseline.json`` snapshot).
 
-Exit status: 0 when clean, 1 when any non-suppressed finding remains,
-2 on usage errors.
+Exit status: 0 when clean (or every finding is baselined), 1 when any
+non-suppressed, non-baselined finding remains, 2 on usage errors.
 """
 
 from __future__ import annotations
@@ -24,7 +25,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="reprolint",
         description="Contract-checking static analysis for the SPbLA "
-        "reproduction (rules R1-R6; see docs/ANALYSIS.md).",
+        "reproduction (per-module rules R1-R6 plus whole-program rules "
+        "R7-R9; see docs/ANALYSIS.md).",
     )
     parser.add_argument(
         "paths", nargs="*", default=["src/"], help="files or directories to lint"
@@ -43,6 +45,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="report findings even on `# reprolint: disable=` lines",
     )
     parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="known-findings snapshot; only findings absent from it fail",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="PATH",
+        help="snapshot the current findings to PATH and exit 0",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        metavar="N",
+        help="worker threads for the per-module pass (default: auto)",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true", help="print the rule table and exit"
     )
     return parser
@@ -51,26 +69,61 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
 
+    from repro.analysis.dataflow import default_program_rules, program_rule_registry
+
     registry = rule_registry()
+    program_registry = program_rule_registry()
     if args.list_rules:
-        for rule_id in sorted(registry):
-            rule = registry[rule_id]
-            print(f"{rule_id}  {rule.name:28s} {rule.rationale}")
+        for rule_id in sorted(registry.keys() | program_registry.keys()):
+            for table, scope in ((registry, "module"), (program_registry, "program")):
+                rule = table.get(rule_id)
+                if rule is not None:
+                    print(f"{rule_id}  {rule.name:28s} [{scope:7s}] {rule.rationale}")
         return 0
 
     select = None
     if args.select:
         select = {tok.strip().upper() for tok in args.select.split(",") if tok.strip()}
-        unknown = select - registry.keys()
+        unknown = select - registry.keys() - program_registry.keys()
         if unknown:
             print(f"unknown rule ids: {sorted(unknown)}", file=sys.stderr)
             return 2
 
+    if args.jobs is not None and args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
+
     findings = lint_paths(
         args.paths,
-        default_rules(select),
+        default_rules(None if select is None else select & registry.keys()),
         respect_suppressions=not args.no_suppress,
+        program_rules=default_program_rules(
+            None if select is None else select & program_registry.keys()
+        ),
+        jobs=args.jobs,
     )
+
+    if args.write_baseline:
+        from repro.analysis.baseline import write_baseline
+
+        entries = write_baseline(args.write_baseline, findings)
+        print(
+            f"reprolint: wrote {entries} baseline entr"
+            f"{'y' if entries == 1 else 'ies'} "
+            f"({len(findings)} findings) to {args.write_baseline}"
+        )
+        return 0
+
+    baselined = 0
+    if args.baseline:
+        from repro.analysis.baseline import apply_baseline, load_baseline
+
+        try:
+            known = load_baseline(args.baseline)
+        except FileNotFoundError:
+            print(f"baseline not found: {args.baseline}", file=sys.stderr)
+            return 2
+        findings, baselined = apply_baseline(findings, known)
 
     if args.json:
         print(
@@ -78,6 +131,7 @@ def main(argv: list[str] | None = None) -> int:
                 {
                     "findings": [f.to_json() for f in findings],
                     "count": len(findings),
+                    "baselined": baselined,
                 },
                 indent=2,
             )
@@ -86,7 +140,8 @@ def main(argv: list[str] | None = None) -> int:
         for finding in findings:
             print(finding.render())
         noun = "finding" if len(findings) == 1 else "findings"
-        print(f"reprolint: {len(findings)} {noun}")
+        suffix = f" ({baselined} baselined)" if baselined else ""
+        print(f"reprolint: {len(findings)} {noun}{suffix}")
     return 1 if findings else 0
 
 

@@ -1,0 +1,842 @@
+"""Interprocedural dataflow analyses over the whole-program index.
+
+Where :mod:`repro.analysis.callgraph` answers "who can call whom",
+this module answers the contract questions that span those edges:
+
+* **Static lock analysis** (rules R7/R8) — every function is scanned
+  once for the lock roles it acquires (``with <recv>.<attr>:`` where
+  the receiver types to a class whose ``<attr>`` is a known lock), the
+  calls it makes while holding them, and the ``# guarded-by:``
+  attributes it touches through *non-self* receivers.  A fixpoint over
+  the call graph then yields each function's transitively-acquired
+  roles, from which the static lock-order graph falls out: an edge
+  ``A -> B`` exists when some path acquires ``B`` (directly or through
+  a call) while ``A`` is held.  R7 reports order inversions (``A -> B``
+  coexisting with a path ``B`` ⇝ ``A``); R8 reports locks held across
+  calls that reach a :func:`~repro.analysis.locktrace.kernel_boundary`
+  declaration, and guarded attributes reached cross-object without the
+  owning lock provably held (per-module R3 only sees ``self``).
+* **Out-param alias/escape analysis** (interprocedural R5) — a
+  read-only ``mask`` parameter forwarded into a callee parameter the
+  callee (transitively) mutates, or a ``mask``/``accumulate``/``out``
+  argument stored into ``self`` state (escaping the call it was lent
+  for), inside ``backends/`` / ``formats/``.
+* **Memmap-write analysis** (R9) — names bound from the store's mapped
+  loaders (``load_matrix``, ``_map_words``) are read-only containers;
+  writing through them, or passing them into a callee parameter that
+  is transitively mutated, faults at runtime (``mode="r"`` maps) or
+  corrupts the snapshot (writable maps).
+
+Soundness caveat, inherited from the resolver: unresolved calls are
+*opaque* — they contribute no lock edges, no mutations, no kernel
+reachability.  The runtime sentinel's subset cross-check in the
+selftest (:func:`static_lock_graph`) exists exactly to catch lock
+edges this conservatism would lose.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.callgraph import (
+    CallResolver,
+    ClassInfo,
+    FunctionInfo,
+    ProgramIndex,
+)
+from repro.analysis.engine import ModuleContext
+from repro.analysis.findings import Finding
+
+#: Functions whose return value is a read-only mapped container (the
+#: persistent store's zero-copy snapshot loaders).
+MAPPED_SOURCES = ("load_matrix", "_map_words")
+
+#: The declared kernel-boundary sentinel (repro.analysis.locktrace).
+KERNEL_BOUNDARY = "kernel_boundary"
+
+#: Parameters that are read-only by the masked-accumulate contract.
+READONLY_OUT_PARAMS = ("mask",)
+
+#: Lent out-params that must not outlive the call they were lent for.
+ESCAPE_PARAMS = ("mask", "accumulate", "out")
+
+#: Directories the out-param contract (interprocedural R5) covers.
+OUT_PARAM_DIRS = ("backends/", "formats/")
+
+
+class CallSite:
+    """One call expression with the lock context it executes under."""
+
+    __slots__ = ("node", "held", "targets", "pos", "kws", "boundary", "method")
+
+    def __init__(
+        self,
+        node: ast.Call,
+        held: tuple[str, ...],
+        targets: tuple[FunctionInfo, ...],
+        pos: tuple[str | None, ...],
+        kws: tuple[tuple[str, str | None], ...],
+        boundary: bool,
+        method: bool,
+    ):
+        self.node = node
+        #: Lock roles held at the call.
+        self.held = held
+        self.targets = targets
+        #: Positional argument names (None for non-Name args).
+        self.pos = pos
+        #: (keyword, argument name or None) pairs.
+        self.kws = kws
+        #: True when the call *is* a kernel-boundary declaration.
+        self.boundary = boundary
+        #: True for attribute-form calls (``recv.m(...)``) — positional
+        #: arguments skip the bound ``self``/``cls`` parameter.
+        self.method = method
+
+
+class GuardedAccess:
+    """A guarded-by attribute reached through a non-self receiver."""
+
+    __slots__ = ("owner", "attr", "role", "held", "node", "receiver_param")
+
+    def __init__(
+        self,
+        owner: ClassInfo,
+        attr: str,
+        role: str,
+        held: tuple[str, ...],
+        node: ast.AST,
+        receiver_param: str | None,
+    ):
+        self.owner = owner
+        self.attr = attr
+        #: The owning lock's role name.
+        self.role = role
+        self.held = held
+        self.node = node
+        #: Receiver parameter name when the object was passed in (the
+        #: caller-holds pattern is then checked at every call site).
+        self.receiver_param = receiver_param
+
+
+class FunctionFacts:
+    """Everything one scan pass learned about one function."""
+
+    __slots__ = (
+        "fn",
+        "acquires",
+        "calls",
+        "guarded",
+        "mutated",
+        "escapes",
+        "mapped",
+        "mapped_writes",
+    )
+
+    def __init__(self, fn: FunctionInfo):
+        self.fn = fn
+        #: (role, roles already held, acquisition node).
+        self.acquires: list[tuple[str, tuple[str, ...], ast.AST]] = []
+        self.calls: list[CallSite] = []
+        self.guarded: list[GuardedAccess] = []
+        #: Own parameters this function writes through (subscript or
+        #: attribute stores rooted at the parameter).
+        self.mutated: set[str] = set()
+        #: (node, param name) for lent out-params stored into self.
+        self.escapes: list[tuple[ast.AST, str]] = []
+        #: Local names bound from a mapped-loader call.
+        self.mapped: set[str] = set()
+        #: (node, name) writes through a mapped name.
+        self.mapped_writes: list[tuple[ast.AST, str]] = []
+
+
+def _store_root(tgt: ast.expr) -> str | None:
+    """Root name of a subscript/attribute store (``a[i]``, ``a.x[i]``,
+    ``a.x = v`` all root at ``'a'``)."""
+    if not isinstance(tgt, (ast.Subscript, ast.Attribute)):
+        return None
+    base: ast.expr = tgt
+    while isinstance(base, (ast.Subscript, ast.Attribute)):
+        base = base.value
+    return base.id if isinstance(base, ast.Name) else None
+
+
+class _FunctionScanner:
+    """One in-order pass over a function body, tracking held locks,
+    a local type environment, and mapped-name taint."""
+
+    def __init__(self, program: "Program", fn: FunctionInfo):
+        self.program = program
+        self.resolver = program.resolver
+        self.fn = fn
+        self.env = self.resolver.param_env(fn)
+        self.facts = FunctionFacts(fn)
+        self.params = frozenset(fn.params)
+
+    def scan(self) -> FunctionFacts:
+        for stmt in self.fn.node.body:
+            self._stmt(stmt, ())
+        return self.facts
+
+    # -- lock roles ----------------------------------------------------------
+
+    def _lock_role(self, expr: ast.expr) -> str | None:
+        """Role name for a ``with``-item that acquires a known lock."""
+        if not isinstance(expr, ast.Attribute):
+            return None
+        for cname in sorted(
+            self.resolver.type_names(expr.value, self.env, self.fn)
+        ):
+            for cls in self.program.index.lookup_class(cname):
+                role = cls.locks.get(expr.attr)
+                if role is not None:
+                    return role
+        return None
+
+    # -- statements ----------------------------------------------------------
+
+    def _stmt(self, stmt: ast.stmt, held: tuple[str, ...]) -> None:
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            inner = held
+            for item in stmt.items:
+                self._expr(item.context_expr, inner)
+                role = self._lock_role(item.context_expr)
+                if role is not None:
+                    self.facts.acquires.append((role, inner, item.context_expr))
+                    if role not in inner:
+                        inner = inner + (role,)
+            for sub in stmt.body:
+                self._stmt(sub, inner)
+            return
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            # Nested defs run later, outside this lock context; their
+            # bodies are indexed as functions of their own when at
+            # class scope, and out of scope otherwise.
+            return
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            self._assignment(stmt, held)
+            return
+        for _name, value in ast.iter_fields(stmt):
+            if isinstance(value, ast.expr):
+                self._expr(value, held)
+            elif isinstance(value, list):
+                for sub in value:
+                    if isinstance(sub, ast.stmt):
+                        self._stmt(sub, held)
+                    elif isinstance(sub, ast.expr):
+                        self._expr(sub, held)
+                    elif isinstance(
+                        sub, (ast.excepthandler, ast.withitem, ast.keyword)
+                    ):
+                        for subsub in ast.iter_child_nodes(sub):
+                            if isinstance(subsub, ast.stmt):
+                                self._stmt(subsub, held)
+                            elif isinstance(subsub, ast.expr):
+                                self._expr(subsub, held)
+
+    def _assignment(self, stmt: ast.stmt, held: tuple[str, ...]) -> None:
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            targets, value = [stmt.target], stmt.value
+        else:  # AugAssign
+            targets, value = [stmt.target], stmt.value
+        if value is not None:
+            self._expr(value, held)
+        for tgt in targets:
+            if isinstance(tgt, (ast.Subscript, ast.Attribute)):
+                self._expr(tgt.value, held)
+            if isinstance(tgt, ast.Attribute):
+                # Stores to guarded attributes race like reads do.
+                self._note_attribute(tgt, held)
+            root = _store_root(tgt)
+            if root is not None:
+                if root in self.params:
+                    self.facts.mutated.add(root)
+                if root in self.facts.mapped:
+                    self.facts.mapped_writes.append((stmt, root))
+                if (
+                    root == "self"
+                    and isinstance(value, ast.Name)
+                    and value.id in self.params
+                    and value.id in ESCAPE_PARAMS
+                ):
+                    self.facts.escapes.append((stmt, value.id))
+            if isinstance(tgt, ast.Name) and not isinstance(stmt, ast.AugAssign):
+                self._bind_local(tgt.id, value)
+
+    def _bind_local(self, name: str, value: ast.expr | None) -> None:
+        """Refine the local environment from a simple assignment."""
+        if value is None:
+            return
+        if isinstance(value, ast.Name):
+            if value.id in self.env:
+                self.env[name] = set(self.env[value.id])
+            if value.id in self.facts.mapped:
+                self.facts.mapped.add(name)
+            return
+        if isinstance(value, ast.Call):
+            types = self.resolver.type_names(value, self.env, self.fn)
+            if types:
+                self.env[name] = types
+            fname = self._call_name(value)
+            if fname in MAPPED_SOURCES:
+                self.facts.mapped.add(name)
+
+    # -- expressions ---------------------------------------------------------
+
+    @staticmethod
+    def _call_name(call: ast.Call) -> str:
+        func = call.func
+        if isinstance(func, ast.Name):
+            return func.id
+        if isinstance(func, ast.Attribute):
+            return func.attr
+        return ""
+
+    def _expr(self, expr: ast.expr, held: tuple[str, ...]) -> None:
+        stack: list[ast.AST] = [expr]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.Lambda):
+                continue  # deferred body: runs outside this lock context
+            if isinstance(node, ast.Call):
+                self._note_call(node, held)
+            elif isinstance(node, ast.Attribute):
+                self._note_attribute(node, held)
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _note_call(self, call: ast.Call, held: tuple[str, ...]) -> None:
+        targets = tuple(self.resolver.resolve_call(call, self.env, self.fn))
+        name = self._call_name(call)
+        boundary = name == KERNEL_BOUNDARY or any(
+            t.name == KERNEL_BOUNDARY for t in targets
+        )
+        pos = tuple(
+            a.id if isinstance(a, ast.Name) else None
+            for a in call.args
+            if not isinstance(a, ast.Starred)
+        )
+        kws = tuple(
+            (kw.arg, kw.value.id if isinstance(kw.value, ast.Name) else None)
+            for kw in call.keywords
+            if kw.arg is not None
+        )
+        self.facts.calls.append(
+            CallSite(
+                call,
+                held,
+                targets,
+                pos,
+                kws,
+                boundary,
+                isinstance(call.func, ast.Attribute),
+            )
+        )
+
+    def _note_attribute(self, node: ast.Attribute, held: tuple[str, ...]) -> None:
+        recv = node.value
+        if isinstance(recv, ast.Name) and recv.id == "self":
+            return  # per-module R3 owns self receivers
+        for cname in sorted(self.resolver.type_names(recv, self.env, self.fn)):
+            for cls in self.program.index.lookup_class(cname):
+                guard = cls.guarded.get(node.attr)
+                if guard is None:
+                    continue
+                role = cls.locks.get(guard, f"{cls.name}.{guard}")
+                receiver_param = (
+                    recv.id
+                    if isinstance(recv, ast.Name) and recv.id in self.params
+                    else None
+                )
+                self.facts.guarded.append(
+                    GuardedAccess(cls, node.attr, role, held, node, receiver_param)
+                )
+                return
+
+
+class Program:
+    """Scanned facts + fixpoint summaries for one module set."""
+
+    def __init__(self, index: ProgramIndex):
+        self.index = index
+        self.resolver = CallResolver(index)
+        self.facts: dict[tuple[str, str], FunctionFacts] = {}
+        for fn in index.iter_functions():
+            self.facts[fn.key] = _FunctionScanner(self, fn).scan()
+        self._acquires: dict[tuple[str, str], set[str]] | None = None
+        self._reaches_kernel: set[tuple[str, str]] | None = None
+        self._mutations: dict[tuple[str, str], set[str]] | None = None
+        self._edges: (
+            dict[tuple[str, str], list[tuple[ModuleContext, ast.AST]]] | None
+        ) = None
+        self._callers: (
+            dict[tuple[str, str], list[tuple[FunctionFacts, CallSite]]] | None
+        ) = None
+
+    @classmethod
+    def build(cls, modules: Iterable[ModuleContext]) -> "Program":
+        return cls(ProgramIndex.build(list(modules)))
+
+    # -- fixpoint summaries --------------------------------------------------
+
+    def transitive_acquires(self) -> dict[tuple[str, str], set[str]]:
+        """function key -> lock roles it may acquire, transitively."""
+        if self._acquires is not None:
+            return self._acquires
+        acq = {
+            key: {role for role, _, _ in f.acquires}
+            for key, f in self.facts.items()
+        }
+        changed = True
+        while changed:
+            changed = False
+            for key, f in self.facts.items():
+                cur = acq[key]
+                for call in f.calls:
+                    for target in call.targets:
+                        extra = acq.get(target.key)
+                        if extra and not extra <= cur:
+                            cur |= extra
+                            changed = True
+        self._acquires = acq
+        return acq
+
+    def reaches_kernel(self) -> set[tuple[str, str]]:
+        """Keys of functions that may cross a kernel boundary."""
+        if self._reaches_kernel is not None:
+            return self._reaches_kernel
+        reach = {
+            key
+            for key, f in self.facts.items()
+            if any(call.boundary for call in f.calls)
+        }
+        changed = True
+        while changed:
+            changed = False
+            for key, f in self.facts.items():
+                if key in reach:
+                    continue
+                for call in f.calls:
+                    if any(t.key in reach for t in call.targets):
+                        reach.add(key)
+                        changed = True
+                        break
+        self._reaches_kernel = reach
+        return reach
+
+    def transitive_mutations(self) -> dict[tuple[str, str], set[str]]:
+        """function key -> own parameters it may write, transitively
+        (directly, or by forwarding them into a mutating callee)."""
+        if self._mutations is not None:
+            return self._mutations
+        mut = {key: set(f.mutated) for key, f in self.facts.items()}
+        changed = True
+        while changed:
+            changed = False
+            for key, f in self.facts.items():
+                cur = mut[key]
+                params = frozenset(f.fn.params)
+                for call in f.calls:
+                    for arg, target, callee_param in _bindings(call):
+                        if arg in params and arg not in cur:
+                            if callee_param in mut.get(target.key, ()):
+                                cur.add(arg)
+                                changed = True
+        self._mutations = mut
+        return mut
+
+    def lock_edges(
+        self,
+    ) -> dict[tuple[str, str], list[tuple[ModuleContext, ast.AST]]]:
+        """(held role, acquired role) -> acquisition/call sites."""
+        if self._edges is not None:
+            return self._edges
+        acq = self.transitive_acquires()
+        edges: dict[tuple[str, str], list[tuple[ModuleContext, ast.AST]]] = {}
+
+        def add(a: str, b: str, module: ModuleContext, node: ast.AST) -> None:
+            if a != b:
+                edges.setdefault((a, b), []).append((module, node))
+
+        for key in sorted(self.facts):
+            f = self.facts[key]
+            module = f.fn.module
+            for role, held, node in f.acquires:
+                for h in held:
+                    add(h, role, module, node)
+            for call in f.calls:
+                if not call.held:
+                    continue
+                roles: set[str] = set()
+                for target in call.targets:
+                    roles |= acq.get(target.key, set())
+                for role in sorted(roles):
+                    for h in call.held:
+                        add(h, role, module, call.node)
+        self._edges = edges
+        return edges
+
+    def callers_of(
+        self,
+    ) -> dict[tuple[str, str], list[tuple[FunctionFacts, CallSite]]]:
+        """function key -> resolved call sites targeting it."""
+        if self._callers is not None:
+            return self._callers
+        callers: dict[tuple[str, str], list[tuple[FunctionFacts, CallSite]]] = {}
+        for key in sorted(self.facts):
+            f = self.facts[key]
+            for call in f.calls:
+                for target in call.targets:
+                    callers.setdefault(target.key, []).append((f, call))
+        self._callers = callers
+        return callers
+
+
+def _bindings(call: CallSite) -> list[tuple[str, FunctionInfo, str]]:
+    """(caller argument name, target, callee parameter) triples for
+    every Name argument that maps onto a resolved target's signature."""
+    out: list[tuple[str, FunctionInfo, str]] = []
+    for target in call.targets:
+        params = target.params
+        offset = 1 if target.owner is not None and params and params[0] in (
+            "self",
+            "cls",
+        ) else 0
+        for i, name in enumerate(call.pos):
+            if name is None:
+                continue
+            j = i + offset
+            if j < len(params):
+                out.append((name, target, params[j]))
+        for kw, name in call.kws:
+            if name is not None and kw in params:
+                out.append((name, target, kw))
+    return out
+
+
+def _reachable(
+    edges: dict[tuple[str, str], list],
+    src: str,
+    dst: str,
+    *,
+    skip: tuple[str, str],
+) -> bool:
+    adjacency: dict[str, set[str]] = {}
+    for (a, b), _sites in edges.items():
+        if (a, b) != skip:
+            adjacency.setdefault(a, set()).add(b)
+    seen = {src}
+    frontier = [src]
+    while frontier:
+        node = frontier.pop()
+        for nxt in adjacency.get(node, ()):
+            if nxt == dst:
+                return True
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+    return False
+
+
+# -- rule plumbing -------------------------------------------------------------
+
+_PROGRAM_RULES: dict[str, type["ProgramRule"]] = {}
+
+
+def register_program(cls: type["ProgramRule"]) -> type["ProgramRule"]:
+    _PROGRAM_RULES[cls.id] = cls
+    return cls
+
+
+def program_rule_registry() -> dict[str, type["ProgramRule"]]:
+    return dict(_PROGRAM_RULES)
+
+
+def default_program_rules(select: set[str] | None = None) -> list["ProgramRule"]:
+    ids = sorted(_PROGRAM_RULES) if select is None else sorted(
+        select & _PROGRAM_RULES.keys()
+    )
+    return [_PROGRAM_RULES[i]() for i in ids]
+
+
+class ProgramRule:
+    """One whole-program contract; ``check`` sees the scanned Program."""
+
+    id: str = "R?"
+    name: str = "abstract"
+    rationale: str = ""
+
+    def check(self, program: Program) -> Iterator[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+
+def _site_key(module: ModuleContext, node: ast.AST) -> tuple[str, int, int]:
+    return (
+        str(module.path),
+        getattr(node, "lineno", 0),
+        getattr(node, "col_offset", 0),
+    )
+
+
+@register_program
+class LockOrderInversion(ProgramRule):
+    """R7 — no two lock roles may be acquired in both orders.
+
+    The runtime sentinel only sees executed interleavings; this is the
+    static closure over every call path the resolver can prove.  One
+    finding per unordered role pair, anchored at the latest involved
+    acquisition/call site; the message names a site of the opposite
+    order.
+    """
+
+    id = "R7"
+    name = "static-lock-order-inversion"
+    rationale = "opposite acquisition orders deadlock under contention"
+
+    def check(self, program: Program) -> Iterator[Finding]:
+        edges = program.lock_edges()
+        findings: dict[tuple[str, str], Finding] = {}
+        for (a, b) in sorted(edges):
+            if not _reachable(edges, b, a, skip=(a, b)):
+                continue
+            pair = (min(a, b), max(a, b))
+            sites = list(edges[(a, b)]) + list(edges.get((b, a), []))
+            module, node = max(sites, key=lambda s: _site_key(*s))
+            counter = edges.get((b, a))
+            if counter:
+                cmod, cnode = min(counter, key=lambda s: _site_key(*s))
+                if (cmod, cnode) == (module, node) and len(counter) > 1:
+                    cmod, cnode = sorted(counter, key=lambda s: _site_key(*s))[1]
+                via = f"{cmod.relpath}:{getattr(cnode, 'lineno', 0)}"
+                detail = f"the opposite order {b!r} -> {a!r} at {via}"
+            else:
+                detail = f"an existing path {b!r} ⇝ {a!r}"
+            finding = module.finding(
+                self.id,
+                node,
+                f"lock order inversion: acquiring {b!r} while holding "
+                f"{a!r} conflicts with {detail}",
+            )
+            prev = findings.get(pair)
+            if prev is None or finding > prev:
+                findings[pair] = finding
+        yield from sorted(findings.values())
+
+
+@register_program
+class LockKernelAndGuarded(ProgramRule):
+    """R8 — locks stay out of kernels; guarded state stays locked.
+
+    Two interprocedural checks the per-module rules cannot make:
+
+    * a lock role held at a call whose resolved targets (transitively)
+      cross a declared kernel boundary — the exact serialization hazard
+      the runtime sentinel's ``held-across-kernel`` detects, proven
+      over *all* resolvable paths instead of executed ones;
+    * a ``# guarded-by:`` attribute reached through a **non-self**
+      receiver without the owning lock held — either directly, or via
+      the caller-holds pattern with some resolved call site that does
+      not hold the lock (per-module R3 only checks ``self`` accesses).
+    """
+
+    id = "R8"
+    name = "static-lock-boundary"
+    rationale = "locks across kernels serialize the pool; unlocked guarded state races it"
+
+    def check(self, program: Program) -> Iterator[Finding]:
+        reach = program.reaches_kernel()
+        callers = program.callers_of()
+        out: list[Finding] = []
+        for key in sorted(program.facts):
+            f = program.facts[key]
+            module = f.fn.module
+            for call in f.calls:
+                if not call.held:
+                    continue
+                hot = call.boundary or any(t.key in reach for t in call.targets)
+                if not hot:
+                    continue
+                held = ", ".join(repr(h) for h in call.held)
+                out.append(
+                    module.finding(
+                        self.id,
+                        call.node,
+                        f"{held} held across a call that reaches a kernel "
+                        f"boundary (kernel work under a service lock "
+                        f"serializes the worker pool)",
+                    )
+                )
+            for ga in f.guarded:
+                if ga.role in ga.held:
+                    continue
+                where = None
+                if ga.receiver_param is not None:
+                    sites = callers.get(f.fn.key, [])
+                    unlocked = [
+                        (cf, c) for cf, c in sites if ga.role not in c.held
+                    ]
+                    if sites and not unlocked:
+                        continue  # caller-holds verified at every site
+                    if unlocked:
+                        cf, c = min(
+                            unlocked,
+                            key=lambda s: _site_key(s[0].fn.module, s[1].node),
+                        )
+                        where = (
+                            f"lock-free call path via "
+                            f"{cf.fn.module.relpath}:"
+                            f"{getattr(c.node, 'lineno', 0)}"
+                        )
+                if where is None:
+                    where = "no resolved call path proves the lock is held"
+                out.append(
+                    module.finding(
+                        self.id,
+                        ga.node,
+                        f"{ga.owner.name}.{ga.attr} is guarded-by "
+                        f"{ga.role!r} but reached without it ({where})",
+                    )
+                )
+        yield from sorted(out)
+
+
+@register_program
+class MemmapWriteDiscipline(ProgramRule):
+    """R9 — mapped snapshot containers are read-only.
+
+    The store's warm-start path hands out ``np.memmap`` views
+    (``mode="r"``) of snapshot bit containers; the memory experiments
+    count them as ``mapped_bytes`` precisely because they share pages
+    with the file.  An in-place write through one — directly, or by
+    forwarding it into a callee that mutates the parameter — either
+    faults at runtime or silently diverges the mapping from the
+    snapshot.  Names bound from the mapped loaders (``load_matrix``,
+    ``_map_words``) are tainted; writes through them fire.
+    """
+
+    id = "R9"
+    name = "memmap-write-discipline"
+    rationale = "writing a mapped snapshot view faults or corrupts the store"
+
+    def check(self, program: Program) -> Iterator[Finding]:
+        mut = program.transitive_mutations()
+        out: list[Finding] = []
+        for key in sorted(program.facts):
+            f = program.facts[key]
+            module = f.fn.module
+            for node, name in f.mapped_writes:
+                out.append(
+                    module.finding(
+                        self.id,
+                        node,
+                        f"in-place write through {name!r}, a read-only "
+                        f"mapped container from the store load path "
+                        f"(copy before mutating)",
+                    )
+                )
+            for call in f.calls:
+                for arg, target, callee_param in _bindings(call):
+                    if arg not in f.mapped:
+                        continue
+                    if callee_param in mut.get(target.key, ()):
+                        out.append(
+                            module.finding(
+                                self.id,
+                                call.node,
+                                f"mapped container {arg!r} passed to "
+                                f"{target.qual} which mutates parameter "
+                                f"{callee_param!r}",
+                            )
+                        )
+        yield from sorted(out)
+
+
+@register_program
+class InterproceduralOutParam(ProgramRule):
+    """Interprocedural R5 — out-param contracts hold across calls.
+
+    The per-module R5 flags a kernel writing its own ``mask``; this
+    closes the call-boundary gap in ``backends/`` / ``formats/``:
+
+    * a read-only ``mask`` parameter forwarded into a callee parameter
+      the callee transitively mutates (under any other name — the
+      rename is exactly what per-module scoping cannot see);
+    * a lent ``mask``/``accumulate``/``out`` argument stored into
+      ``self`` state — escaping into a cache outlives the call and
+      aliases the caller's matrix into backend state.
+    """
+
+    id = "R5"
+    name = "interprocedural-out-param"
+    rationale = "aliased or retained out-params corrupt later fixpoint iterations"
+
+    def check(self, program: Program) -> Iterator[Finding]:
+        mut = program.transitive_mutations()
+        out: list[Finding] = []
+        for key in sorted(program.facts):
+            f = program.facts[key]
+            module = f.fn.module
+            if not module.in_dirs(*OUT_PARAM_DIRS):
+                continue
+            readonly = frozenset(
+                p for p in f.fn.params if p in READONLY_OUT_PARAMS
+            )
+            for call in f.calls:
+                for arg, target, callee_param in _bindings(call):
+                    if arg not in readonly:
+                        continue
+                    if callee_param in READONLY_OUT_PARAMS:
+                        # mask -> mask: a direct write in the callee is
+                        # per-module R5's finding, at the write itself.
+                        continue
+                    if callee_param in mut.get(target.key, ()):
+                        out.append(
+                            module.finding(
+                                self.id,
+                                call.node,
+                                f"read-only {arg!r} forwarded to "
+                                f"{target.qual} which mutates it as "
+                                f"parameter {callee_param!r}",
+                            )
+                        )
+            for node, param in f.escapes:
+                out.append(
+                    module.finding(
+                        self.id,
+                        node,
+                        f"out-param {param!r} stored into self state — "
+                        f"it escapes the call it was lent for and "
+                        f"aliases the caller's matrix",
+                    )
+                )
+        yield from sorted(out)
+
+
+# -- selftest cross-check entry ------------------------------------------------
+
+
+def static_lock_graph(roots: Iterable[str]) -> dict[str, set[str]]:
+    """The statically derived lock-order graph over ``roots``.
+
+    Keyed like :meth:`LockTracer.order_graph`: role name -> roles
+    acquired while it was held.  The ``REPRO_CHECK_LOCKS=1`` selftest
+    asserts the runtime-observed edges are a subset of this graph —
+    a divergence means the call-graph resolution lost a path (static
+    bug) or a lock was created outside the ``make_lock`` roles the
+    index knows about (dynamic lock worth flagging).
+    """
+    from repro.analysis.engine import iter_python_files, load_module
+
+    modules = []
+    for path, rel in iter_python_files(roots):
+        try:
+            modules.append(load_module(path, rel))
+        except SyntaxError:
+            continue
+    program = Program.build(modules)
+    graph: dict[str, set[str]] = {}
+    for (a, b) in program.lock_edges():
+        graph.setdefault(a, set()).add(b)
+    return graph

@@ -19,6 +19,7 @@ importable.
 from __future__ import annotations
 
 import ast
+import os
 from pathlib import Path
 from typing import Iterable, Iterator
 
@@ -127,35 +128,91 @@ def lint_paths(
     rules: Iterable | None = None,
     *,
     respect_suppressions: bool = True,
+    program_rules: Iterable | None = None,
+    jobs: int | None = None,
 ) -> list[Finding]:
-    """Run ``rules`` (default: the full registry) over every file in roots."""
+    """Run per-module ``rules`` plus whole-program ``program_rules``.
+
+    With both arguments left at ``None`` the full registries run: every
+    per-module rule over every file (in parallel across ``jobs`` worker
+    threads), then every whole-program rule over the
+    :class:`~repro.analysis.dataflow.Program` built from the same
+    modules.  Passing an explicit ``rules`` iterable scopes the run to
+    exactly those per-module rules and skips the whole-program pass
+    unless ``program_rules`` is also given — a rule-selection call
+    means *those rules and nothing else*.  Output order is always the
+    Finding sort order regardless of ``jobs``.
+    """
+    explicit_rules = rules is not None
     if rules is None:
         from repro.analysis.rules import default_rules
 
         rules = default_rules()
     rules = list(rules)
+    if program_rules is None and not explicit_rules:
+        from repro.analysis.dataflow import default_program_rules
 
-    findings: list[Finding] = []
-    for path, rel in iter_python_files(roots):
+        program_rules = default_program_rules()
+    program_rules = list(program_rules or ())
+
+    files = list(iter_python_files(roots))
+
+    def lint_one(
+        path: Path, rel: str
+    ) -> tuple[list[Finding], ModuleContext | None]:
         try:
             module = load_module(path, rel)
         except SyntaxError as exc:
-            findings.append(
-                Finding(
-                    path=str(path),
-                    line=exc.lineno or 1,
-                    col=(exc.offset or 0) + 1,
-                    rule="R0",
-                    message=f"syntax error: {exc.msg}",
-                )
+            return (
+                [
+                    Finding(
+                        path=str(path),
+                        line=exc.lineno or 1,
+                        col=(exc.offset or 0) + 1,
+                        rule="R0",
+                        message=f"syntax error: {exc.msg}",
+                    )
+                ],
+                None,
             )
-            continue
+        out = []
         for rule in rules:
             for finding in rule.check(module):
                 if respect_suppressions and is_suppressed(
                     finding, module.suppressions
                 ):
                     continue
+                out.append(finding)
+        return out, module
+
+    findings: list[Finding] = []
+    modules: list[ModuleContext] = []
+    if jobs is None:
+        jobs = min(8, os.cpu_count() or 1)
+    if jobs > 1 and len(files) > 1:
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            results = list(pool.map(lambda f: lint_one(*f), files))
+    else:
+        results = [lint_one(path, rel) for path, rel in files]
+    for module_findings, module in results:
+        findings.extend(module_findings)
+        if module is not None:
+            modules.append(module)
+
+    if program_rules and modules:
+        from repro.analysis.dataflow import Program
+
+        program = Program.build(modules)
+        suppressions = {str(m.path): m.suppressions for m in modules}
+        for rule in program_rules:
+            for finding in rule.check(program):
+                if respect_suppressions and is_suppressed(
+                    finding, suppressions.get(finding.path, {})
+                ):
+                    continue
                 findings.append(finding)
+
     findings.sort()
     return findings

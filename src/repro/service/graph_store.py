@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -26,6 +27,10 @@ from repro.errors import (
     UnknownGraphError,
 )
 from repro.graph import LabeledGraph
+
+if TYPE_CHECKING:  # typed slots below feed the static lock analysis
+    from repro.incr.overlay import DeltaOverlay
+    from repro.store.volume import GraphVolume
 
 RESIDENCY_MODES = ("auto", "bit", "tiled", "sparse")
 
@@ -46,12 +51,12 @@ class GraphHandle:
     version: int = 0  # guarded-by: _lock
     #: Attached :class:`~repro.store.volume.GraphVolume` (or None for a
     #: purely in-memory graph); deltas are WAL-logged through it.
-    volume: object = field(default=None, repr=False, compare=False)
+    volume: "GraphVolume | None" = field(default=None, repr=False, compare=False)
     #: :class:`~repro.incr.overlay.DeltaOverlay` of pending edge deltas
     #: (None when the store runs with ``overlay=False``): mutations
     #: record here instead of rebuilding label matrices, and
     #: :meth:`query_matrices` merges it into the operands.
-    overlay: object = field(default=None, repr=False, compare=False)
+    overlay: "DeltaOverlay | None" = field(default=None, repr=False, compare=False)
     queries_served: int = 0  # guarded-by: _lock
     _lock: object = field(
         default_factory=lambda: make_lock("GraphHandle._lock"),

@@ -28,6 +28,7 @@ import itertools
 import queue
 import threading
 import time
+from typing import TYPE_CHECKING
 
 from repro.analysis.locktrace import kernel_boundary, make_lock
 from repro.errors import (
@@ -37,6 +38,12 @@ from repro.errors import (
     ServiceOverloadedError,
     SpblaError,
 )
+
+if TYPE_CHECKING:  # typed collaborators feed the static lock analysis
+    from repro.service.graph_store import GraphStore
+    from repro.service.plan_cache import PlanCache
+    from repro.service.result_cache import ResultCache
+    from repro.service.stats import ServiceStats
 
 #: Batch group keys by query kind.
 KIND_REACH = "rpq-reach"
@@ -145,14 +152,14 @@ class QueryScheduler:
     def __init__(
         self,
         ctx,
-        graphs,
-        plans,
-        stats,
+        graphs: "GraphStore",
+        plans: "PlanCache",
+        stats: "ServiceStats",
         *,
         workers: int = 2,
         queue_limit: int = 64,
         max_batch: int = 8,
-        results=None,
+        results: "ResultCache | None" = None,
     ):
         self.ctx = ctx
         self.graphs = graphs

@@ -181,6 +181,11 @@ def run_selftest(
     # -- phase 5: incremental evaluation over live deltas ------------------
     failures.extend(_incremental_phase(say=say))
 
+    # -- runtime vs static lock graph --------------------------------------
+    tracer = locktrace.tracer()
+    if tracer is not None:
+        failures.extend(_lock_graph_crosscheck(tracer, say=say))
+
     if failures:
         say("")
         for f in failures:
@@ -195,6 +200,41 @@ def run_selftest(
         f"incremental warm starts track interleaved mutations"
     )
     return 0
+
+
+def _lock_graph_crosscheck(tracer, *, say) -> list[str]:
+    """Assert runtime-observed lock-order edges ⊆ the static lock graph.
+
+    The sentinel only sees executed interleavings; reprolint's
+    whole-program pass claims to cover every resolvable path.  An edge
+    the runtime saw but the static graph lacks therefore means one of
+    two bugs worth failing on: the call-graph resolution lost a path
+    (static-analysis regression), or a lock was created/ordered through
+    dynamic indirection the index cannot see.
+    """
+    import repro
+    from repro.analysis.dataflow import static_lock_graph
+
+    runtime = tracer.order_graph()
+    static = static_lock_graph([Path(repro.__file__).parent])
+    missing = sorted(
+        (held, acquired)
+        for held, successors in runtime.items()
+        for acquired in successors
+        if acquired not in static.get(held, set())
+    )
+    n_runtime = sum(len(v) for v in runtime.values())
+    n_static = sum(len(v) for v in static.values())
+    if not missing:
+        say(
+            f"lock-edge cross-check ok: {n_runtime} runtime edge(s) within "
+            f"{n_static} static edge(s)"
+        )
+    return [
+        f"lock-edge cross-check: runtime edge {held!r} -> {acquired!r} "
+        f"is absent from the static lock graph"
+        for held, acquired in missing
+    ]
 
 
 def _fused_phase(*, say) -> list[str]:

@@ -1,0 +1,27 @@
+"""Interprocedural R5 fixture: read-only mask mutated one frame deep.
+
+``scrub_into`` mutating its ``buf`` parameter is its declared in-place
+contract (the ``_into`` suffix exempts it per-module); forwarding the
+read-only ``mask`` *as* that parameter is the violation — a rename the
+per-module rule structurally cannot see.
+
+Never imported — parsed by reprolint only.
+"""
+
+
+def scrub_into(buf, fill):
+    """In-place helper: mutating ``buf`` is its declared contract."""
+    buf[0] = fill
+    return buf
+
+
+def apply_masked(a, mask):
+    """Seeded violation: the mask becomes a helper's in-place output."""
+    scrub_into(mask, 0)
+    return a
+
+
+def apply_masked_documented(a, mask):
+    """Suppressed twin: mask scrubbing is this kernel's actual job."""
+    scrub_into(mask, 0)  # reprolint: disable=R5
+    return a

@@ -1,0 +1,45 @@
+"""R7 fixture: lock-order inversion across two call paths.
+
+``forward`` nests intake-then-drain directly; ``backward`` takes drain
+and then reaches intake *through a helper call* — only the
+whole-program pass, which threads lock context through the call graph,
+can see the second order.  The spill pair inverts directly, with the
+later acquisition carrying the suppression escape hatch.
+
+Never imported — parsed by reprolint only.
+"""
+
+import threading
+
+
+class Pipeline:
+    def __init__(self):
+        self._intake = threading.Lock()
+        self._drain = threading.Lock()
+        self._spill_a = threading.Lock()
+        self._spill_b = threading.Lock()
+
+    def forward(self):
+        with self._intake:
+            with self._drain:
+                return True
+
+    def _take_intake(self):
+        with self._intake:
+            return True
+
+    def backward(self):
+        """Seeded violation: drain-then-intake, one call frame deep."""
+        with self._drain:
+            return self._take_intake()
+
+    def spill_out(self):
+        with self._spill_a:
+            with self._spill_b:
+                return True
+
+    def spill_back(self):
+        """Suppressed twin: the inverted order is acknowledged."""
+        with self._spill_b:
+            with self._spill_a:  # reprolint: disable=R7
+                return True

@@ -1,0 +1,40 @@
+"""R8 fixture: service lock held across a kernel-boundary call.
+
+``evaluate`` crosses a declared kernel boundary; holding the runner's
+lock around it serializes the whole worker pool on one kernel.  The
+legal variant stages under the lock and evaluates outside it.
+
+Never imported — parsed by reprolint only.
+"""
+
+import threading
+
+
+def kernel_boundary(what):
+    """Stand-in for repro.analysis.locktrace.kernel_boundary."""
+
+
+def evaluate(batch):
+    kernel_boundary("fixture.evaluate")
+    return batch
+
+
+class Runner:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def run_unlocked(self, batch):
+        """Legal: stage under the lock, evaluate lock-free."""
+        with self._lock:
+            staged = list(batch)
+        return evaluate(staged)
+
+    def run_locked(self, batch):
+        """Seeded violation: the kernel runs under the service lock."""
+        with self._lock:
+            return evaluate(batch)
+
+    def run_locked_justified(self, batch):
+        """Suppressed twin: a deliberate serial section."""
+        with self._lock:
+            return evaluate(batch)  # reprolint: disable=R8

@@ -1,0 +1,37 @@
+"""R8 fixture: guarded attribute reached cross-object without its lock.
+
+Per-module R3 only audits ``self.<attr>`` inside the owning class; a
+caller holding a *reference* to the object can race the same field
+invisibly.  The whole-program pass types the receiver, finds the
+``# guarded-by:`` contract on its class, and demands the owning lock.
+
+Never imported — parsed by reprolint only.
+"""
+
+import threading
+
+
+class Gauge:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.reading = 0  # guarded-by: _lock
+
+    def bump(self):
+        with self._lock:
+            self.reading += 1
+
+
+def sample_locked(g: Gauge):
+    """Legal: takes the owning lock around the read."""
+    with g._lock:
+        return g.reading
+
+
+def sample_racy(g: Gauge):
+    """Seeded violation: lock-free cross-object read."""
+    return g.reading
+
+
+def sample_dirty(g: Gauge):
+    """Suppressed twin: a deliberately approximate read."""
+    return g.reading  # reprolint: disable=R8

@@ -1,0 +1,37 @@
+"""R9 fixture: in-place mutation of a read-only mapped container.
+
+Names bound from the store's mapped loaders are ``mode="r"`` memmap
+views sharing pages with the snapshot file; writing through one faults
+at runtime (or, on a writable map, silently diverges the mapping from
+the snapshot).  The legal variant copies before mutating.
+
+Never imported — parsed by reprolint only.
+"""
+
+import numpy as np
+
+
+def load_matrix(path):
+    """Stand-in for the store loader: returns a mapped container."""
+    return np.memmap(path, dtype=np.uint64, mode="r")
+
+
+def patch_in_place(path):
+    """Seeded violation: writes into the mapped words."""
+    words = load_matrix(path)
+    words[0] = 1
+    return words
+
+
+def patch_copy(path):
+    """Legal: copy first, mutate the copy."""
+    words = load_matrix(path).copy()
+    words[0] = 1
+    return words
+
+
+def patch_justified(path):
+    """Suppressed twin: a deliberate write to a writable map."""
+    words = load_matrix(path)
+    words[0] = 1  # reprolint: disable=R9
+    return words

@@ -14,7 +14,9 @@ from repro.analysis.rules import default_rules, rule_registry
 
 REPO = Path(__file__).resolve().parent.parent
 FIXTURES = REPO / "tests" / "analysis_fixtures"
-ALL_RULES = ("R1", "R2", "R3", "R4", "R5", "R6")
+MODULE_RULES = ("R1", "R2", "R3", "R4", "R5", "R6")
+PROGRAM_RULES = ("R5", "R7", "R8", "R9")
+ALL_RULES = ("R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9")
 
 
 # -- fixture corpus -----------------------------------------------------------
@@ -24,10 +26,15 @@ ALL_RULES = ("R1", "R2", "R3", "R4", "R5", "R6")
 # memmap-flow one (store/container.py).  R5 plants two violations in
 # r5_impure.py (hidden nondeterminism, undeclared parameter mutation),
 # one in r5_tiled_into.py (undeclared presence-grid write among legal
-# tiled ``_into`` kernels that must not fire), and one in
+# tiled ``_into`` kernels that must not fire), one in
 # r5_masked_into.py (mask mutation inside a declared ``_into`` kernel —
-# the mask is read-only by the masked-accumulate contract).
-PER_RULE = {rule: {"R2": 2, "R5": 4}.get(rule, 1) for rule in ALL_RULES}
+# the mask is read-only by the masked-accumulate contract), and one in
+# r5_interproc.py (mask forwarded into a mutating helper — only the
+# whole-program pass can see it).  R8 has two fixtures: a lock held
+# across a kernel-boundary call and an unguarded cross-object access.
+PER_RULE = {
+    rule: {"R2": 2, "R5": 5, "R8": 2}.get(rule, 1) for rule in ALL_RULES
+}
 
 
 def test_every_seeded_violation_fires_on_corpus():
@@ -46,9 +53,14 @@ def test_seeded_violations_land_in_the_expected_files():
         ("R3", "r3_guarded.py"),
         ("R4", "r4_except.py"),
         ("R5", "r5_impure.py"),
+        ("R5", "r5_interproc.py"),
         ("R5", "r5_masked_into.py"),
         ("R5", "r5_tiled_into.py"),
         ("R6", "r6_shapes.py"),
+        ("R7", "r7_lockorder.py"),
+        ("R8", "r8_kernel.py"),
+        ("R8", "r8_unguarded.py"),
+        ("R9", "r9_memmap.py"),
     }
 
 
@@ -110,8 +122,11 @@ def test_syntax_error_becomes_r0_finding(tmp_path):
     assert [f.rule for f in findings] == ["R0"]
 
 
-def test_registry_has_all_six_rules():
-    assert set(rule_registry()) == set(ALL_RULES)
+def test_registries_cover_all_rules():
+    from repro.analysis.dataflow import program_rule_registry
+
+    assert set(rule_registry()) == set(MODULE_RULES)
+    assert set(program_rule_registry()) == set(PROGRAM_RULES)
 
 
 def test_finding_render_and_json_shape():
