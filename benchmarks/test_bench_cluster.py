@@ -1,0 +1,169 @@
+"""E16 — extension: replication catch-up throughput and routed reads.
+
+The `repro.cluster` subsystem ships the primary's WAL frames verbatim
+to read replicas (docs/CLUSTER.md).  Two questions matter for the
+deployment story this PR claims:
+
+* **catch-up throughput** — a follower bootstrapping from the newest
+  snapshot must drain the primary's committed backlog at a rate bounded
+  by delta-apply cost, not by the wire protocol.  We append a batch of
+  committed versions before the follower connects and measure
+  versions/s (and edges/s) from connect to convergence.
+* **routed read cost** — with a :class:`~repro.cluster.ReadRouter`
+  attached, default reads hop to a replica over TCP while
+  ``route="primary"`` executes in-process.  The wire hop costs a
+  round-trip; the benchmark records the replica-routed latency next to
+  the local one so the overhead is a measured number, not folklore.
+
+Both sections run real processes' worth of machinery (sockets, shipper
+threads, follower apply loop) inside one process — timing-stable and
+scale-aware via ``REPRO_BENCH_SCALE``.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterFollower, ClusterPrimary, ReadRouter
+from repro.datasets.random_graphs import uniform_random_graph
+from repro.service import QueryService
+
+from .conftest import BENCH_SCALE, add_report, defer_report, timed_runs
+
+QUERY = "(a | b)+"
+_RESULTS: dict[str, dict] = {}
+
+
+def _scaled(x: int, floor: int = 32) -> int:
+    return max(floor, int(x * BENCH_SCALE))
+
+
+def _wait_for(predicate, *, timeout=60.0, poll=0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(poll)
+    return bool(predicate())
+
+
+class TestReplication:
+    def test_catchup_throughput(self, benchmark):
+        n = _scaled(256)
+        versions = _scaled(120, floor=20)
+        batch = 8
+        rng = np.random.default_rng(0xE16)
+        graph = uniform_random_graph(n, 3 * n, labels=("a", "b"), seed=16)
+        with tempfile.TemporaryDirectory() as root:
+            with QueryService(workers=1, store_root=Path(root)) as svc:
+                svc.register_graph("g", graph)
+                svc.persist_graph("g")
+                primary = ClusterPrimary(svc, heartbeat=0.2).start()
+                try:
+                    # Committed backlog: `versions` transactions of
+                    # `batch` edges each, all durable before any
+                    # follower shows up.
+                    top = 0
+                    for _ in range(versions):
+                        edges = list(
+                            zip(
+                                rng.integers(0, n, batch).tolist(),
+                                rng.integers(0, n, batch).tolist(),
+                            )
+                        )
+                        top = svc.add_edges("g", "a", edges)
+                    t0 = time.perf_counter()
+                    with ClusterFollower(
+                        Path(root),
+                        primary.address,
+                        workers=1,
+                        heartbeat=0.2,
+                    ).start() as follower:
+                        assert follower.wait_applied("g", top, timeout=120.0)
+                        elapsed = time.perf_counter() - t0
+                finally:
+                    primary.close()
+        _RESULTS["catchup"] = {
+            "n": n,
+            "versions": versions,
+            "edges": versions * batch,
+            "seconds": elapsed,
+            "versions_per_s": versions / max(elapsed, 1e-9),
+            "edges_per_s": versions * batch / max(elapsed, 1e-9),
+        }
+        benchmark.extra_info.update(_RESULTS["catchup"])
+        benchmark(lambda: None)  # timing captured above (one-shot setup)
+
+    def test_routed_read_latency(self, benchmark):
+        n = _scaled(256)
+        graph = uniform_random_graph(n, 3 * n, labels=("a", "b"), seed=17)
+        with tempfile.TemporaryDirectory() as root:
+            with QueryService(workers=1, store_root=Path(root)) as svc:
+                svc.register_graph("g", graph)
+                svc.persist_graph("g")
+                primary = ClusterPrimary(svc, heartbeat=0.2).start()
+                router = ReadRouter(svc, primary, max_staleness=8)
+                svc.attach_router(router)
+                try:
+                    with ClusterFollower(
+                        Path(root),
+                        primary.address,
+                        workers=1,
+                        heartbeat=0.2,
+                    ).start() as follower:
+                        v = svc.add_edges("g", "a", [(0, 1)])
+                        assert follower.wait_applied("g", v, timeout=60.0)
+                        # Answers must agree before either path is timed.
+                        local = svc.reach("g", QUERY, source=0, route="primary")
+                        routed = svc.reach("g", QUERY, source=0, min_version=v)
+                        assert routed == local
+                        assert router.last_route is not None
+                        _, replica_best = timed_runs(
+                            lambda: svc.reach("g", QUERY, source=0), runs=5
+                        )
+                        _, primary_best = timed_runs(
+                            lambda: svc.reach(
+                                "g", QUERY, source=0, route="primary"
+                            ),
+                            runs=5,
+                        )
+                        benchmark(lambda: svc.reach("g", QUERY, source=0))
+                finally:
+                    svc.detach_router()
+                    primary.close()
+        _RESULTS["routed"] = {
+            "n": n,
+            "replica_best": replica_best,
+            "primary_best": primary_best,
+            "hop_overhead": replica_best - primary_best,
+        }
+
+
+def _report():
+    if not _RESULTS:
+        return
+    lines = ["E16: WAL-shipping replication (repro.cluster)", ""]
+    cu = _RESULTS.get("catchup")
+    if cu:
+        lines += [
+            f"catch-up: {cu['versions']} versions ({cu['edges']} edges) "
+            f"drained in {cu['seconds'] * 1e3:.1f} ms "
+            f"= {cu['versions_per_s']:.0f} versions/s, "
+            f"{cu['edges_per_s']:.0f} edges/s (n={cu['n']})",
+        ]
+    ro = _RESULTS.get("routed")
+    if ro:
+        lines += [
+            f"routed read (n={ro['n']}): replica {ro['replica_best'] * 1e3:.2f} ms "
+            f"vs primary {ro['primary_best'] * 1e3:.2f} ms "
+            f"(wire hop {ro['hop_overhead'] * 1e3:+.2f} ms)",
+        ]
+    add_report("E16_cluster", "\n".join(lines) + "\n")
+
+
+defer_report(_report)

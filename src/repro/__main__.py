@@ -17,6 +17,10 @@ gate CI enforces; see ``docs/ANALYSIS.md``.
 ``python -m repro store {ls,info,compact,verify}`` inspects and
 maintains the on-disk graph store (:mod:`repro.store`); see
 ``docs/STORAGE.md``.
+
+``python -m repro cluster {primary,follower,status,selftest}`` runs the
+WAL-shipping replication roles (:mod:`repro.cluster`); see
+``docs/CLUSTER.md``.
 """
 
 from __future__ import annotations
@@ -118,6 +122,12 @@ def store(argv: list[str]) -> int:
     return store_main(argv)
 
 
+def cluster(argv: list[str]) -> int:
+    from repro.cluster.cli import main as cluster_main
+
+    return cluster_main(argv)
+
+
 def cli(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "serve":
@@ -126,11 +136,13 @@ def cli(argv: list[str] | None = None) -> int:
         return lint(argv[1:])
     if argv and argv[0] == "store":
         return store(argv[1:])
+    if argv and argv[0] == "cluster":
+        return cluster(argv[1:])
     if argv:
         print(
             f"unknown command {argv[0]!r} "
             "(usage: python -m repro [serve --selftest | lint PATHS | "
-            "store ...])"
+            "store ... | cluster ...])"
         )
         return 2
     return main()

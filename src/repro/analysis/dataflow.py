@@ -50,7 +50,7 @@ from repro.analysis.findings import Finding
 
 #: Functions whose return value is a read-only mapped container (the
 #: persistent store's zero-copy snapshot loaders).
-MAPPED_SOURCES = ("load_matrix", "_map_words")
+MAPPED_SOURCES = ("load_matrix", "_map_words", "_map_array")
 
 #: The declared kernel-boundary sentinel (repro.analysis.locktrace).
 KERNEL_BOUNDARY = "kernel_boundary"

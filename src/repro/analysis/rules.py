@@ -163,11 +163,16 @@ class ArenaAccounting(Rule):
     kernels whose results are adopted into the arena by
     ``HybridBackend._adopt_bit`` (see docs/ANALYSIS.md for the audit).
 
-    Read-only ``np.memmap`` word views (the persistent store's
-    zero-copy snapshot loads) are the one sanctioned alternative flow:
-    they are accounted under the arena's ``mapped_bytes`` via
-    ``MemoryArena.adopt_external`` rather than the heap counters, and
-    are only legal inside the registered memmap-flow functions.
+    Read-only ``np.memmap`` views (the persistent store's zero-copy
+    snapshot loads — word arrays *and* sparse index arrays) are the one
+    sanctioned alternative flow: they are accounted under the arena's
+    ``mapped_bytes`` via ``MemoryArena.adopt_external`` or tracked as
+    R9 mapped sources (``repro.analysis.dataflow.MAPPED_SOURCES``)
+    rather than the heap counters, and are only legal inside the
+    registered memmap-flow functions.  Every ``np.memmap`` call in a
+    covered module is checked, whatever its dtype — a mapped ``uint32``
+    index array dodging the audit misstates the footprint exactly like
+    a mapped word array would.
     """
 
     id = "R2"
@@ -214,10 +219,13 @@ class ArenaAccounting(Rule):
         "store/container.py::_map_words",
     }
 
-    #: Audited functions whose mapped word views reach
-    #: ``MemoryArena.adopt_external`` (mapped_bytes accounting).
+    #: Audited functions whose mapped views reach the accounting: word
+    #: views via ``MemoryArena.adopt_external`` (mapped_bytes), sparse
+    #: index views via the R9 mapped-source dataflow (read-only is
+    #: machine-checked, sharing is the point).
     MEMMAP_FLOW_SITES = {
         "store/container.py::_map_words",
+        "store/container.py::_map_array",
     }
 
     def check(self, module: ModuleContext) -> Iterator[Finding]:
@@ -227,17 +235,16 @@ class ArenaAccounting(Rule):
             if not isinstance(node, ast.Call):
                 continue
             if _is_np_call(node, "memmap"):
-                if not self._is_word_alloc(node):
-                    continue
                 site = module.site(node)
                 if site in self.MEMMAP_FLOW_SITES:
                     continue
                 yield module.finding(
                     self.id,
                     node,
-                    f"uint64 memmap view outside the audited memmap-flow "
+                    f"memmap view outside the audited memmap-flow "
                     f"functions (site {site.split('::')[-1]!r}; mapped "
-                    f"word views must reach MemoryArena.adopt_external)",
+                    f"views must reach MemoryArena.adopt_external or be "
+                    f"a registered R9 mapped source)",
                 )
                 continue
             if not _is_np_call(node, "zeros", "empty", "ones", "full"):

@@ -1,0 +1,25 @@
+"""Primary/replica replication for the query service.
+
+One writable :class:`~repro.service.QueryService` (the **primary**)
+ships its committed WAL transactions — in the store's own CRC framing,
+verbatim — to any number of **followers**, each a read-only service
+bootstrapped from the newest mmap'd snapshot generation and kept
+converged by the stream.  A :class:`ReadRouter` attached to the
+primary's facade routes sync reads by freshness requirement with a
+hard ``min_version`` guarantee and a bounded-staleness default.
+
+See docs/CLUSTER.md for the wire protocol, the bootstrap/catch-up
+state machine, and the staleness contract; ``python -m repro cluster``
+runs the roles.
+"""
+
+from .follower import ClusterFollower
+from .router import DEFAULT_MAX_STALENESS, ReadRouter
+from .shipper import ClusterPrimary
+
+__all__ = [
+    "ClusterFollower",
+    "ClusterPrimary",
+    "DEFAULT_MAX_STALENESS",
+    "ReadRouter",
+]

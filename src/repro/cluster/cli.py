@@ -1,0 +1,210 @@
+"""``python -m repro cluster`` — replication roles and the self-test.
+
+Subcommands:
+
+``primary``
+    Start a writable :class:`~repro.service.QueryService` over a store
+    root, restore its volumes, and ship committed WAL transactions to
+    any follower that connects.  Runs until interrupted.
+``follower``
+    Start a read replica: bootstrap from the newest snapshot generation
+    in the (shared) store root, tail the primary's WAL stream, serve
+    read-only queries at the applied version.  Runs until interrupted.
+``status``
+    Ask a running primary (or follower) for its status over the wire
+    and print it as JSON.
+``selftest``
+    One primary + N follower subprocesses, interleaved traffic, a
+    SIGKILL/rejoin round — the CI smoke (see
+    :mod:`repro.cluster.selftest`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--root", required=True, help="graph store root directory"
+    )
+    parser.add_argument(
+        "--graphs",
+        default=None,
+        help="comma-separated graph names (default: every volume in the root)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, help="query worker threads"
+    )
+    parser.add_argument(
+        "--heartbeat", type=float, default=0.5, help="heartbeat interval (s)"
+    )
+
+
+def _graph_list(spec: str | None) -> list[str] | None:
+    if not spec:
+        return None
+    return [name.strip() for name in spec.split(",") if name.strip()]
+
+
+def run_primary(args) -> int:
+    from repro.service import QueryService
+
+    from .router import ReadRouter
+    from .shipper import ClusterPrimary
+
+    with QueryService(workers=args.workers, store_root=args.root) as service:
+        names = _graph_list(args.graphs)
+        if names:
+            for name in names:
+                service.restore_graph(name)
+        else:
+            names = service.restore_all()
+        host, port = _parse(args.listen)
+        primary = ClusterPrimary(
+            service, host=host, port=port, heartbeat=args.heartbeat
+        ).start()
+        router = ReadRouter(service, primary, max_staleness=args.max_staleness)
+        service.attach_router(router)
+        print(
+            f"primary up at {_fmt(primary.address)} serving "
+            f"{len(names)} graph(s): {', '.join(sorted(names)) or '(none)'}",
+            flush=True,
+        )
+        try:
+            threading.Event().wait()  # serve until interrupted
+        except KeyboardInterrupt:
+            pass
+        finally:
+            service.detach_router()
+            router.close()
+            primary.close()
+    return 0
+
+
+def run_follower(args) -> int:
+    from .follower import ClusterFollower
+
+    host, port = _parse(args.listen)
+    follower = ClusterFollower(
+        args.root,
+        _parse(args.primary),
+        graphs=_graph_list(args.graphs),
+        host=host,
+        port=port,
+        workers=args.workers,
+        heartbeat=args.heartbeat,
+    )
+    follower.start()
+    print(
+        f"follower up: queries at {_fmt(follower.query_address)}, "
+        f"replicating from {_fmt(follower.primary)}",
+        flush=True,
+    )
+    try:
+        threading.Event().wait()  # serve until interrupted
+    except KeyboardInterrupt:
+        pass
+    finally:
+        follower.close()
+    return 0
+
+
+def run_status(args) -> int:
+    from . import protocol
+    from .protocol import MSG_STATUS, MSG_STATUS_OK
+
+    sock = protocol.connect(_parse(args.address), timeout=args.timeout)
+    try:
+        sock.settimeout(args.timeout)
+        protocol.send_message(sock, {"type": MSG_STATUS})
+        msg = protocol.recv_message(sock)
+    finally:
+        sock.close()
+    if msg is None or msg[0].get("type") != MSG_STATUS_OK:
+        print(f"unexpected status reply: {msg and msg[0]}", file=sys.stderr)
+        return 1
+    print(json.dumps(msg[0].get("stats", {}), indent=2, sort_keys=True))
+    return 0
+
+
+def run_selftest(args) -> int:
+    from .selftest import run_cluster_selftest
+
+    return run_cluster_selftest(
+        followers=args.followers,
+        rounds=args.rounds,
+        seed=args.seed,
+        max_staleness=args.max_staleness,
+        verbose=not args.quiet,
+    )
+
+
+def _parse(address: str) -> tuple[str, int]:
+    from .protocol import parse_address
+
+    return parse_address(address)
+
+
+def _fmt(address) -> str:
+    from .protocol import format_address
+
+    return format_address(tuple(address))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro cluster",
+        description="WAL-shipping replication: primary, followers, status.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("primary", help="run the writable primary + shipper")
+    _add_common(p)
+    p.add_argument(
+        "--listen", default="127.0.0.1:7431", help="replication host:port"
+    )
+    p.add_argument(
+        "--max-staleness",
+        type=int,
+        default=None,
+        help="bounded-staleness window for routed reads (versions)",
+    )
+    p.set_defaults(run=run_primary)
+
+    p = sub.add_parser("follower", help="run a read replica")
+    _add_common(p)
+    p.add_argument(
+        "--primary", required=True, help="primary's replication host:port"
+    )
+    p.add_argument(
+        "--listen", default="127.0.0.1:0", help="query host:port (0 = ephemeral)"
+    )
+    p.set_defaults(run=run_follower)
+
+    p = sub.add_parser("status", help="query a running node's status")
+    p.add_argument("address", help="node host:port (primary or follower)")
+    p.add_argument("--timeout", type=float, default=5.0)
+    p.set_defaults(run=run_status)
+
+    p = sub.add_parser("selftest", help="end-to-end replication smoke")
+    p.add_argument("--followers", type=int, default=2)
+    p.add_argument("--rounds", type=int, default=6)
+    p.add_argument("--seed", type=int, default=20210705)
+    p.add_argument("--max-staleness", type=int, default=2)
+    p.add_argument("-q", "--quiet", action="store_true")
+    p.set_defaults(run=run_selftest)
+
+    args = parser.parse_args(argv)
+    if args.command == "primary" and args.max_staleness is None:
+        from .router import DEFAULT_MAX_STALENESS
+
+        args.max_staleness = DEFAULT_MAX_STALENESS
+    return args.run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

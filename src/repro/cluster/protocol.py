@@ -1,0 +1,160 @@
+"""Length-prefixed replication wire protocol (:mod:`repro.cluster`).
+
+Every message is::
+
+    header_len   4 B  <u4   byte count of the JSON header
+    payload_len  4 B  <u4   byte count of the binary payload
+    header       header_len B   UTF-8 JSON object with a "type" key
+    payload      payload_len B  raw bytes
+
+The JSON header carries control metadata only; bulk data rides in the
+payload **verbatim in the WAL's own CRC framing**
+(:mod:`repro.store.wal`).  A ``frames`` payload is the exact byte
+sequence :meth:`~repro.store.wal.WriteAheadLog.append` wrote to disk,
+so a follower validates shipped transactions with
+:func:`~repro.store.wal.decode_transaction` — the same checks crash
+recovery applies to the local log — and a torn or flipped byte on the
+wire fails closed as :class:`~repro.errors.StoreCorruptError` rather
+than applying silently.
+
+Message types
+-------------
+
+===========  ======================  =====================================
+type         direction               meaning
+===========  ======================  =====================================
+hello        follower -> primary     subscribe; carries per-graph applied
+                                     versions and the follower's query
+                                     address
+hello_ok     primary -> follower     per-graph plan: ``stream`` (tail the
+                                     WAL) or ``resync`` (reload the named
+                                     snapshot generation first)
+frames       primary -> follower     one committed WAL transaction
+                                     (payload = frames verbatim)
+ack          follower -> primary     per-graph applied versions
+heartbeat    primary -> follower     liveness + current primary versions
+query        client -> follower      read-only query with a
+                                     ``min_version`` freshness floor
+result       follower -> client      query answer + ``applied_version``
+error        either                  failure report (``error`` string)
+status       client -> either        introspection request
+status_ok    either -> client        role status document
+===========  ======================  =====================================
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+from repro.errors import ClusterProtocolError, InvalidArgumentError
+
+_PREFIX = struct.Struct("<II")
+
+#: Control headers are small JSON documents; anything bigger is a
+#: protocol violation, not a legitimate message.
+MAX_HEADER_BYTES = 1 << 20
+#: One WAL transaction's frames.  Mutation batches are bounded by the
+#: service tier long before this.
+MAX_PAYLOAD_BYTES = 1 << 28
+
+MSG_HELLO = "hello"
+MSG_HELLO_OK = "hello_ok"
+MSG_FRAMES = "frames"
+MSG_ACK = "ack"
+MSG_HEARTBEAT = "heartbeat"
+MSG_QUERY = "query"
+MSG_RESULT = "result"
+MSG_ERROR = "error"
+MSG_STATUS = "status"
+MSG_STATUS_OK = "status_ok"
+
+
+def send_message(sock: socket.socket, header: dict, payload: bytes = b"") -> None:
+    """Write one framed message; blocks until the kernel accepted it."""
+    raw = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    if len(raw) > MAX_HEADER_BYTES:
+        raise ClusterProtocolError(f"outgoing header too large ({len(raw)} B)")
+    if len(payload) > MAX_PAYLOAD_BYTES:
+        raise ClusterProtocolError(
+            f"outgoing payload too large ({len(payload)} B)"
+        )
+    sock.sendall(_PREFIX.pack(len(raw), len(payload)) + raw + payload)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    while count:
+        chunk = sock.recv(min(count, 1 << 20))
+        if not chunk:
+            raise ClusterProtocolError("connection closed mid-message")
+        chunks.append(chunk)
+        count -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock: socket.socket) -> tuple[dict, bytes] | None:
+    """Read the next message; ``None`` on clean EOF between messages.
+
+    A close *inside* a message — or an oversized/malformed one — raises
+    :class:`~repro.errors.ClusterProtocolError`.  Socket timeouts
+    propagate as ``TimeoutError`` for the caller's liveness logic.
+    """
+    first = sock.recv(_PREFIX.size)
+    if not first:
+        return None
+    while len(first) < _PREFIX.size:
+        chunk = sock.recv(_PREFIX.size - len(first))
+        if not chunk:
+            raise ClusterProtocolError("connection closed mid-message")
+        first += chunk
+    header_len, payload_len = _PREFIX.unpack(first)
+    if header_len > MAX_HEADER_BYTES or payload_len > MAX_PAYLOAD_BYTES:
+        raise ClusterProtocolError(
+            f"oversized message (header {header_len} B, "
+            f"payload {payload_len} B)"
+        )
+    try:
+        header = json.loads(_recv_exact(sock, header_len).decode("utf-8"))
+    except ValueError as exc:
+        raise ClusterProtocolError(f"malformed message header: {exc}") from exc
+    if not isinstance(header, dict) or "type" not in header:
+        raise ClusterProtocolError(
+            "message header must be a JSON object with a 'type' key"
+        )
+    payload = _recv_exact(sock, payload_len) if payload_len else b""
+    return header, payload
+
+
+def parse_address(raw: str) -> tuple[str, int]:
+    """``"host:port"`` -> ``(host, port)``."""
+    host, sep, port = str(raw).rpartition(":")
+    if not sep or not host:
+        raise InvalidArgumentError(f"address {raw!r} is not host:port")
+    try:
+        return host, int(port)
+    except ValueError as exc:
+        raise InvalidArgumentError(
+            f"address {raw!r} has a non-numeric port"
+        ) from exc
+
+
+def format_address(address: tuple[str, int]) -> str:
+    return f"{address[0]}:{address[1]}"
+
+
+def connect(address: tuple[str, int], *, timeout: float = 5.0) -> socket.socket:
+    """TCP-connect to a peer with ``TCP_NODELAY`` (acks are tiny)."""
+    sock = socket.create_connection(address, timeout=timeout)
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    return sock
+
+
+def listener(host: str, port: int, *, backlog: int = 16) -> socket.socket:
+    """Bound, listening TCP socket (``port=0`` picks a free port)."""
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    sock.bind((host, port))
+    sock.listen(backlog)
+    return sock

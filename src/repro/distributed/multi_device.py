@@ -20,16 +20,58 @@ class DevicePool:
     backend:
         Backend name instantiated once per device ("cubool", "clbool",
         "cpu", "generic").
+    hybrid:
+        Wrap every device's backend in the adaptive sparse/bit
+        dispatcher (:mod:`repro.backends.hybrid`).  ``None`` defers to
+        the ``REPRO_HYBRID`` env var; ``"auto"``/``"bit"``/``"sparse"``
+        force a mode.  With a hybrid pool, :meth:`distribute` and
+        :meth:`replicate` pin each row block's residency by its own
+        density — dense blocks are bit-packed once up front,
+        hyper-sparse blocks stay in COO/CSR — so a skewed matrix holds
+        mixed representations across devices.
+    autotune:
+        Measure the sparse/bit crossover density on one device with a
+        probe sweep and share the result with the whole pool (the
+        devices are identical simulations, so one measurement is
+        representative).  Only meaningful with ``hybrid``.
     """
 
-    def __init__(self, n_devices: int = 2, backend: str = "cubool"):
+    def __init__(
+        self,
+        n_devices: int = 2,
+        backend: str = "cubool",
+        *,
+        hybrid: bool | str | None = None,
+        autotune: bool = False,
+    ):
         if n_devices < 1:
             raise InvalidArgumentError("pool needs at least one device")
         self.backend_name = backend
-        self.backends = [
+        inners = [
             get_backend(backend, device=Device(name=f"{backend}-pool{i}"))
             for i in range(n_devices)
         ]
+        if hybrid is None:
+            from repro.backends.hybrid import hybrid_mode_from_env
+
+            hybrid = hybrid_mode_from_env()
+        elif hybrid is True:
+            hybrid = "auto"
+        elif hybrid is False:
+            hybrid = None
+        self.hybrid_mode = hybrid
+        if hybrid:
+            from repro.backends.hybrid import autotune_crossover, wrap_backend
+
+            # One measured crossover shared pool-wide: the devices are
+            # identical simulations, so the probe sweep runs once.
+            crossover = autotune_crossover(inners[0]) if autotune else None
+            self.backends = [
+                wrap_backend(be, mode=hybrid, crossover_density=crossover)
+                for be in inners
+            ]
+        else:
+            self.backends = inners
         self._finalized = False
 
     @property
@@ -94,17 +136,42 @@ class DevicePool:
         for i, be in enumerate(self.backends):
             lo, hi = int(bounds[i]), int(bounds[i + 1])
             mask = (rows >= lo) & (rows < hi)
-            blocks.append(
-                be.matrix_from_coo(rows[mask] - lo, cols[mask], (hi - lo, ncols))
+            block = be.matrix_from_coo(
+                rows[mask] - lo, cols[mask], (hi - lo, ncols)
             )
+            self._pin_residency(be, block)
+            blocks.append(block)
         return DistributedMatrix(self, shape, bounds, blocks)
 
     def replicate(self, rows, cols, shape: tuple[int, int]) -> list:
         """Copy one matrix onto every device (the B operand of mxm)."""
         self._check_alive()
-        return [
-            be.matrix_from_coo(rows, cols, shape) for be in self.backends
-        ]
+        replicas = []
+        for be in self.backends:
+            r = be.matrix_from_coo(rows, cols, shape)
+            self._pin_residency(be, r)
+            replicas.append(r)
+        return replicas
+
+    def _pin_residency(self, be, block) -> None:
+        """Bit-pack a hybrid block up front when its density warrants it.
+
+        Row blocks of a skewed matrix have wildly different densities
+        even under nnz balancing (few dense rows vs many sparse ones);
+        deciding per block — against the pool's (possibly autotuned)
+        crossover — gives each device the representation its slice
+        deserves instead of one global choice.  Hyper-sparse blocks are
+        left alone: packing them would waste ``nrows x ncols / 8`` bits
+        of arena for no kernel win.
+        """
+        if not self.hybrid_mode:
+            return
+        nrows, ncols = block.shape
+        cells = nrows * ncols
+        if cells == 0:
+            return
+        if block.nnz / cells >= be.policy.crossover_density:
+            be.ensure_resident(block, "bit")
 
     # -- introspection ---------------------------------------------------
 
@@ -156,6 +223,12 @@ class DistributedMatrix:
     def block_nnz(self) -> list[int]:
         """Per-device entry counts (balance diagnostic)."""
         return [b.nnz for b in self.blocks]
+
+    def block_formats(self) -> list[str]:
+        """Per-device resident representation (``"sparse"``, ``"bit"``,
+        ``"tiled"``).  On a hybrid pool a skewed matrix shows a mix —
+        the residency diagnostic for the per-block density pinning."""
+        return [getattr(b, "resident", None) or "sparse" for b in self.blocks]
 
     # -- operations ------------------------------------------------------
 

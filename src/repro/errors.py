@@ -141,3 +141,43 @@ class QueryExecutionError(ServiceError):
         super().__init__(
             f"query {ids}: unexpected {type(original).__name__}: {original}"
         )
+
+
+# -- replication (repro.cluster) ----------------------------------------------
+
+
+class ClusterError(ServiceError):
+    """Base class for replication failures (:mod:`repro.cluster`).
+
+    A subclass of :class:`ServiceError` because cluster roles are
+    service deployments: callers that already shed load on the service
+    taxonomy handle replication faults for free.
+    """
+
+
+class ClusterProtocolError(ClusterError):
+    """A replication peer violated the wire protocol.
+
+    Malformed message framing, an unexpected message type during the
+    handshake, or a stream gap the follower cannot apply across.  Wire
+    *payload* damage is not this error: shipped WAL frames carry the
+    store's own CRC framing and fail as
+    :class:`StoreCorruptError` from the frame decoder instead.
+    """
+
+
+class ReplicaStaleError(ClusterError):
+    """A replica could not satisfy a query's ``min_version`` floor.
+
+    The read router treats this as "try the next candidate, then the
+    primary" — it only escapes to callers querying a follower directly.
+    """
+
+    def __init__(self, graph: str, applied: int, min_version: int) -> None:
+        self.graph = graph
+        self.applied = applied
+        self.min_version = min_version
+        super().__init__(
+            f"{graph}: replica at version {applied}, "
+            f"query requires >= {min_version}"
+        )

@@ -105,6 +105,16 @@ class DeltaOverlay:
             self._merged.pop(label, None)
             self._stamp += 1
 
+    def record_delta(self, delta) -> None:
+        """Absorb one WAL-shipped :class:`~repro.store.wal.EdgeDelta`.
+
+        The replica-side twin of :meth:`record` (:mod:`repro.cluster`):
+        shipped deltas carry the primary's version stamps, so a
+        follower's overlay journal stays aligned with the primary's and
+        ``delta_since`` arbitration behaves identically on both sides.
+        """
+        self.record(delta.op, delta.label, delta.edges, delta.version)
+
     # -- introspection -----------------------------------------------------
 
     def touched_labels(self) -> list[str]:

@@ -126,7 +126,27 @@ class QueryService:
             max_batch=max_batch,
             results=self.results,
         )
+        self._router = None
         self._closed = False
+
+    # -- replication (repro.cluster) ---------------------------------------
+
+    def attach_router(self, router) -> None:
+        """Attach a cluster :class:`~repro.cluster.ReadRouter`.
+
+        The sync read surface (:meth:`reach` / :meth:`pairs` /
+        :meth:`cfpq`) then routes each query by freshness requirement
+        across the primary's followers, and :meth:`stats` grows a
+        ``replication`` section with per-replica applied versions and
+        lag.  The async ``submit_*`` surface always executes locally.
+        Assigned once during primary start-up, before traffic.
+        """
+        self._router = router
+
+    def detach_router(self):
+        """Detach (and return) the attached router, if any."""
+        router, self._router = self._router, None
+        return router
 
     # -- graph management --------------------------------------------------
 
@@ -225,32 +245,74 @@ class QueryService:
         )
 
     # -- sync convenience --------------------------------------------------
+    #
+    # With a cluster router attached (attach_router), these route by
+    # freshness: ``min_version=`` pins read-your-writes (pass the
+    # version a mutation returned), the default tolerates the router's
+    # bounded staleness, and ``route="primary"`` forces local execution.
 
     def reach(
-        self, graph: str, query, *, source: int, timeout: float | None = None
+        self,
+        graph: str,
+        query,
+        *,
+        source: int,
+        timeout: float | None = None,
+        min_version: int | None = None,
+        route: str = "auto",
     ) -> set[int]:
+        router = self._router
+        if router is not None and route != "primary":
+            return router.route_reach(
+                graph, query,
+                source=source, timeout=timeout, min_version=min_version,
+            )
         return self.submit_reach(
             graph, query, source=source, timeout=timeout
         ).result()
 
     def pairs(
-        self, graph: str, query, *, timeout: float | None = None
+        self,
+        graph: str,
+        query,
+        *,
+        timeout: float | None = None,
+        min_version: int | None = None,
+        route: str = "auto",
     ) -> set[tuple[int, int]]:
+        router = self._router
+        if router is not None and route != "primary":
+            return router.route_pairs(
+                graph, query, timeout=timeout, min_version=min_version
+            )
         return self.submit_pairs(graph, query, timeout=timeout).result()
 
     def cfpq(
-        self, graph: str, grammar, *, timeout: float | None = None
+        self,
+        graph: str,
+        grammar,
+        *,
+        timeout: float | None = None,
+        min_version: int | None = None,
+        route: str = "auto",
     ) -> set[tuple[int, int]]:
+        router = self._router
+        if router is not None and route != "primary":
+            return router.route_cfpq(
+                graph, grammar, timeout=timeout, min_version=min_version
+            )
         return self.submit_cfpq(graph, grammar, timeout=timeout).result()
 
     # -- observability -----------------------------------------------------
 
     def stats(self) -> StatsSnapshot:
+        router = self._router
         return self.service_stats.snapshot(
             plan_cache=self.plans,
             graph_store=self.graphs,
             result_cache=self.results,
             backend=self._backend_stats(),
+            replication=router.stats() if router is not None else None,
         )
 
     def _backend_stats(self) -> dict:

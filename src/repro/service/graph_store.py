@@ -154,6 +154,11 @@ class GraphStore:
         self.overlay_fold_limit = int(overlay_fold_limit)
         self._lock = make_lock("GraphStore._lock")
         self._graphs: dict[str, GraphHandle] = {}  # guarded-by: _lock
+        #: Replication hook (:mod:`repro.cluster`): called as
+        #: ``on_mutate(name, version)`` after every committed mutation
+        #: batch, outside all store locks.  Assigned once, before
+        #: traffic starts (the primary's shipper wake-up); not guarded.
+        self.on_mutate = None
 
     def _make_overlay(self, graph: LabeledGraph, version: int):
         if not self.use_overlay:
@@ -311,6 +316,21 @@ class GraphStore:
             )
         return generation
 
+    def _adopt_bit_views(self, matrices: dict, bit_paths: dict) -> None:
+        """Attach snapshot bit containers as read-only memmap views
+        (hybrid backend only; a no-op elsewhere)."""
+        from repro.backends.hybrid import HybridBackend
+
+        backend = self.ctx.backend
+        if not bit_paths or not isinstance(backend, HybridBackend):
+            return
+        from repro.store.container import load_matrix
+
+        for label, path in bit_paths.items():
+            if label in matrices:
+                bit = load_matrix(path, mmap=True)
+                backend.adopt_bit_mapped(matrices[label].handle, bit)
+
     def restore(
         self,
         name: str,
@@ -327,8 +347,6 @@ class GraphStore:
         packed words are *mapped*, not copied to the heap (visible as
         arena ``mapped_bytes``, not ``live_bytes``).
         """
-        from repro.backends.hybrid import HybridBackend
-
         if residency not in RESIDENCY_MODES:
             raise InvalidArgumentError(
                 f"residency {residency!r} not in {RESIDENCY_MODES}"
@@ -349,14 +367,7 @@ class GraphStore:
         try:
             state = volume.load(mmap=mmap)
             matrices = state.graph.adjacency_matrices(self.ctx)
-            backend = self.ctx.backend
-            if mmap and isinstance(backend, HybridBackend):
-                from repro.store.container import load_matrix
-
-                for label, path in state.bit_paths.items():
-                    if label in matrices:
-                        bit = load_matrix(path, mmap=True)
-                        backend.adopt_bit_mapped(matrices[label].handle, bit)
+            self._adopt_bit_views(matrices, state.bit_paths)
         except Exception:
             if handed_off:
                 prior.volume = volume  # hand the lease back
@@ -392,6 +403,57 @@ class GraphStore:
             self.restore(volume.name, residency=residency, mmap=mmap)
             names.append(volume.name)
         return names
+
+    def restore_replica(
+        self,
+        name: str,
+        *,
+        residency: str = "auto",
+        mmap: bool = True,
+        generation: int | None = None,
+    ) -> tuple[GraphHandle, int]:
+        """Bootstrap ``name`` as a read replica from its volume's snapshot.
+
+        The follower-process twin of :meth:`restore`
+        (:mod:`repro.cluster`): opens the volume *without* the writer
+        lease, loads only the newest (or ``generation``-pinned)
+        committed snapshot — no local WAL replay; the primary ships
+        committed deltas over the wire instead — and registers the
+        handle at the snapshot version with **no attached volume**, so
+        local mutations would not double-log against the primary's WAL.
+        With ``mmap=True`` the bit containers attach as read-only
+        memmap views: N follower processes on one host share those
+        pages through the page cache.  Returns ``(handle, generation)``.
+        """
+        from repro.store.volume import GraphVolume, volume_root
+
+        if residency not in RESIDENCY_MODES:
+            raise InvalidArgumentError(
+                f"residency {residency!r} not in {RESIDENCY_MODES}"
+            )
+        volume = GraphVolume.open(volume_root(self._require_store()) / name)
+        try:
+            state = volume.load_snapshot(generation=generation, mmap=mmap)
+        finally:
+            volume.close()
+        matrices = state.graph.adjacency_matrices(self.ctx)
+        self._adopt_bit_views(matrices, state.bit_paths)
+        formats = self._apply_residency(matrices, residency)
+        handle = GraphHandle(
+            name=name,
+            graph=state.graph,
+            matrices=matrices,
+            residency=residency,
+            formats=formats,
+            version=state.version,
+            overlay=self._make_overlay(state.graph, state.version),
+        )
+        with self._lock:
+            old = self._graphs.get(name)
+            self._graphs[name] = handle
+        if old is not None:
+            old.free()
+        return handle, state.generation
 
     # -- mutation (edge deltas) -------------------------------------------
 
@@ -482,6 +544,50 @@ class GraphStore:
                 if handle.overlay is not None:
                     handle.overlay.record(op, label, batch, version)
                 touched.add(label)
+            for label in sorted(touched):
+                if handle.overlay is None:
+                    self._rebuild_label(handle, label)
+                elif (
+                    handle.overlay.pending_edges(label)
+                    >= self.overlay_fold_limit
+                ):
+                    self._rebuild_label(handle, label)
+                    handle.overlay.fold(label)
+            handle.version = version
+        hook = self.on_mutate
+        if hook is not None:
+            hook(name, version)
+        return version
+
+    def apply_replicated(self, name: str, deltas) -> int:
+        """Apply WAL-shipped deltas on a read replica; returns the version.
+
+        The follower-side twin of :meth:`apply_batch`
+        (:mod:`repro.cluster`): ``deltas`` are
+        :class:`~repro.store.wal.EdgeDelta` records decoded (and
+        CRC-verified) off the replication stream.  They are already
+        durable on the primary, so nothing is logged here, and versions
+        come from the deltas' own stamps rather than being minted.
+        Deltas at or below the handle version are skipped — after a
+        reconnect the primary re-ships from the follower's acked
+        version, so replay must be idempotent.  All deltas land under
+        one lock acquisition: every state a concurrent reader observes
+        is a whole prefix of the primary's committed history.
+        """
+        from repro.store.volume import apply_deltas
+
+        handle = self.get(name)
+        with handle._lock:
+            version = handle.version
+            touched: set[str] = set()
+            for delta in deltas:
+                if delta.version <= version:
+                    continue
+                apply_deltas(handle.graph, [delta])
+                if handle.overlay is not None:
+                    handle.overlay.record_delta(delta)
+                version = delta.version
+                touched.add(delta.label)
             for label in sorted(touched):
                 if handle.overlay is None:
                     self._rebuild_label(handle, label)

@@ -65,6 +65,9 @@ class StatsSnapshot:
     graph_store: dict = field(default_factory=dict)
     result_cache: dict = field(default_factory=dict)
     backend: dict = field(default_factory=dict)
+    #: Cluster view when a read router is attached (repro.cluster):
+    #: graph versions, per-replica acked/lag, routing counters.
+    replication: dict = field(default_factory=dict)
 
     def render(self) -> str:
         """Human-readable multi-line report (CLI self-test output)."""
@@ -134,6 +137,23 @@ class StatsSnapshot:
                     f"  kernel times (ms): {be['kernel_times_ms']}, "
                     f"bit workers {be.get('bit_workers', 1)}"
                 )
+        if self.replication:
+            rep = self.replication
+            rc = rep.get("counters", {})
+            lines.append(
+                f"  replication: {len(rep.get('followers', []))} follower(s), "
+                f"max staleness {rep.get('max_staleness')} versions, "
+                f"routed replica={rc.get('routed_replica', 0)} "
+                f"primary={rc.get('routed_primary', 0)} "
+                f"stale={rc.get('replica_stale', 0)} "
+                f"errors={rc.get('replica_errors', 0)}"
+            )
+            for f in rep.get("followers", []):
+                acked = dict(sorted(f.get("acked", {}).items()))
+                lag = dict(sorted(f.get("lag", {}).items()))
+                lines.append(
+                    f"    {f.get('id')}: applied {acked} lag {lag}"
+                )
         return "\n".join(lines)
 
 
@@ -175,7 +195,7 @@ class ServiceStats:
 
     def snapshot(
         self, *, plan_cache=None, graph_store=None, result_cache=None,
-        backend=None,
+        backend=None, replication=None,
     ) -> StatsSnapshot:
         with self._lock:
             stages = {s: list(v) for s, v in self._stages.items()}
@@ -198,4 +218,5 @@ class ServiceStats:
             graph_store=graph_store.stats() if graph_store is not None else {},
             result_cache=result_cache.stats() if result_cache is not None else {},
             backend=backend or {},
+            replication=replication or {},
         )

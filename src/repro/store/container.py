@@ -264,6 +264,38 @@ def _read_array(path: Path, entry: dict, *, verify: bool = True) -> np.ndarray:
     return np.frombuffer(blob, dtype=entry["dtype"]).copy()
 
 
+def _check_mappable(path: Path, entry: dict) -> None:
+    """Reject a mapping whose payload runs past EOF.
+
+    ``np.memmap`` raises a bare ``ValueError`` on a short file; a
+    truncated container is corruption and must surface as such.
+    """
+    if path.stat().st_size < entry["offset"] + entry["nbytes"]:
+        raise StoreCorruptError(f"{path}: array {entry['name']!r} truncated")
+
+
+def _map_array(path: Path, entry: dict) -> np.ndarray:
+    """Read-only zero-copy view of one sparse index array.
+
+    The CSR loader's analogue of :func:`_map_words`: the container
+    payload is the in-memory layout verbatim, so ``rowptr``/``cols``
+    can be handed back as read-only ``np.memmap`` views and N replica
+    processes loading the same snapshot share the pages through the
+    page cache instead of each holding a heap copy.  Empty arrays fall
+    back to the heap — mmap of zero length is ill-defined.
+    """
+    if entry["count"] == 0:
+        return np.zeros(0, dtype=entry["dtype"])
+    _check_mappable(path, entry)
+    return np.memmap(
+        path,
+        dtype=entry["dtype"],
+        mode="r",
+        offset=entry["offset"],
+        shape=(entry["count"],),
+    )
+
+
 def _map_words(path: Path, entry: dict, shape: tuple[int, int]) -> np.ndarray:
     """Read-only zero-copy view of a container's word array.
 
@@ -274,6 +306,7 @@ def _map_words(path: Path, entry: dict, shape: tuple[int, int]) -> np.ndarray:
     """
     if entry["count"] == 0:
         return np.zeros(shape, dtype=np.uint64)
+    _check_mappable(path, entry)
     return np.memmap(
         path, dtype=np.uint64, mode="r", offset=entry["offset"], shape=shape
     )
@@ -282,15 +315,18 @@ def _map_words(path: Path, entry: dict, shape: tuple[int, int]) -> np.ndarray:
 def load_matrix(path: str | Path, *, mmap: bool = True, verify: bool = False):
     """Load a container back into its format object.
 
-    Sparse formats are reconstructed from heap copies of their index
-    arrays (payload CRCs always checked — the copy pass reads every
-    byte anyway).  ``bit`` containers return a :class:`BitMatrix` whose
-    word array is a **read-only memmap view** when ``mmap=True`` (the
-    default): no heap copy, lazily paged, suitable for
-    arena-registration via
-    :meth:`repro.gpu.memory.MemoryArena.adopt_external`.  ``verify=True``
-    forces a full payload checksum even on the mmap path (reads the
-    file once; the view stays zero-copy).
+    ``bit`` containers return a :class:`BitMatrix` whose word array is
+    a **read-only memmap view** when ``mmap=True`` (the default): no
+    heap copy, lazily paged, suitable for arena-registration via
+    :meth:`repro.gpu.memory.MemoryArena.adopt_external`.  ``csr``
+    containers likewise map ``rowptr``/``cols`` read-only when
+    ``mmap=True`` — the container payload is the in-memory layout, so
+    :class:`BoolCsr` adopts the views uncopied and replica processes
+    share the pages.  The remaining sparse formats are reconstructed
+    from heap copies of their index arrays (payload CRCs always
+    checked — the copy pass reads every byte anyway).  ``verify=True``
+    forces a full payload checksum even on the mmap paths (reads the
+    file once; the views stay zero-copy).
     """
     path = Path(path)
     info, entries = _read_index(path)
@@ -322,6 +358,17 @@ def load_matrix(path: str | Path, *, mmap: bool = True, verify: bool = False):
             words = arr("words").reshape(nrows, wpr)
         return BitMatrix(shape, words)
     if kind == "csr":
+        if mmap:
+            for name in ("rowptr", "cols"):
+                if name not in by_name:
+                    raise StoreCorruptError(f"{path}: missing array {name!r}")
+                if verify:
+                    _read_array(path, by_name[name])  # checksum pass only
+            return BoolCsr(
+                shape,
+                _map_array(path, by_name["rowptr"]),
+                _map_array(path, by_name["cols"]),
+            )
         return BoolCsr(shape, arr("rowptr"), arr("cols"))
     if kind == "coo":
         return BoolCoo(shape, arr("rows"), arr("cols"))

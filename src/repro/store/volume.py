@@ -353,20 +353,25 @@ class GraphVolume:
 
     # -- load / recovery ---------------------------------------------------
 
-    def load(self, *, mmap: bool = True) -> RestoredGraph:
-        """Reconstruct the current graph state from disk.
+    def load_snapshot(
+        self, *, generation: int | None = None, mmap: bool = True
+    ) -> RestoredGraph:
+        """Reconstruct one committed snapshot generation — no WAL replay.
 
-        Latest committed snapshot + committed WAL suffix; torn WAL tails
-        are truncated (crash recovery).  Deltas at or below the snapshot
-        version are skipped — they were folded into the snapshot by a
-        compaction whose log reset did not survive the crash.
-
-        Torn-tail truncation is a write, so a reader instance replays
-        with ``repair=False`` (the tail is ignored, not repaired).
+        The replica bootstrap path (:mod:`repro.cluster`): a follower
+        loads the newest generation (or the specific ``generation`` the
+        primary named in its handoff), then catches up past the
+        snapshot version from the *shipped* WAL stream rather than the
+        local log.  With ``mmap=True`` the untouched bit containers
+        come back as read-only memmap paths, so N follower processes on
+        one host share those pages through the page cache.
         """
-        generation = self.latest_generation()
         if generation is None:
-            raise StoreError(f"{self.path}: volume has no committed snapshot")
+            generation = self.latest_generation()
+            if generation is None:
+                raise StoreError(
+                    f"{self.path}: volume has no committed snapshot"
+                )
         manifest = self.read_manifest(generation)
         n = int(manifest["n"])
         snapshot_version = int(manifest["version"])
@@ -384,23 +389,56 @@ class GraphVolume:
                 )
             rows, cols = sparse.to_coo_arrays()
             graph.edges[label] = list(zip(rows.tolist(), cols.tolist()))
-            if entry.get("bit"):
+            if mmap and entry.get("bit"):
                 bit_paths[label] = gen_dir / entry["bit"]
-
-        deltas, wal_version = self.wal.replay(repair=self.is_writer)
-        live = [d for d in deltas if d.version > snapshot_version]
-        touched = apply_deltas(graph, live)
-        for label in touched:
-            bit_paths.pop(label, None)
-        if not mmap:
-            bit_paths = {}
         return RestoredGraph(
             graph=graph,
-            version=max(snapshot_version, wal_version),
+            version=snapshot_version,
             generation=generation,
             bit_paths=bit_paths,
-            deltas_applied=len(live),
         )
+
+    def load(self, *, mmap: bool = True) -> RestoredGraph:
+        """Reconstruct the current graph state from disk.
+
+        Latest committed snapshot + committed WAL suffix; torn WAL tails
+        are truncated (crash recovery).  Deltas at or below the snapshot
+        version are skipped — they were folded into the snapshot by a
+        compaction whose log reset did not survive the crash.
+
+        Torn-tail truncation is a write, so a reader instance replays
+        with ``repair=False`` (the tail is ignored, not repaired).
+        """
+        state = self.load_snapshot(mmap=mmap)
+        deltas, wal_version = self.wal.replay(repair=self.is_writer)
+        live = [d for d in deltas if d.version > state.version]
+        touched = apply_deltas(state.graph, live)
+        for label in touched:
+            state.bit_paths.pop(label, None)
+        state.version = max(state.version, wal_version)
+        state.deltas_applied = len(live)
+        return state
+
+    def handoff(self) -> dict | None:
+        """Bootstrap coordinates for a joining read replica.
+
+        The primary answers a follower's hello with this: the newest
+        committed generation and its snapshot version.  A follower
+        already at or past ``snapshot_version`` streams the WAL suffix;
+        one behind it first reloads the named generation from the
+        shared volume directory (the catch-up state machine in
+        docs/CLUSTER.md).  ``None`` when nothing has been persisted
+        yet — there is no state to replicate from.
+        """
+        generation = self.latest_generation()
+        if generation is None:
+            return None
+        manifest = self.read_manifest(generation)
+        return {
+            "generation": generation,
+            "snapshot_version": int(manifest["version"]),
+            "n": int(manifest["n"]),
+        }
 
     def current_version(self) -> int:
         """Last committed graph version (snapshot or WAL, whichever is

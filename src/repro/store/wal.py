@@ -122,6 +122,74 @@ def _valid_frames_after(data: bytes, start: int) -> tuple[int, int]:
     return deltas, commits
 
 
+def encode_transaction(op: str, label: str, edges, *, version: int) -> bytes:
+    """Serialise one committed transaction: a delta frame + its commit.
+
+    This byte sequence is exactly what :meth:`WriteAheadLog.append`
+    writes — and, verbatim, the payload of a replication ``frames``
+    message (:mod:`repro.cluster`): the CRC framing on the wire is the
+    CRC framing on disk, so followers validate shipped transactions
+    with the same checks recovery applies to the local log.
+    """
+    op_code = {"add": OP_ADD, "remove": OP_REMOVE}.get(op)
+    if op_code is None:
+        raise InvalidArgumentError(f"unknown WAL op {op!r}")
+    payload = _delta_payload(label, np.asarray(edges))
+    delta = _FRAME.pack(
+        WAL_MAGIC, KIND_DELTA, op_code, 0, version, len(payload),
+        _crc(KIND_DELTA, op_code, version, payload),
+    ) + payload
+    commit = _FRAME.pack(
+        WAL_MAGIC, KIND_COMMIT, 0, 0, version, 0,
+        _crc(KIND_COMMIT, 0, version, b""),
+    )
+    return delta + commit
+
+
+def decode_transaction(
+    data: bytes, *, where: str = "wire",
+) -> tuple[list[EdgeDelta], int]:
+    """Parse one complete transaction, CRC-checking every frame.
+
+    The inverse of :func:`encode_transaction`.  Unlike
+    :meth:`WriteAheadLog.replay` there is no torn-tail leniency: the
+    caller claims ``data`` holds exactly one committed transaction, so
+    *any* damage — bad magic, checksum mismatch, a missing commit
+    marker, bytes past it — raises
+    :class:`~repro.errors.StoreCorruptError`.  A replication follower
+    maps that to "drop the connection and re-request from the last
+    applied version".  Returns ``(deltas, commit_version)``.
+    """
+    deltas: list[EdgeDelta] = []
+    pos = 0
+    while pos < len(data):
+        frame = data[pos : pos + _FRAME.size]
+        if len(frame) < _FRAME.size:
+            raise StoreCorruptError(f"{where}: truncated frame header")
+        magic, kind, op_code, _, version, length, crc = _FRAME.unpack(frame)
+        if magic != WAL_MAGIC:
+            raise StoreCorruptError(f"{where}: bad record magic")
+        payload = data[pos + _FRAME.size : pos + _FRAME.size + length]
+        if len(payload) < length:
+            raise StoreCorruptError(f"{where}: truncated record payload")
+        if _crc(kind, op_code, version, payload) != crc:
+            raise StoreCorruptError(f"{where}: record checksum mismatch")
+        pos += _FRAME.size + length
+        if kind == KIND_DELTA:
+            op = _OP_NAMES.get(op_code)
+            if op is None:
+                raise StoreCorruptError(f"{where}: unknown delta op {op_code}")
+            label, edges = _parse_delta_payload(payload, where)
+            deltas.append(EdgeDelta(op, label, edges, version))
+        elif kind == KIND_COMMIT:
+            if pos != len(data):
+                raise StoreCorruptError(f"{where}: bytes past the commit marker")
+            return deltas, version
+        else:
+            raise StoreCorruptError(f"{where}: unknown record kind {kind}")
+    raise StoreCorruptError(f"{where}: transaction without a commit marker")
+
+
 def _parse_delta_payload(payload: bytes, where: str) -> tuple[str, np.ndarray]:
     if len(payload) < 6:
         raise StoreCorruptError(f"{where}: delta payload too short")
@@ -165,20 +233,8 @@ class WriteAheadLog:
         in one ``write`` + ``fsync`` pair, so the commit marker is never
         durable without its delta.
         """
-        op_code = {"add": OP_ADD, "remove": OP_REMOVE}.get(op)
-        if op_code is None:
-            raise InvalidArgumentError(f"unknown WAL op {op!r}")
-        payload = _delta_payload(label, np.asarray(edges))
-        delta = _FRAME.pack(
-            WAL_MAGIC, KIND_DELTA, op_code, 0, version, len(payload),
-            _crc(KIND_DELTA, op_code, version, payload),
-        ) + payload
-        commit = _FRAME.pack(
-            WAL_MAGIC, KIND_COMMIT, 0, 0, version, 0,
-            _crc(KIND_COMMIT, 0, version, b""),
-        )
         f = self._handle()
-        f.write(delta + commit)
+        f.write(encode_transaction(op, label, edges, version=version))
         f.flush()
         os.fsync(f.fileno())
 
@@ -283,3 +339,88 @@ class WriteAheadLog:
 
     def size(self) -> int:
         return self.path.stat().st_size if self.path.exists() else 0
+
+
+class WalCursor:
+    """Incremental reader over a live ``wal.log``: the shipper's tail.
+
+    Tracks a byte :attr:`offset` into the file and, on each
+    :meth:`poll`, returns every *complete committed* transaction that
+    appeared since — each as ``(version, raw_bytes)`` where
+    ``raw_bytes`` is the transaction's frames verbatim (ready to ship;
+    see :func:`encode_transaction`).  The cursor never advances past an
+    incomplete or damaged tail: a partial final write simply waits for
+    the next poll, exactly like recovery's torn-tail rule.
+
+    A *reset* log (a snapshot folded it away) rewinds the cursor to
+    byte 0 and bumps :attr:`resets`.  Shrinking is not the only tell:
+    a reset log that regrew to at least the old offset would read as a
+    plain append, so the cursor also keeps a checksum of the last
+    commit frame it consumed and re-verifies those bytes on every poll
+    — new content at an old offset cannot impersonate the old commit
+    (versions differ, and the frame CRC covers the version).  Re-read
+    transactions after a rewind carry versions at or below what the
+    caller already shipped, and it is the caller's job to filter those
+    and to detect version gaps (a reset that discarded not-yet-polled
+    transactions).
+
+    Single-threaded, like :class:`WriteAheadLog`: one shipper thread
+    owns one cursor.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.offset = 0
+        self.resets = 0
+        self._tail_sig = 0  # crc32 of the last consumed commit frame
+
+    def _rewind(self) -> None:
+        self.offset = 0
+        self._tail_sig = 0
+        self.resets += 1
+
+    def poll(self) -> list[tuple[int, bytes]]:
+        """Committed transactions newly visible since the last poll."""
+        try:
+            size = self.path.stat().st_size
+        except FileNotFoundError:
+            size = 0
+        if size < self.offset:
+            self._rewind()
+        elif self.offset:
+            with open(self.path, "rb") as f:
+                f.seek(self.offset - _FRAME.size)
+                tail = f.read(_FRAME.size)
+            if zlib.crc32(tail) != self._tail_sig:
+                self._rewind()
+        if size == self.offset:
+            return []
+        with open(self.path, "rb") as f:
+            f.seek(self.offset)
+            data = f.read()
+
+        out: list[tuple[int, bytes]] = []
+        txn_start = 0  # within `data`: first byte of the open transaction
+        pos = 0
+        while pos < len(data):
+            frame = data[pos : pos + _FRAME.size]
+            if len(frame) < _FRAME.size:
+                break
+            magic, kind, op_code, _, version, length, crc = _FRAME.unpack(frame)
+            payload = data[pos + _FRAME.size : pos + _FRAME.size + length]
+            if (
+                magic != WAL_MAGIC
+                or len(payload) < length
+                or _crc(kind, op_code, version, payload) != crc
+            ):
+                # Torn (or, mid-log, damaged) tail: stop here and let the
+                # next poll — after the writer finishes, or recovery
+                # truncates — try again from the same offset.
+                break
+            pos += _FRAME.size + length
+            if kind == KIND_COMMIT:
+                out.append((version, bytes(data[txn_start:pos])))
+                txn_start = pos
+                self._tail_sig = zlib.crc32(frame)
+        self.offset += txn_start
+        return out

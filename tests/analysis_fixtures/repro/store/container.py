@@ -1,7 +1,10 @@
-"""R2 fixture: uint64 memmap views outside the memmap-flow sites.
+"""R2 fixture: memmap views outside the memmap-flow sites.
 
 Mirrors the real ``store/container.py`` path so the rule's module
-scoping applies.  Never imported — parsed by reprolint only.
+scoping applies.  Two seeded violations: a mapped uint64 word view and
+a mapped uint32 index view — the rule audits *every* memmap in a
+covered module, whatever its dtype.  Never imported — parsed by
+reprolint only.
 """
 
 import numpy as np
@@ -15,11 +18,30 @@ def _map_words(path, shape, offset):
     return flat.reshape(shape)
 
 
+def _map_array(path, count, offset):
+    """Audited memmap-flow site: mapped index view here is legal."""
+    if count == 0:
+        return np.zeros(0, dtype=np.uint32)
+    return np.memmap(
+        path, dtype=np.uint32, mode="r", offset=offset, shape=(count,)
+    )
+
+
 def peek_words(path, offset):
     """Seeded violation: mapped words invisible to the arena."""
     return np.memmap(path, dtype=np.uint64, mode="r", offset=offset)
 
 
+def peek_index(path, offset):
+    """Seeded violation: mapped uint32 index view dodging the audit."""
+    return np.memmap(path, dtype=np.uint32, mode="r", offset=offset)
+
+
 def debug_words(path, offset):
     """Suppressed twin."""
     return np.memmap(path, dtype=np.uint64, mode="r")  # reprolint: disable=R2
+
+
+def debug_index(path, offset):
+    """Suppressed twin for the index variant."""
+    return np.memmap(path, dtype=np.uint32, mode="r")  # reprolint: disable=R2

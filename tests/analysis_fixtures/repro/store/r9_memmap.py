@@ -35,3 +35,29 @@ def patch_justified(path):
     words = load_matrix(path)
     words[0] = 1  # reprolint: disable=R9
     return words
+
+
+def _map_array(path):
+    """Stand-in for the CSR index loader: returns a mapped view."""
+    return np.memmap(path, dtype=np.uint32, mode="r")
+
+
+def patch_index_in_place(path):
+    """Seeded violation: writes into a mapped sparse index array."""
+    cols = _map_array(path)
+    cols[0] = 1
+    return cols
+
+
+def patch_index_copy(path):
+    """Legal: copy the index view first, mutate the copy."""
+    cols = _map_array(path).copy()
+    cols[0] = 1
+    return cols
+
+
+def patch_index_justified(path):
+    """Suppressed twin for the index variant."""
+    cols = _map_array(path)
+    cols[0] = 1  # reprolint: disable=R9
+    return cols

@@ -23,17 +23,22 @@ ALL_RULES = ("R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9")
 
 
 # R2 has two fixtures: the arena-flow one (bitmatrix.py) and the
-# memmap-flow one (store/container.py).  R5 plants two violations in
-# r5_impure.py (hidden nondeterminism, undeclared parameter mutation),
-# one in r5_tiled_into.py (undeclared presence-grid write among legal
-# tiled ``_into`` kernels that must not fire), one in
+# memmap-flow one (store/container.py, which plants two violations: a
+# mapped uint64 word view and a mapped uint32 index view — the rule
+# audits every memmap in a covered module).  R5 plants two violations
+# in r5_impure.py (hidden nondeterminism, undeclared parameter
+# mutation), one in r5_tiled_into.py (undeclared presence-grid write
+# among legal tiled ``_into`` kernels that must not fire), one in
 # r5_masked_into.py (mask mutation inside a declared ``_into`` kernel —
 # the mask is read-only by the masked-accumulate contract), and one in
 # r5_interproc.py (mask forwarded into a mutating helper — only the
 # whole-program pass can see it).  R8 has two fixtures: a lock held
 # across a kernel-boundary call and an unguarded cross-object access.
+# R9 plants two violations in r9_memmap.py: a write through a mapped
+# word container and a write through a mapped sparse index array.
 PER_RULE = {
-    rule: {"R2": 2, "R5": 5, "R8": 2}.get(rule, 1) for rule in ALL_RULES
+    rule: {"R2": 3, "R5": 5, "R8": 2, "R9": 2}.get(rule, 1)
+    for rule in ALL_RULES
 }
 
 

@@ -110,6 +110,75 @@ class TestDistributedOps:
         assert sum(da.block_nnz()) == da.nnz
 
 
+def skewed_dense(rng, n=256, dense_rows=32, dense_nnz=3000, tail_nnz=20):
+    """A matrix whose nnz-balanced row blocks span both density regimes.
+
+    nnz balancing equalizes entries per block, so packing the bulk of
+    the pattern into the first ``dense_rows`` rows leaves the last
+    block covering most of the row range at hyper-sparse density while
+    the leading blocks sit far above the bit-packing crossover.
+    """
+    out = np.zeros((n, n), dtype=bool)
+    out[rng.integers(0, dense_rows, dense_nnz), rng.integers(0, n, dense_nnz)] = True
+    out[rng.integers(dense_rows, n, tail_nnz), rng.integers(0, n, tail_nnz)] = True
+    return out
+
+
+class TestHybridPool:
+    def test_plain_pool_stays_sparse(self, rng):
+        a = skewed_dense(rng)
+        pool = DevicePool(n_devices=4, backend="cubool")
+        assert pool.hybrid_mode is None
+        da = pool.distribute(*coords(a), a.shape)
+        assert da.block_formats() == ["sparse"] * 4
+
+    def test_skewed_matrix_mixes_block_formats(self, rng):
+        a = skewed_dense(rng)
+        pool = DevicePool(n_devices=4, backend="cubool", hybrid=True)
+        assert pool.hybrid_mode == "auto"
+        da = pool.distribute(*coords(a), a.shape)
+        formats = da.block_formats()
+        # Dense leading blocks are bit-packed up front; the hyper-sparse
+        # tail block keeps its sparse representation.
+        assert "sparse" in formats
+        assert any(f != "sparse" for f in formats)
+        assert formats[-1] == "sparse"
+
+    def test_hybrid_mxm_matches_dense_oracle(self, rng):
+        a = skewed_dense(rng, n=128, dense_rows=16, dense_nnz=1200)
+        b = random_dense(rng, (128, 96), 0.1)
+        pool = DevicePool(n_devices=4, backend="cubool", hybrid=True)
+        da = pool.distribute(*coords(a), a.shape)
+        dc = da.mxm_replicated(*coords(b), b.shape)
+        assert np.array_equal(dc.to_dense(), bool_mxm(a, b))
+        dc.free()
+        da.free()
+
+    def test_replicas_pinned_by_density(self, rng):
+        b = random_dense(rng, (48, 48), 0.3)  # well above the crossover
+        pool = DevicePool(n_devices=3, backend="cubool", hybrid=True)
+        replicas = pool.replicate(*coords(b), b.shape)
+        assert all(r.resident != "sparse" for r in replicas)
+        for r in replicas:
+            r.free()
+
+    def test_env_var_enables_hybrid(self, rng, monkeypatch):
+        monkeypatch.setenv("REPRO_HYBRID", "auto")
+        pool = DevicePool(n_devices=2, backend="cubool")
+        assert pool.hybrid_mode == "auto"
+        monkeypatch.setenv("REPRO_HYBRID", "0")
+        assert DevicePool(n_devices=2, backend="cubool").hybrid_mode is None
+
+    def test_autotuned_crossover_shared_pool_wide(self):
+        pool = DevicePool(n_devices=3, backend="cubool", hybrid=True, autotune=True)
+        crossovers = {be.policy.crossover_density for be in pool.backends}
+        assert len(crossovers) == 1
+        from repro.backends.hybrid import HybridPolicy
+
+        # The shared value is measured, not the analytic default.
+        assert crossovers != {HybridPolicy().crossover_density}
+
+
 class TestPoolAccounting:
     def test_per_device_memory_isolated(self, rng):
         a = random_dense(rng, (60, 60), 0.1)

@@ -76,6 +76,79 @@ def test_bit_mmap_load_is_read_only_view(tmp_path):
     assert np.array_equal(back.to_dense(), m.to_dense())
 
 
+def test_csr_mmap_load_is_read_only_view(tmp_path):
+    """CSR index arrays map zero-copy: the page cache backs the handle.
+
+    ``BoolCsr.__init__`` funnels inputs through ``ascontiguousarray``,
+    which wraps a matching-dtype contiguous memmap in a plain ndarray
+    *view* — so the mapping shows up in the flags (no-copy, read-only,
+    memmap base), not in ``isinstance``.
+    """
+    m = BoolCsr.from_coo(ROWS, COLS, SHAPE)
+    path = tmp_path / "m.csr.rpc"
+    dump_matrix(m, path)
+    back = load_matrix(path, mmap=True)
+    for arr in (back.rowptr, back.cols):
+        assert not arr.flags["WRITEABLE"]
+        assert not arr.flags["OWNDATA"]
+        assert isinstance(arr, np.memmap) or isinstance(arr.base, np.memmap)
+        with pytest.raises((ValueError, RuntimeError)):
+            arr[0] = 1
+    assert np.array_equal(back.to_dense(), m.to_dense())
+    assert back.nnz == m.nnz
+
+
+def test_csr_mmap_empty_matrix(tmp_path):
+    m = BoolCsr.from_coo([], [], (5, 3))
+    path = tmp_path / "empty.csr.rpc"
+    dump_matrix(m, path)
+    back = load_matrix(path, mmap=True)
+    assert back.shape == (5, 3)
+    assert back.nnz == 0
+    assert back.cols.size == 0
+
+
+def test_csr_mmap_verify_checks_payload(tmp_path):
+    m = BoolCsr.from_coo(ROWS, COLS, SHAPE)
+    path = tmp_path / "m.csr.rpc"
+    dump_matrix(m, path)
+    back = load_matrix(path, mmap=True, verify=True)
+    assert np.array_equal(back.to_dense(), m.to_dense())
+    raw = bytearray(path.read_bytes())
+    raw[-3] ^= 0x10  # damage the cols payload
+    path.write_bytes(bytes(raw))
+    load_matrix(path, mmap=True)  # lazy mapping does not touch payload
+    with pytest.raises(StoreCorruptError):
+        load_matrix(path, mmap=True, verify=True)
+
+
+def test_csr_heap_load_is_writable(tmp_path):
+    m = BoolCsr.from_coo(ROWS, COLS, SHAPE)
+    path = tmp_path / "m.csr.rpc"
+    dump_matrix(m, path)
+    back = load_matrix(path, mmap=False)
+    assert back.rowptr.flags["WRITEABLE"]
+    assert back.cols.flags["WRITEABLE"]
+
+
+def test_csr_mmap_missing_array_is_corrupt(tmp_path, monkeypatch):
+    """A csr container without its index arrays is rejected up front."""
+    import repro.store.container as container_mod
+
+    m = BoolCsr.from_coo(ROWS, COLS, SHAPE)
+    path = tmp_path / "m.csr.rpc"
+    dump_matrix(m, path)
+    real = container_mod._read_index
+
+    def drop_cols(p):
+        info, arrays = real(p)
+        return info, [a for a in arrays if a["name"] != "cols"]
+
+    monkeypatch.setattr(container_mod, "_read_index", drop_cols)
+    with pytest.raises(StoreCorruptError):
+        load_matrix(path, mmap=True)
+
+
 def test_bit_heap_load_is_writable(tmp_path):
     m = BitMatrix.from_coo(ROWS, COLS, SHAPE)
     path = tmp_path / "m.bit.rpc"
@@ -136,8 +209,10 @@ def test_payload_bitflip_fails_checksum(tmp_path):
     data = bytearray(path.read_bytes())
     data[-1] ^= 0xFF
     path.write_bytes(bytes(data))
+    # The heap path reads every byte, so CRCs always run; the lazy
+    # csr mmap path defers to verify=True (covered above).
     with pytest.raises(StoreCorruptError, match="checksum mismatch"):
-        load_matrix(path)
+        load_matrix(path, mmap=False)
 
 
 def test_payload_bitflip_caught_by_mmap_verify(tmp_path):
