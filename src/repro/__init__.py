@@ -23,13 +23,18 @@ system inventory.
 from repro.core import (
     BOOL_OR_AND,
     Context,
+    MAX_TIMES,
     MIN_PLUS,
     Matrix,
+    PLUS_PAIR,
     PLUS_TIMES,
     Semiring,
     Vector,
+    available_semirings,
     default_context,
+    get_semiring,
     init,
+    register_semiring,
 )
 from repro.errors import (
     DeviceError,
@@ -52,13 +57,18 @@ __all__ = [
     "IndexOutOfBoundsError",
     "InvalidArgumentError",
     "InvalidStateError",
+    "MAX_TIMES",
     "MIN_PLUS",
     "Matrix",
+    "PLUS_PAIR",
     "PLUS_TIMES",
     "Semiring",
     "SpblaError",
     "Vector",
     "__version__",
+    "available_semirings",
     "default_context",
+    "get_semiring",
     "init",
+    "register_semiring",
 ]

@@ -1,4 +1,4 @@
-"""Breadth-first search as repeated vector-matrix products."""
+"""Breadth-first search as repeated masked frontier products."""
 
 from __future__ import annotations
 
@@ -13,9 +13,9 @@ def bfs_levels(adjacency: Matrix, source: int) -> np.ndarray:
 
     Returns an int64 array of length ``n``: level of each vertex
     (0 for the source), or ``-1`` if unreachable.  Each step is one
-    sparse ``vᵀ·A`` product; the visited mask is maintained host-side
-    (SPbLA has no masked operations — the paper lists them as future
-    GraphBLAS work).
+    fused backend product ``frontier · A`` with the visited set as the
+    structural complement mask, so the returned frontier carries only
+    *new* vertices — the host never re-filters candidates.
     """
     if adjacency.nrows != adjacency.ncols:
         raise InvalidArgumentError("bfs requires a square adjacency matrix")
@@ -23,23 +23,29 @@ def bfs_levels(adjacency: Matrix, source: int) -> np.ndarray:
     if not 0 <= source < n:
         raise InvalidArgumentError(f"source {source} outside [0, {n})")
 
-    ctx = adjacency.context
+    be = adjacency.context.backend
+    a = adjacency.handle
     levels = np.full(n, -1, dtype=np.int64)
     levels[source] = 0
-    at = adjacency.transpose()  # v·A == Aᵀ·v with column vectors
-    frontier = ctx.vector_from_indices(n, [source])
+    zero = np.zeros(1, dtype=np.int64)
+    src = np.array([source], dtype=np.int64)
+    frontier = be.matrix_from_coo(zero, src, (1, n))
+    visited = be.matrix_from_coo(zero, src, (1, n))
     level = 0
     try:
-        while frontier.nnz:
+        while True:
             level += 1
-            nxt = frontier.mxv(at)
+            nxt = be.mxm(frontier, a, mask=visited)
             frontier.free()
-            candidates = nxt.to_indices()
-            fresh = candidates[levels[candidates] < 0]
-            nxt.free()
+            frontier = nxt
+            _, fresh = be.matrix_to_coo(frontier)
+            if fresh.size == 0:
+                break
             levels[fresh] = level
-            frontier = ctx.vector_from_indices(n, fresh)
+            seen = be.ewise_add(visited, frontier)
+            visited.free()
+            visited = seen
     finally:
         frontier.free()
-        at.free()
+        visited.free()
     return levels

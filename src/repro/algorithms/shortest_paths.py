@@ -1,19 +1,21 @@
 """Shortest paths over the min-plus (tropical) semiring.
 
 The paper's future-work section calls out custom semirings such as
-Min-Plus as the next step beyond the boolean core.  This module provides
-the reference implementation on the dense semiring machinery: all-pairs
-shortest paths as the min-plus transitive closure (repeated squaring —
-O(log n) dense min-plus products), plus single-source extraction.
-
-Intended for moderate ``n`` (dense O(n²) storage); the sparse backends
-stay boolean-only, as in SPbLA itself.
+Min-Plus as the next step beyond the boolean core.  This module runs
+them through the *backend* semiring contract: distances are a sparse
+value matrix on the generic (valcsr) backend, and every relaxation
+round is one fused ``mxm(..., accumulate=dist, semiring=MIN_PLUS)``
+call — all-pairs as a repeated-squaring fixpoint (O(log n) semiring
+products), single-source as a Bellman-Ford row sweep.  The public
+surface stays dense-in / dense-out; the dense arrays are just the
+transport format.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.backends.generic import GenericBackend
 from repro.core.semiring import MIN_PLUS
 from repro.errors import InvalidArgumentError
 from repro.graph import LabeledGraph
@@ -40,45 +42,111 @@ def weight_matrix(
     return w
 
 
-def all_pairs_shortest_paths(weights: np.ndarray) -> np.ndarray:
-    """APSP distances via min-plus closure (``d[v, v] = 0``).
+def _min_plus_backend() -> GenericBackend:
+    """Value backend for the tropical fixpoints (float64 valcsr)."""
+    return GenericBackend(value_dtype=np.float64)
 
-    ``weights[u, v]`` is the edge weight or ``inf``.  Negative weights
-    are accepted but negative *cycles* are rejected (they would make
-    distances unbounded; detected as a diagonal dropping below zero).
+
+def _read_dense(be: GenericBackend, handle, shape: tuple[int, int]) -> np.ndarray:
+    """Read a min-plus value matrix back to dense (identity = inf)."""
+    rows, cols, vals = be.matrix_to_coo_values(handle)
+    dense = np.full(shape, np.inf, dtype=np.float64)
+    dense[rows, cols] = vals
+    return dense
+
+
+def all_pairs_shortest_paths(weights: np.ndarray) -> np.ndarray:
+    """APSP distances via the sparse min-plus closure (``d[v, v] = 0``).
+
+    ``weights[u, v]`` is the edge weight or ``inf``.  Repeated squaring
+    of the distance matrix under ``d ← d ⊕ (d · d)`` (one fused
+    semiring ``mxm`` per round) converges in ``ceil(log2 n)`` rounds;
+    negative weights are accepted but negative *cycles* are rejected
+    (one extra product still changing, or a diagonal below zero).
     """
     weights = np.asarray(weights, dtype=np.float64)
     if weights.ndim != 2 or weights.shape[0] != weights.shape[1]:
         raise InvalidArgumentError("weights must be a square matrix")
-    dist = MIN_PLUS.closure_dense(weights, reflexive=True)
-    if np.any(np.diag(dist) < 0):
+    n = weights.shape[0]
+    if n == 0:
+        return np.zeros((0, 0), dtype=np.float64)
+
+    seed = weights.copy()
+    np.fill_diagonal(seed, np.minimum(np.diag(seed), 0.0))
+    be = _min_plus_backend()
+    dist = be.matrix_from_dense_values(seed, semiring=MIN_PLUS)
+    rounds = int(np.ceil(np.log2(n))) + 1 if n > 1 else 1
+    try:
+        prev = _read_dense(be, dist, (n, n))
+        for _ in range(rounds):
+            nxt = be.mxm(dist, dist, accumulate=dist, semiring=MIN_PLUS)
+            dist.free()
+            dist = nxt
+            cur = _read_dense(be, dist, (n, n))
+            if np.array_equal(cur, prev):
+                break
+            prev = cur
+        # One more relaxation changing anything means lengths > n help,
+        # which only a negative cycle can arrange.
+        probe = be.mxm(dist, dist, accumulate=dist, semiring=MIN_PLUS)
+        changed = not np.array_equal(_read_dense(be, probe, (n, n)), prev)
+        probe.free()
+        result = prev
+    finally:
+        dist.free()
+    if changed or np.any(np.diag(result) < 0):
         raise InvalidArgumentError("graph contains a negative cycle")
-    return dist
+    return result
 
 
 def single_source_shortest_paths(
     weights: np.ndarray, source: int
 ) -> np.ndarray:
-    """Distances from ``source`` (a Bellman-Ford-style min-plus sweep).
-
-    O(n · E-dense) per relaxation round, at most ``n`` rounds — cheaper
-    than APSP when only one row is needed.
+    """Distances from ``source`` — a Bellman-Ford sweep where each
+    relaxation round is one fused row-times-matrix semiring product
+    ``dist ← dist ⊕ (dist · W)`` on the sparse value backend.  Cheaper
+    than APSP when only one row is needed (the frontier row stays as
+    sparse as the reachable set).
     """
     weights = np.asarray(weights, dtype=np.float64)
+    if weights.ndim != 2 or weights.shape[0] != weights.shape[1]:
+        raise InvalidArgumentError("weights must be a square matrix")
     n = weights.shape[0]
     if not 0 <= source < n:
         raise InvalidArgumentError(f"source {source} outside [0, {n})")
-    dist = np.full(n, np.inf)
-    dist[source] = 0.0
-    for _ in range(n):
-        relaxed = np.minimum(dist, np.min(dist[:, None] + weights, axis=0))
-        if np.array_equal(relaxed, dist, equal_nan=True) or np.allclose(
-            relaxed, dist, equal_nan=True
-        ):
-            return relaxed
-        dist = relaxed
-    # One extra round changing anything means a negative cycle reaches us.
-    final = np.minimum(dist, np.min(dist[:, None] + weights, axis=0))
-    if not np.allclose(final, dist, equal_nan=True):
-        raise InvalidArgumentError("graph contains a reachable negative cycle")
-    return dist
+
+    be = _min_plus_backend()
+    w = be.matrix_from_dense_values(weights, semiring=MIN_PLUS)
+    dist = be.matrix_from_coo_values(
+        np.zeros(1, dtype=np.int64),
+        np.array([source], dtype=np.int64),
+        (1, n),
+        np.zeros(1, dtype=np.float64),
+        semiring=MIN_PLUS,
+    )
+    try:
+        prev = _read_dense(be, dist, (1, n))
+        stable = False
+        for _ in range(n):
+            nxt = be.mxm(dist, w, accumulate=dist, semiring=MIN_PLUS)
+            dist.free()
+            dist = nxt
+            cur = _read_dense(be, dist, (1, n))
+            if np.array_equal(cur, prev):
+                stable = True
+                break
+            prev = cur
+        if not stable:
+            # n rounds without convergence: one more product changing
+            # anything proves a reachable negative cycle.
+            probe = be.mxm(dist, w, accumulate=dist, semiring=MIN_PLUS)
+            changed = not np.array_equal(_read_dense(be, probe, (1, n)), prev)
+            probe.free()
+            if changed:
+                raise InvalidArgumentError(
+                    "graph contains a reachable negative cycle"
+                )
+    finally:
+        dist.free()
+        w.free()
+    return prev[0]

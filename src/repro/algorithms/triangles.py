@@ -1,12 +1,14 @@
 """Triangle counting.
 
 Boolean products give path *existence*, not path *counts*, so triangle
-counting is the canonical workload where the generic (value-carrying)
-semiring is actually required — the same contrast the
-boolean-vs-generic benchmark measures from the other side.  The
-implementation mirrors the classic GraphBLAS formulation
-``trace(L·L ∘ L)``: square the adjacency pattern under (+, ×) to count
-wedges, then sum the counts found at actual edges.
+counting is the canonical workload where a value-carrying semiring is
+actually required — the same contrast the boolean-vs-generic benchmark
+measures from the other side.  The implementation mirrors the classic
+GraphBLAS formulation ``trace(L·L ∘ L)`` on the backend semiring
+contract: wedges are counted with one ``mxm`` under the plus-pair
+semiring (⊕ sums, ⊗ tests presence — insensitive to stored edge
+multiplicities), the counts are gathered at actual edges with
+``ewise_mult``, and the total comes off a plus ``reduce_to_column``.
 """
 
 from __future__ import annotations
@@ -15,6 +17,7 @@ import numpy as np
 
 from repro.backends import get_backend
 from repro.core.matrix import Matrix
+from repro.core.semiring import PLUS_PAIR
 from repro.errors import InvalidArgumentError
 
 
@@ -35,51 +38,42 @@ def triangle_count(adjacency: Matrix, *, directed: bool = False) -> int:
 
     be = get_backend("generic")
     if not directed:
-        # Symmetrize and drop self-loops.
+        # Symmetrize and drop self-loops; dedupe so every edge weighs 1.
         keep = rows != cols
-        r = np.concatenate([rows[keep], cols[keep]])
-        c = np.concatenate([cols[keep], rows[keep]])
-        a = be.matrix_from_coo(r, c, (n, n))  # duplicates sum, but pattern
-        # Re-pattern: duplicate (u,v) pairs must count once.
-        pr, pc = be.matrix_to_coo(a)
-        a.free()
-        a = be.matrix_from_coo(pr, pc, (n, n))
-        sq = be.mxm(a, a)
-        # Wedge counts gathered at actual edge positions.
-        total = _sum_values_at(sq.storage, pr, pc)
-        a.free()
-        sq.free()
+        r = np.concatenate([rows[keep], cols[keep]]).astype(np.int64)
+        c = np.concatenate([cols[keep], rows[keep]]).astype(np.int64)
+        r, c = _dedupe(r, c, n)
+        a = be.matrix_from_coo(r, c, (n, n))
+        sq = be.mxm(a, a, semiring=PLUS_PAIR)  # wedge counts
+        hits = be.ewise_mult(sq, a)            # ... at actual edges
+        total = _sum_entries(be, hits)
+        for h in (a, sq, hits):
+            h.free()
         # Each triangle contributes 2 wedges per edge (both orientations)
         # over 3 edges -> divide by 6.
         return int(total // 6)
     else:
-        a = be.matrix_from_coo(rows, cols, (n, n))
-        sq = be.mxm(a, a)
-        total = _sum_values_at(sq.storage, rows, cols, transpose_probe=True)
-        a.free()
-        sq.free()
+        r, c = _dedupe(rows.astype(np.int64), cols.astype(np.int64), n)
+        a = be.matrix_from_coo(r, c, (n, n))
+        sq = be.mxm(a, a, semiring=PLUS_PAIR)  # sq[u, w] = # of u→v→w
+        at = be.transpose(a)                   # closing edges w→u, probed at (u, w)
+        hits = be.ewise_mult(sq, at)
+        total = _sum_entries(be, hits)
+        for h in (a, sq, at, hits):
+            h.free()
         # A directed 3-cycle u→v→w→u is found once per starting edge -> /3.
         return int(total // 3)
 
 
-def _sum_values_at(storage, rows: np.ndarray, cols: np.ndarray, *, transpose_probe: bool = False) -> int:
-    """Σ of ``storage[r, c]`` over the coordinate list, vectorized.
+def _dedupe(rows: np.ndarray, cols: np.ndarray, n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Collapse duplicate coordinates (multi-edges count once)."""
+    keys = np.unique(rows * n + cols)
+    return keys // n, keys % n
 
-    With ``transpose_probe`` the probe coordinates are ``(c, r)`` —
-    used for directed cycles where ``sq[v, u]`` closes edge ``(u, v)``.
-    """
-    from repro.utils.arrays import rows_from_rowptr
 
-    if transpose_probe:
-        rows, cols = cols, rows
-    if rows.size == 0 or storage.nnz == 0:
-        return 0
-    n = storage.ncols
-    s_rows = rows_from_rowptr(storage.rowptr).astype(np.int64)
-    keys = s_rows * n + storage.cols.astype(np.int64)  # canonical => sorted
-    probe = rows.astype(np.int64) * n + cols.astype(np.int64)
-    pos = np.searchsorted(keys, probe)
-    safe = np.minimum(pos, keys.size - 1)
-    valid = keys[safe] == probe
-    total = float(storage.values[safe][valid].sum())
-    return int(round(total))
+def _sum_entries(be, m) -> int:
+    """Σ of a value matrix's entries via a plus row-reduce."""
+    col = be.reduce_to_column(m)
+    _, _, sums = be.matrix_to_coo_values(col)
+    col.free()
+    return int(round(float(sums.sum())))

@@ -518,10 +518,11 @@ class KernelPurity(Rule):
       — **unless** the function declares the in-place contract: its
       name ends in ``_into`` or ``_inplace`` (the fused accumulate
       kernels, whose out-parameter mutation *is* the declared result),
-      or the mutated parameter is named ``out``.  A parameter named
-      ``mask`` is exempt from the exemption: the masked-accumulate
-      contract makes the mask a read-only operand even inside a
-      declared in-place kernel, so writes to it always fire.
+      or the mutated parameter is named ``out``.  Parameters named
+      ``mask`` or ``semiring`` are exempt from the exemption: the
+      masked-accumulate contract makes the mask a read-only operand
+      and a semiring is shared immutable algebra metadata, so writes
+      to either always fire — even inside a declared in-place kernel.
     """
 
     id = "R5"
@@ -534,8 +535,10 @@ class KernelPurity(Rule):
     OUT_PARAMS = ("out", "self", "cls")
     #: Parameter names that are read-only by contract *everywhere*,
     #: including declared in-place kernels (masked accumulate: the mask
-    #: filters the product, it is never an output).
-    READONLY_PARAMS = ("mask",)
+    #: filters the product, it is never an output; a semiring is shared
+    #: registry state — a kernel scribbling on it would corrupt every
+    #: other operation using the same algebra).
+    READONLY_PARAMS = ("mask", "semiring")
 
     def check(self, module: ModuleContext) -> Iterator[Finding]:
         if not module.in_dirs("backends/"):
@@ -594,8 +597,8 @@ class KernelPurity(Rule):
                             self.id,
                             node,
                             f"{fn_name} writes to its {root!r} parameter "
-                            f"(read-only by the masked-accumulate "
-                            f"contract, even in *_into kernels)",
+                            f"(read-only by the operation contract, "
+                            f"even in *_into kernels)",
                         )
                         continue
                     if fn_name.endswith(self.INTO_SUFFIXES):
@@ -690,6 +693,13 @@ class ShapeContract(Rule):
     ``*Backend`` class, each binary op it defines must call one of the
     shared validators from ``backends/base.py`` (or raise the
     dimension error itself).
+
+    The same pre-dispatch discipline applies to the algebra: a method
+    that accepts ``semiring=`` must resolve it through the registry
+    (``_resolve_semiring`` from ``backends/base.py``, or the generic
+    backend's ``_resolve_ops``) before dispatching, so unknown names
+    and unsupported algebras fail as ``InvalidArgumentError`` rather
+    than as a missing-attribute crash mid-kernel.
     """
 
     id = "R6"
@@ -704,6 +714,10 @@ class ShapeContract(Rule):
         "extract_submatrix": ("_check_submatrix",),
     }
 
+    #: Accepted semiring-resolution call names (backends/base.py and
+    #: the generic backend's combined resolver).
+    SEMIRING_RESOLVERS = ("_resolve_semiring", "_resolve_ops")
+
     def check(self, module: ModuleContext) -> Iterator[Finding]:
         if not module.in_dirs("backends/"):
             return
@@ -716,17 +730,49 @@ class ShapeContract(Rule):
                 if not isinstance(item, ast.FunctionDef):
                     continue
                 accepted = self.REQUIRED.get(item.name)
-                if accepted is None:
-                    continue
-                if self._validates(item, accepted):
-                    continue
-                yield module.finding(
-                    self.id,
-                    item,
-                    f"{node.name}.{item.name} dispatches without a shape "
-                    f"check (call {accepted[0]} or raise "
-                    f"DimensionMismatchError first)",
+                if accepted is not None and not self._validates(
+                    item, accepted
+                ):
+                    yield module.finding(
+                        self.id,
+                        item,
+                        f"{node.name}.{item.name} dispatches without a shape "
+                        f"check (call {accepted[0]} or raise "
+                        f"DimensionMismatchError first)",
+                    )
+                if self._takes_semiring(item) and not self._calls_any(
+                    item, self.SEMIRING_RESOLVERS
+                ):
+                    yield module.finding(
+                        self.id,
+                        item,
+                        f"{node.name}.{item.name} accepts semiring= but "
+                        f"never resolves it (call _resolve_semiring or "
+                        f"_resolve_ops before dispatch)",
+                    )
+
+    @staticmethod
+    def _takes_semiring(fn: ast.FunctionDef) -> bool:
+        if fn.name in ShapeContract.SEMIRING_RESOLVERS:
+            return False  # the resolvers themselves
+        args = fn.args
+        return any(
+            a.arg == "semiring" for a in args.args + args.kwonlyargs
+        )
+
+    @staticmethod
+    def _calls_any(fn: ast.FunctionDef, names: tuple[str, ...]) -> bool:
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Call):
+                func = node.func
+                name = (
+                    func.attr
+                    if isinstance(func, ast.Attribute)
+                    else getattr(func, "id", "")
                 )
+                if name in names:
+                    return True
+        return False
 
     @staticmethod
     def _is_concrete_backend(node: ast.ClassDef) -> bool:

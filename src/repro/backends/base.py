@@ -25,6 +25,7 @@ from typing import Callable, Iterable
 
 import numpy as np
 
+from repro.core.semiring import BOOL_OR_AND, Semiring, get_semiring
 from repro.errors import (
     DimensionMismatchError,
     InvalidArgumentError,
@@ -154,6 +155,40 @@ class Backend(abc.ABC):
         rows, cols = self.matrix_to_coo(m)
         return self.matrix_from_coo(rows, cols, m.shape)
 
+    # -- semiring resolution -------------------------------------------------
+
+    def _resolve_semiring(
+        self,
+        semiring: Semiring | str | None,
+        *,
+        boolean_only: bool = False,
+    ) -> Semiring:
+        """Normalize an operation's ``semiring=`` argument.
+
+        ``None`` means the library's native boolean algebra; strings are
+        registry lookups.  Backends whose storage is pattern-only pass
+        ``boolean_only=True``: they implement exactly the ``(∨, ∧)``
+        instance, and a value semiring must be rejected *before* any
+        kernel runs (callers route value algebras through the generic
+        or hybrid backend instead).
+        """
+        if semiring is None:
+            return BOOL_OR_AND
+        if isinstance(semiring, str):
+            semiring = get_semiring(semiring)
+        if not isinstance(semiring, Semiring):
+            raise InvalidArgumentError(
+                f"semiring must be a Semiring or registered name, "
+                f"got {type(semiring).__name__}"
+            )
+        if boolean_only and not semiring.is_boolean:
+            raise InvalidArgumentError(
+                f"backend {self.name!r} is pattern-only and supports only "
+                f"boolean semirings; {semiring.name!r} needs the generic "
+                f"(valcsr) or hybrid backend"
+            )
+        return semiring
+
     # -- operations (required) ----------------------------------------------
 
     @abc.abstractmethod
@@ -163,11 +198,21 @@ class Backend(abc.ABC):
         b: BackendMatrix,
         accumulate: BackendMatrix | None = None,
         mask: BackendMatrix | None = None,
+        *,
+        semiring: Semiring | str | None = None,
     ) -> BackendMatrix:
-        """Boolean matrix product ``A·B`` (the C API's ``C += A x B``).
+        """Matrix product ``A·B`` under ``semiring`` (default boolean —
+        the C API's ``C += A x B``).
 
-        With ``accumulate`` the result is ``accumulate ∨ (A·B)``.  The
-        accumulate contract, uniform across every backend:
+        ``semiring`` selects the algebra: ``C[i, j] = ⊕_k A[i, k] ⊗
+        B[k, j]``.  ``None`` (and every boolean semiring) is the native
+        pattern product; value semirings are evaluated natively only by
+        value-carrying backends (generic/hybrid) — pattern-only
+        backends reject them via :meth:`_resolve_semiring` before any
+        kernel runs.
+
+        With ``accumulate`` the result is ``accumulate ⊕ (A·B)``.  The
+        accumulate contract, uniform across every backend and algebra:
 
         * **Fusion point, not post-merge.**  When the executing format
           supports in-place output (the bit-packed kernels'
@@ -187,8 +232,9 @@ class Backend(abc.ABC):
           through a half-written output.
 
         With ``mask`` the product is filtered by the *complement*
-        before the merge: the result is ``accumulate ∨ ((A·B) ∧ ¬mask)``
-        (GraphBLAS structural complement mask).  ``mask`` must match
+        before the merge: the result is ``accumulate ⊕ ((A·B) ∧ ¬mask)``
+        (GraphBLAS structural complement mask; ∧ here is structural —
+        the mask filters positions, never values).  ``mask`` must match
         the output shape, is never mutated, may alias any other
         operand, and composes with ``accumulate`` — the masked product
         of the incremental fixpoints passes ``mask=accumulate`` so only
@@ -228,18 +274,41 @@ class Backend(abc.ABC):
             product.free()
 
     @abc.abstractmethod
-    def ewise_add(self, a: BackendMatrix, b: BackendMatrix) -> BackendMatrix:
-        """Element-wise OR of equal-shaped matrices."""
+    def ewise_add(
+        self,
+        a: BackendMatrix,
+        b: BackendMatrix,
+        *,
+        semiring: Semiring | str | None = None,
+    ) -> BackendMatrix:
+        """Element-wise ⊕ of equal-shaped matrices (boolean: OR).
+
+        Under a value semiring, positions present in both operands
+        combine with ``semiring.add``; positions present in one keep
+        their value (the absent side contributes the ⊕-identity)."""
 
     @abc.abstractmethod
-    def ewise_mult(self, a: BackendMatrix, b: BackendMatrix) -> BackendMatrix:
-        """Element-wise AND (pattern intersection) of equal-shaped
-        matrices — the masking primitive of the planned full GraphBLAS
-        surface (paper, future work)."""
+    def ewise_mult(
+        self,
+        a: BackendMatrix,
+        b: BackendMatrix,
+        *,
+        semiring: Semiring | str | None = None,
+    ) -> BackendMatrix:
+        """Element-wise ⊗ on the pattern intersection of equal-shaped
+        matrices (boolean: AND) — the masking primitive of the planned
+        full GraphBLAS surface (paper, future work)."""
 
     @abc.abstractmethod
-    def kron(self, a: BackendMatrix, b: BackendMatrix) -> BackendMatrix:
-        """Kronecker product ``A ⊗ B``."""
+    def kron(
+        self,
+        a: BackendMatrix,
+        b: BackendMatrix,
+        *,
+        semiring: Semiring | str | None = None,
+    ) -> BackendMatrix:
+        """Kronecker product ``A ⊗ B`` (values multiply under
+        ``semiring.mul``)."""
 
     @abc.abstractmethod
     def kron_accumulate(
@@ -247,8 +316,10 @@ class Backend(abc.ABC):
         a: BackendMatrix,
         b: BackendMatrix,
         accumulate: BackendMatrix,
+        *,
+        semiring: Semiring | str | None = None,
     ) -> BackendMatrix:
-        """``accumulate ∨ (A ⊗ B)`` — the fused form of the tensor
+        """``accumulate ⊕ (A ⊗ B)`` — the fused form of the tensor
         engines' ``M ← M ∨ (R_sym ⊗ G_sym)`` inner sum.
 
         Same contract as :meth:`mxm`'s accumulate: a new handle is
@@ -263,12 +334,14 @@ class Backend(abc.ABC):
         a: BackendMatrix,
         b: BackendMatrix,
         accumulate: BackendMatrix,
+        *,
+        semiring: Semiring | str | None = None,
     ) -> BackendMatrix:
         """Shared sparse fallback: product then merge, freeing the
         temporary.  Callers must have validated shapes."""
-        product = self.kron(a, b)
+        product = self.kron(a, b, semiring=semiring)
         try:
-            return self.ewise_add(product, accumulate)
+            return self.ewise_add(product, accumulate, semiring=semiring)
         finally:
             product.free()
 
@@ -283,8 +356,14 @@ class Backend(abc.ABC):
         """Copy of ``A[i : i + nrows, j : j + ncols]``."""
 
     @abc.abstractmethod
-    def reduce_to_column(self, a: BackendMatrix) -> BackendMatrix:
-        """OR-reduce each row: an ``m x 1`` matrix (SPbLA ``reduceToColumn``)."""
+    def reduce_to_column(
+        self,
+        a: BackendMatrix,
+        *,
+        semiring: Semiring | str | None = None,
+    ) -> BackendMatrix:
+        """⊕-reduce each row (boolean: OR) into an ``m x 1`` matrix
+        (SPbLA ``reduceToColumn``)."""
 
     # -- hints ---------------------------------------------------------------
 

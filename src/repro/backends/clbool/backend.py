@@ -52,7 +52,8 @@ class ClBoolBackend(Backend):
 
     # -- operations ------------------------------------------------------
 
-    def mxm(self, a, b, accumulate=None, mask=None):
+    def mxm(self, a, b, accumulate=None, mask=None, *, semiring=None):
+        self._resolve_semiring(semiring, boolean_only=True)
         self._check_mxm_shapes(a, b)
         sa: BoolCoo = a.storage
         sb: BoolCoo = b.storage
@@ -78,7 +79,8 @@ class ClBoolBackend(Backend):
         finally:
             product.free()
 
-    def ewise_add(self, a, b):
+    def ewise_add(self, a, b, *, semiring=None):
+        self._resolve_semiring(semiring, boolean_only=True)
         self._check_same_shape("ewise_add", a, b)
         sa: BoolCoo = a.storage
         sb: BoolCoo = b.storage
@@ -87,9 +89,10 @@ class ClBoolBackend(Backend):
         )
         return self._adopt_coo(a.shape, rows, cols, buffers)
 
-    def ewise_mult(self, a, b):
+    def ewise_mult(self, a, b, *, semiring=None):
         """Element-wise AND: single-pass like the add, but the result is
         bounded by min(nnz) so the up-front buffer is the smaller input."""
+        self._resolve_semiring(semiring, boolean_only=True)
         self._check_same_shape("ewise_mult", a, b)
         sa: BoolCoo = a.storage
         sb: BoolCoo = b.storage
@@ -114,7 +117,8 @@ class ClBoolBackend(Backend):
         out_cols_buf.free()
         return self._adopt_coo(a.shape, rows_buf.data, cols_buf.data, [rows_buf, cols_buf])
 
-    def kron(self, a, b):
+    def kron(self, a, b, *, semiring=None):
+        self._resolve_semiring(semiring, boolean_only=True)
         sa: BoolCoo = a.storage
         sb: BoolCoo = b.storage
         shape = (a.nrows * b.nrows, a.ncols * b.ncols)
@@ -152,9 +156,10 @@ class ClBoolBackend(Backend):
             b_ptr_buf.free()
         return self._adopt_coo(shape, rows_buf.data, cols_buf.data, [rows_buf, cols_buf])
 
-    def kron_accumulate(self, a, b, accumulate):
+    def kron_accumulate(self, a, b, accumulate, *, semiring=None):
         # COO has no in-place output form; compose (contract-sanctioned
         # sparse fallback — see Backend.kron_accumulate).
+        self._resolve_semiring(semiring, boolean_only=True)
         self._check_kron_accumulate(a, b, accumulate)
         return self._compose_kron_accumulate(a, b, accumulate)
 
@@ -193,7 +198,8 @@ class ClBoolBackend(Backend):
             (nrows, ncols), rows_buf.data, cols_buf.data, [rows_buf, cols_buf]
         )
 
-    def reduce_to_column(self, a):
+    def reduce_to_column(self, a, *, semiring=None):
+        self._resolve_semiring(semiring, boolean_only=True)
         sa: BoolCoo = a.storage
 
         def _kernel(config):

@@ -139,8 +139,15 @@ def expand_products_valued(
     b_rowptr: np.ndarray,
     b_cols: np.ndarray,
     b_vals: np.ndarray,
+    mul=None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Valued expansion for the generic backend: also multiplies values."""
+    """Valued expansion for the generic backend: also ⊗-combines values.
+
+    ``mul`` is the semiring multiply applied to each gathered
+    ``(A-value, B-value)`` pair; ``None`` is ordinary ``*``
+    (plus-times).  Tropical algebras pass ``np.add``, PAIR passes its
+    presence test — the expansion stream is algebra-agnostic.
+    """
     if a_rows.size == 0 or b_cols.size == 0:
         return (
             np.empty(0, np.int64),
@@ -160,7 +167,8 @@ def expand_products_valued(
     owner = segment_ids(lengths)
     c_rows = a_rows.astype(np.int64)[owner]
     c_cols = b_cols.astype(np.int64)[gather_idx]
-    c_vals = a_vals[owner] * b_vals[gather_idx]
+    av, bv = a_vals[owner], b_vals[gather_idx]
+    c_vals = av * bv if mul is None else mul(av, bv).astype(b_vals.dtype, copy=False)
     return c_rows, c_cols, c_vals
 
 

@@ -36,7 +36,8 @@ class CpuBackend(Backend):
 
     # -- operations ------------------------------------------------------
 
-    def mxm(self, a, b, accumulate=None, mask=None):
+    def mxm(self, a, b, accumulate=None, mask=None, *, semiring=None):
+        self._resolve_semiring(semiring, boolean_only=True)
         self._check_mxm_shapes(a, b)
         sa: BoolCsr = a.storage
         sb: BoolCsr = b.storage
@@ -58,7 +59,8 @@ class CpuBackend(Backend):
             c_cols = np.concatenate([c_cols.astype(np.int64), acc_cols.astype(np.int64)])
         return BackendMatrix(BoolCsr.from_coo(c_rows, c_cols, shape), self)
 
-    def ewise_add(self, a, b):
+    def ewise_add(self, a, b, *, semiring=None):
+        self._resolve_semiring(semiring, boolean_only=True)
         self._check_same_shape("ewise_add", a, b)
         ra, ca = a.storage.to_coo_arrays()
         rb, cb = b.storage.to_coo_arrays()
@@ -66,7 +68,8 @@ class CpuBackend(Backend):
         cols = np.concatenate([ca, cb])
         return BackendMatrix(BoolCsr.from_coo(rows, cols, a.shape), self)
 
-    def ewise_mult(self, a, b):
+    def ewise_mult(self, a, b, *, semiring=None):
+        self._resolve_semiring(semiring, boolean_only=True)
         self._check_same_shape("ewise_mult", a, b)
         ra, ca = a.storage.to_coo_arrays()
         rb, cb = b.storage.to_coo_arrays()
@@ -78,7 +81,8 @@ class CpuBackend(Backend):
             BoolCsr.from_coo(rows, cols, a.shape, canonical=True), self
         )
 
-    def kron(self, a, b):
+    def kron(self, a, b, *, semiring=None):
+        self._resolve_semiring(semiring, boolean_only=True)
         sa: BoolCsr = a.storage
         sb: BoolCsr = b.storage
         a_rows, a_cols = sa.to_coo_arrays()
@@ -89,9 +93,10 @@ class CpuBackend(Backend):
         shape = (a.nrows * b.nrows, a.ncols * b.ncols)
         return BackendMatrix(BoolCsr.from_coo(out_rows, out_cols, shape, canonical=True), self)
 
-    def kron_accumulate(self, a, b, accumulate):
+    def kron_accumulate(self, a, b, accumulate, *, semiring=None):
         # Sparse COO has no in-place output form; compose (contract
         # allows the fallback — see Backend.kron_accumulate).
+        self._resolve_semiring(semiring, boolean_only=True)
         self._check_kron_accumulate(a, b, accumulate)
         return self._compose_kron_accumulate(a, b, accumulate)
 
@@ -110,7 +115,8 @@ class CpuBackend(Backend):
             BoolCsr.from_coo(s_rows, s_cols, (nrows, ncols), canonical=True), self
         )
 
-    def reduce_to_column(self, a):
+    def reduce_to_column(self, a, *, semiring=None):
+        self._resolve_semiring(semiring, boolean_only=True)
         rows, _ = a.storage.to_coo_arrays()
         nz_rows = common.reduce_rows_coo(rows)
         zeros = np.zeros(nz_rows.size, dtype=INDEX_DTYPE)

@@ -70,7 +70,8 @@ class CuBoolBackend(Backend):
 
     # -- operations ------------------------------------------------------
 
-    def mxm(self, a, b, accumulate=None, mask=None):
+    def mxm(self, a, b, accumulate=None, mask=None, *, semiring=None):
+        self._resolve_semiring(semiring, boolean_only=True)
         self._check_mxm_shapes(a, b)
         sa: BoolCsr = a.storage
         sb: BoolCsr = b.storage
@@ -104,7 +105,8 @@ class CuBoolBackend(Backend):
 
         return DEFAULT_BIN_BOUNDS
 
-    def ewise_add(self, a, b):
+    def ewise_add(self, a, b, *, semiring=None):
+        self._resolve_semiring(semiring, boolean_only=True)
         self._check_same_shape("ewise_add", a, b)
         sa: BoolCsr = a.storage
         sb: BoolCsr = b.storage
@@ -113,7 +115,8 @@ class CuBoolBackend(Backend):
         )
         return self._adopt_csr(a.shape, rowptr, cols, buffers)
 
-    def ewise_mult(self, a, b):
+    def ewise_mult(self, a, b, *, semiring=None):
+        self._resolve_semiring(semiring, boolean_only=True)
         self._check_same_shape("ewise_mult", a, b)
         sa: BoolCsr = a.storage
         sb: BoolCsr = b.storage
@@ -122,7 +125,8 @@ class CuBoolBackend(Backend):
         )
         return self._adopt_csr(a.shape, rowptr, cols, buffers)
 
-    def kron(self, a, b):
+    def kron(self, a, b, *, semiring=None):
+        self._resolve_semiring(semiring, boolean_only=True)
         sa: BoolCsr = a.storage
         sb: BoolCsr = b.storage
         rowptr, cols, buffers = kernels.kron_csr(
@@ -138,9 +142,10 @@ class CuBoolBackend(Backend):
         shape = (a.nrows * b.nrows, a.ncols * b.ncols)
         return self._adopt_csr(shape, rowptr, cols, buffers)
 
-    def kron_accumulate(self, a, b, accumulate):
+    def kron_accumulate(self, a, b, accumulate, *, semiring=None):
         # CSR has no in-place output form; compose (contract-sanctioned
         # sparse fallback — see Backend.kron_accumulate).
+        self._resolve_semiring(semiring, boolean_only=True)
         self._check_kron_accumulate(a, b, accumulate)
         return self._compose_kron_accumulate(a, b, accumulate)
 
@@ -159,7 +164,8 @@ class CuBoolBackend(Backend):
         )
         return self._adopt_csr((nrows, ncols), rowptr, cols, buffers)
 
-    def reduce_to_column(self, a):
+    def reduce_to_column(self, a, *, semiring=None):
+        self._resolve_semiring(semiring, boolean_only=True)
         sa: BoolCsr = a.storage
         rowptr, cols, buffers = kernels.reduce_to_column_csr(
             self.device, self.stream, sa.shape, sa.rowptr

@@ -1,23 +1,33 @@
-"""Generic value-carrying backend (S6) — the paper's comparison baseline.
+"""Generic value-carrying backend (S6) — the paper's comparison baseline
+and the library's native *value semiring* engine.
 
 This backend stands in for "modern libraries" with *generic, not
 Boolean-optimized* operations (cuSPARSE / CUSP): the storage layout is
 CSR **with an explicit values array**, and every kernel computes and
-moves values through the (+, ×) semiring even though a boolean workload
-only needs patterns.  Concretely, relative to cuBool:
+moves values through the semiring even though a boolean workload only
+needs patterns.  Concretely, relative to cuBool:
 
 * storage: ``nnz`` extra value slots per matrix (float32 by default;
   float64 doubles the gap — both are measured in E0);
-* SpGEMM: the candidate expansion carries multiplied values, and
-  compaction performs a segmented *sum* instead of a drop;
-* add: duplicate coordinates sum their values instead of disappearing
-  into saturation;
-* Kronecker: values are multiplied pairwise.
+* SpGEMM: the candidate expansion carries ⊗-combined values, and
+  compaction performs a segmented ⊕-reduce instead of a drop;
+* add: duplicate coordinates ⊕-combine their values instead of
+  disappearing into saturation;
+* Kronecker: values are ⊗-combined pairwise.
+
+Since the semiring refactor this backend is also where every *value*
+algebra (min-plus, max-times, plus-pair, ...) executes natively:
+``semiring=`` threads the ⊕/⊗ pair and the ⊕-identity through the
+expansion, compaction, and merge kernels.  ``semiring=None`` keeps this
+backend's historic native algebra, plus-times — which is also what the
+boolean-vs-generic benchmarks measure.  The implicit value of an absent
+entry is always the semiring's ⊕-identity (``inf`` for min-plus, ``0``
+for plus-times), so sparsity is preserved exactly when
+``annihilator == zero``.
 
 The public API exposes this backend so the boolean-vs-generic benchmarks
-run both sides through identical machinery; results are interpreted as
-patterns (any stored value counts as *true* — inputs are all-ones so no
-explicit zeros arise).
+run both sides through identical machinery; boolean results are
+interpreted as patterns (any stored value counts as *true*).
 """
 
 from __future__ import annotations
@@ -26,6 +36,8 @@ import numpy as np
 
 from repro.backends import common
 from repro.backends.base import Backend, BackendMatrix, register_backend
+from repro.core.semiring import PLUS_TIMES, Semiring
+from repro.errors import DimensionMismatchError
 from repro.formats.valcsr import ValCsr
 from repro.gpu.device import Device
 from repro.gpu.launch import grid_1d
@@ -37,8 +49,32 @@ from repro.utils.arrays import (
 )
 
 
+def _presence_and(a, b):
+    """⊗ of the boolean algebra in the value plane: 1 where both present."""
+    return np.logical_and(a != 0, b != 0).astype(a.dtype)
+
+
+def merge_accumulate_into(out_vals, union_keys, keys_p, vals_p, keys_acc, vals_acc, add, zero):
+    """Fused accumulate merge: scatter both streams into one output.
+
+    ``union_keys`` is the sorted unique union of ``keys_p`` (the masked
+    product stream) and ``keys_acc`` (the accumulate pattern, read
+    as-of call time).  Product values land first, accumulate values
+    ⊕-combine on top; positions touched by only one stream meet the
+    ⊕-identity seeded into ``out_vals``.  One pass, no product
+    temporary — the valcsr analogue of the bit path's ``mxm_into``.
+    """
+    out_vals[...] = zero
+    if keys_p.size:
+        out_vals[np.searchsorted(union_keys, keys_p)] = vals_p
+    if keys_acc.size:
+        pos = np.searchsorted(union_keys, keys_acc)
+        out_vals[pos] = add(out_vals[pos], vals_acc)
+    return out_vals
+
+
 class GenericBackend(Backend):
-    """Value-carrying CSR backend over the (+, ×) semiring."""
+    """Value-carrying CSR backend; any registered semiring, (+, ×) default."""
 
     name = "generic"
     format_kind = "valcsr"
@@ -49,6 +85,21 @@ class GenericBackend(Backend):
         super().__init__(device)
         self.value_dtype = np.dtype(value_dtype)
         self.stream = self.device.default_stream
+
+    def _resolve_ops(self, semiring) -> tuple[Semiring, object, object, float]:
+        """(semiring, ⊕, ⊗, identity) in the float value plane.
+
+        ``None`` resolves to plus-times (this backend's historic native
+        algebra, and what the E0 baseline measures).  Boolean semirings
+        map to their arithmetic image over {0, 1} values — max is OR,
+        presence-AND is ∧ — so the pattern matches the boolean backends
+        exactly while the machinery stays value-carrying.
+        """
+        s = self._resolve_semiring(PLUS_TIMES if semiring is None else semiring)
+        if s.is_boolean:
+            return s, np.maximum, _presence_and, 0.0
+        mul = None if s.mul is np.multiply else s.mul
+        return s, (s.add_ufunc if s.add_ufunc is not None else s.add), mul, s.zero
 
     # -- creation ------------------------------------------------------------
 
@@ -66,9 +117,53 @@ class GenericBackend(Backend):
         host = ValCsr.from_coo(rows, cols, shape, dtype=self.value_dtype)
         return self._wrap(shape, host.rowptr, host.cols, host.values)
 
+    def matrix_from_coo_values(
+        self, rows, cols, shape, values, *, semiring=None
+    ) -> BackendMatrix:
+        """Create a value matrix; duplicate coordinates ⊕-combine."""
+        s, add, _, zero = self._resolve_ops(semiring)
+        combine = add if isinstance(add, np.ufunc) else None
+        host = ValCsr.from_coo(
+            rows, cols, shape, values,
+            dtype=self.value_dtype, combine=combine, initial=zero,
+        )
+        return self._wrap(shape, host.rowptr, host.cols, host.values)
+
+    def matrix_from_dense_values(self, dense, *, semiring=None) -> BackendMatrix:
+        """Create from a dense array, storing entries that differ from
+        the semiring's ⊕-identity (min-plus: every finite weight)."""
+        s, _, _, zero = self._resolve_ops(semiring)
+        dense = np.asarray(dense, dtype=self.value_dtype)
+        if np.isnan(zero):
+            explicit = ~np.isnan(dense)
+        else:
+            explicit = dense != zero
+        rows, cols = np.nonzero(explicit)
+        host = ValCsr.from_coo(
+            rows, cols, dense.shape, dense[rows, cols],
+            dtype=self.value_dtype, canonical=True,
+        )
+        return self._wrap(dense.shape, host.rowptr, host.cols, host.values)
+
+    def matrix_to_coo_values(
+        self, m: BackendMatrix
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Read back (rows, cols, values) in canonical order."""
+        m._check_alive()
+        s: ValCsr = m.storage
+        return rows_from_rowptr(s.rowptr), s.cols.copy(), s.values.copy()
+
     def matrix_empty(self, shape):
         host = ValCsr.empty(shape, dtype=self.value_dtype)
         return self._wrap(shape, host.rowptr, host.cols, host.values)
+
+    def duplicate(self, m: BackendMatrix) -> BackendMatrix:
+        """Deep copy — values travel with the pattern."""
+        rows, cols, values = self.matrix_to_coo_values(m)
+        host = ValCsr.from_coo(
+            rows, cols, m.shape, values, dtype=self.value_dtype, canonical=True
+        )
+        return self._wrap(m.shape, host.rowptr, host.cols, host.values)
 
     # -- device output assembly ----------------------------------------------
 
@@ -90,20 +185,78 @@ class GenericBackend(Backend):
             [rowptr_buf, cols_buf, vals_buf],
         )
 
+    # -- shared segment machinery ---------------------------------------------
+
+    def _segment_reduce(self, keys, vals, add, zero):
+        """Sort by key and ⊕-reduce coincident values (the cuSPARSE-style
+        sort-compaction, generalized from segmented sum to any monoid)."""
+        order = np.argsort(keys, kind="stable")
+        keys_s = keys[order]
+        vals_s = vals[order].astype(self.value_dtype)
+        if keys_s.size == 0:
+            return keys_s, vals_s
+        new_seg = np.empty(keys_s.size, dtype=bool)
+        new_seg[0] = True
+        np.not_equal(keys_s[1:], keys_s[:-1], out=new_seg[1:])
+        seg_idx = np.cumsum(new_seg) - 1
+        nseg = int(seg_idx[-1]) + 1
+        reduced = np.full(nseg, zero, dtype=self.value_dtype)
+        if isinstance(add, np.ufunc):
+            add.at(reduced, seg_idx, vals_s)
+        else:
+            starts = np.flatnonzero(new_seg)
+            ends = np.append(starts[1:], keys_s.size)
+            for si in range(nseg):
+                acc = vals_s[starts[si]]
+                for v in vals_s[starts[si] + 1 : ends[si]]:
+                    acc = add(acc, v)
+                reduced[si] = acc
+        return keys_s[new_seg], reduced
+
+    @staticmethod
+    def _mask_filter(keys, vals, mask_keys):
+        """Structural complement mask on a sorted key stream."""
+        if keys.size == 0 or mask_keys.size == 0:
+            return keys, vals
+        pos = np.searchsorted(mask_keys, keys)
+        pos[pos == mask_keys.size] = 0
+        keep = mask_keys[pos] != keys
+        return keys[keep], vals[keep]
+
+    def _keys_values(self, m: BackendMatrix, ncols: int):
+        s: ValCsr = m.storage
+        keys = common.keys_from_coo(rows_from_rowptr(s.rowptr), s.cols, ncols)
+        return keys, s.values
+
     # -- operations ------------------------------------------------------
 
-    def mxm(self, a, b, accumulate=None, mask=None):
+    def mxm(self, a, b, accumulate=None, mask=None, *, semiring=None):
+        s, add, mul, zero = self._resolve_ops(semiring)
         self._check_mxm_shapes(a, b)
+        shape = (a.nrows, b.ncols)
+        if accumulate is not None and accumulate.shape != shape:
+            raise DimensionMismatchError("mxm-accumulate", accumulate.shape, shape)
+        if mask is not None and mask.shape != shape:
+            raise DimensionMismatchError("mxm-mask", mask.shape, shape)
         sa: ValCsr = a.storage
         sb: ValCsr = b.storage
-        shape = (a.nrows, b.ncols)
         a_rows = rows_from_rowptr(sa.rowptr)
+        # Accumulate/mask streams read as-of call time: aliasing with
+        # a/b (the fixpoints' C ← C ⊕ C·C) stays safe because nothing
+        # below mutates any operand.
+        if accumulate is not None:
+            acc_keys, acc_vals = self._keys_values(accumulate, shape[1])
+            acc_vals = acc_vals.astype(self.value_dtype, copy=True)
+        if mask is not None:
+            mask_keys, _ = self._keys_values(mask, shape[1])
 
-        # Expansion with value multiplication (the generic-semiring cost).
+        # Expansion with ⊗-combined values (the generic-semiring cost).
         def _expand_kernel(config):
-            return common.expand_products_valued(
-                a_rows, sa.cols, sa.values, sb.rowptr, sb.cols, sb.values
-            )
+            with np.errstate(invalid="ignore", over="ignore"):
+                return common.expand_products_valued(
+                    a_rows, sa.cols, sa.values, sb.rowptr, sb.cols, sb.values,
+                    mul=mul,
+                )
 
         _expand_kernel.__name__ = "generic_expand_multiply"
         e_rows, e_cols, e_vals = self.stream.launch(
@@ -121,21 +274,8 @@ class GenericBackend(Backend):
                 exp_vals_buf.data[...] = e_vals.astype(self.value_dtype)
 
             def _sort_reduce_kernel(config):
-                """Sort by key and segment-sum the values (cuSPARSE-style
-                sort-compaction with value accumulation)."""
                 keys = common.keys_from_coo(e_rows, e_cols, shape[1])
-                order = np.argsort(keys, kind="stable")
-                keys_s = keys[order]
-                vals_s = e_vals[order].astype(self.value_dtype)
-                if keys_s.size == 0:
-                    return keys_s, vals_s
-                new_seg = np.empty(keys_s.size, dtype=bool)
-                new_seg[0] = True
-                np.not_equal(keys_s[1:], keys_s[:-1], out=new_seg[1:])
-                seg_idx = np.cumsum(new_seg) - 1
-                summed = np.zeros(int(seg_idx[-1]) + 1, dtype=self.value_dtype)
-                np.add.at(summed, seg_idx, vals_s)
-                return keys_s[new_seg], summed
+                return self._segment_reduce(keys, e_vals, add, zero)
 
             _sort_reduce_kernel.__name__ = "generic_sort_reduce"
             keys_u, vals_u = self.stream.launch(
@@ -146,45 +286,61 @@ class GenericBackend(Backend):
             exp_cols_buf.free()
             exp_vals_buf.free()
 
-        rows_u, cols_u = common.coo_from_keys(keys_u, shape[1])
-        product = self._emit(shape, rows_u.astype(np.int64), cols_u.astype(np.int64), vals_u)
         if mask is not None:
-            product = self._apply_complement_mask(product, mask)
+            keys_u, vals_u = self._mask_filter(keys_u, vals_u, mask_keys)
         if accumulate is None:
-            return product
-        self._check_same_shape("mxm-accumulate", accumulate, product)
-        try:
-            return self.ewise_add(product, accumulate)
-        finally:
-            product.free()
+            rows_u, cols_u = common.coo_from_keys(keys_u, shape[1])
+            return self._emit(
+                shape, rows_u.astype(np.int64), cols_u.astype(np.int64), vals_u
+            )
 
-    def ewise_add(self, a, b):
-        self._check_same_shape("ewise_add", a, b)
-        sa: ValCsr = a.storage
-        sb: ValCsr = b.storage
-        ncols = a.ncols
-        ra = rows_from_rowptr(sa.rowptr)
-        rb = rows_from_rowptr(sb.rowptr)
-        key_a = common.keys_from_coo(ra, sa.cols, ncols)
-        key_b = common.keys_from_coo(rb, sb.cols, ncols)
+        # Fused merge: one union pass straight into the output buffers
+        # (no product handle, no ewise_add temporary).
+        union_keys = common.merge_union(keys_u, acc_keys)
+        m = int(shape[0])
+        rowptr_buf = self.device.arena.alloc(m + 1, INDEX_DTYPE)
+        cols_buf = self.device.arena.alloc(union_keys.size, INDEX_DTYPE)
+        vals_buf = self.device.arena.alloc(union_keys.size, self.value_dtype)
 
         def _merge_kernel(config):
-            """Merge with value addition at coincident coordinates."""
+            with np.errstate(invalid="ignore", over="ignore"):
+                return merge_accumulate_into(
+                    vals_buf.data, union_keys,
+                    keys_u, vals_u, acc_keys, acc_vals, add, zero,
+                )
+
+        _merge_kernel.__name__ = "generic_merge_accumulate_into"
+        self.stream.launch(_merge_kernel, grid_1d(max(1, union_keys.size), 256))
+        rows_u, cols_u = common.coo_from_keys(union_keys, shape[1])
+        rowptr_buf.data[...] = rowptr_from_sorted_rows(rows_u.astype(np.int64), m)
+        if union_keys.size:
+            cols_buf.data[...] = cols_u
+        return self._adopt(
+            shape,
+            rowptr_buf.data,
+            cols_buf.data,
+            vals_buf.data,
+            [rowptr_buf, cols_buf, vals_buf],
+        )
+
+    def ewise_add(self, a, b, *, semiring=None):
+        s, add, _, zero = self._resolve_ops(semiring)
+        self._check_same_shape("ewise_add", a, b)
+        ncols = a.ncols
+        key_a, vals_a = self._keys_values(a, ncols)
+        key_b, vals_b = self._keys_values(b, ncols)
+
+        def _merge_kernel(config):
+            """Merge with ⊕-combination at coincident coordinates."""
             keys = np.concatenate([key_a, key_b])
             vals = np.concatenate(
-                [sa.values.astype(self.value_dtype), sb.values.astype(self.value_dtype)]
+                [
+                    vals_a.astype(self.value_dtype),
+                    vals_b.astype(self.value_dtype),
+                ]
             )
-            order = np.argsort(keys, kind="stable")
-            keys_s, vals_s = keys[order], vals[order]
-            if keys_s.size == 0:
-                return keys_s, vals_s
-            new_seg = np.empty(keys_s.size, dtype=bool)
-            new_seg[0] = True
-            np.not_equal(keys_s[1:], keys_s[:-1], out=new_seg[1:])
-            seg_idx = np.cumsum(new_seg) - 1
-            summed = np.zeros(int(seg_idx[-1]) + 1, dtype=self.value_dtype)
-            np.add.at(summed, seg_idx, vals_s)
-            return keys_s[new_seg], summed
+            with np.errstate(invalid="ignore", over="ignore"):
+                return self._segment_reduce(keys, vals, add, zero)
 
         _merge_kernel.__name__ = "generic_merge_add"
         keys_u, vals_u = self.stream.launch(
@@ -193,23 +349,24 @@ class GenericBackend(Backend):
         rows_u, cols_u = common.coo_from_keys(keys_u, ncols)
         return self._emit(a.shape, rows_u.astype(np.int64), cols_u.astype(np.int64), vals_u)
 
-    def ewise_mult(self, a, b):
-        """Element-wise multiply: intersect patterns, multiply values."""
+    def ewise_mult(self, a, b, *, semiring=None):
+        """Element-wise ⊗: intersect patterns, combine values."""
+        s, _, mul, _ = self._resolve_ops(semiring)
         self._check_same_shape("ewise_mult", a, b)
-        sa: ValCsr = a.storage
-        sb: ValCsr = b.storage
         ncols = a.ncols
-        ra = rows_from_rowptr(sa.rowptr)
-        rb = rows_from_rowptr(sb.rowptr)
-        key_a = common.keys_from_coo(ra, sa.cols, ncols)
-        key_b = common.keys_from_coo(rb, sb.cols, ncols)
+        key_a, vals_a = self._keys_values(a, ncols)
+        key_b, vals_b = self._keys_values(b, ncols)
 
         def _kernel(config):
             keys = common.merge_intersection(key_a, key_b)
             # Gather both value planes at the shared coordinates.
             pa = np.searchsorted(key_a, keys)
             pb = np.searchsorted(key_b, keys)
-            vals = (sa.values[pa] * sb.values[pb]).astype(self.value_dtype)
+            with np.errstate(invalid="ignore", over="ignore"):
+                va, vb = vals_a[pa], vals_b[pb]
+                vals = (va * vb if mul is None else mul(va, vb)).astype(
+                    self.value_dtype
+                )
             return keys, vals
 
         _kernel.__name__ = "generic_intersect_multiply"
@@ -221,7 +378,8 @@ class GenericBackend(Backend):
             a.shape, rows_u.astype(np.int64), cols_u.astype(np.int64), vals
         )
 
-    def kron(self, a, b):
+    def kron(self, a, b, *, semiring=None):
+        s, _, mul, _ = self._resolve_ops(semiring)
         sa: ValCsr = a.storage
         sb: ValCsr = b.storage
         shape = (a.nrows * b.nrows, a.ncols * b.ncols)
@@ -243,18 +401,20 @@ class GenericBackend(Backend):
             _kernel, grid_1d(max(1, sa.nnz * sb.nnz), 256)
         )
         # Values: kron emission order is (i, k, j-local, l-local); the
-        # value of each output entry is a_val * b_val for the generating
+        # value of each output entry is a_val ⊗ b_val for the generating
         # pair.  Recover via the same index arithmetic used by kron_coo.
-        values = _kron_values(sa, sb, self.value_dtype)
+        values = _kron_values(sa, sb, self.value_dtype, mul)
         return self._emit(
             shape, out_rows.astype(np.int64), out_cols.astype(np.int64), values
         )
 
-    def kron_accumulate(self, a, b, accumulate):
+    def kron_accumulate(self, a, b, accumulate, *, semiring=None):
         # Value-carrying CSR composes: contract-sanctioned sparse
-        # fallback (see Backend.kron_accumulate).
+        # fallback (see Backend.kron_accumulate).  Resolve the algebra
+        # up front so an unknown name fails before the kron dispatch.
+        s, _, _, _ = self._resolve_ops(semiring)
         self._check_kron_accumulate(a, b, accumulate)
-        return self._compose_kron_accumulate(a, b, accumulate)
+        return self._compose_kron_accumulate(a, b, accumulate, semiring=s)
 
     def transpose(self, a):
         sa: ValCsr = a.storage
@@ -290,17 +450,28 @@ class GenericBackend(Backend):
         )
         return self._emit((nrows, ncols), s_rows, s_cols, s_vals)
 
-    def reduce_to_column(self, a):
-        """Row-sum reduce (generic semiring), pattern = non-empty rows."""
+    def reduce_to_column(self, a, *, semiring=None):
+        """Row ⊕-reduce (default: sum), pattern = non-empty rows."""
+        s, add, _, _ = self._resolve_ops(semiring)
         sa: ValCsr = a.storage
 
         def _kernel(config):
             lens = np.diff(sa.rowptr.astype(np.int64))
             nz = np.nonzero(lens > 0)[0]
-            # Segment sums of values per non-empty row.
-            sums = np.add.reduceat(sa.values, sa.rowptr.astype(np.int64)[nz]) if nz.size else (
-                np.empty(0, dtype=self.value_dtype)
-            )
+            if not nz.size:
+                return nz, np.empty(0, dtype=self.value_dtype)
+            starts = sa.rowptr.astype(np.int64)[nz]
+            if isinstance(add, np.ufunc):
+                with np.errstate(invalid="ignore", over="ignore"):
+                    sums = add.reduceat(sa.values, starts)
+            else:
+                sums = np.empty(nz.size, dtype=self.value_dtype)
+                ends = np.append(starts[1:], sa.values.size)
+                for si in range(nz.size):
+                    acc = sa.values[starts[si]]
+                    for v in sa.values[starts[si] + 1 : ends[si]]:
+                        acc = add(acc, v)
+                    sums[si] = acc
             return nz, sums
 
         _kernel.__name__ = "generic_reduce_sum"
@@ -311,7 +482,7 @@ class GenericBackend(Backend):
         )
 
 
-def _kron_values(sa: ValCsr, sb: ValCsr, dtype) -> np.ndarray:
+def _kron_values(sa: ValCsr, sb: ValCsr, dtype, mul=None) -> np.ndarray:
     """Value plane of the Kronecker product in canonical emission order."""
     from repro.utils.arrays import concat_ranges, segment_ids
 
@@ -333,7 +504,9 @@ def _kron_values(sa: ValCsr, sb: ValCsr, dtype) -> np.ndarray:
     b_local = t - a_local * lb
     a_idx = sa.rowptr.astype(np.int64)[i] + a_local
     b_idx = sb.rowptr.astype(np.int64)[k] + b_local
-    return (sa.values[a_idx] * sb.values[b_idx]).astype(dtype)
+    va, vb = sa.values[a_idx], sb.values[b_idx]
+    with np.errstate(invalid="ignore", over="ignore"):
+        return (va * vb if mul is None else mul(va, vb)).astype(dtype)
 
 
 register_backend("generic", lambda device=None: GenericBackend(device=device))

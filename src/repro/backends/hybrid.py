@@ -46,6 +46,24 @@ strips over a worker pool (``HybridPolicy.workers`` /
 ``REPRO_BIT_WORKERS``).  Kernel choices and per-kernel wall time land
 in ``kernel_counts`` / ``kernel_times`` (E14 and the service stats).
 
+Semiring routing
+----------------
+The boolean fast path above is *pattern-only*: bit words cannot carry
+min-plus distances or plus-times counts.  Every op therefore resolves
+its ``semiring=`` first — boolean semirings (``BOOL_OR_AND`` or any
+registered ``is_boolean`` algebra) take the sparse/bit machinery
+unchanged (an explicit ``semiring="bool-or-and"`` routes byte-identically
+to the default), while value semirings dispatch to a lazily-created
+:class:`~repro.backends.generic.GenericBackend` sharing this device's
+arena, one per value dtype.  Value results stay resident as a third
+cached view on the handle (``HybridMatrix.value``) so fixpoint loops
+(min-plus APSP squaring) never round-trip through a pattern; a pattern
+operand entering a value op converts with every stored entry set to the
+semiring's ⊗-identity.  Value dispatches land in ``dispatch_counts`` as
+``"value"``, their predicted work in ``value_costs``
+(:meth:`HybridBackend.estimate_value_cost`), and their kernel time in
+``kernel_counts`` / ``kernel_times`` keyed ``generic:<semiring name>``.
+
 Policy / ablation switches
 --------------------------
 ``REPRO_HYBRID`` env var (read at :class:`~repro.core.context.Context`
@@ -66,8 +84,10 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from repro.backends.base import Backend, BackendMatrix, get_backend, register_backend
+from repro.backends.generic import GenericBackend
 from repro.errors import DimensionMismatchError, InvalidArgumentError
 from repro.formats.bitmatrix import _WORD, WORD_BITS, BitMatrix, _words_per_row
+from repro.core.semiring import PLUS_TIMES
 from repro.formats.tiled import (
     DEFAULT_TILE,
     TiledBitMatrix,
@@ -108,6 +128,11 @@ TILE_PAIR_OVERHEAD_WORDS = 4096.0
 #: Sentinel "never go parallel" threshold written by the autotuner when
 #: the probe finds no 2-worker speedup (e.g. a single-core host).
 TILED_PARALLEL_NEVER = 1 << 62
+
+#: Cost multiplier of the generic (valcsr) route relative to the sparse
+#: boolean kernels: every expanded product drags a value word through
+#: the gather and the sort-reduce alongside its key.
+VALUE_STREAM_FACTOR = 1.5
 
 
 def hybrid_mode_from_env(environ=None) -> str | None:
@@ -247,10 +272,13 @@ class HybridMatrix(BackendMatrix):
     fixpoint loop converts each operand at most once.  ``tiled`` is an
     optional :class:`TiledBitMatrix` over the *same* arena words as the
     bit view (zero-copy — only the presence bitmap is extra), cached the
-    same way for the tiled kernels' occupancy lookups.
+    same way for the tiled kernels' occupancy lookups.  ``value`` is an
+    optional generic-backend (valcsr) handle carrying semiring values —
+    the result residency of the value-semiring route; pattern views of
+    a value-resident matrix are its structural skeleton.
     """
 
-    __slots__ = ("sparse", "bit", "tiled", "_nnz")
+    __slots__ = ("sparse", "bit", "tiled", "value", "_nnz")
 
     def __init__(
         self,
@@ -258,14 +286,16 @@ class HybridMatrix(BackendMatrix):
         sparse: BackendMatrix | None = None,
         bit: BackendMatrix | None = None,
         tiled: TiledBitMatrix | None = None,
+        value: BackendMatrix | None = None,
     ):
-        if sparse is None and bit is None:
+        if sparse is None and bit is None and value is None:
             raise InvalidArgumentError("hybrid matrix needs at least one view")
         if tiled is not None and bit is None:
             raise InvalidArgumentError("tiled view requires the bit view")
         self.sparse = sparse
         self.bit = bit
         self.tiled = tiled
+        self.value = value
         self.backend = backend
         self.buffers = []
         self._freed = False
@@ -276,6 +306,8 @@ class HybridMatrix(BackendMatrix):
     @property
     def storage(self):
         primary = self.sparse if self.sparse is not None else self.bit
+        if primary is None:
+            primary = self.value
         return primary.storage if primary is not None else None
 
     @storage.setter
@@ -296,11 +328,14 @@ class HybridMatrix(BackendMatrix):
 
     @property
     def resident(self) -> str:
-        """Which views are materialized: "sparse", "bit" or "both"."""
+        """Which views are materialized: "sparse", "bit", "value" or
+        "both" (sparse + bit)."""
         self._check_alive()
         if self.sparse is not None and self.bit is not None:
             return "both"
-        return "sparse" if self.sparse is not None else "bit"
+        if self.sparse is not None:
+            return "sparse"
+        return "bit" if self.bit is not None else "value"
 
     def memory_bytes(self) -> int:
         """Footprint of every materialized view (model bytes)."""
@@ -312,6 +347,8 @@ class HybridMatrix(BackendMatrix):
             total += self.bit.storage.memory_bytes()
         if self.tiled is not None:
             total += self.tiled.present.nbytes
+        if self.value is not None:
+            total += self.value.storage.memory_bytes()
         return total
 
     def free(self) -> None:
@@ -319,11 +356,12 @@ class HybridMatrix(BackendMatrix):
             return
         self._freed = True
         self.tiled = None
-        for view in (self.sparse, self.bit):
+        for view in (self.sparse, self.bit, self.value):
             if view is not None:
                 view.free()
         self.sparse = None
         self.bit = None
+        self.value = None
 
 
 class HybridBackend(Backend):
@@ -355,6 +393,14 @@ class HybridBackend(Backend):
         #: op -> kernel -> accumulated wall seconds, the per-route
         #: timing telemetry surfaced by the service tier and selftest.
         self.kernel_times: dict[str, dict[str, float]] = {}
+        #: value dtype str -> GenericBackend executing value semirings
+        #: on this device's arena (created lazily, kept for the session
+        #: so value results stay addressable).
+        self._value_backends: dict[str, GenericBackend] = {}
+        #: op -> accumulated predicted word-op cost of value dispatches
+        #: (:meth:`estimate_value_cost`) — the value route's half of the
+        #: cost-model telemetry.
+        self.value_costs: dict[str, float] = {}
         self._fixpoint_depth = 0
 
     @property
@@ -609,17 +655,55 @@ class HybridBackend(Backend):
 
     def _ensure_sparse(self, m: HybridMatrix) -> BackendMatrix:
         if m.sparse is None:
-            storage: BitMatrix = m.bit.storage
+            # Value-only handles re-enter the pattern world through
+            # their structural skeleton (every stored entry is present).
+            storage = (m.bit if m.bit is not None else m.value).storage
             rows, cols = storage.to_coo_arrays()
             m.sparse = self.inner.matrix_from_coo(rows, cols, storage.shape)
         return m.sparse
 
     def _ensure_bit(self, m: HybridMatrix) -> BackendMatrix:
         if m.bit is None:
-            storage = m.sparse.storage
+            storage = self._ensure_sparse(m).storage
             rows, cols = storage.to_coo_arrays()
             m.bit = self._adopt_bit(BitMatrix.from_coo(rows, cols, storage.shape))
         return m.bit
+
+    def _value_backend(self, s) -> GenericBackend:
+        """Lazily-created valcsr executor for value semirings, one per
+        value dtype, sharing this backend's device (and so its arena
+        accounting)."""
+        key = np.dtype(s.dtype).str
+        be = self._value_backends.get(key)
+        if be is None:
+            be = GenericBackend(device=self.device, value_dtype=s.dtype)
+            self._value_backends[key] = be
+        return be
+
+    def _ensure_value(self, m: HybridMatrix, be: GenericBackend, s) -> BackendMatrix:
+        """Cached valcsr view of ``m`` on the value backend ``be``.
+
+        A pattern-resident operand converts with every stored entry set
+        to the semiring's ⊗-identity ("edge present, weight ``one``" —
+        min-plus hop counting, plus-times path counting); a
+        value-resident one keeps its values, rebuilt only when a
+        different value dtype is requested.
+        """
+        if m.value is not None:
+            if m.value.storage.values.dtype == be.value_dtype:
+                return m.value
+            rows, cols, values = m.value.backend.matrix_to_coo_values(m.value)
+            stale = m.value
+            m.value = be.matrix_from_coo_values(
+                rows, cols, m.shape, values, semiring=s
+            )
+            stale.free()
+            return m.value
+        storage = (m.sparse if m.sparse is not None else m.bit).storage
+        rows, cols = storage.to_coo_arrays()
+        values = np.full(rows.size, s.one, dtype=be.value_dtype)
+        m.value = be.matrix_from_coo_values(rows, cols, m.shape, values, semiring=s)
+        return m.value
 
     def _ensure_tiled(self, m: HybridMatrix) -> TiledBitMatrix:
         """Cached tiled view over ``m``'s bit words (zero-copy wrap plus
@@ -743,6 +827,57 @@ class HybridBackend(Backend):
             bit *= pol.fixpoint_bias
         return CostEstimate(op=op, sparse=sparse, bit=bit, bit_bytes_needed=bytes_needed)
 
+    def estimate_value_cost(
+        self,
+        op: str,
+        a: HybridMatrix,
+        b: HybridMatrix | None = None,
+        out_shape: tuple[int, int] | None = None,
+    ) -> float:
+        """Predicted word-op cost of the generic (valcsr) route.
+
+        Value semirings have exactly one executor — the bit kernels are
+        pattern-only — so this arbitrates nothing; it keeps the value
+        route's dispatches comparable with the boolean cost model in the
+        service stats.  Same shape as the sparse boolean estimates with
+        :data:`VALUE_STREAM_FACTOR` charging the extra value stream.
+        """
+        pol = self.policy
+        if op == "mxm":
+            flops = a.nnz * b.nnz / max(1, a.ncols)
+            return VALUE_STREAM_FACTOR * pol.spgemm_flop_cost * (
+                flops + a.nnz + b.nnz
+            )
+        if op in ("ewise_add", "ewise_mult"):
+            return VALUE_STREAM_FACTOR * EWISE_SPARSE_COST * (a.nnz + b.nnz)
+        if op == "kron":
+            return VALUE_STREAM_FACTOR * KRON_SPARSE_COST * a.nnz * b.nnz
+        if op == "reduce":
+            return VALUE_STREAM_FACTOR * float(a.nnz)
+        raise InvalidArgumentError(f"no value cost model for op {op!r}")
+
+    def _route_value(
+        self,
+        op: str,
+        s,
+        a: HybridMatrix,
+        b: HybridMatrix | None = None,
+        out_shape: tuple[int, int] | None = None,
+    ) -> GenericBackend:
+        """Dispatch bookkeeping for a value-semiring op: record the
+        decision and the predicted cost, return the executor."""
+        self.value_costs[op] = self.value_costs.get(op, 0.0) + (
+            self.estimate_value_cost(op, a, b, out_shape)
+        )
+        self.dispatch_counts.setdefault(op, Counter())["value"] += 1
+        return self._value_backend(s)
+
+    def _value_result(self, op: str, s, started: float, out) -> HybridMatrix:
+        """Wrap a generic-backend result, charging its wall time to the
+        ``generic:<semiring>`` kernel bucket."""
+        self._record_kernel(op, f"generic:{s.name}", time.perf_counter() - started)
+        return HybridMatrix(self, value=out)
+
     def _route(
         self,
         op: str,
@@ -776,6 +911,33 @@ class HybridBackend(Backend):
     def matrix_empty(self, shape):
         return self._wrap_sparse(self.inner.matrix_empty(shape))
 
+    def matrix_from_coo_values(self, rows, cols, shape, values, *, semiring=None):
+        """Create a value-resident matrix (generic/valcsr storage).
+
+        ``semiring`` defaults to plus-times like the generic backend's
+        own creation surface; boolean semirings degrade to the pattern
+        of the nonzero values (bit words cannot carry weights).
+        """
+        s = self._resolve_semiring(PLUS_TIMES if semiring is None else semiring)
+        if s.is_boolean:
+            values = np.asarray(values)
+            keep = values != 0
+            return self.matrix_from_coo(
+                np.asarray(rows)[keep], np.asarray(cols)[keep], shape
+            )
+        be = self._value_backend(s)
+        return HybridMatrix(
+            self, value=be.matrix_from_coo_values(rows, cols, shape, values, semiring=s)
+        )
+
+    def matrix_to_coo_values(self, m: HybridMatrix):
+        """(rows, cols, values) — implicit ones for pattern residents."""
+        m._check_alive()
+        if m.value is not None:
+            return m.value.backend.matrix_to_coo_values(m.value)
+        rows, cols = m.storage.to_coo_arrays()
+        return rows, cols, np.ones(rows.size, dtype=np.float32)
+
     def identity(self, n: int):
         return self._wrap_sparse(self.inner.identity(n))
 
@@ -785,12 +947,16 @@ class HybridBackend(Backend):
             self,
             sparse=self.inner.duplicate(m.sparse) if m.sparse is not None else None,
             bit=self._adopt_bit(m.bit.storage.copy()) if m.bit is not None else None,
+            value=(
+                m.value.backend.duplicate(m.value) if m.value is not None else None
+            ),
         )
         return out
 
     # -- operations --------------------------------------------------------
 
-    def mxm(self, a, b, accumulate=None, mask=None):
+    def mxm(self, a, b, accumulate=None, mask=None, *, semiring=None):
+        s = self._resolve_semiring(semiring)
         self._check_mxm_shapes(a, b)
         out_shape = (a.nrows, b.ncols)
         if accumulate is not None and accumulate.shape != out_shape:
@@ -799,6 +965,23 @@ class HybridBackend(Backend):
             )
         if mask is not None and mask.shape != out_shape:
             raise DimensionMismatchError("mxm-mask", mask.shape, out_shape)
+        if not s.is_boolean:
+            be = self._route_value("mxm", s, a, b)
+            ga = self._ensure_value(a, be, s)
+            gb = self._ensure_value(b, be, s)
+            gacc = (
+                self._ensure_value(accumulate, be, s)
+                if accumulate is not None
+                else None
+            )
+            # Caches a value *view* on the wrapper; the mask pattern
+            # itself stays untouched (same idiom as _ensure_bit below).
+            gmask = (
+                self._ensure_value(mask, be, s) if mask is not None else None  # reprolint: disable=R5
+            )
+            started = time.perf_counter()
+            out = be.mxm(ga, gb, gacc, gmask, semiring=s)
+            return self._value_result("mxm", s, started, out)
         if self._route("mxm", a, b) == "bit":
             a_bit: BitMatrix = self._ensure_bit(a).storage
             b_bit: BitMatrix = self._ensure_bit(b).storage
@@ -868,8 +1051,16 @@ class HybridBackend(Backend):
             self.inner.mxm(self._ensure_sparse(a), self._ensure_sparse(b), acc, msk)
         )
 
-    def ewise_add(self, a, b):
+    def ewise_add(self, a, b, *, semiring=None):
+        s = self._resolve_semiring(semiring)
         self._check_same_shape("ewise_add", a, b)
+        if not s.is_boolean:
+            be = self._route_value("ewise_add", s, a, b)
+            ga, gb = self._ensure_value(a, be, s), self._ensure_value(b, be, s)
+            started = time.perf_counter()
+            return self._value_result(
+                "ewise_add", s, started, be.ewise_add(ga, gb, semiring=s)
+            )
         if self._route("ewise_add", a, b) == "bit":
             return self._wrap_bit(
                 self._ensure_bit(a).storage.ewise_or(self._ensure_bit(b).storage)
@@ -878,8 +1069,16 @@ class HybridBackend(Backend):
             self.inner.ewise_add(self._ensure_sparse(a), self._ensure_sparse(b))
         )
 
-    def ewise_mult(self, a, b):
+    def ewise_mult(self, a, b, *, semiring=None):
+        s = self._resolve_semiring(semiring)
         self._check_same_shape("ewise_mult", a, b)
+        if not s.is_boolean:
+            be = self._route_value("ewise_mult", s, a, b)
+            ga, gb = self._ensure_value(a, be, s), self._ensure_value(b, be, s)
+            started = time.perf_counter()
+            return self._value_result(
+                "ewise_mult", s, started, be.ewise_mult(ga, gb, semiring=s)
+            )
         if self._route("ewise_mult", a, b) == "bit":
             return self._wrap_bit(
                 self._ensure_bit(a).storage.ewise_and(self._ensure_bit(b).storage)
@@ -888,8 +1087,16 @@ class HybridBackend(Backend):
             self.inner.ewise_mult(self._ensure_sparse(a), self._ensure_sparse(b))
         )
 
-    def kron(self, a, b):
+    def kron(self, a, b, *, semiring=None):
+        s = self._resolve_semiring(semiring)
         out_shape = (a.nrows * b.nrows, a.ncols * b.ncols)
+        if not s.is_boolean:
+            be = self._route_value("kron", s, a, b, out_shape)
+            ga, gb = self._ensure_value(a, be, s), self._ensure_value(b, be, s)
+            started = time.perf_counter()
+            return self._value_result(
+                "kron", s, started, be.kron(ga, gb, semiring=s)
+            )
         if self._route("kron", a, b, out_shape) == "bit":
             a_bit: BitMatrix = self._ensure_bit(a).storage
             b_bit: BitMatrix = self._ensure_bit(b).storage
@@ -929,9 +1136,18 @@ class HybridBackend(Backend):
         self._record_kernel("kron", kernel, time.perf_counter() - started)
         return out_tiled
 
-    def kron_accumulate(self, a, b, accumulate):
+    def kron_accumulate(self, a, b, accumulate, *, semiring=None):
+        s = self._resolve_semiring(semiring)
         self._check_kron_accumulate(a, b, accumulate)
         out_shape = (a.nrows * b.nrows, a.ncols * b.ncols)
+        if not s.is_boolean:
+            be = self._route_value("kron", s, a, b, out_shape)
+            ga, gb = self._ensure_value(a, be, s), self._ensure_value(b, be, s)
+            gacc = self._ensure_value(accumulate, be, s)
+            started = time.perf_counter()
+            return self._value_result(
+                "kron", s, started, be.kron_accumulate(ga, gb, gacc, semiring=s)
+            )
         if self._route("kron", a, b, out_shape) == "bit":
             a_bit: BitMatrix = self._ensure_bit(a).storage
             b_bit: BitMatrix = self._ensure_bit(b).storage
@@ -964,7 +1180,11 @@ class HybridBackend(Backend):
 
     def _stay_resident(self, a: HybridMatrix) -> str:
         """Route format-preserving ops (transpose, extract): stay in the
-        resident format — a conversion would dominate either kernel."""
+        resident format — a conversion would dominate either kernel.
+        Value-only handles always stay on the value route: forcing them
+        through a pattern view would silently drop their values."""
+        if a.sparse is None and a.bit is None:
+            return "value"
         if self.policy.mode == "bit":
             return "bit"
         if self.policy.mode == "sparse":
@@ -974,6 +1194,8 @@ class HybridBackend(Backend):
     def transpose(self, a):
         decision = self._stay_resident(a)
         self.dispatch_counts.setdefault("transpose", Counter())[decision] += 1
+        if decision == "value":
+            return HybridMatrix(self, value=a.value.backend.transpose(a.value))
         if decision == "bit":
             # Arena-accounted out-parameter form: output words and the
             # 64x64 tile workspace are arena buffers, and the source is
@@ -999,6 +1221,11 @@ class HybridBackend(Backend):
         self._check_submatrix(a, i, j, nrows, ncols)
         decision = self._stay_resident(a)
         self.dispatch_counts.setdefault("extract", Counter())[decision] += 1
+        if decision == "value":
+            return HybridMatrix(
+                self,
+                value=a.value.backend.extract_submatrix(a.value, i, j, nrows, ncols),
+            )
         if decision == "bit":
             # Same arena-accounted contract as transpose above.
             src: BitMatrix = self._ensure_bit(a).storage
@@ -1009,7 +1236,23 @@ class HybridBackend(Backend):
             self.inner.extract_submatrix(self._ensure_sparse(a), i, j, nrows, ncols)
         )
 
-    def reduce_to_column(self, a):
+    def reduce_to_column(self, a, *, semiring=None):
+        s = self._resolve_semiring(semiring)
+        value_only = a.sparse is None and a.bit is None
+        if not s.is_boolean or value_only:
+            if not s.is_boolean:
+                be = self._route_value("reduce", s, a)
+                ga = self._ensure_value(a, be, s)
+            else:
+                # Boolean reduce of a value-resident matrix: stay on the
+                # value route, whose reduce has the same pattern
+                # (non-empty rows) — converting would drop the values.
+                self.dispatch_counts.setdefault("reduce", Counter())["value"] += 1
+                be, ga = a.value.backend, a.value
+            started = time.perf_counter()
+            return self._value_result(
+                "reduce", s, started, be.reduce_to_column(ga, semiring=s)
+            )
         decision = self._stay_resident(a)
         self.dispatch_counts.setdefault("reduce", Counter())[decision] += 1
         if decision == "bit":

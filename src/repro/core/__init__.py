@@ -18,7 +18,17 @@ Quickstart::
         print(c.to_lists())
 """
 
-from repro.core.semiring import BOOL_OR_AND, MIN_PLUS, PLUS_TIMES, Semiring
+from repro.core.semiring import (
+    BOOL_OR_AND,
+    MAX_TIMES,
+    MIN_PLUS,
+    PLUS_PAIR,
+    PLUS_TIMES,
+    Semiring,
+    available_semirings,
+    get_semiring,
+    register_semiring,
+)
 from repro.core.context import Context, default_context, init
 from repro.core.matrix import Matrix
 from repro.core.vector import Vector
@@ -26,11 +36,16 @@ from repro.core.vector import Vector
 __all__ = [
     "BOOL_OR_AND",
     "Context",
+    "MAX_TIMES",
     "MIN_PLUS",
     "Matrix",
+    "PLUS_PAIR",
     "PLUS_TIMES",
     "Semiring",
     "Vector",
+    "available_semirings",
     "default_context",
+    "get_semiring",
     "init",
+    "register_semiring",
 ]

@@ -163,29 +163,36 @@ class Matrix:
         other: "Matrix",
         accumulate: "Matrix | None" = None,
         mask: "Matrix | None" = None,
+        *,
+        semiring=None,
     ) -> "Matrix":
-        """Boolean matrix product; with ``accumulate`` computes
-        ``accumulate ∨ (self · other)`` (the C API's ``C += M × N``).
+        """Matrix product under ``semiring`` (default boolean OR-AND);
+        with ``accumulate`` computes ``accumulate ⊕ (self · other)``
+        (the C API's ``C += M × N``).
 
         ``mask`` is the GraphBLAS structural *complement* mask: the
         product is filtered to ``(self · other) ∧ ¬mask`` before the
         accumulate merge.  Passing the previous fixpoint as ``mask``
         makes the returned delta carry only *new* facts — its ``nnz``
         is the convergence test of the incremental engines
-        (:mod:`repro.incr`)."""
+        (:mod:`repro.incr`).  ``semiring`` is a
+        :class:`~repro.core.semiring.Semiring` or registered name; value
+        semirings need a value-capable backend (generic or hybrid)."""
         acc = self._peer(accumulate, "mxm") if accumulate is not None else None
         msk = self._peer(mask, "mxm") if mask is not None else None
         out = self._ctx.backend.mxm(
-            self.handle, self._peer(other, "mxm"), acc, msk
+            self.handle, self._peer(other, "mxm"), acc, msk, semiring=semiring
         )
         return self._ctx._wrap(out)
 
     def __matmul__(self, other: "Matrix") -> "Matrix":
         return self.mxm(other)
 
-    def ewise_add(self, other: "Matrix") -> "Matrix":
-        """Element-wise OR."""
-        out = self._ctx.backend.ewise_add(self.handle, self._peer(other, "ewise_add"))
+    def ewise_add(self, other: "Matrix", *, semiring=None) -> "Matrix":
+        """Element-wise ⊕ (default OR)."""
+        out = self._ctx.backend.ewise_add(
+            self.handle, self._peer(other, "ewise_add"), semiring=semiring
+        )
         return self._ctx._wrap(out)
 
     def __or__(self, other: "Matrix") -> "Matrix":
@@ -193,19 +200,25 @@ class Matrix:
 
     __add__ = __or__
 
-    def ewise_mult(self, other: "Matrix") -> "Matrix":
-        """Element-wise AND (pattern intersection / masking)."""
+    def ewise_mult(self, other: "Matrix", *, semiring=None) -> "Matrix":
+        """Element-wise ⊗ (default AND — pattern intersection)."""
         out = self._ctx.backend.ewise_mult(
-            self.handle, self._peer(other, "ewise_mult")
+            self.handle, self._peer(other, "ewise_mult"), semiring=semiring
         )
         return self._ctx._wrap(out)
 
     def __and__(self, other: "Matrix") -> "Matrix":
         return self.ewise_mult(other)
 
-    def kron(self, other: "Matrix", accumulate: "Matrix | None" = None) -> "Matrix":
+    def kron(
+        self,
+        other: "Matrix",
+        accumulate: "Matrix | None" = None,
+        *,
+        semiring=None,
+    ) -> "Matrix":
         """Kronecker product ``self ⊗ other``; with ``accumulate``
-        computes ``accumulate ∨ (self ⊗ other)`` under the fused
+        computes ``accumulate ⊕ (self ⊗ other)`` under the fused
         accumulate contract (see :meth:`Backend.mxm`): functional
         result, operands untouched, ``accumulate`` may alias either."""
         if accumulate is not None:
@@ -213,9 +226,12 @@ class Matrix:
                 self.handle,
                 self._peer(other, "kron"),
                 self._peer(accumulate, "kron"),
+                semiring=semiring,
             )
         else:
-            out = self._ctx.backend.kron(self.handle, self._peer(other, "kron"))
+            out = self._ctx.backend.kron(
+                self.handle, self._peer(other, "kron"), semiring=semiring
+            )
         return self._ctx._wrap(out)
 
     def transpose(self) -> "Matrix":

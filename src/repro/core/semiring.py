@@ -1,21 +1,30 @@
-"""Semiring definitions.
+"""Semiring definitions and the semiring registry.
 
 The library's native algebra is the **Boolean semiring**
 ``({0, 1}, ∨, ∧)`` — "values set {true, false} with false as an identity
 element, '+' operation is defined as logical or and '×' is defined as
 logical and" (paper, §Libraries Design).  The sparse backends implement
-it natively (pattern-only storage).
+it natively (pattern-only storage), and the hybrid dispatcher keeps its
+bit-packed fast path reserved for it (``is_boolean``).
 
-Additional semirings are provided for the dense reference path and for
-the GraphBLAS-flavoured extensions (the paper's future-work section
-mentions custom semirings such as min-plus): they are *not* accelerated
-by the sparse boolean backends, but :meth:`Semiring.mxm_dense` gives a
-correct dense evaluation used by tests and by the shortest-path example.
+Every other registered semiring is a *value* semiring: the generic
+backend evaluates it natively over ``valcsr`` storage, and the dense
+methods here (:meth:`Semiring.mxm_dense` and friends) are the reference
+oracle used by tests, the dense algorithm fallbacks, and the service
+selftest.
+
+Registry
+--------
+Built-ins are looked up by :func:`get_semiring` (``"bool-or-and"``,
+``"plus-times"``, ``"min-plus"``, ``"max-times"``, ``"plus-pair"``);
+:func:`register_semiring` adds user-defined instances and
+:func:`available_semirings` lists the names.  Backend operations accept
+``semiring=`` as either a :class:`Semiring` or a registered name.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable
 
 import numpy as np
@@ -28,8 +37,27 @@ class Semiring:
     """An algebraic semiring ``(D, add, mul, zero, one)``.
 
     ``add``/``mul`` are binary NumPy ufunc-compatible callables; ``zero``
-    is the add-identity (and mul-annihilator), ``one`` the mul-identity.
-    ``add_reduce`` performs the reduction of ``add`` along an axis.
+    is the add-identity (and the mul-annihilator — see ``annihilator``),
+    ``one`` the mul-identity.  ``add_reduce`` performs the reduction of
+    ``add`` along an axis.
+
+    Metadata for the sparse engines:
+
+    ``is_boolean``
+        Marks the native pattern-only algebra.  The hybrid dispatcher
+        reserves the bit-packed/tiled fast path for boolean semirings;
+        everything else routes to the value backend.
+    ``annihilator``
+        The absorbing element of ``mul`` (``mul(x, annihilator) ==
+        annihilator``).  Sparse kernels rely on ``annihilator == zero``
+        — implicit entries then stay implicit through products — so the
+        default (``None`` → ``zero``) is what every sparse-evaluable
+        semiring wants.
+    ``add_ufunc``
+        The raw :class:`numpy.ufunc` behind ``add`` when one exists
+        (``np.minimum``, ``np.add``, ...).  Sparse kernels use its
+        ``.at`` scatter / ``.reduceat`` segment forms; ``None`` falls
+        back to a per-segment Python reduction.
     """
 
     name: str
@@ -39,6 +67,15 @@ class Semiring:
     zero: Any
     one: Any
     add_reduce: Callable[..., Any]
+    is_boolean: bool = False
+    annihilator: Any = None
+    add_ufunc: np.ufunc | None = field(default=None, repr=False)
+
+    def __post_init__(self):
+        if self.annihilator is None:
+            object.__setattr__(self, "annihilator", self.zero)
+        if self.add_ufunc is None and isinstance(self.add, np.ufunc):
+            object.__setattr__(self, "add_ufunc", self.add)
 
     def mxm_dense(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Dense matrix product under this semiring (reference semantics).
@@ -93,6 +130,17 @@ def _bool_and(a, b):
     return np.logical_and(a, b)
 
 
+def _pair(a, b):
+    """PAIR multiply: 1 wherever both operands are present (nonzero).
+
+    On sparse storage a multiply only ever sees *stored* intersections,
+    so PAIR degenerates to the constant 1 there — which is exactly what
+    makes ``plus-pair`` count common neighbours (triangle counting)
+    instead of multiplying weights.
+    """
+    return np.logical_and(a != 0, b != 0).astype(np.result_type(a, b))
+
+
 #: The library's native algebra.
 BOOL_OR_AND = Semiring(
     name="bool-or-and",
@@ -102,6 +150,8 @@ BOOL_OR_AND = Semiring(
     zero=False,
     one=True,
     add_reduce=np.logical_or.reduce,
+    is_boolean=True,
+    add_ufunc=np.logical_or,
 )
 
 #: Ordinary arithmetic — what the generic baseline computes.
@@ -126,14 +176,64 @@ MIN_PLUS = Semiring(
     add_reduce=np.minimum.reduce,
 )
 
-_REGISTRY = {s.name: s for s in (BOOL_OR_AND, PLUS_TIMES, MIN_PLUS)}
+#: Max-times over [0, ∞) — widest-path / max-reliability products.
+#: 0 is both the add-identity and the mul-annihilator, so it is sparse-
+#: evaluable without restriction (implicit zeros behave).
+MAX_TIMES = Semiring(
+    name="max-times",
+    dtype=np.dtype(np.float64),
+    add=np.maximum,
+    mul=np.multiply,
+    zero=0.0,
+    one=1.0,
+    add_reduce=np.maximum.reduce,
+)
+
+#: PLUS_PAIR — common-neighbour counting (triangle counting's algebra).
+#: PAIR is not a true semiring multiply over the reals (it is not
+#: distributive off the {0, 1} sub-domain), but over sparse operands a
+#: multiply only sees stored intersections, where PAIR ≡ 1; the dense
+#: reference applies the same presence test, keeping both paths equal.
+PLUS_PAIR = Semiring(
+    name="plus-pair",
+    dtype=np.dtype(np.float64),
+    add=np.add,
+    mul=_pair,
+    zero=0.0,
+    one=1.0,
+    add_reduce=np.add.reduce,
+)
+
+_REGISTRY = {
+    s.name: s for s in (BOOL_OR_AND, PLUS_TIMES, MIN_PLUS, MAX_TIMES, PLUS_PAIR)
+}
 
 
 def get_semiring(name: str) -> Semiring:
-    """Look up a built-in semiring by name."""
+    """Look up a registered semiring by name."""
     try:
         return _REGISTRY[name]
     except KeyError:
         raise InvalidArgumentError(
             f"unknown semiring {name!r}; available: {sorted(_REGISTRY)}"
         ) from None
+
+
+def register_semiring(semiring: Semiring) -> Semiring:
+    """Register a user-defined semiring under its ``name``.
+
+    Re-registering a name replaces the previous entry (last wins), so
+    applications can shadow a built-in with a tuned variant.  Returns
+    the semiring for chaining.
+    """
+    if not isinstance(semiring, Semiring):
+        raise InvalidArgumentError(
+            f"register_semiring expects a Semiring, got {type(semiring).__name__}"
+        )
+    _REGISTRY[semiring.name] = semiring
+    return semiring
+
+
+def available_semirings() -> list[str]:
+    """Sorted names of every registered semiring."""
+    return sorted(_REGISTRY)

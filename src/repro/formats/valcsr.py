@@ -69,10 +69,16 @@ class ValCsr(SparseFormat):
         *,
         dtype=VALUE_DTYPE,
         canonical: bool = False,
+        combine: np.ufunc | None = None,
+        initial=None,
     ) -> "ValCsr":
-        """Build from coordinates; duplicate coordinates sum their values
-        (the generic-semiring behaviour; booleans never exercise it with
-        saturating inputs but the baseline must pay for supporting it)."""
+        """Build from coordinates; duplicate coordinates combine their
+        values with ``combine`` (default ``np.add`` — the plus-times
+        behaviour; booleans never exercise it with saturating inputs but
+        the baseline must pay for supporting it).  ``combine`` must be a
+        ufunc (its ``.at`` scatter form does the segment reduction) and
+        ``initial`` its identity — min-plus passes ``np.minimum`` /
+        ``inf`` so duplicate edges keep the lightest weight."""
         rows = as_index_array(rows, "rows")
         cols = as_index_array(cols, "cols")
         if rows.shape != cols.shape:
@@ -93,13 +99,15 @@ class ValCsr(SparseFormat):
         if not canonical and rows.size:
             order = lexsort_pairs(rows, cols)
             rows, cols, values = rows[order], cols[order], values[order]
-            # Sum duplicates segment-wise.
+            # Combine duplicates segment-wise (scatter-reduce).
             new_seg = np.empty(rows.size, dtype=bool)
             new_seg[0] = True
             new_seg[1:] = (rows[1:] != rows[:-1]) | (cols[1:] != cols[:-1])
             seg_idx = np.cumsum(new_seg) - 1
-            summed = np.zeros(int(seg_idx[-1]) + 1, dtype=values.dtype)
-            np.add.at(summed, seg_idx, values)
+            op = np.add if combine is None else combine
+            fill = 0 if initial is None else initial
+            summed = np.full(int(seg_idx[-1]) + 1, fill, dtype=values.dtype)
+            op.at(summed, seg_idx, values)
             rows, cols, values = rows[new_seg], cols[new_seg], summed
         rowptr = rowptr_from_sorted_rows(rows, nrows)
         return cls(shape, rowptr, cols, values)

@@ -30,6 +30,7 @@ from repro.service.graph_store import GraphStore
 from repro.service.plan_cache import PlanCache
 from repro.service.scheduler import (
     KIND_CFPQ,
+    KIND_DIST,
     KIND_PAIRS,
     KIND_REACH,
     QueryScheduler,
@@ -244,6 +245,51 @@ class QueryService:
             QueryTicket(kind=KIND_CFPQ, graph=graph, query=grammar, timeout=timeout)
         )
 
+    def submit_distances(
+        self,
+        graph: str,
+        *,
+        source: int,
+        weights: dict | None = None,
+        semiring: str = "min-plus",
+        timeout: float | None = None,
+    ) -> QueryTicket:
+        """Single-source shortest distances under a value semiring.
+
+        ``weights`` optionally maps edge labels to weights (unlisted
+        labels weigh 1); ``semiring`` names the algebra (only
+        ``"min-plus"`` is evaluable today — the name is validated here
+        so bad requests never reach the scheduler).  The answer is a
+        set of ``(vertex, distance)`` pairs over reachable vertices.
+        """
+        from repro.core.semiring import get_semiring
+
+        handle = self.graphs.get(graph)  # validate early, pre-admission
+        if not 0 <= int(source) < handle.n:
+            raise InvalidArgumentError(
+                f"source {source} outside [0, {handle.n})"
+            )
+        s = get_semiring(semiring)
+        if s.name != "min-plus":
+            raise InvalidArgumentError(
+                "distance queries require the min-plus semiring, "
+                f"got {s.name!r}"
+            )
+        norm = (
+            tuple(sorted((str(k), float(v)) for k, v in weights.items()))
+            if weights
+            else None
+        )
+        return self.scheduler.submit(
+            QueryTicket(
+                kind=KIND_DIST,
+                graph=graph,
+                query=(s.name, norm),
+                source=int(source),
+                timeout=timeout,
+            )
+        )
+
     # -- sync convenience --------------------------------------------------
     #
     # With a cluster router attached (attach_router), these route by
@@ -302,6 +348,25 @@ class QueryService:
                 graph, grammar, timeout=timeout, min_version=min_version
             )
         return self.submit_cfpq(graph, grammar, timeout=timeout).result()
+
+    def distances(
+        self,
+        graph: str,
+        *,
+        source: int,
+        weights: dict | None = None,
+        semiring: str = "min-plus",
+        timeout: float | None = None,
+    ) -> set[tuple[int, float]]:
+        """Sync :meth:`submit_distances` (always evaluated locally —
+        distance answers carry no replication path yet)."""
+        return self.submit_distances(
+            graph,
+            source=source,
+            weights=weights,
+            semiring=semiring,
+            timeout=timeout,
+        ).result()
 
     # -- observability -----------------------------------------------------
 

@@ -35,11 +35,13 @@ from repro.grammar.rsm import RSM
 class QueryPlan:
     """An executable, cached compilation of one query.
 
-    ``kind`` is ``"rpq"`` (``nfa`` set) or ``"cfpq"`` (``rsm`` set,
-    ``cfg`` set when the source was a plain grammar).  ``key`` is the
-    canonical cache key (``None`` for uncacheable inputs such as
-    prebuilt automata).  ``compile_time_s`` is what the cache saves on
-    every subsequent hit.
+    ``kind`` is ``"rpq"`` (``nfa`` set), ``"cfpq"`` (``rsm`` set,
+    ``cfg`` set when the source was a plain grammar) or ``"dist"``
+    (neither set — the plan is the validated semiring + label-weight
+    assignment in ``meta``).  ``key`` is the canonical cache key
+    (``None`` for uncacheable inputs such as prebuilt automata).
+    ``compile_time_s`` is what the cache saves on every subsequent
+    hit.
     """
 
     kind: str
@@ -87,6 +89,52 @@ def canonical_cfpq_key(query) -> str | None:
         return None
     raise InvalidArgumentError(
         f"unsupported CFPQ query type {type(query).__name__}"
+    )
+
+
+def canonical_dist_key(query) -> str:
+    """Canonical cache key for a distance (semiring) query.
+
+    ``query`` is ``(semiring_name, weights)`` where ``weights`` is a
+    sorted tuple of ``(label, weight)`` pairs or ``None``; both arrive
+    pre-normalized from :meth:`QueryService.submit_distances`, so the
+    repr is already canonical.
+    """
+    if (
+        not isinstance(query, tuple)
+        or len(query) != 2
+        or not isinstance(query[0], str)
+    ):
+        raise InvalidArgumentError(
+            "distance query must be a (semiring, weights) tuple"
+        )
+    name, weights = query
+    return f"{name}|{weights!r}"
+
+
+def compile_dist_plan(query, *, key: str | None = None) -> QueryPlan:
+    """Validate a distance query into a plan.
+
+    There is no automaton to build — "compilation" is resolving the
+    semiring name through the registry (rejecting unknown algebras
+    before the ticket ever reaches the scheduler) and pinning the
+    normalized weight assignment in ``meta`` so the result cache can
+    tag entries by algebra.
+    """
+    from repro.core.semiring import get_semiring
+
+    t0 = time.perf_counter()
+    name, weights = query
+    s = get_semiring(name)
+    if s.name != "min-plus":
+        raise InvalidArgumentError(
+            f"distance queries require the min-plus semiring, got {s.name!r}"
+        )
+    return QueryPlan(
+        kind="dist",
+        key=key,
+        compile_time_s=time.perf_counter() - t0,
+        meta={"semiring": s.name, "weights": weights},
     )
 
 
@@ -176,6 +224,8 @@ class PlanCache:
             key = canonical_rpq_key(query)
         elif kind == "cfpq":
             key = canonical_cfpq_key(query)
+        elif kind == "dist":
+            key = canonical_dist_key(query)
         else:
             raise InvalidArgumentError(f"unknown plan kind {kind!r}")
 
@@ -188,7 +238,11 @@ class PlanCache:
                     return plan
                 self.misses += 1
 
-        compile_fn = compile_rpq_plan if kind == "rpq" else compile_cfpq_plan
+        compile_fn = {
+            "rpq": compile_rpq_plan,
+            "cfpq": compile_cfpq_plan,
+            "dist": compile_dist_plan,
+        }[kind]
         plan = compile_fn(query, key=key)
 
         if key is not None:

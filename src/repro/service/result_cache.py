@@ -65,12 +65,17 @@ class ResultCache:
 
         ``plan.key`` is the plan cache's canonical source key; plans
         without one (prebuilt automata) cannot be identified across
-        requests and never hit.
+        requests and never hit.  The trailing component tags the entry
+        with the plan's semiring (``bool-or-and`` for the boolean
+        reachability kinds), so a min-plus answer can never shadow a
+        boolean one for the same source text.
         """
         plan_key = getattr(plan, "key", None)
         if plan_key is None:
             return None
-        return (kind, graph, int(version), plan.kind, plan_key, source)
+        meta = getattr(plan, "meta", None) or {}
+        semiring = meta.get("semiring", "bool-or-and")
+        return (kind, graph, int(version), plan.kind, plan_key, source, semiring)
 
     def __len__(self) -> int:
         with self._lock:

@@ -49,6 +49,7 @@ if TYPE_CHECKING:  # typed collaborators feed the static lock analysis
 KIND_REACH = "rpq-reach"
 KIND_PAIRS = "rpq-pairs"
 KIND_CFPQ = "cfpq"
+KIND_DIST = "dist"
 
 _SHUTDOWN = object()
 
@@ -319,7 +320,12 @@ class QueryScheduler:
             try:
                 handle = self.graphs.get(ticket.graph)
                 t0 = time.perf_counter()
-                plan_kind = "cfpq" if kind == KIND_CFPQ else "rpq"
+                if kind == KIND_CFPQ:
+                    plan_kind = "cfpq"
+                elif kind == KIND_DIST:
+                    plan_kind = "dist"
+                else:
+                    plan_kind = "rpq"
                 plan = self.plans.get(plan_kind, ticket.query)
                 dt = time.perf_counter() - t0
                 ticket.timings["compile"] = dt
@@ -387,6 +393,11 @@ class QueryScheduler:
                 results, states = [result], [state]
             elif kind == KIND_CFPQ:
                 result, state = self._eval_cfpq(handle, resolved[0][2], keys[0])
+                results, states = [result], [state]
+            elif kind == KIND_DIST:
+                result, state = self._eval_distances(
+                    handle, resolved[0][2], resolved[0][0].source
+                )
                 results, states = [result], [state]
             else:  # pragma: no cover - submit() validates kinds
                 raise QueryCancelledError(f"unknown query kind {kind!r}")
@@ -549,6 +560,27 @@ class QueryScheduler:
             return index.pairs(), state
         finally:
             index.free()
+
+    def _eval_distances(self, handle, plan, source):
+        """Single-source min-plus distances as a reachability-style set.
+
+        No warm start: distance fixpoints run on the value backend and
+        have no boolean FixpointState lineage to resume from — results
+        ride the ordinary result cache instead (tagged by semiring).
+        """
+        from repro.algorithms.shortest_paths import (
+            single_source_shortest_paths,
+            weight_matrix,
+        )
+
+        self.stats.count("full_evals")
+        weights = dict(plan.meta.get("weights") or ())
+        w = weight_matrix(handle.graph, weights or None)
+        dist = single_source_shortest_paths(w, source)
+        result = {
+            (int(v), float(d)) for v, d in enumerate(dist) if d < float("inf")
+        }
+        return result, None
 
     def _eval_cfpq(self, handle, plan, key):
         from repro.cfpq.tensor_algorithm import tensor_cfpq

@@ -181,6 +181,9 @@ def run_selftest(
     # -- phase 5: incremental evaluation over live deltas ------------------
     failures.extend(_incremental_phase(say=say))
 
+    # -- phase 6: value-semiring queries through the service ---------------
+    failures.extend(_semiring_phase(say=say))
+
     # -- runtime vs static lock graph --------------------------------------
     tracer = locktrace.tracer()
     if tracer is not None:
@@ -197,7 +200,8 @@ def run_selftest(
         f"+ cfpq match the sequential engines; store warm-restart "
         f"(mmap snapshots + WAL recovery) verified; fused bit fixpoint "
         f"holds arena peak flat; tiled kernels agree with flat; "
-        f"incremental warm starts track interleaved mutations"
+        f"incremental warm starts track interleaved mutations; min-plus "
+        f"distance queries match the dense oracle"
     )
     return 0
 
@@ -456,6 +460,85 @@ def _incremental_phase(*, say) -> list[str]:
             f"started ({counters.get('incremental_evals', 0)} incremental "
             f"vs {counters.get('full_evals', 0)} full evals), removal "
             f"forced recompute, masked kernels {masked}"
+        )
+    return failures
+
+
+def _semiring_phase(*, say) -> list[str]:
+    """Min-plus distance queries through the full service stack.
+
+    The ``dist`` query kind rides the same plan cache / result cache /
+    scheduler machinery as the boolean kinds but evaluates on the value
+    backend under the min-plus semiring.  Asserts (a) the answers match
+    a dense Bellman-Ford oracle, (b) repeats hit the plan cache and the
+    result cache, (c) the result-cache key is semiring-tagged so a
+    distance answer can never shadow a boolean one, and (d) unknown or
+    non-tropical semirings are rejected before admission."""
+    import numpy as np
+
+    from repro.errors import InvalidArgumentError
+
+    failures: list[str] = []
+    n = 48
+    graph = uniform_random_graph(n, 3 * n, labels=("a", "b"), seed=0xE17)
+    weights = {"a": 1.0, "b": 2.5}
+
+    # Dense oracle: plain Bellman-Ford over the same weight assignment.
+    dense = np.full((n, n), np.inf)
+    for label, pairs in graph.edges.items():
+        for u, v in pairs:
+            dense[u, v] = min(dense[u, v], weights[label])
+    src = 3
+    want_dist = np.full(n, np.inf)
+    want_dist[src] = 0.0
+    for _ in range(n):
+        relaxed = np.minimum(want_dist, (want_dist[:, None] + dense).min(axis=0))
+        if np.array_equal(relaxed, want_dist):
+            break
+        want_dist = relaxed
+    want = {(int(v), float(d)) for v, d in enumerate(want_dist) if d < np.inf}
+
+    with QueryService(workers=2) as svc:
+        svc.register_graph("weighted", graph, residency="auto")
+        first = svc.distances("weighted", source=src, weights=weights)
+        if first != want:
+            failures.append(
+                f"min-plus distances diverge from the dense oracle "
+                f"({len(first)} vs {len(want)} reachable vertices)"
+            )
+        second = svc.distances("weighted", source=src, weights=weights)
+        if second != first:
+            failures.append("repeated distance query changed its answer")
+        snap = svc.stats()
+        if snap.plan_cache["hits"] == 0:
+            failures.append("distance repeat missed the plan cache")
+        rc = snap.result_cache
+        if rc and rc["hits"] == 0:
+            failures.append("distance repeat missed the result cache")
+        # Semiring tagging: the same graph answers a boolean query
+        # without either side shadowing the other.
+        reach = svc.reach("weighted", "a b*", source=src)
+        if not isinstance(reach, set) or any(
+            isinstance(x, tuple) for x in reach
+        ):
+            failures.append(
+                "boolean reach answer was shadowed by a distance entry"
+            )
+        try:
+            svc.distances("weighted", source=src, semiring="plus-times")
+            failures.append("non-tropical semiring was not rejected")
+        except InvalidArgumentError:
+            pass
+        try:
+            svc.distances("weighted", source=src, semiring="no-such-algebra")
+            failures.append("unknown semiring was not rejected")
+        except InvalidArgumentError:
+            pass
+    if not failures:
+        say(
+            f"semiring phase ok: min-plus distances to {len(want)} vertices "
+            f"match the dense oracle; plan + result caches hit on repeat; "
+            f"bad algebras rejected pre-admission"
         )
     return failures
 

@@ -1,0 +1,32 @@
+"""R5 fixture: the semiring stays read-only inside ``_into`` kernels.
+
+Never imported — parsed by reprolint only.  A semiring handle is
+shared registry state — every operation using the same algebra sees
+the same object — so a kernel that "customizes" it in place corrupts
+unrelated operations.  The ``_into`` output contract does not cover
+it, exactly like the ``mask`` operand.
+"""
+
+
+def semiring_mxm_into(out, a, b, semiring):
+    """Legal: the algebra is read, never written — this must NOT fire."""
+    add, mul = semiring.add, semiring.mul
+    for strip in a.strips:
+        out.values[strip] = add(out.values[strip], mul(a.values[strip], b.values[strip]))
+    return out
+
+
+def semiring_mxm_memo_into(out, a, b, semiring):
+    """Seeded violation: caching a derived table on the semiring looks
+    like a local optimization but mutates an object shared by every
+    other operation running the same algebra."""
+    semiring.scratch[...] = a.values
+    out.values[...] = semiring.add(out.values, semiring.scratch)
+    return out
+
+
+def semiring_mxm_pinned_into(out, a, b, semiring):
+    """Suppressed twin: documented backend-owned scratch slot."""
+    semiring.scratch[...] = a.values  # reprolint: disable=R5
+    out.values[...] = semiring.add(out.values, semiring.scratch)
+    return out

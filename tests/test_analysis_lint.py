@@ -30,14 +30,18 @@ ALL_RULES = ("R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9")
 # mutation), one in r5_tiled_into.py (undeclared presence-grid write
 # among legal tiled ``_into`` kernels that must not fire), one in
 # r5_masked_into.py (mask mutation inside a declared ``_into`` kernel —
-# the mask is read-only by the masked-accumulate contract), and one in
+# the mask is read-only by the masked-accumulate contract), one in
+# r5_semiring_into.py (semiring mutation inside a declared ``_into``
+# kernel — shared registry state is read-only everywhere), and one in
 # r5_interproc.py (mask forwarded into a mutating helper — only the
-# whole-program pass can see it).  R8 has two fixtures: a lock held
+# whole-program pass can see it).  R6 has two fixtures: the shape-check
+# half (r6_shapes.py) and the semiring-resolution half
+# (r6_semiring.py).  R8 has two fixtures: a lock held
 # across a kernel-boundary call and an unguarded cross-object access.
 # R9 plants two violations in r9_memmap.py: a write through a mapped
 # word container and a write through a mapped sparse index array.
 PER_RULE = {
-    rule: {"R2": 3, "R5": 5, "R8": 2, "R9": 2}.get(rule, 1)
+    rule: {"R2": 3, "R5": 6, "R6": 2, "R8": 2, "R9": 2}.get(rule, 1)
     for rule in ALL_RULES
 }
 
@@ -60,7 +64,9 @@ def test_seeded_violations_land_in_the_expected_files():
         ("R5", "r5_impure.py"),
         ("R5", "r5_interproc.py"),
         ("R5", "r5_masked_into.py"),
+        ("R5", "r5_semiring_into.py"),
         ("R5", "r5_tiled_into.py"),
+        ("R6", "r6_semiring.py"),
         ("R6", "r6_shapes.py"),
         ("R7", "r7_lockorder.py"),
         ("R8", "r8_kernel.py"),

@@ -205,7 +205,7 @@ def test_cli_baseline_gate_passes_then_fails_on_regression(tmp_path, capsys):
     assert payload["count"] == 0
     # The whole seeded corpus: one live violation per rule plus the
     # extra R2/R5/R8/R9 seeds (see PER_RULE in test_analysis_lint.py).
-    assert payload["baselined"] == 17
+    assert payload["baselined"] == 19
 
     # Seed a regression: a fresh R9 violation the baseline never saw.
     seeded = root / "repro" / "store" / "seeded.py"

@@ -70,8 +70,9 @@ class TestRegistryAndErrors:
     def test_lookup(self):
         assert get_semiring("bool-or-and") is BOOL_OR_AND
         assert get_semiring("min-plus") is MIN_PLUS
+        assert get_semiring("max-times").one == 1.0
         with pytest.raises(InvalidArgumentError):
-            get_semiring("max-times")
+            get_semiring("no-such-algebra")
 
     def test_shape_checks(self):
         with pytest.raises(DimensionMismatchError):
